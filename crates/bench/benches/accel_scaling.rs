@@ -1,0 +1,29 @@
+//! Series B: distributed-transform simulation across PE counts, plus the
+//! threaded-PE execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use he_field::Fp;
+use he_hwsim::distributed::DistributedNtt;
+use he_hwsim::AcceleratorConfig;
+use he_ntt::N64K;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_scaling");
+    group.sample_size(10);
+    let input: Vec<Fp> = (0..N64K as u64).map(Fp::new).collect();
+
+    for pes in [1usize, 2, 4] {
+        let cfg = AcceleratorConfig::paper().with_num_pes(pes).expect("supported");
+        let dist = DistributedNtt::new(cfg).expect("supported");
+        group.bench_with_input(BenchmarkId::new("sequential", pes), &input, |b, d| {
+            b.iter(|| dist.forward(d))
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", pes), &input, |b, d| {
+            b.iter(|| dist.forward_parallel(d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

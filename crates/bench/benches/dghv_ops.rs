@@ -1,0 +1,48 @@
+//! DGHV primitive costs: encryption and homomorphic operations at toy
+//! scale, plus the paper-scale ciphertext multiplication on each backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use he_bench::operand;
+use he_dghv::{CiphertextMultiplier, DghvParams, KaratsubaBackend, KeyPair, SsaBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dghv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dghv");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).expect("tiny params");
+
+    group.bench_function("encrypt_tiny", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| keys.public().encrypt(true, &mut rng))
+    });
+
+    let ca = keys.public().encrypt(true, &mut rng);
+    let cb = keys.public().encrypt(false, &mut rng);
+    group.bench_function("homomorphic_add_tiny", |b| {
+        b.iter(|| keys.public().add(&ca, &cb))
+    });
+    group.bench_function("homomorphic_mul_tiny", |b| {
+        let backend = KaratsubaBackend;
+        b.iter(|| keys.public().mul(&backend, &ca, &cb).expect("budget ok"))
+    });
+
+    // Paper-scale ciphertext product (786,432-bit operands) on both
+    // software backends — the operation Table II times.
+    let x = operand(786_432, 21);
+    let y = operand(786_432, 22);
+    group.bench_function("ciphertext_product_paper_karatsuba", |b| {
+        let backend = KaratsubaBackend;
+        b.iter(|| backend.multiply(&x, &y))
+    });
+    group.bench_function("ciphertext_product_paper_ssa", |b| {
+        let backend = SsaBackend::paper();
+        b.iter(|| backend.multiply(&x, &y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dghv);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 3 vs Fig. 4 ablation in simulation time: the optimized unit's
+//! shared first stage does ~4× less work per transform, visible as model
+//! wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use he_field::Fp;
+use he_hwsim::fft_unit::{BaselineFft64, OptimizedFft64};
+use he_ntt::kernels::{self, Direction};
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft64_units");
+    let input: Vec<Fp> = (0..64).map(|i| Fp::new(i * 101 + 29)).collect();
+
+    group.bench_function("baseline_fig3", |b| {
+        let unit = BaselineFft64::new();
+        b.iter(|| unit.transform(&input, Direction::Forward))
+    });
+    group.bench_function("optimized_fig4", |b| {
+        let unit = OptimizedFft64::new();
+        b.iter(|| unit.transform(&input, Direction::Forward))
+    });
+    group.bench_function("software_kernel", |b| {
+        b.iter(|| kernels::ntt_small(&input, Direction::Forward).expect("64 points"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_units);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Field-arithmetic microbenchmarks: the cost of the Eq. 4 reduction path
+//! and the shift-based twiddles the hardware exploits.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use he_field::mont::MontFp;
+use he_field::{reduce, Fp, U192};
+
+fn bench_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field");
+    let a = Fp::new(0x1234_5678_9abc_def0);
+    let b = Fp::new(0x0fed_cba9_8765_4321);
+
+    group.bench_function("mul (Eq.4 reduction)", |bench| {
+        bench.iter(|| black_box(a) * black_box(b))
+    });
+    group.bench_function("add", |bench| bench.iter(|| black_box(a) + black_box(b)));
+    group.bench_function("mul_by_pow2 (shift twiddle)", |bench| {
+        bench.iter(|| black_box(a).mul_by_pow2(black_box(99)))
+    });
+    group.bench_function("reduce128", |bench| {
+        bench.iter(|| reduce::reduce128(black_box(0xdead_beef_dead_beef_dead_beef_dead_beefu128)))
+    });
+    group.bench_function("u192 rotl + to_fp (hardware path)", |bench| {
+        let v = U192::from(a);
+        bench.iter(|| black_box(v).rotl(black_box(100)).to_fp())
+    });
+    group.bench_function("inverse", |bench| bench.iter(|| black_box(a).inverse()));
+
+    // Ablation (DESIGN.md §8): Eq. 4 Solinas reduction vs generic
+    // Montgomery on the same operands.
+    let ma = MontFp::from_fp(a);
+    let mb = MontFp::from_fp(b);
+    group.bench_function("mul (Montgomery ablation)", |bench| {
+        bench.iter(|| black_box(ma) * black_box(mb))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_field);
+criterion_main!(benches);

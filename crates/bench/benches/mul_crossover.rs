@@ -1,0 +1,53 @@
+//! Series A (DESIGN.md §3): the multiplication-algorithm crossover sweep.
+//!
+//! Section III: SSA "is advantageous for operands of at least 100,000
+//! bits". This bench measures schoolbook, Karatsuba, Toom-3 and SSA over
+//! operand sizes from 2^10 to 2^20 bits so the crossover is visible in the
+//! criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use he_bench::operand;
+use he_ssa::SsaMultiplier;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mul_crossover");
+    group.sample_size(10);
+
+    for log2_bits in [10u32, 12, 14, 16, 18, 20] {
+        let bits = 1usize << log2_bits;
+        let a = operand(bits, 1);
+        let b = operand(bits, 2);
+
+        if bits <= 1 << 16 {
+            group.bench_with_input(BenchmarkId::new("schoolbook", bits), &bits, |bench, _| {
+                bench.iter(|| a.mul_schoolbook(&b))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("karatsuba", bits), &bits, |bench, _| {
+            bench.iter(|| a.mul_karatsuba(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("toom3", bits), &bits, |bench, _| {
+            bench.iter(|| a.mul_toom3(&b))
+        });
+        let ssa = SsaMultiplier::for_operand_bits(bits).expect("within range");
+        group.bench_with_input(BenchmarkId::new("ssa", bits), &bits, |bench, _| {
+            bench.iter(|| ssa.multiply(&a, &b).expect("operands fit"))
+        });
+    }
+
+    // The paper's exact size.
+    let bits = he_ssa::PAPER_OPERAND_BITS;
+    let a = operand(bits, 3);
+    let b = operand(bits, 4);
+    group.bench_with_input(BenchmarkId::new("karatsuba", bits), &bits, |bench, _| {
+        bench.iter(|| a.mul_karatsuba(&b))
+    });
+    let ssa = SsaMultiplier::paper();
+    group.bench_with_input(BenchmarkId::new("ssa", bits), &bits, |bench, _| {
+        bench.iter(|| ssa.multiply(&a, &b).expect("operands fit"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

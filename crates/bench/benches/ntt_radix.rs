@@ -1,0 +1,45 @@
+//! Radix ablation (DESIGN.md §8.3): the paper's mixed-radix decomposition
+//! vs the conventional radix-2 transform, at the 64K design point and
+//! below.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use he_field::Fp;
+use he_ntt::{MixedRadixPlan, Ntt64k, Radix2Plan, SixStepPlan, N64K};
+
+fn input(n: usize) -> Vec<Fp> {
+    (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect()
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_radix");
+    group.sample_size(10);
+
+    for n in [4096usize, 65_536] {
+        let data = input(n);
+        let radix2 = Radix2Plan::new(n).expect("power of two");
+        group.bench_with_input(BenchmarkId::new("radix2", n), &data, |b, d| {
+            b.iter(|| radix2.forward(d))
+        });
+        let radices: &[usize] = if n == 4096 { &[64, 64] } else { &[64, 64, 16] };
+        let mixed = MixedRadixPlan::new(radices).expect("valid plan");
+        group.bench_with_input(BenchmarkId::new("mixed64", n), &data, |b, d| {
+            b.iter(|| mixed.forward(d))
+        });
+        let (n1, n2) = if n == 4096 { (64, 64) } else { (256, 256) };
+        let sixstep = SixStepPlan::new(n1, n2).expect("valid plan");
+        group.bench_with_input(BenchmarkId::new("sixstep", n), &data, |b, d| {
+            b.iter(|| sixstep.forward(d))
+        });
+    }
+
+    // The specialized three-stage 64K plan (precomputed tables).
+    let data = input(N64K);
+    let plan = Ntt64k::new();
+    group.bench_with_input(BenchmarkId::new("plan64k", N64K), &data, |b, d| {
+        b.iter(|| plan.forward(d))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_radix);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Series C.3 (DESIGN.md §3): transform caching measured in software.
+//!
+//! A plain SSA product pays three transforms; caching one operand's
+//! spectrum drops it to two, caching both to one. The model predicts
+//! savings of exactly one `T_FFT` per cached spectrum (Section V); this
+//! bench measures the software analogue of the same dataflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use he_bench::operand;
+use he_ssa::SsaMultiplier;
+
+fn bench_caching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform_caching");
+    group.sample_size(10);
+
+    for log2_bits in [16u32, 18] {
+        let bits = 1usize << log2_bits;
+        let a = operand(bits, 5);
+        let b = operand(bits, 6);
+        let ssa = SsaMultiplier::for_operand_bits(bits).expect("within range");
+        let ta = ssa.transform(&a).expect("operand fits");
+        let tb = ssa.transform(&b).expect("operand fits");
+
+        group.bench_with_input(BenchmarkId::new("plain_3_transforms", bits), &bits, |bench, _| {
+            bench.iter(|| ssa.multiply(&a, &b).expect("operands fit"))
+        });
+        group.bench_with_input(BenchmarkId::new("one_cached_2_transforms", bits), &bits, |bench, _| {
+            bench.iter(|| ssa.multiply_one_cached(&ta, &b).expect("operands fit"))
+        });
+        group.bench_with_input(BenchmarkId::new("both_cached_1_transform", bits), &bits, |bench, _| {
+            bench.iter(|| ssa.multiply_transformed(&ta, &tb).expect("operands fit"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_caching);
+criterion_main!(benches);

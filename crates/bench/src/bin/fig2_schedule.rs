@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 2** (data distribution and exchange pattern): the
+//! planned schedule, the measured schedule of an actual distributed run,
+//! and the hypercube traffic.
+//!
+//! Run with: `cargo run --release -p he-bench --bin fig2_schedule`
+
+use he_bench::section;
+use he_field::Fp;
+use he_hwsim::distributed::{DistributedNtt, PhaseReport};
+use he_hwsim::network::{schedule_64k, Hypercube};
+use he_hwsim::trace::Trace;
+use he_hwsim::AcceleratorConfig;
+use he_ntt::N64K;
+
+fn main() {
+    let config = AcceleratorConfig::paper();
+
+    section("Fig. 2 — planned compute/exchange interleaving (bold = sub-FFT index)");
+    for phase in schedule_64k(config.num_pes()) {
+        println!("  {phase}");
+    }
+
+    section("hypercube (d = 2)");
+    let cube = Hypercube::new(config.hypercube_dim());
+    for d in 0..config.hypercube_dim() {
+        println!("  dimension {d} pairs: {:?}", cube.exchange_pairs(d));
+    }
+
+    section("measured schedule of a real 64K run");
+    let dist = DistributedNtt::new(config).expect("paper config");
+    let input: Vec<Fp> = (0..N64K).map(|i| Fp::new(i as u64)).collect();
+    let (_, report) = dist.forward(&input);
+    for phase in &report.phases {
+        match phase {
+            PhaseReport::Compute { label, radix, ffts_per_pe, cycles } => println!(
+                "  {label}: {ffts_per_pe:>4} radix-{radix:<2} FFTs/PE {cycles:>6} cycles"
+            ),
+            PhaseReport::Exchange { label, dimension, words_per_pe, cycles, overlapped } => {
+                println!(
+                    "  {label}: dim-{dimension} exchange {words_per_pe:>6} words/PE {cycles:>6} cycles  [{}]",
+                    if *overlapped { "overlapped" } else { "EXPOSED" }
+                )
+            }
+        }
+    }
+    println!(
+        "\n  total {} cycles = {:.2} us @ 200 MHz (paper: 30.7 us); network total {} words",
+        report.total_cycles(),
+        report.total_cycles() as f64 * 5.0 / 1000.0,
+        report.total_traffic_words() * 4, // per-PE words × 4 PEs
+    );
+
+    section("timeline (overlap made visible)");
+    println!("{}", Trace::from_ntt_report(&report, 0, "").gantt(56));
+
+    section("initial data distribution (who owns what)");
+    for pe in 0..4 {
+        let count = (0..N64K).filter(|&n| dist.owner_input(n) == pe).count();
+        let first = (0..N64K).find(|&n| dist.owner_input(n) == pe).unwrap();
+        println!("  PE{pe}: {count} points (first global index {first})");
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 3** (the baseline radix-64 unit of \[28\]): work
+//! census and resource estimate of the unoptimized microarchitecture.
+//!
+//! Run with: `cargo run --release -p he-bench --bin fig3_baseline_unit`
+
+use he_bench::section;
+use he_field::Fp;
+use he_hwsim::fft_unit::BaselineFft64;
+use he_hwsim::resources::{baseline_fft64_unit, TechFactors};
+use he_ntt::kernels::{self, Direction};
+
+fn main() {
+    section("Fig. 3 — baseline radix-64 unit ([28])");
+    println!("structure: 64 chains x (shifter bank -> 8-input carry-save adder tree ->");
+    println!("           carry-save accumulator -> Normalize -> AddMod), 64 reductors\n");
+
+    let input: Vec<Fp> = (0..64).map(|i| Fp::new(i * 31 + 7)).collect();
+    let unit = BaselineFft64::new();
+    let out = unit.transform(&input, Direction::Forward);
+
+    println!("one 64-point transform:");
+    println!("  cycles                 {:>8}", out.census.cycles);
+    println!("  shifter activations    {:>8}", out.census.shift_ops);
+    println!("  carry-save ops         {:>8}", out.census.csa_ops);
+    println!("  modular reductions     {:>8}", out.census.reductor_uses);
+    println!("  reductors instantiated {:>8}", out.census.reductors_instantiated);
+    println!("  write ports needed     {:>8}", out.census.write_ports_required);
+
+    let reference = kernels::ntt_small(&input, Direction::Forward).expect("64 points");
+    println!(
+        "\nbit-exact against the reference NTT: {}",
+        out.values == reference
+    );
+
+    let tech = TechFactors::default();
+    let prims = baseline_fft64_unit();
+    println!(
+        "\nresource estimate of the unit: {} ALMs, {} FFs",
+        tech.alms(&prims),
+        prims.ff_bits
+    );
+}

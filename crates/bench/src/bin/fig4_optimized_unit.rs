@@ -1,0 +1,48 @@
+//! Regenerates **Fig. 4** (the optimized FFT-64 unit): the Eq. 5 sharing
+//! ablation against the Fig. 3 baseline.
+//!
+//! Run with: `cargo run --release -p he-bench --bin fig4_optimized_unit`
+
+use he_bench::section;
+use he_field::Fp;
+use he_hwsim::fft_unit::{BaselineFft64, OptimizedFft64};
+use he_hwsim::resources::{baseline_fft64_unit, optimized_fft64_unit, TechFactors};
+use he_ntt::kernels::Direction;
+
+fn main() {
+    section("Fig. 4 — optimized FFT-64 unit vs Fig. 3 baseline");
+    println!("optimizations (Section IV-b): Eq. 5 shared first stage (4 computed +");
+    println!("4 derived components), 4-shift twiddle mux (0/24/48/72 + subtract),");
+    println!("early carry-save merge, Eq. 4 input pre-reduction, 8 time-multiplexed");
+    println!("reductors (vs 64), 8-word memory parallelism (vs 64)\n");
+
+    let input: Vec<Fp> = (0..64).map(|i| Fp::new(i * 131 + 3)).collect();
+    let base = BaselineFft64::new().transform(&input, Direction::Forward);
+    let opt = OptimizedFft64::new().transform(&input, Direction::Forward);
+    assert_eq!(base.values, opt.values, "units must be bit-exact");
+
+    println!("{:<24} {:>12} {:>12} {:>8}", "per 64-point transform", "baseline", "optimized", "ratio");
+    let row = |name: &str, b: u64, o: u64| {
+        println!(
+            "{name:<24} {b:>12} {o:>12} {:>7.2}x",
+            b as f64 / o.max(1) as f64
+        );
+    };
+    row("shift ops", base.census.shift_ops, opt.census.shift_ops);
+    row("carry-save ops", base.census.csa_ops, opt.census.csa_ops);
+    row("reductors", base.census.reductors_instantiated, opt.census.reductors_instantiated);
+    row("write ports", base.census.write_ports_required, opt.census.write_ports_required);
+    row("cycles (throughput)", base.census.cycles, opt.census.cycles);
+
+    let tech = TechFactors::default();
+    let b = baseline_fft64_unit();
+    let o = optimized_fft64_unit();
+    println!(
+        "\nresource estimates: baseline {} ALMs / {} FFs; optimized {} ALMs / {} FFs ({:.0}% ALM saving)",
+        tech.alms(&b),
+        b.ff_bits,
+        tech.alms(&o),
+        o.ff_bits,
+        (1.0 - tech.alms(&o) as f64 / tech.alms(&b) as f64) * 100.0
+    );
+}

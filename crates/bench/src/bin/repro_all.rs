@@ -1,0 +1,96 @@
+//! One-shot reproduction driver: regenerates every table and figure plus
+//! the extension experiments in a single run.
+//!
+//! Run with: `cargo run --release -p he-bench --bin repro_all`
+
+use he_bench::{operand, section};
+use he_hwsim::accel::AcceleratorSim;
+use he_hwsim::comparators::Table2;
+use he_hwsim::perf::PerfModel;
+use he_hwsim::power::render_energy_table;
+use he_hwsim::primitive::PrimitiveCosts;
+use he_hwsim::program::{PeInterpreter, PeProgram};
+use he_hwsim::resources::Table1;
+use he_hwsim::stream::StreamSim;
+use he_hwsim::trace::Trace;
+use he_hwsim::AcceleratorConfig;
+
+fn main() {
+    let config = AcceleratorConfig::paper();
+
+    section("Table I");
+    let t1 = Table1::from_model(&config);
+    println!("{}", t1.render());
+    println!("average saving: {:.0}% (paper: ~60%)", t1.average_saving_pct());
+
+    section("Table II");
+    let t2 = Table2::from_model(config.clone());
+    println!("{}", t2.render());
+    println!(
+        "min multiplication speedup: {:.2}x (paper: 1.69x or more; 3.32x vs [28])",
+        t2.min_multiplication_speedup()
+    );
+
+    section("Figs. 1-5 (summaries; dedicated bins print full detail)");
+    println!("fig1_pe / fig2_schedule / fig3_baseline_unit / fig4_optimized_unit / fig5_memory");
+
+    section("cycle-simulated paper-scale multiplication + timeline");
+    let sim = AcceleratorSim::paper();
+    let a = operand(786_432, 1);
+    let b = operand(786_432, 2);
+    let (product, report) = sim.multiply(&a, &b).expect("operands fit");
+    println!("{}", report.render());
+    println!("product bits: {} (bit-exact against software)", product.bit_len());
+    println!("{}", Trace::from_multiply_report(&report).gantt(56));
+
+    section("micro-program execution (instruction-derived cycle count)");
+    let program = PeProgram::for_64k_schedule(&config);
+    let stats = PeInterpreter::new(config.clone())
+        .execute(&program)
+        .expect("schedule is conflict-free");
+    println!(
+        "per-PE schedule: {} micro-ops -> {} cycles ({} read bursts, {} twiddle bursts, {} words sent, {} link stalls)",
+        program.ops().len(),
+        stats.cycles,
+        stats.read_bursts,
+        stats.twiddle_bursts,
+        stats.words_sent,
+        stats.link_stall_cycles,
+    );
+    assert_eq!(stats.cycles, PerfModel::new(config.clone()).fft_cycles());
+
+    section("streaming throughput");
+    let stream = StreamSim::new(config.clone()).run(16);
+    println!(
+        "steady interval {} cycles ({:.0} multiplications/s)",
+        stream.steady_interval_cycles().expect("16 entries"),
+        stream.throughput_per_second()
+    );
+
+    section("DGHV primitive costs");
+    println!("{}", PrimitiveCosts::paper().render());
+
+    section("energy (extension)");
+    println!("{}", render_energy_table(&config));
+
+    section("Series C: operand ladder / flexible orders / transform caching");
+    let rows = he_hwsim::flexplan::operand_sweep(&config, &he_hwsim::flexplan::DGHV_LADDER_BITS)
+        .expect("ladder plans cleanly");
+    for r in &rows {
+        let marker = if r.operand_bits == 786_432 { "  <- paper" } else { "" };
+        println!(
+            "{:>9} bits: N = {:>6}, T_MULT = {:>8.2} us{marker}",
+            r.operand_bits, r.n_points, r.multiplication_us
+        );
+    }
+    let perf = PerfModel::new(config);
+    println!(
+        "transform caching [25]: {:.2} / {:.2} / {:.2} us for 2 / 1 / 0 fresh operands",
+        perf.cached_multiplication_us(2),
+        perf.cached_multiplication_us(1),
+        perf.cached_multiplication_us(0),
+    );
+    println!("(full detail: cargo run --release -p he-bench --bin series_c_ladder)");
+
+    println!("\nall reproduction targets regenerated; see EXPERIMENTS.md for the index.");
+}

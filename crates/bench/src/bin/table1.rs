@@ -1,0 +1,52 @@
+//! Regenerates **Table I** (resource usage comparison) from the structural
+//! resource model.
+//!
+//! Run with: `cargo run --release -p he-bench --bin table1`
+
+use he_bench::section;
+use he_hwsim::device::STRATIX_V_5SGSMD8;
+use he_hwsim::resources::{
+    baseline28_primitives, optimized_fft64_unit, proposed_primitives, Table1, TechFactors,
+};
+use he_hwsim::AcceleratorConfig;
+
+fn main() {
+    let config = AcceleratorConfig::paper();
+
+    section("Table I — resource usage");
+    let table = Table1::from_model(&config);
+    println!("{}", table.render());
+    println!(
+        "paper values: proposed 104000 ALMs (40%), 116000 regs (11%), 256 DSP (13%), 8 Mbit (20%)"
+    );
+    println!("              [28]     231000 ALMs (88%), 336377 regs (31%), 720 DSP (37%)");
+    println!(
+        "\naverage ALM/register/DSP saving: {:.0}% (paper: \"around 60% saving\")",
+        table.average_saving_pct()
+    );
+
+    section("model internals");
+    let tech = TechFactors::default();
+    let unit = optimized_fft64_unit();
+    println!(
+        "optimized FFT-64 unit: {} ALMs, {} FFs (primitive counts: {} adder bits, {} CSA bits, {} mux bits)",
+        tech.alms(&unit),
+        unit.ff_bits,
+        unit.adder_bits,
+        unit.csa_bits,
+        unit.mux2_bits,
+    );
+    let proposed = proposed_primitives(&config);
+    let baseline = baseline28_primitives();
+    println!(
+        "proposed accelerator primitives: {proposed:?}\nbaseline [28] primitives:        {baseline:?}"
+    );
+    println!(
+        "\ndevice: {} ({} ALMs, {} regs, {} DSP, {:.1} Mbit BRAM)",
+        STRATIX_V_5SGSMD8.name,
+        STRATIX_V_5SGSMD8.alms,
+        STRATIX_V_5SGSMD8.registers,
+        STRATIX_V_5SGSMD8.dsp_blocks,
+        STRATIX_V_5SGSMD8.bram_bits() as f64 / (1024.0 * 1024.0),
+    );
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the reproduction harness (`he-bench`).
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures
+//! (see `DESIGN.md` §3 for the experiment index); the criterion benches in
+//! `benches/` measure the software implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use he_bigint::UBig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG used by the whole harness, so printed numbers are
+/// reproducible run to run.
+pub fn harness_rng() -> StdRng {
+    StdRng::seed_from_u64(0xDA7E_2016)
+}
+
+/// A deterministic random operand of exactly `bits` bits.
+pub fn operand(bits: usize, salt: u64) -> UBig {
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2016 ^ salt);
+    UBig::random_bits(&mut rng, bits)
+}
+
+/// Prints a section header for harness output.
+pub fn section(title: &str) {
+    println!("\n=== {title} {}", "=".repeat(68usize.saturating_sub(title.len())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operands_are_deterministic() {
+        assert_eq!(operand(1000, 1), operand(1000, 1));
+        assert_ne!(operand(1000, 1), operand(1000, 2));
+        assert_eq!(operand(12_345, 3).bit_len(), 12_345);
+    }
+}

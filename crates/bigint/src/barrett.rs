@@ -1,0 +1,143 @@
+//! Barrett reduction for repeated reduction by a fixed modulus.
+//!
+//! The related work the paper compares against ([32], Cao et al.) pairs an
+//! FFT multiplier with a Barrett reduction module; DGHV's public-key
+//! operations (`mod x_0`) also reduce repeatedly by one fixed modulus, which
+//! is exactly Barrett's sweet spot: one precomputed reciprocal, then each
+//! reduction costs two multiplications instead of a full division.
+
+use crate::ubig::UBig;
+use crate::ArithmeticError;
+
+/// Precomputed state for reducing values modulo a fixed `m`.
+///
+/// Implements HAC Algorithm 14.42 with base `b = 2^64`:
+/// `µ = ⌊b^{2k} / m⌋` where `k` is the limb count of `m`; then for
+/// `x < b^{2k}`, `q ≈ ⌊⌊x / b^{k−1}⌋ · µ / b^{k+1}⌋` and
+/// `x − q·m` is within `3m` of the true remainder.
+///
+/// ```
+/// use he_bigint::{BarrettReducer, UBig};
+///
+/// let m = UBig::from(0xffff_fffb_u64); // a prime
+/// let reducer = BarrettReducer::new(m.clone()).unwrap();
+/// let x = UBig::from(u128::MAX);
+/// assert_eq!(reducer.reduce(&x), x.rem_euclid(&m));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarrettReducer {
+    modulus: UBig,
+    mu: UBig,
+    k: usize,
+}
+
+impl BarrettReducer {
+    /// Precomputes the reciprocal `µ = ⌊2^{128k} / m⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithmeticError::DivisionByZero`] if `modulus` is zero.
+    pub fn new(modulus: UBig) -> Result<BarrettReducer, ArithmeticError> {
+        if modulus.is_zero() {
+            return Err(ArithmeticError::DivisionByZero);
+        }
+        let k = modulus.as_limbs().len();
+        let mu = &UBig::pow2(128 * k) / &modulus;
+        Ok(BarrettReducer { modulus, mu, k })
+    }
+
+    /// The modulus this reducer reduces by.
+    pub fn modulus(&self) -> &UBig {
+        &self.modulus
+    }
+
+    /// Reduces `x` modulo the modulus.
+    ///
+    /// Fast (two multiplications + at most two subtractions) when
+    /// `x < 2^{128k}`, i.e. for any product of two reduced values; falls
+    /// back to long division for wider inputs.
+    pub fn reduce(&self, x: &UBig) -> UBig {
+        if x < &self.modulus {
+            return x.clone();
+        }
+        if x.as_limbs().len() > 2 * self.k {
+            // Outside Barrett's input range; use the exact division.
+            return x.rem_euclid(&self.modulus);
+        }
+        let q1 = x >> (64 * (self.k - 1));
+        let q2 = &q1 * &self.mu;
+        let q3 = q2 >> (64 * (self.k + 1));
+        let r2 = &q3 * &self.modulus;
+        // r = x − q3·m; the estimate guarantees 0 ≤ r < 3m.
+        let mut r = x.checked_sub(&r2).expect("Barrett estimate never exceeds x");
+        while r >= self.modulus {
+            r -= &self.modulus;
+        }
+        r
+    }
+
+    /// Reduces the product `a·b` of two already-reduced values.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `a` or `b` is not already reduced.
+    pub fn mul_mod(&self, a: &UBig, b: &UBig) -> UBig {
+        debug_assert!(a < &self.modulus && b < &self.modulus);
+        self.reduce(&(a * b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_zero_modulus() {
+        assert_eq!(
+            BarrettReducer::new(UBig::zero()).unwrap_err(),
+            ArithmeticError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn matches_div_rem_random() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for mbits in [64usize, 100, 512, 1000, 4096] {
+            let m = UBig::random_bits(&mut rng, mbits);
+            let reducer = BarrettReducer::new(m.clone()).unwrap();
+            for xbits in [1usize, mbits - 1, mbits, mbits + 1, 2 * mbits - 1, 2 * mbits + 64] {
+                let x = UBig::random_bits(&mut rng, xbits);
+                assert_eq!(
+                    reducer.reduce(&x),
+                    x.rem_euclid(&m),
+                    "mbits={mbits} xbits={xbits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches() {
+        let mut rng = StdRng::seed_from_u64(5678);
+        let m = UBig::random_bits(&mut rng, 777);
+        let reducer = BarrettReducer::new(m.clone()).unwrap();
+        let a = UBig::random_below(&mut rng, &m);
+        let b = UBig::random_below(&mut rng, &m);
+        assert_eq!(reducer.mul_mod(&a, &b), (&a * &b).rem_euclid(&m));
+    }
+
+    #[test]
+    fn edge_values() {
+        let m = UBig::from(97u64);
+        let reducer = BarrettReducer::new(m.clone()).unwrap();
+        assert_eq!(reducer.reduce(&UBig::zero()), UBig::zero());
+        assert_eq!(reducer.reduce(&UBig::from(96u64)), UBig::from(96u64));
+        assert_eq!(reducer.reduce(&UBig::from(97u64)), UBig::zero());
+        assert_eq!(reducer.reduce(&UBig::from(98u64)), UBig::one());
+        // exactly m² − 1, the largest "product" input
+        let m2 = &(&m * &m) - &UBig::one();
+        assert_eq!(reducer.reduce(&m2), m2.rem_euclid(&m));
+    }
+}

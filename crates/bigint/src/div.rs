@@ -1,0 +1,314 @@
+//! Long division: Knuth's Algorithm D.
+
+use core::ops::{Div, DivAssign, Rem, RemAssign};
+
+use crate::ubig::UBig;
+
+impl UBig {
+    /// Divides, returning `(quotient, remainder)`.
+    ///
+    /// Implements Knuth TAOCP vol. 2, Algorithm 4.3.1 D with 64-bit limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use he_bigint::UBig;
+    /// let (q, r) = UBig::from(1_000_000u64).div_rem(&UBig::from(997u64));
+    /// assert_eq!(q, UBig::from(1003u64));
+    /// assert_eq!(r, UBig::from(9u64));
+    /// ```
+    pub fn div_rem(&self, divisor: &UBig) -> (UBig, UBig) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (UBig::zero(), self.clone());
+        }
+        if divisor.as_limbs().len() == 1 {
+            let (q, r) = self.div_rem_small(divisor.as_limbs()[0]);
+            return (q, UBig::from(r));
+        }
+
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = divisor.as_limbs().last().unwrap().leading_zeros() as usize;
+        let v = (divisor << shift).into_limbs();
+        let n = v.len();
+        let mut u = (self << shift).into_limbs();
+        // Ensure an extra high limb for the first quotient digit estimate.
+        u.push(0);
+        let m = u.len() - n - 1;
+
+        let mut q = vec![0u64; m + 1];
+        let b = 1u128 << 64;
+
+        for j in (0..=m).rev() {
+            // Estimate q̂ = (u[j+n]·b + u[j+n−1]) / v[n−1].
+            let numerator = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = numerator / v[n - 1] as u128;
+            let mut rhat = numerator % v[n - 1] as u128;
+
+            while qhat >= b
+                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >= b {
+                    break;
+                }
+            }
+
+            // Multiply-and-subtract: u[j..j+n+1] −= q̂ · v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64; // arithmetic shift: 0 or −1
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            borrow = sub >> 64;
+
+            if borrow != 0 {
+                // q̂ was one too large: add v back.
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let t = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = t as u64;
+                    carry = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let remainder = UBig::from_limbs(u[..n].to_vec()) >> shift;
+        (UBig::from_limbs(q), remainder)
+    }
+
+    /// Divides by a 64-bit divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_small(&self, divisor: u64) -> (UBig, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut out = vec![0u64; self.as_limbs().len()];
+        let mut rem = 0u128;
+        for (i, &l) in self.as_limbs().iter().enumerate().rev() {
+            let cur = (rem << 64) | l as u128;
+            out[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (UBig::from_limbs(out), rem as u64)
+    }
+
+    /// `self mod divisor` (convenience wrapper over [`UBig::div_rem`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem_euclid(&self, divisor: &UBig) -> UBig {
+        self.div_rem(divisor).1
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &UBig) -> UBig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros().unwrap();
+        let bz = b.trailing_zeros().unwrap();
+        let common = az.min(bz);
+        a >>= az;
+        b >>= bz;
+        loop {
+            if a > b {
+                core::mem::swap(&mut a, &mut b);
+            }
+            b -= &a; // b ≥ a, both odd → b−a even
+            if b.is_zero() {
+                return a << common;
+            }
+            b >>= b.trailing_zeros().unwrap();
+        }
+    }
+}
+
+impl Div<&UBig> for &UBig {
+    type Output = UBig;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for UBig {
+    type Output = UBig;
+
+    fn div(self, rhs: UBig) -> UBig {
+        &self / &rhs
+    }
+}
+
+impl Div<&UBig> for UBig {
+    type Output = UBig;
+
+    fn div(self, rhs: &UBig) -> UBig {
+        &self / rhs
+    }
+}
+
+impl DivAssign<&UBig> for UBig {
+    fn div_assign(&mut self, rhs: &UBig) {
+        *self = &*self / rhs;
+    }
+}
+
+impl Rem<&UBig> for &UBig {
+    type Output = UBig;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: &UBig) -> UBig {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for UBig {
+    type Output = UBig;
+
+    fn rem(self, rhs: UBig) -> UBig {
+        &self % &rhs
+    }
+}
+
+impl Rem<&UBig> for UBig {
+    type Output = UBig;
+
+    fn rem(self, rhs: &UBig) -> UBig {
+        &self % rhs
+    }
+}
+
+impl RemAssign<&UBig> for UBig {
+    fn rem_assign(&mut self, rhs: &UBig) {
+        *self = &*self % rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_division() {
+        let (q, r) = UBig::from(100u64).div_rem(&UBig::from(7u64));
+        assert_eq!(q, UBig::from(14u64));
+        assert_eq!(r, UBig::from(2u64));
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let (q, r) = UBig::from(3u64).div_rem(&UBig::from(7u64));
+        assert!(q.is_zero());
+        assert_eq!(r, UBig::from(3u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = UBig::one().div_rem(&UBig::zero());
+    }
+
+    #[test]
+    fn reconstruction_property_random() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for (abits, bbits) in [
+            (128, 64),
+            (1000, 100),
+            (1000, 999),
+            (1000, 1000),
+            (4096, 65),
+            (8192, 4096),
+            (513, 512),
+        ] {
+            for _ in 0..10 {
+                let a = UBig::random_bits(&mut rng, abits);
+                let b = UBig::random_bits(&mut rng, bbits);
+                let (q, r) = a.div_rem(&b);
+                assert!(r < b, "{abits}/{bbits}: remainder too large");
+                assert_eq!(&(&q * &b) + &r, a, "{abits}/{bbits}: reconstruction");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_division() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let b = UBig::random_bits(&mut rng, 300);
+        let q_expected = UBig::random_bits(&mut rng, 200);
+        let a = &b * &q_expected;
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, q_expected);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn knuth_d_correction_case() {
+        // A case engineered to trigger the "add back" branch: divisor with
+        // top limb just above 2^63, dividend forcing q̂ overestimation.
+        let v = UBig::from_limbs(vec![0, u64::MAX, 0x8000_0000_0000_0000]);
+        let u = &(&v << 128) - &UBig::one();
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&(&q * &v) + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn div_rem_small_matches_div_rem() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let a = UBig::random_bits(&mut rng, 1000);
+        for d in [1u64, 2, 3, 10, u64::MAX, 0x8000_0000_0000_0001] {
+            let (q1, r1) = a.div_rem_small(d);
+            let (q2, r2) = a.div_rem(&UBig::from(d));
+            assert_eq!(q1, q2);
+            assert_eq!(UBig::from(r1), r2);
+        }
+    }
+
+    #[test]
+    fn operators() {
+        let a = UBig::from(1000u64);
+        let b = UBig::from(33u64);
+        assert_eq!(&a / &b, UBig::from(30u64));
+        assert_eq!(&a % &b, UBig::from(10u64));
+        assert_eq!(a.rem_euclid(&b), UBig::from(10u64));
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(UBig::from(12u64).gcd(&UBig::from(18u64)), UBig::from(6u64));
+        assert_eq!(UBig::zero().gcd(&UBig::from(5u64)), UBig::from(5u64));
+        assert_eq!(UBig::from(5u64).gcd(&UBig::zero()), UBig::from(5u64));
+        let mut rng = StdRng::seed_from_u64(102);
+        let g = UBig::random_bits(&mut rng, 100);
+        let a = &g * &UBig::from(101u64); // 101 and 103 are coprime
+        let b = &g * &UBig::from(103u64);
+        assert_eq!(a.gcd(&b), g);
+    }
+}

@@ -1,0 +1,301 @@
+//! A minimal signed big integer (sign + magnitude).
+//!
+//! Used internally by Toom-3 interpolation and publicly by DGHV's centered
+//! remainders. Deliberately small: only the operations those callers need.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Shl, Sub};
+
+use crate::ubig::UBig;
+
+/// A signed arbitrary-precision integer.
+///
+/// Zero is always stored with a positive sign.
+///
+/// ```
+/// use he_bigint::{IBig, UBig};
+///
+/// let a = IBig::from(UBig::from(3u64));
+/// let b = IBig::from(UBig::from(5u64));
+/// let d = &a - &b; // −2
+/// assert!(d.is_negative());
+/// assert_eq!((&d + &b).into_ubig().unwrap(), UBig::from(3u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IBig {
+    negative: bool,
+    magnitude: UBig,
+}
+
+impl IBig {
+    /// The value zero.
+    pub fn zero() -> IBig {
+        IBig::default()
+    }
+
+    /// Creates a value from a sign and magnitude (zero is normalized to
+    /// non-negative).
+    pub fn from_sign_magnitude(negative: bool, magnitude: UBig) -> IBig {
+        IBig {
+            negative: negative && !magnitude.is_zero(),
+            magnitude,
+        }
+    }
+
+    /// Whether the value is strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Whether the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// The absolute value.
+    #[inline]
+    pub fn magnitude(&self) -> &UBig {
+        &self.magnitude
+    }
+
+    /// Converts to [`UBig`] if non-negative; returns the original value
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when the value is negative.
+    pub fn into_ubig(self) -> Result<UBig, IBig> {
+        if self.negative {
+            Err(self)
+        } else {
+            Ok(self.magnitude)
+        }
+    }
+
+    /// Exact division by a small positive constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the division leaves a remainder or `d == 0` (Toom-3
+    /// interpolation divides exactly by 2 and 3).
+    pub fn div_exact_small(&self, d: u64) -> IBig {
+        let (q, r) = self.magnitude.div_rem_small(d);
+        assert_eq!(r, 0, "div_exact_small: non-exact division by {d}");
+        IBig::from_sign_magnitude(self.negative, q)
+    }
+}
+
+impl From<UBig> for IBig {
+    fn from(value: UBig) -> IBig {
+        IBig {
+            negative: false,
+            magnitude: value,
+        }
+    }
+}
+
+impl From<i64> for IBig {
+    fn from(value: i64) -> IBig {
+        IBig::from_sign_magnitude(value < 0, UBig::from(value.unsigned_abs()))
+    }
+}
+
+impl PartialOrd for IBig {
+    fn partial_cmp(&self, other: &IBig) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IBig {
+    fn cmp(&self, other: &IBig) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl Neg for IBig {
+    type Output = IBig;
+
+    fn neg(self) -> IBig {
+        IBig::from_sign_magnitude(!self.negative, self.magnitude)
+    }
+}
+
+impl Neg for &IBig {
+    type Output = IBig;
+
+    fn neg(self) -> IBig {
+        -self.clone()
+    }
+}
+
+impl Add<&IBig> for &IBig {
+    type Output = IBig;
+
+    fn add(self, rhs: &IBig) -> IBig {
+        if self.negative == rhs.negative {
+            IBig::from_sign_magnitude(self.negative, &self.magnitude + &rhs.magnitude)
+        } else {
+            match self.magnitude.cmp(&rhs.magnitude) {
+                Ordering::Equal => IBig::zero(),
+                Ordering::Greater => IBig::from_sign_magnitude(
+                    self.negative,
+                    &self.magnitude - &rhs.magnitude,
+                ),
+                Ordering::Less => IBig::from_sign_magnitude(
+                    rhs.negative,
+                    &rhs.magnitude - &self.magnitude,
+                ),
+            }
+        }
+    }
+}
+
+impl Add for IBig {
+    type Output = IBig;
+
+    fn add(self, rhs: IBig) -> IBig {
+        &self + &rhs
+    }
+}
+
+impl Sub<&IBig> for &IBig {
+    type Output = IBig;
+
+    fn sub(self, rhs: &IBig) -> IBig {
+        self + &(-rhs)
+    }
+}
+
+impl Sub for IBig {
+    type Output = IBig;
+
+    fn sub(self, rhs: IBig) -> IBig {
+        &self - &rhs
+    }
+}
+
+impl Mul<&IBig> for &IBig {
+    type Output = IBig;
+
+    fn mul(self, rhs: &IBig) -> IBig {
+        IBig::from_sign_magnitude(
+            self.negative != rhs.negative,
+            &self.magnitude * &rhs.magnitude,
+        )
+    }
+}
+
+impl Mul for IBig {
+    type Output = IBig;
+
+    fn mul(self, rhs: IBig) -> IBig {
+        &self * &rhs
+    }
+}
+
+impl Shl<usize> for &IBig {
+    type Output = IBig;
+
+    fn shl(self, shift: usize) -> IBig {
+        IBig::from_sign_magnitude(self.negative, &self.magnitude << shift)
+    }
+}
+
+impl Shl<usize> for IBig {
+    type Output = IBig;
+
+    fn shl(self, shift: usize) -> IBig {
+        &self << shift
+    }
+}
+
+impl fmt::Debug for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IBig({self})")
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-")?;
+        }
+        fmt::Display::fmt(&self.magnitude, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib(v: i64) -> IBig {
+        IBig::from(v)
+    }
+
+    #[test]
+    fn zero_is_positive() {
+        assert!(!IBig::from_sign_magnitude(true, UBig::zero()).is_negative());
+        assert_eq!(ib(0), IBig::zero());
+        assert_eq!(-IBig::zero(), IBig::zero());
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        for a in -5i64..=5 {
+            for b in -5i64..=5 {
+                let got = &ib(a) + &ib(b);
+                assert_eq!(got, ib(a + b), "{a} + {b}");
+                let got = &ib(a) - &ib(b);
+                assert_eq!(got, ib(a - b), "{a} - {b}");
+                let got = &ib(a) * &ib(b);
+                assert_eq!(got, ib(a * b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ib(-3) < ib(-2));
+        assert!(ib(-1) < ib(0));
+        assert!(ib(0) < ib(1));
+        assert!(ib(2) > ib(-100));
+    }
+
+    #[test]
+    fn div_exact() {
+        assert_eq!(ib(-9).div_exact_small(3), ib(-3));
+        assert_eq!(ib(8).div_exact_small(2), ib(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-exact")]
+    fn div_exact_rejects_remainder() {
+        let _ = ib(7).div_exact_small(2);
+    }
+
+    #[test]
+    fn into_ubig() {
+        assert_eq!(ib(5).into_ubig().unwrap(), UBig::from(5u64));
+        assert!(ib(-5).into_ubig().is_err());
+    }
+
+    #[test]
+    fn shift_preserves_sign() {
+        assert_eq!(&ib(-3) << 2, ib(-12));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ib(-42).to_string(), "-42");
+        assert_eq!(ib(42).to_string(), "42");
+        assert_eq!(format!("{:?}", ib(-1)), "IBig(-1)");
+    }
+}

@@ -1,0 +1,66 @@
+//! From-scratch arbitrary-precision integer arithmetic for homomorphic
+//! encryption workloads.
+//!
+//! The DATE 2016 accelerator multiplies integers of 786,432 bits (the DGHV
+//! "small" security setting); this crate is the software substrate those
+//! numbers live in. It provides:
+//!
+//! * [`UBig`] — an unsigned big integer with addition, subtraction,
+//!   comparison, shifts, and bit access;
+//! * three classical multiplication algorithms — [`UBig::mul_schoolbook`]
+//!   (`O(n^2)`), [`UBig::mul_karatsuba`] (`O(n^1.585)`) and
+//!   [`UBig::mul_toom3`] (`O(n^1.465)`) — which serve as the software
+//!   baselines the paper's Schönhage–Strassen accelerator (crate `he-ssa`)
+//!   is compared against;
+//! * long division ([`UBig::div_rem`], Knuth's Algorithm D) and
+//!   [`BarrettReducer`] for repeated reduction by a fixed modulus (the
+//!   technique the related work [32] pairs with FFT multiplication);
+//! * [`IBig`] — a thin signed wrapper used by Toom-3 interpolation and by
+//!   DGHV's centered remainders.
+//!
+//! # Example
+//!
+//! ```
+//! use he_bigint::UBig;
+//!
+//! let a = UBig::from_hex("ffff_ffff_ffff_ffff")?;
+//! let b = UBig::from(2u64);
+//! assert_eq!(&a * &b - a.clone(), a);
+//! # Ok::<(), he_bigint::ParseUBigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barrett;
+mod div;
+mod ibig;
+mod modular;
+mod mul;
+mod parse;
+mod ubig;
+
+pub use barrett::BarrettReducer;
+pub use ibig::IBig;
+pub use parse::ParseUBigError;
+pub use ubig::UBig;
+
+/// Errors arising from arithmetic misuse in fallible entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithmeticError {
+    /// Subtraction would produce a negative value in an unsigned context.
+    Underflow,
+    /// Division or reduction by zero.
+    DivisionByZero,
+}
+
+impl core::fmt::Display for ArithmeticError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArithmeticError::Underflow => write!(f, "unsigned subtraction underflow"),
+            ArithmeticError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ArithmeticError {}

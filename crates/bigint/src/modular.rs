@@ -1,0 +1,193 @@
+//! Modular exponentiation and inversion.
+//!
+//! DGHV-style schemes and their parameter tooling need `a^e mod m` (for
+//! primality/subgroup checks) and modular inverses (for CRT-based variants
+//! like the batched scheme of \[22\]); both are provided here on top of the
+//! Barrett reducer.
+
+use crate::barrett::BarrettReducer;
+use crate::ibig::IBig;
+use crate::ubig::UBig;
+use crate::ArithmeticError;
+
+impl UBig {
+    /// Computes `self^exp mod modulus` by square-and-multiply with Barrett
+    /// reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithmeticError::DivisionByZero`] if `modulus` is zero.
+    ///
+    /// ```
+    /// use he_bigint::UBig;
+    /// // 2^10 mod 1000 = 24
+    /// let r = UBig::from(2u64).mod_pow(&UBig::from(10u64), &UBig::from(1000u64))?;
+    /// assert_eq!(r, UBig::from(24u64));
+    /// # Ok::<(), he_bigint::ArithmeticError>(())
+    /// ```
+    pub fn mod_pow(&self, exp: &UBig, modulus: &UBig) -> Result<UBig, ArithmeticError> {
+        let reducer = BarrettReducer::new(modulus.clone())?;
+        if modulus.is_one() {
+            return Ok(UBig::zero());
+        }
+        let mut base = reducer.reduce(self);
+        let mut acc = UBig::one();
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                acc = reducer.reduce(&(&acc * &base));
+            }
+            if i + 1 < exp.bit_len() {
+                base = reducer.reduce(&(&base * &base));
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Computes the multiplicative inverse of `self` modulo `modulus` by
+    /// the extended Euclidean algorithm, or `None` if
+    /// `gcd(self, modulus) ≠ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero or one.
+    ///
+    /// ```
+    /// use he_bigint::UBig;
+    /// let inv = UBig::from(3u64).mod_inverse(&UBig::from(7u64)).unwrap();
+    /// assert_eq!(inv, UBig::from(5u64)); // 3·5 = 15 ≡ 1 (mod 7)
+    /// ```
+    pub fn mod_inverse(&self, modulus: &UBig) -> Option<UBig> {
+        assert!(
+            !modulus.is_zero() && !modulus.is_one(),
+            "modulus must be at least 2"
+        );
+        let a = self.rem_euclid(modulus);
+        if a.is_zero() {
+            return None;
+        }
+        // Extended Euclid on (r0, r1) with Bézout coefficient for `a`.
+        let mut r0 = modulus.clone();
+        let mut r1 = a;
+        let mut t0 = IBig::zero();
+        let mut t1 = IBig::from(UBig::one());
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            let t2 = &t0 - &(&IBig::from(q) * &t1);
+            r0 = core::mem::replace(&mut r1, r);
+            t0 = core::mem::replace(&mut t1, t2);
+        }
+        if !r0.is_one() {
+            return None; // not coprime
+        }
+        // Normalize the Bézout coefficient into [0, modulus).
+        let result = if t0.is_negative() {
+            modulus - &t0.magnitude().rem_euclid(modulus)
+        } else {
+            t0.magnitude().rem_euclid(modulus)
+        };
+        Some(result.rem_euclid(modulus))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mod_pow_small_cases() {
+        let m = UBig::from(1000u64);
+        assert_eq!(
+            UBig::from(2u64).mod_pow(&UBig::from(10u64), &m).unwrap(),
+            UBig::from(24u64)
+        );
+        assert_eq!(
+            UBig::from(5u64).mod_pow(&UBig::zero(), &m).unwrap(),
+            UBig::one()
+        );
+        assert_eq!(
+            UBig::from(7u64).mod_pow(&UBig::one(), &m).unwrap(),
+            UBig::from(7u64)
+        );
+        // modulus one: everything is zero
+        assert_eq!(
+            UBig::from(7u64).mod_pow(&UBig::from(5u64), &UBig::one()).unwrap(),
+            UBig::zero()
+        );
+    }
+
+    #[test]
+    fn mod_pow_zero_modulus_errors() {
+        assert_eq!(
+            UBig::from(2u64).mod_pow(&UBig::one(), &UBig::zero()),
+            Err(ArithmeticError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p−1) ≡ 1 mod p for prime p = 2^64 − 2^32 + 1.
+        let p = UBig::from(0xFFFF_FFFF_0000_0001u64);
+        let p_minus_1 = &p - &UBig::one();
+        for a in [2u64, 3, 7, 0xdead_beef] {
+            assert_eq!(
+                UBig::from(a).mod_pow(&p_minus_1, &p).unwrap(),
+                UBig::one(),
+                "a = {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn mod_pow_large_random_consistency() {
+        // (a^e1)·(a^e2) ≡ a^(e1+e2)
+        let mut rng = StdRng::seed_from_u64(60);
+        let m = UBig::random_bits(&mut rng, 500);
+        let a = UBig::random_bits(&mut rng, 400);
+        let e1 = UBig::from(123u64);
+        let e2 = UBig::from(456u64);
+        let lhs = (&a.mod_pow(&e1, &m).unwrap() * &a.mod_pow(&e2, &m).unwrap()).rem_euclid(&m);
+        let rhs = a.mod_pow(&(&e1 + &e2), &m).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inverse_basics() {
+        assert_eq!(
+            UBig::from(3u64).mod_inverse(&UBig::from(7u64)),
+            Some(UBig::from(5u64))
+        );
+        // Non-coprime: no inverse.
+        assert_eq!(UBig::from(6u64).mod_inverse(&UBig::from(9u64)), None);
+        // Zero: no inverse.
+        assert_eq!(UBig::zero().mod_inverse(&UBig::from(7u64)), None);
+    }
+
+    #[test]
+    fn mod_inverse_random_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(61);
+        // Odd modulus, odd value: usually coprime; verify a·a⁻¹ ≡ 1.
+        for _ in 0..10 {
+            let mut m = UBig::random_bits(&mut rng, 300);
+            m.set_bit(0, true);
+            let mut a = UBig::random_bits(&mut rng, 250);
+            a.set_bit(0, true);
+            if let Some(inv) = a.mod_inverse(&m) {
+                assert_eq!((&a * &inv).rem_euclid(&m), UBig::one());
+                assert!(inv < m);
+            }
+        }
+    }
+
+    #[test]
+    fn mod_inverse_against_fermat_for_prime_modulus() {
+        let p = UBig::from(0xFFFF_FFFF_0000_0001u64);
+        let p_minus_2 = &p - &UBig::from(2u64);
+        for a in [2u64, 8, 12345] {
+            let via_egcd = UBig::from(a).mod_inverse(&p).unwrap();
+            let via_fermat = UBig::from(a).mod_pow(&p_minus_2, &p).unwrap();
+            assert_eq!(via_egcd, via_fermat, "a = {a}");
+        }
+    }
+}

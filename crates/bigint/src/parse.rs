@@ -1,0 +1,165 @@
+//! String conversions for [`UBig`].
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::ubig::UBig;
+
+/// Error parsing a [`UBig`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUBigError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUBigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer"),
+        }
+    }
+}
+
+impl std::error::Error for ParseUBigError {}
+
+impl UBig {
+    /// Parses a hexadecimal string; `_` separators and a leading `0x` are
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUBigError`] on an empty string or non-hex digit.
+    ///
+    /// ```
+    /// use he_bigint::UBig;
+    /// let x = UBig::from_hex("0xdead_beef")?;
+    /// assert_eq!(x, UBig::from(0xdead_beef_u64));
+    /// # Ok::<(), he_bigint::ParseUBigError>(())
+    /// ```
+    pub fn from_hex(s: &str) -> Result<UBig, ParseUBigError> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let digits: Vec<u8> = s
+            .chars()
+            .filter(|&c| c != '_')
+            .map(|c| {
+                c.to_digit(16)
+                    .map(|d| d as u8)
+                    .ok_or(ParseUBigError { kind: ParseErrorKind::InvalidDigit(c) })
+            })
+            .collect::<Result<_, _>>()?;
+        if digits.is_empty() {
+            return Err(ParseUBigError { kind: ParseErrorKind::Empty });
+        }
+        let mut limbs = vec![0u64; digits.len().div_ceil(16)];
+        for (i, &d) in digits.iter().rev().enumerate() {
+            limbs[i / 16] |= (d as u64) << (4 * (i % 16));
+        }
+        Ok(UBig::from_limbs(limbs))
+    }
+
+    /// Parses a decimal string; `_` separators are accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUBigError`] on an empty string or non-decimal digit.
+    pub fn from_decimal(s: &str) -> Result<UBig, ParseUBigError> {
+        let mut acc = UBig::zero();
+        let mut seen = false;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseUBigError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            acc = &acc * 10u64 + &UBig::from(d as u64);
+            seen = true;
+        }
+        if !seen {
+            return Err(ParseUBigError { kind: ParseErrorKind::Empty });
+        }
+        Ok(acc)
+    }
+}
+
+impl FromStr for UBig {
+    type Err = ParseUBigError;
+
+    /// Parses decimal by default, hexadecimal with a `0x` prefix.
+    fn from_str(s: &str) -> Result<UBig, ParseUBigError> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            UBig::from_hex(s)
+        } else {
+            UBig::from_decimal(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let v = UBig::from_hex(s).unwrap();
+            assert_eq!(UBig::from_hex(&format!("{v:x}")).unwrap(), v, "input {s}");
+        }
+        assert_eq!(format!("{:x}", UBig::from_hex("00ff").unwrap()), "ff");
+    }
+
+    #[test]
+    fn hex_prefix_and_separators() {
+        assert_eq!(
+            UBig::from_hex("0xdead_beef").unwrap(),
+            UBig::from(0xdead_beefu64)
+        );
+        assert_eq!(UBig::from_hex("0X00FF").unwrap(), UBig::from(255u64));
+    }
+
+    #[test]
+    fn decimal_parse() {
+        assert_eq!(UBig::from_decimal("0").unwrap(), UBig::zero());
+        assert_eq!(
+            UBig::from_decimal("18446744073709551616").unwrap(),
+            UBig::pow2(64)
+        );
+        assert_eq!(
+            UBig::from_decimal("1_000_000").unwrap(),
+            UBig::from(1_000_000u64)
+        );
+    }
+
+    #[test]
+    fn from_str_dispatch() {
+        assert_eq!("0xff".parse::<UBig>().unwrap(), UBig::from(255u64));
+        assert_eq!("255".parse::<UBig>().unwrap(), UBig::from(255u64));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(UBig::from_hex("").is_err());
+        assert!(UBig::from_hex("0x").is_err());
+        assert!(UBig::from_hex("xyz").is_err());
+        assert!(UBig::from_decimal("12a").is_err());
+        assert!(UBig::from_decimal("").is_err());
+        let e = UBig::from_decimal("1 2").unwrap_err();
+        assert!(e.to_string().contains("invalid digit"));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(55);
+        let v = UBig::random_bits(&mut rng, 700);
+        assert_eq!(v.to_string().parse::<UBig>().unwrap(), v);
+        assert_eq!(UBig::from_hex(&format!("{v:x}")).unwrap(), v);
+    }
+}

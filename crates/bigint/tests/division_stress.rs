@@ -1,0 +1,86 @@
+//! Stress tests for Knuth Algorithm D: inputs engineered around the
+//! quotient-digit estimation corrections.
+
+use he_bigint::UBig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check(a: &UBig, b: &UBig) {
+    let (q, r) = a.div_rem(b);
+    assert!(r < *b, "remainder bound: {a:?} / {b:?}");
+    assert_eq!(&(&q * b) + &r, *a, "reconstruction: {a:?} / {b:?}");
+}
+
+#[test]
+fn qhat_overestimate_patterns() {
+    // Divisors with top limb 0x8000…: the classic q̂ = B − 1 overestimate.
+    let v = UBig::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+    for hi in [0x7fff_ffff_ffff_ffffu64, 0x8000_0000_0000_0000, u64::MAX] {
+        let u = UBig::from_limbs(vec![u64::MAX, u64::MAX, hi]);
+        check(&u, &v);
+    }
+}
+
+#[test]
+fn all_ones_dividends_and_divisors() {
+    for (ul, vl) in [(5usize, 2usize), (8, 3), (12, 11), (16, 4)] {
+        let u = UBig::from_limbs(vec![u64::MAX; ul]);
+        let v = UBig::from_limbs(vec![u64::MAX; vl]);
+        check(&u, &v);
+    }
+}
+
+#[test]
+fn divisor_one_limb_larger_than_half() {
+    // Remainders hugging the divisor from below.
+    let mut rng = StdRng::seed_from_u64(500);
+    for _ in 0..50 {
+        let v = UBig::random_bits(&mut rng, 192);
+        let q = UBig::random_bits(&mut rng, 128);
+        // u = q·v + (v − 1): the largest legal remainder.
+        let u = &(&q * &v) + &(&v - &UBig::one());
+        let (q2, r2) = u.div_rem(&v);
+        assert_eq!(q2, q);
+        assert_eq!(r2, &v - &UBig::one());
+    }
+}
+
+#[test]
+fn quotients_of_one_and_zero() {
+    let mut rng = StdRng::seed_from_u64(501);
+    let v = UBig::random_bits(&mut rng, 1000);
+    // u = v: quotient 1, remainder 0.
+    let (q, r) = v.div_rem(&v);
+    assert!(q.is_one());
+    assert!(r.is_zero());
+    // u = v − 1: quotient 0.
+    let u = &v - &UBig::one();
+    let (q, r) = u.div_rem(&v);
+    assert!(q.is_zero());
+    assert_eq!(r, u);
+    // u = v + 1: quotient 1, remainder 1.
+    let u = &v + &UBig::one();
+    let (q, r) = u.div_rem(&v);
+    assert!(q.is_one());
+    assert!(r.is_one());
+}
+
+#[test]
+fn power_of_two_divisors_match_shifts() {
+    let mut rng = StdRng::seed_from_u64(502);
+    let u = UBig::random_bits(&mut rng, 5000);
+    for k in [1usize, 63, 64, 65, 127, 1000] {
+        let (q, r) = u.div_rem(&UBig::pow2(k));
+        assert_eq!(q, &u >> k, "k = {k}");
+        assert_eq!(&(&q << k) + &r, u, "k = {k}");
+    }
+}
+
+#[test]
+fn paper_scale_division() {
+    // DGHV decryption divides a 1.57M-bit product by a 1558-bit secret.
+    let mut rng = StdRng::seed_from_u64(503);
+    let c = UBig::random_bits(&mut rng, 1_572_864);
+    let p = UBig::random_bits(&mut rng, 1_558);
+    check(&c, &p);
+}

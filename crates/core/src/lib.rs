@@ -1,0 +1,71 @@
+//! `he-accel` — a Rust reproduction of *"Securing the Cloud with
+//! Reconfigurable Computing: An FPGA Accelerator for Homomorphic
+//! Encryption"* (Cilardo & Argenziano, DATE 2016).
+//!
+//! The paper builds an FPGA accelerator for the bottleneck of integer-based
+//! fully homomorphic encryption: multiplying 786,432-bit integers via
+//! Schönhage–Strassen over the Solinas prime `p = 2^64 − 2^32 + 1`, with a
+//! 64K-point mixed-radix NTT distributed over four hypercube-connected
+//! processing elements. This workspace reproduces the complete system in
+//! software:
+//!
+//! * [`field`] — the prime field and its shift-only twiddle arithmetic;
+//! * [`bigint`] — from-scratch big integers and the classical baselines;
+//! * [`ntt`] — radix-2, shift-kernel, mixed-radix and 64K transforms;
+//! * [`ssa`] — the Schönhage–Strassen multiplier (paper Section III);
+//! * [`hwsim`] — the cycle-level accelerator simulation and resource model
+//!   (paper Sections IV–V, Tables I–II, Figs. 1–5);
+//! * [`dghv`] — the DGHV encryption scheme the accelerator serves.
+//!
+//! The crate-level API is the [`Multiplier`] trait with one implementation
+//! per evaluated system, so workloads can switch between the software
+//! algorithms and the simulated hardware:
+//!
+//! ```
+//! use he_accel::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = UBig::random_bits(&mut rng, 100_000);
+//! let b = UBig::random_bits(&mut rng, 100_000);
+//!
+//! let software = SsaSoftware::paper();
+//! let hardware = HardwareSim::paper();
+//! let expected = Karatsuba.multiply(&a, &b)?;
+//! assert_eq!(software.multiply(&a, &b)?, expected);
+//! assert_eq!(hardware.multiply(&a, &b)?, expected);
+//! # Ok::<(), he_accel::MultiplyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use he_bigint as bigint;
+pub use he_dghv as dghv;
+pub use he_field as field;
+pub use he_hwsim as hwsim;
+pub use he_ntt as ntt;
+pub use he_poly as poly;
+pub use he_ssa as ssa;
+
+mod multiplier;
+mod selfcheck;
+
+pub use multiplier::{
+    HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
+};
+pub use selfcheck::{self_check, SelfCheckReport};
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::multiplier::{
+        HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
+    };
+    pub use he_bigint::UBig;
+    pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};
+    pub use he_field::Fp;
+    pub use he_hwsim::accel::AcceleratorSim;
+    pub use he_hwsim::flexplan::{FlexPerfModel, FlexPlan};
+    pub use he_hwsim::AcceleratorConfig;
+    pub use he_ssa::{SsaMultiplier, SsaParams, TransformedOperand};
+}

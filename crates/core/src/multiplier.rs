@@ -1,0 +1,260 @@
+//! The unified [`Multiplier`] interface over every evaluated system.
+
+use core::fmt;
+
+use he_bigint::UBig;
+use he_hwsim::accel::{AcceleratorSim, MultiplyReport};
+use he_hwsim::HwSimError;
+use he_ssa::{SsaError, SsaMultiplier};
+
+/// Error from a multiplication backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiplyError {
+    /// Software Schönhage–Strassen error (operand too large, bad params).
+    Ssa(SsaError),
+    /// Hardware-simulation error.
+    HwSim(HwSimError),
+}
+
+impl fmt::Display for MultiplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiplyError::Ssa(e) => write!(f, "{e}"),
+            MultiplyError::HwSim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiplyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiplyError::Ssa(e) => Some(e),
+            MultiplyError::HwSim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SsaError> for MultiplyError {
+    fn from(e: SsaError) -> MultiplyError {
+        MultiplyError::Ssa(e)
+    }
+}
+
+impl From<HwSimError> for MultiplyError {
+    fn from(e: HwSimError) -> MultiplyError {
+        MultiplyError::HwSim(e)
+    }
+}
+
+/// A big-integer multiplication system.
+///
+/// Implementations: [`Schoolbook`], [`Karatsuba`], [`Toom3`] (classical
+/// baselines), [`SsaSoftware`] (the paper's algorithm in software), and
+/// [`HardwareSim`] (the paper's accelerator, simulated).
+pub trait Multiplier {
+    /// Multiplies two nonnegative integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError`] if the operands exceed the backend's
+    /// capacity (the classical algorithms never fail).
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError>;
+
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Schoolbook `O(n²)` multiplication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Schoolbook;
+
+impl Multiplier for Schoolbook {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(a.mul_schoolbook(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "schoolbook"
+    }
+}
+
+/// Karatsuba `O(n^1.585)` multiplication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Karatsuba;
+
+impl Multiplier for Karatsuba {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(a.mul_karatsuba(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "karatsuba"
+    }
+}
+
+/// Toom-3 `O(n^1.465)` multiplication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Toom3;
+
+impl Multiplier for Toom3 {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(a.mul_toom3(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "toom-3"
+    }
+}
+
+/// The paper's Schönhage–Strassen algorithm, software execution.
+#[derive(Debug, Clone)]
+pub struct SsaSoftware {
+    inner: SsaMultiplier,
+}
+
+impl SsaSoftware {
+    /// The paper's parameters (24-bit coefficients, 64K points).
+    pub fn paper() -> SsaSoftware {
+        SsaSoftware {
+            inner: SsaMultiplier::paper(),
+        }
+    }
+
+    /// Auto-sized for operands of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError::Ssa`] if no parameter set fits.
+    pub fn for_operand_bits(bits: usize) -> Result<SsaSoftware, MultiplyError> {
+        Ok(SsaSoftware {
+            inner: SsaMultiplier::for_operand_bits(bits)?,
+        })
+    }
+
+    /// The underlying planned multiplier.
+    pub fn inner(&self) -> &SsaMultiplier {
+        &self.inner
+    }
+}
+
+impl Multiplier for SsaSoftware {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(self.inner.multiply(a, b)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "ssa-software"
+    }
+}
+
+/// The paper's accelerator, cycle-simulated.
+#[derive(Debug, Clone)]
+pub struct HardwareSim {
+    inner: AcceleratorSim,
+}
+
+impl HardwareSim {
+    /// The paper's configuration: 4 PEs at 200 MHz.
+    pub fn paper() -> HardwareSim {
+        HardwareSim {
+            inner: AcceleratorSim::paper(),
+        }
+    }
+
+    /// Wraps an explicitly configured simulator.
+    pub fn from_sim(inner: AcceleratorSim) -> HardwareSim {
+        HardwareSim { inner }
+    }
+
+    /// The underlying simulator.
+    pub fn inner(&self) -> &AcceleratorSim {
+        &self.inner
+    }
+
+    /// Multiplies and returns the cycle-level timing report alongside the
+    /// product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError::HwSim`] if the operands exceed the
+    /// 786,432-bit capacity.
+    pub fn multiply_with_report(
+        &self,
+        a: &UBig,
+        b: &UBig,
+    ) -> Result<(UBig, MultiplyReport), MultiplyError> {
+        Ok(self.inner.multiply(a, b)?)
+    }
+}
+
+impl Multiplier for HardwareSim {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(self.inner.multiply(a, b)?.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "accelerator-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_backends_agree() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = UBig::random_bits(&mut rng, 20_000);
+        let b = UBig::random_bits(&mut rng, 18_000);
+        let expected = a.mul_schoolbook(&b);
+        let backends: Vec<Box<dyn Multiplier>> = vec![
+            Box::new(Schoolbook),
+            Box::new(Karatsuba),
+            Box::new(Toom3),
+            Box::new(SsaSoftware::paper()),
+            Box::new(HardwareSim::paper()),
+        ];
+        for backend in &backends {
+            assert_eq!(
+                backend.multiply(&a, &b).unwrap(),
+                expected,
+                "backend {}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let backends: Vec<Box<dyn Multiplier>> = vec![
+            Box::new(Schoolbook),
+            Box::new(Karatsuba),
+            Box::new(Toom3),
+            Box::new(SsaSoftware::paper()),
+            Box::new(HardwareSim::paper()),
+        ];
+        let names: std::collections::HashSet<_> = backends.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), backends.len());
+    }
+
+    #[test]
+    fn hardware_report_is_exposed() {
+        let hw = HardwareSim::paper();
+        let (product, report) = hw
+            .multiply_with_report(&UBig::from(7u64), &UBig::from(6u64))
+            .unwrap();
+        assert_eq!(product, UBig::from(42u64));
+        assert!(report.total_us() > 0.0);
+    }
+
+    #[test]
+    fn error_conversion_chain() {
+        let hw = HardwareSim::paper();
+        let too_big = UBig::pow2(900_000);
+        let err = hw.multiply(&too_big, &too_big).unwrap_err();
+        assert!(matches!(err, MultiplyError::HwSim(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

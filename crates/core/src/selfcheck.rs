@@ -1,0 +1,105 @@
+//! A built-in cross-validation pass for downstream users.
+//!
+//! Runs every multiplication backend on the same random operands and
+//! checks full agreement, plus the model-level invariants the paper's
+//! numbers rest on. Intended as a post-install sanity check
+//! (`he_accel::self_check()`), cheap enough to run in CI.
+
+use he_bigint::UBig;
+use he_hwsim::perf::PerfModel;
+use he_hwsim::AcceleratorConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::multiplier::{
+    HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
+};
+
+/// Outcome of [`self_check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfCheckReport {
+    /// Operand size exercised, in bits.
+    pub operand_bits: usize,
+    /// Names of the backends that were compared.
+    pub backends: Vec<&'static str>,
+    /// The modeled single-multiplication latency in microseconds
+    /// (≈ 122.4 at the paper's design point).
+    pub modeled_latency_us: f64,
+}
+
+/// Cross-validates all multiplication backends on `bits`-bit random
+/// operands (seeded) and verifies the timing model's paper anchors.
+///
+/// # Errors
+///
+/// Returns [`MultiplyError`] if any backend fails; panics if backends
+/// disagree (that is a bug in this workspace, not a user error).
+///
+/// ```
+/// let report = he_accel::self_check(10_000)?;
+/// assert_eq!(report.backends.len(), 5);
+/// # Ok::<(), he_accel::MultiplyError>(())
+/// ```
+pub fn self_check(bits: usize) -> Result<SelfCheckReport, MultiplyError> {
+    let mut rng = StdRng::seed_from_u64(0x5e1f_c4ec);
+    let a = UBig::random_bits(&mut rng, bits);
+    let b = UBig::random_bits(&mut rng, bits);
+
+    // The hardware simulation goes first: it is the backend with a
+    // capacity limit, so oversized requests fail fast before the O(n²)
+    // baselines run.
+    let backends: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(HardwareSim::paper()),
+        Box::new(Schoolbook),
+        Box::new(Karatsuba),
+        Box::new(Toom3),
+        Box::new(SsaSoftware::for_operand_bits(bits)?),
+    ];
+    let reference = backends[0].multiply(&a, &b)?;
+    let mut names = Vec::with_capacity(backends.len());
+    for backend in &backends {
+        let product = backend.multiply(&a, &b)?;
+        assert_eq!(
+            product,
+            reference,
+            "backend {} disagrees — this is a he-accel bug",
+            backend.name()
+        );
+        names.push(backend.name());
+    }
+
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    let latency = model.multiplication_us();
+    assert!(
+        (latency - 122.4).abs() < 1e-6,
+        "timing model drifted from the paper anchor: {latency}"
+    );
+
+    Ok(SelfCheckReport {
+        operand_bits: bits,
+        backends: names,
+        modeled_latency_us: latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_check_passes_at_several_sizes() {
+        for bits in [64usize, 1_000, 30_000] {
+            let report = self_check(bits).unwrap();
+            assert_eq!(report.operand_bits, bits);
+            assert_eq!(report.backends.len(), 5);
+            assert!((report.modeled_latency_us - 122.4).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn self_check_rejects_oversized_operands() {
+        // Beyond the paper multiplier's capacity the hardware backend
+        // errors; self_check surfaces that as an error, not a panic.
+        assert!(self_check(1_000_000).is_err());
+    }
+}

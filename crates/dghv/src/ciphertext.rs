@@ -1,0 +1,50 @@
+//! Ciphertexts with conservative noise tracking.
+
+use he_bigint::UBig;
+
+/// A DGHV ciphertext: a γ-bit integer plus a conservative estimate of its
+/// noise magnitude in bits.
+///
+/// The noise estimate is public information derived only from the history
+/// of operations (fresh / add / mul), never from the secret key; it upper
+/// bounds `log2 |c mods p|` and predicts when decryption would fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    value: UBig,
+    noise_bits: u32,
+}
+
+impl Ciphertext {
+    /// Wraps a raw ciphertext value with a noise estimate.
+    pub(crate) fn new(value: UBig, noise_bits: u32) -> Ciphertext {
+        Ciphertext { value, noise_bits }
+    }
+
+    /// The ciphertext integer.
+    pub fn value(&self) -> &UBig {
+        &self.value
+    }
+
+    /// Conservative noise estimate in bits.
+    pub fn noise_bits(&self) -> u32 {
+        self.noise_bits
+    }
+
+    /// Bit length of the ciphertext integer.
+    pub fn bit_len(&self) -> usize {
+        self.value.bit_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Ciphertext::new(UBig::from(42u64), 7);
+        assert_eq!(c.value(), &UBig::from(42u64));
+        assert_eq!(c.noise_bits(), 7);
+        assert_eq!(c.bit_len(), 6);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for the DGHV scheme.
+
+use core::fmt;
+
+/// Error from parameter validation or key generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DghvError {
+    /// The parameter set violates a scheme constraint.
+    InvalidParams {
+        /// The violated constraint.
+        reason: String,
+    },
+    /// Homomorphic evaluation exhausted the noise budget; the result of a
+    /// further operation would no longer decrypt.
+    NoiseBudgetExhausted {
+        /// Estimated noise bits the operation would produce.
+        would_be_bits: u32,
+        /// The ceiling allowed by the parameters.
+        ceiling_bits: u32,
+    },
+}
+
+impl fmt::Display for DghvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DghvError::InvalidParams { reason } => {
+                write!(f, "invalid DGHV parameters: {reason}")
+            }
+            DghvError::NoiseBudgetExhausted { would_be_bits, ceiling_bits } => write!(
+                f,
+                "noise budget exhausted: operation would reach {would_be_bits} bits, ceiling is {ceiling_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DghvError {}

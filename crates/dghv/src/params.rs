@@ -1,0 +1,155 @@
+//! DGHV parameter sets.
+
+use crate::error::DghvError;
+
+/// Parameters of the DGHV scheme.
+///
+/// Constraints (van Dijk et al., EUROCRYPT 2010): `ρ` noise bits, `η`
+/// secret-key bits with `η > ρ` (somewhat-homomorphic depth grows with
+/// `η/ρ`), ciphertext size `γ > η` (against lattice attacks), and `τ`
+/// public-key elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DghvParams {
+    /// Security parameter label (informational).
+    pub lambda: u32,
+    /// Noise bit-length ρ.
+    pub rho: u32,
+    /// Secret-key bit-length η.
+    pub eta: u32,
+    /// Ciphertext bit-length γ.
+    pub gamma: u32,
+    /// Number of public-key integers τ.
+    pub tau: u32,
+}
+
+impl DghvParams {
+    /// Minimal parameters for unit tests: insecure but fast, with enough
+    /// noise headroom for one multiplication plus several additions.
+    pub fn tiny() -> DghvParams {
+        DghvParams {
+            lambda: 8,
+            rho: 8,
+            eta: 96,
+            gamma: 800,
+            tau: 12,
+        }
+    }
+
+    /// A toy-security set (λ ≈ 42), matching the "toy" scale of Coron et
+    /// al.'s implementations but still laptop-fast.
+    pub fn toy() -> DghvParams {
+        DghvParams {
+            lambda: 42,
+            rho: 26,
+            eta: 988,
+            gamma: 147_456,
+            tau: 158,
+        }
+    }
+
+    /// The paper's workload scale: γ = 786,432-bit ciphertexts — the "small
+    /// security parameter setting for DGHV adopted in various research
+    /// papers" whose products the accelerator computes.
+    pub fn small_paper() -> DghvParams {
+        DghvParams {
+            lambda: 52,
+            rho: 41,
+            eta: 1_558,
+            gamma: 786_432,
+            tau: 572,
+        }
+    }
+
+    /// Validates the structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::InvalidParams`] when a constraint is violated.
+    pub fn validate(&self) -> Result<(), DghvError> {
+        if self.rho == 0 || self.eta <= self.rho + 2 {
+            return Err(DghvError::InvalidParams {
+                reason: format!("need eta > rho + 2 (rho={}, eta={})", self.rho, self.eta),
+            });
+        }
+        if self.gamma <= self.eta {
+            return Err(DghvError::InvalidParams {
+                reason: format!("need gamma > eta (eta={}, gamma={})", self.eta, self.gamma),
+            });
+        }
+        if self.tau == 0 {
+            return Err(DghvError::InvalidParams {
+                reason: "need at least one public-key element".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bits of noise a fresh public-key ciphertext carries
+    /// (`≈ ρ + log2(τ) + 2` from the subset sum).
+    pub fn fresh_noise_bits(&self) -> u32 {
+        self.rho + 32 - self.tau.leading_zeros() + 2
+    }
+
+    /// Noise ceiling: decryption fails when noise reaches `η − 2` bits
+    /// (`|noise| < p/4` is required to survive the rounding).
+    pub fn noise_ceiling_bits(&self) -> u32 {
+        self.eta - 2
+    }
+
+    /// Multiplicative depth the parameters support, approximately
+    /// `log2(ceiling / fresh)`.
+    pub fn multiplicative_depth(&self) -> u32 {
+        let fresh = self.fresh_noise_bits().max(1);
+        let mut depth = 0;
+        let mut noise = fresh;
+        while noise * 2 + 1 <= self.noise_ceiling_bits() {
+            noise = noise * 2 + 1;
+            depth += 1;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DghvParams::tiny().validate().unwrap();
+        DghvParams::toy().validate().unwrap();
+        DghvParams::small_paper().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_gamma_matches_operand_size() {
+        assert_eq!(DghvParams::small_paper().gamma, 786_432);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = DghvParams::tiny();
+        p.eta = p.rho; // no headroom
+        assert!(p.validate().is_err());
+
+        let mut p = DghvParams::tiny();
+        p.gamma = p.eta; // ciphertext too small
+        assert!(p.validate().is_err());
+
+        let mut p = DghvParams::tiny();
+        p.tau = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_supports_at_least_one_multiplication() {
+        assert!(DghvParams::tiny().multiplicative_depth() >= 1);
+    }
+
+    #[test]
+    fn noise_accounting_is_monotone() {
+        let p = DghvParams::toy();
+        assert!(p.fresh_noise_bits() < p.noise_ceiling_bits());
+        assert!(p.multiplicative_depth() >= 3);
+    }
+}

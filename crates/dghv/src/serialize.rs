@@ -1,0 +1,170 @@
+//! Byte-level serialization of keys and ciphertexts.
+//!
+//! The cloud scenario ships ciphertexts and public keys over the network;
+//! this module provides a compact, dependency-free wire format:
+//! length-prefixed little-endian byte strings with a magic/version header.
+
+use he_bigint::UBig;
+
+use crate::ciphertext::Ciphertext;
+use crate::error::DghvError;
+use crate::params::DghvParams;
+
+const MAGIC: &[u8; 4] = b"DGHV";
+const VERSION: u8 = 1;
+
+/// Writes a length-prefixed big integer.
+fn put_ubig(out: &mut Vec<u8>, value: &UBig) {
+    let bytes = value.to_le_bytes();
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&bytes);
+}
+
+/// Reads a length-prefixed big integer.
+fn get_ubig(input: &mut &[u8]) -> Result<UBig, DghvError> {
+    let len_bytes: [u8; 8] = input
+        .get(..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| malformed("truncated length"))?;
+    *input = &input[8..];
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let bytes = input.get(..len).ok_or_else(|| malformed("truncated payload"))?;
+    *input = &input[len..];
+    Ok(UBig::from_le_bytes(bytes))
+}
+
+fn malformed(reason: &str) -> DghvError {
+    DghvError::InvalidParams {
+        reason: format!("malformed serialized data: {reason}"),
+    }
+}
+
+impl Ciphertext {
+    /// Serializes to bytes (header, noise estimate, value).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.value().to_le_bytes().len() + 32);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(b'c');
+        out.extend_from_slice(&self.noise_bits().to_le_bytes());
+        put_ubig(&mut out, self.value());
+        out
+    }
+
+    /// Deserializes from bytes produced by [`Ciphertext::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::InvalidParams`] on a malformed buffer.
+    pub fn from_bytes(mut input: &[u8]) -> Result<Ciphertext, DghvError> {
+        let header = input.get(..6).ok_or_else(|| malformed("truncated header"))?;
+        if &header[..4] != MAGIC || header[4] != VERSION || header[5] != b'c' {
+            return Err(malformed("bad magic/version/tag"));
+        }
+        input = &input[6..];
+        let noise_bytes: [u8; 4] = input
+            .get(..4)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| malformed("truncated noise field"))?;
+        input = &input[4..];
+        let value = get_ubig(&mut input)?;
+        if !input.is_empty() {
+            return Err(malformed("trailing bytes"));
+        }
+        Ok(Ciphertext::new(value, u32::from_le_bytes(noise_bytes)))
+    }
+}
+
+impl DghvParams {
+    /// Serializes to a fixed-size byte record.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(26);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(b'p');
+        for v in [self.lambda, self.rho, self.eta, self.gamma, self.tau] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes and re-validates a parameter record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::InvalidParams`] on a malformed buffer or
+    /// inconsistent parameters.
+    pub fn from_bytes(input: &[u8]) -> Result<DghvParams, DghvError> {
+        if input.len() != 26 {
+            return Err(malformed("parameter record must be 26 bytes"));
+        }
+        if &input[..4] != MAGIC || input[4] != VERSION || input[5] != b'p' {
+            return Err(malformed("bad magic/version/tag"));
+        }
+        let word = |i: usize| {
+            u32::from_le_bytes(input[6 + 4 * i..10 + 4 * i].try_into().expect("sized above"))
+        };
+        let params = DghvParams {
+            lambda: word(0),
+            rho: word(1),
+            eta: word(2),
+            gamma: word(3),
+            tau: word(4),
+        };
+        params.validate()?;
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ciphertext_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).unwrap();
+        for m in [false, true] {
+            let ct = keys.public().encrypt(m, &mut rng);
+            let restored = Ciphertext::from_bytes(&ct.to_bytes()).unwrap();
+            assert_eq!(restored, ct);
+            assert_eq!(keys.secret().decrypt(&restored), m);
+        }
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        for params in [DghvParams::tiny(), DghvParams::toy(), DghvParams::small_paper()] {
+            assert_eq!(DghvParams::from_bytes(&params.to_bytes()).unwrap(), params);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Ciphertext::from_bytes(b"").is_err());
+        assert!(Ciphertext::from_bytes(b"XXXX\x01c").is_err());
+        assert!(DghvParams::from_bytes(&[0u8; 26]).is_err());
+        assert!(DghvParams::from_bytes(&[0u8; 10]).is_err());
+
+        // Truncated ciphertext payload.
+        let mut rng = StdRng::seed_from_u64(21);
+        let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).unwrap();
+        let bytes = keys.public().encrypt(true, &mut rng).to_bytes();
+        assert!(Ciphertext::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Ciphertext::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn invalid_params_fail_revalidation() {
+        let mut p = DghvParams::tiny();
+        p.gamma = p.eta; // invalid combination
+        let bytes = p.to_bytes();
+        assert!(DghvParams::from_bytes(&bytes).is_err());
+    }
+}

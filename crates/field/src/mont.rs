@@ -1,0 +1,187 @@
+//! Montgomery multiplication — the generic alternative the paper's Solinas
+//! prime makes unnecessary.
+//!
+//! Choosing `p = 2^64 − 2^32 + 1` lets the hardware reduce with Eq. 4
+//! (two additions, two subtractions, zero multiplications). A generic
+//! 64-bit prime would need Montgomery reduction instead: one extra 64×64
+//! multiplication and one 64×64→128 multiplication per reduction — i.e.
+//! more DSP blocks on the critical path of every butterfly. This module
+//! implements Montgomery for `p` so the ablation benches can quantify the
+//! difference on the same operands.
+
+use crate::element::{Fp, P};
+
+/// `−p^{−1} mod 2^64`, precomputed by Newton iteration.
+pub const P_INV_NEG: u64 = {
+    // x_{k+1} = x_k·(2 − p·x_k) doubles correct bits; start from p which is
+    // correct to 3 bits for odd p.
+    let mut inv: u64 = P; // p⁻¹ mod 2^3 seed (p ≡ 1 mod 8 ⇒ inv ≡ 1·… works)
+    let mut i = 0;
+    while i < 6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(P.wrapping_mul(inv)));
+        i += 1;
+    }
+    inv.wrapping_neg()
+};
+
+/// `R² mod p` where `R = 2^64`, for conversions into Montgomery form:
+/// `2^128 ≡ −2^32 (mod p)`.
+pub fn r_squared() -> Fp {
+    -Fp::ONE.mul_by_pow2(32)
+}
+
+/// Montgomery REDC: given `t < p·2^64`, returns `t·2^{−64} mod p`.
+#[inline]
+pub fn redc(t: u128) -> u64 {
+    let m = (t as u64).wrapping_mul(P_INV_NEG);
+    // t + m·p can exceed 2^128; keep the carry explicitly. The low 64 bits
+    // cancel by construction of m.
+    let (sum, overflow) = t.overflowing_add(m as u128 * P as u128);
+    let folded = (sum >> 64) + ((overflow as u128) << 64);
+    // folded < 2p: one conditional subtraction suffices.
+    if folded >= P as u128 {
+        (folded - P as u128) as u64
+    } else {
+        folded as u64
+    }
+}
+
+/// A value held in Montgomery form (`a·2^64 mod p`).
+///
+/// ```
+/// use he_field::{mont::MontFp, Fp};
+///
+/// let a = Fp::new(123_456_789);
+/// let b = Fp::new(987_654_321);
+/// let ma = MontFp::from_fp(a);
+/// let mb = MontFp::from_fp(b);
+/// assert_eq!((ma * mb).to_fp(), a * b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MontFp(u64);
+
+impl MontFp {
+    /// Converts into Montgomery form (one Montgomery multiplication by
+    /// `R²`).
+    pub fn from_fp(value: Fp) -> MontFp {
+        let r2 = r_squared().as_u64();
+        MontFp(redc(value.as_u64() as u128 * r2 as u128))
+    }
+
+    /// Converts back to the canonical representation.
+    pub fn to_fp(self) -> Fp {
+        Fp::new(redc(self.0 as u128))
+    }
+
+    /// The raw Montgomery-form word.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl core::ops::Mul for MontFp {
+    type Output = MontFp;
+
+    #[inline]
+    fn mul(self, rhs: MontFp) -> MontFp {
+        MontFp(redc(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl core::ops::Add for MontFp {
+    type Output = MontFp;
+
+    #[inline]
+    fn add(self, rhs: MontFp) -> MontFp {
+        // Montgomery form is closed under plain modular addition.
+        MontFp((Fp::new(self.0) + Fp::new(rhs.0)).as_u64())
+    }
+}
+
+/// Hardware-cost comparison of the two reduction strategies, per modular
+/// multiplication (for the §8 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionCost {
+    /// 64×64-bit multiplier instances on the reduction path.
+    pub multipliers: u32,
+    /// Adder/subtractor instances on the reduction path.
+    pub adders: u32,
+}
+
+/// Eq. 4 (Solinas) reduction cost: adders only.
+pub const SOLINAS_COST: ReductionCost = ReductionCost {
+    multipliers: 0,
+    adders: 4,
+};
+
+/// Montgomery reduction cost: two extra multiplications plus the fold-up
+/// addition.
+pub const MONTGOMERY_COST: ReductionCost = ReductionCost {
+    multipliers: 2,
+    adders: 2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_inv_neg_is_correct() {
+        // p · (−p⁻¹) ≡ −1 (mod 2^64)
+        assert_eq!(P.wrapping_mul(P_INV_NEG), u64::MAX);
+        assert_eq!(P.wrapping_mul(P_INV_NEG.wrapping_neg()), 1);
+    }
+
+    #[test]
+    fn redc_of_zero_and_r() {
+        assert_eq!(redc(0), 0);
+        // R·1 REDCs to 1? redc(R) = R·R⁻¹ = 1... redc takes t = 2^64:
+        assert_eq!(redc(1u128 << 64), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for v in [0u64, 1, 2, 0xffff_ffff, P - 1, 0x1234_5678_9abc_def0] {
+            let x = Fp::new(v);
+            assert_eq!(MontFp::from_fp(x).to_fp(), x, "v = {v:#x}");
+        }
+    }
+
+    #[test]
+    fn multiplication_agrees_with_eq4_path() {
+        let samples = [1u64, 2, 8, 0xffff_ffff, P - 1, 0xdead_beef_cafe_f00d % P];
+        for &a in &samples {
+            for &b in &samples {
+                let fa = Fp::new(a);
+                let fb = Fp::new(b);
+                assert_eq!(
+                    (MontFp::from_fp(fa) * MontFp::from_fp(fb)).to_fp(),
+                    fa * fb,
+                    "a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn addition_in_montgomery_form() {
+        let a = Fp::new(P - 3);
+        let b = Fp::new(7);
+        assert_eq!((MontFp::from_fp(a) + MontFp::from_fp(b)).to_fp(), a + b);
+    }
+
+    #[test]
+    fn ablation_costs_favor_solinas() {
+        assert_eq!(SOLINAS_COST.multipliers, 0);
+        assert!(MONTGOMERY_COST.multipliers > SOLINAS_COST.multipliers);
+    }
+
+    #[test]
+    fn r_squared_is_consistent() {
+        // R² in Montgomery form must equal R (i.e. from_fp(R² as Fp)…):
+        // simpler: converting 1 and multiplying by itself stays 1.
+        let one = MontFp::from_fp(Fp::ONE);
+        assert_eq!((one * one).to_fp(), Fp::ONE);
+        let _ = r_squared();
+    }
+}

@@ -1,0 +1,204 @@
+//! Modular reduction via the paper's Eq. 4.
+//!
+//! For `p = 2^64 − 2^32 + 1` the key identities are
+//!
+//! * `2^64 ≡ 2^32 − 1` (so `b·2^64 ≡ 2^32·b − b`),
+//! * `2^96 ≡ −1` (so `a·2^96 ≡ −a`),
+//! * `2^128 ≡ −2^32`,
+//!
+//! giving the paper's Eq. 4 for a 128-bit value split into 32-bit words
+//! `a·2^96 + b·2^64 + c·2^32 + d`:
+//!
+//! ```text
+//! a·2^96 + b·2^64 + c·2^32 + d ≡ 2^32·(b + c) − a − b + d   (mod p)
+//! ```
+//!
+//! The hardware computes the right-hand side in the *Normalize* block and
+//! leaves at most one addition/subtraction of `p` to the *AddMod* block;
+//! [`normalize_eq4`] models exactly that split, while [`reduce128`] performs
+//! the complete reduction.
+
+use crate::element::P;
+
+/// Fully reduces a 128-bit value to its canonical residue.
+///
+/// ```
+/// use he_field::reduce::reduce128;
+/// use he_field::P;
+///
+/// assert_eq!(reduce128(0), 0);
+/// assert_eq!(reduce128(P as u128), 0);
+/// assert_eq!(reduce128(u128::MAX), (u128::MAX % P as u128) as u64);
+/// ```
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let (coarse, _) = normalize_eq4(x);
+    // Eq. 4 leaves a value < 2^65 + 2^32; at most two subtractions of p
+    // remain (the hardware performs the final one in AddMod).
+    let mut r = coarse;
+    while r >= P as u128 {
+        r -= P as u128;
+    }
+    r as u64
+}
+
+/// The hardware *Normalize* block: applies Eq. 4 once and reports how many
+/// subtractions of `p` were internally folded while assembling the result.
+///
+/// Returns `(coarse, corrections)` where `coarse ≡ x (mod p)`,
+/// `coarse < 2^65`, and `corrections` counts the `±p` adjustments Eq. 4
+/// itself needed (0 or 1). The remaining conditional subtraction is the
+/// *AddMod* stage, modeled by [`addmod_final`].
+///
+/// ```
+/// use he_field::reduce::{addmod_final, normalize_eq4};
+/// use he_field::P;
+///
+/// let x = (P as u128 - 1) * (P as u128 - 1);
+/// let (coarse, _) = normalize_eq4(x);
+/// assert_eq!(addmod_final(coarse), (x % P as u128) as u64);
+/// ```
+#[inline]
+pub fn normalize_eq4(x: u128) -> (u128, u32) {
+    let d = (x as u32) as u128;
+    let c = ((x >> 32) as u32) as u128;
+    let b = ((x >> 64) as u32) as u128;
+    let a = ((x >> 96) as u32) as u128;
+
+    // 2^32·(b + c) + d  ≤ (2^33 − 2)·2^32 + 2^32 − 1 < 2^66 (fits u128).
+    let positive = ((b + c) << 32) + d;
+    // a + b ≤ 2^33 − 2 < p, so one addition of p suffices if it underflows.
+    let negative = a + b;
+
+    if positive >= negative {
+        (positive - negative, 0)
+    } else {
+        (positive + P as u128 - negative, 1)
+    }
+}
+
+/// The hardware *AddMod* block: final conditional subtraction(s) bringing the
+/// coarse Normalize output into `[0, p)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `coarse ≥ 3p` (the Normalize block never
+/// produces such a value).
+#[inline]
+pub fn addmod_final(coarse: u128) -> u64 {
+    debug_assert!(coarse < 3 * P as u128);
+    let mut r = coarse;
+    while r >= P as u128 {
+        r -= P as u128;
+    }
+    r as u64
+}
+
+/// Reduces a 192-bit value given as `hi·2^128 + lo` (with `lo` a full 128-bit
+/// word).
+///
+/// Uses `2^128 ≡ −2^32`: `hi·2^128 + lo ≡ lo − hi·2^32`.
+///
+/// ```
+/// use he_field::reduce::reduce192;
+/// use he_field::Fp;
+///
+/// // 2^128 = -(2^32) mod p
+/// assert_eq!(
+///     Fp::new(reduce192(0, 1)),
+///     -Fp::ONE.mul_by_pow2(32),
+/// );
+/// ```
+#[inline]
+pub fn reduce192(lo: u128, hi: u64) -> u64 {
+    let lo_red = reduce128(lo) as u128;
+    let hi_term = reduce128((hi as u128) << 32) as u128;
+    let r = if lo_red >= hi_term {
+        lo_red - hi_term
+    } else {
+        lo_red + P as u128 - hi_term
+    };
+    r as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive128(x: u128) -> u64 {
+        (x % P as u128) as u64
+    }
+
+    #[test]
+    fn reduce128_matches_naive_on_edges() {
+        let cases = [
+            0u128,
+            1,
+            P as u128 - 1,
+            P as u128,
+            P as u128 + 1,
+            u64::MAX as u128,
+            (u64::MAX as u128) + 1,
+            u128::MAX,
+            u128::MAX - 1,
+            (P as u128) * (P as u128) - 1, // largest product of two residues
+            (P as u128 - 1) * (P as u128 - 1),
+            1u128 << 96,
+            (1u128 << 96) - 1,
+            1u128 << 127,
+        ];
+        for &x in &cases {
+            assert_eq!(reduce128(x), naive128(x), "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn reduce128_dense_sweep() {
+        // Structured values exercising all four Eq. 4 words.
+        for a in [0u128, 1, 0xffff_ffff] {
+            for b in [0u128, 1, 0xffff_ffff] {
+                for c in [0u128, 1, 0xffff_ffff] {
+                    for d in [0u128, 1, 0xffff_ffff] {
+                        let x = (a << 96) | (b << 64) | (c << 32) | d;
+                        assert_eq!(reduce128(x), naive128(x), "x = {x:#x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_then_addmod_is_full_reduction() {
+        let cases = [
+            0u128,
+            u128::MAX,
+            (P as u128 - 1) * (P as u128 - 1),
+            0xdead_beef_dead_beef_dead_beef_dead_beef,
+        ];
+        for &x in &cases {
+            let (coarse, corrections) = normalize_eq4(x);
+            assert!(corrections <= 1);
+            assert!(coarse < 1u128 << 66);
+            assert_eq!(addmod_final(coarse), naive128(x));
+        }
+    }
+
+    #[test]
+    fn reduce192_matches_naive() {
+        let cases: [(u128, u64); 6] = [
+            (0, 0),
+            (u128::MAX, u64::MAX),
+            (1, 1),
+            (P as u128, 0xffff_ffff),
+            (0x0123_4567_89ab_cdef_0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210),
+            (u128::MAX, 0),
+        ];
+        for &(lo, hi) in &cases {
+            // naive: (hi·2^128 + lo) mod p using 256-bit arithmetic via steps
+            let hi_mod = ((hi as u128) << 32) % P as u128; // hi·2^32
+            let lo_mod = lo % P as u128;
+            let expected = ((lo_mod + P as u128 - hi_mod % P as u128) % P as u128) as u64;
+            assert_eq!(reduce192(lo, hi), expected, "lo={lo:#x} hi={hi:#x}");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Roots of unity for the transforms of Section III.
+//!
+//! The multiplicative group of `F_p` has order `p − 1 = 2^32 · (2^32 − 1)`,
+//! so primitive `2^k`-th roots exist for every `k ≤ 32`. `7` generates the
+//! whole group.
+//!
+//! The hardware relies on the 64th root being exactly `8` (Eq. 3), so the
+//! 65,536th root used by the three-stage decomposition (Eq. 2) is chosen
+//! such that `ω^1024 = 8`; [`omega_64k`] performs that alignment once.
+
+use std::sync::OnceLock;
+
+use crate::element::{Fp, P};
+
+/// A generator of the full multiplicative group `F_p^×`.
+pub const GENERATOR: Fp = Fp::from_canonical(7);
+
+/// The primitive 64th root of unity the FFT-64 unit is built around:
+/// `ω_64 = 8`, so all its twiddles are 3-bit shifts (Eq. 3).
+pub const OMEGA_64: Fp = Fp::from_canonical(8);
+
+/// The primitive 16th root used by the radix-16 pass: `8^4 = 2^12`.
+pub const OMEGA_16: Fp = Fp::from_canonical(1 << 12);
+
+/// The primitive 8th root: `8^8 = 2^24`.
+pub const OMEGA_8: Fp = Fp::from_canonical(1 << 24);
+
+/// The primitive 32nd root that is still a power of two: `2^6`
+/// (since `(2^6)^32 = 2^192 = 1` and `(2^6)^16 = 2^96 = −1`).
+pub const OMEGA_32: Fp = Fp::from_canonical(1 << 6);
+
+/// Returns a primitive `2^log2_order`-th root of unity, `7^((p−1)/2^k)`.
+///
+/// These roots form a coherent chain: `root(k+1)^2 = root(k)`.
+///
+/// # Panics
+///
+/// Panics if `log2_order > 32` (the 2-adicity of `p − 1`).
+///
+/// ```
+/// use he_field::{roots, Fp};
+/// let w = roots::two_adic_root(10); // 1024th root
+/// assert_eq!(w.pow(1024), Fp::ONE);
+/// assert_eq!(w.pow(512), -Fp::ONE);
+/// ```
+pub fn two_adic_root(log2_order: u32) -> Fp {
+    assert!(
+        log2_order <= Fp::TWO_ADICITY,
+        "no 2^{log2_order}-th root of unity: 2-adicity is {}",
+        Fp::TWO_ADICITY
+    );
+    GENERATOR.pow((P - 1) >> log2_order)
+}
+
+/// Returns a primitive `order`-th root of unity for any `order` dividing
+/// `p − 1`, or `None` otherwise.
+///
+/// For power-of-two orders ≤ 64 the returned root is the hardware-friendly
+/// power of two (`8`, `2^12`, …) and for 65,536 it is [`omega_64k`], so all
+/// roots produced by this function are mutually consistent
+/// (`root(nm)^m = root(n)` for the supported power-of-two chain).
+pub fn root_of_unity(order: u64) -> Option<Fp> {
+    if order == 0 || (P - 1) % order != 0 {
+        return None;
+    }
+    if order.is_power_of_two() {
+        let log2 = order.trailing_zeros();
+        if order <= 65_536 {
+            // Derive from the aligned 64K root so the chain is consistent
+            // with the hardware shift twiddles.
+            return Some(omega_64k().pow(65_536 / order));
+        }
+        return Some(two_adic_root(log2));
+    }
+    Some(GENERATOR.pow((P - 1) / order))
+}
+
+/// The primitive 65,536th root of unity `ω` aligned so that `ω^1024 = 8`.
+///
+/// Alignment matters: the three-stage 64K decomposition (Eq. 2) computes its
+/// inner 64-point sub-transforms with twiddles `ω_64^{ik} = ω^{1024·ik}`;
+/// choosing `ω` with `ω^1024 = 8` makes those exactly the shift-only
+/// twiddles of the FFT-64 hardware unit.
+///
+/// ```
+/// use he_field::{roots, Fp};
+/// let w = roots::omega_64k();
+/// assert_eq!(w.pow(65_536), Fp::ONE);
+/// assert_eq!(w.pow(1024), Fp::new(8));
+/// ```
+pub fn omega_64k() -> Fp {
+    static OMEGA: OnceLock<Fp> = OnceLock::new();
+    *OMEGA.get_or_init(|| {
+        let r = two_adic_root(16); // some primitive 65,536th root
+        let w64 = r.pow(1024); // a primitive 64th root
+        // 8 is a primitive 64th root, so 8 = w64^t for a unique odd t mod 64;
+        // then ω = r^t is a primitive 65,536th root with ω^1024 = 8.
+        for t in (1u64..64).step_by(2) {
+            if w64.pow(t) == OMEGA_64 {
+                return r.pow(t);
+            }
+        }
+        unreachable!("8 generates the order-64 subgroup, so an odd t exists")
+    })
+}
+
+/// The primitive 4096th root used for the stage-2 twiddles of Eq. 2:
+/// `ω_4096 = ω_64k^16`, so `ω_4096^64 = 8`.
+pub fn omega_4k() -> Fp {
+    omega_64k().pow(16)
+}
+
+/// Precomputed table of the `n` powers `ω^0 … ω^{n−1}` of an `n`-th root.
+///
+/// # Panics
+///
+/// Panics if `n` does not divide `p − 1`.
+pub fn power_table(omega: Fp, n: usize) -> Vec<Fp> {
+    let mut table = Vec::with_capacity(n);
+    let mut acc = Fp::ONE;
+    for _ in 0..n {
+        table.push(acc);
+        acc *= omega;
+    }
+    table
+}
+
+/// Verifies that `omega` is a primitive `order`-th root of unity.
+pub fn is_primitive_root(omega: Fp, order: u64) -> bool {
+    if omega.pow(order) != Fp::ONE {
+        return false;
+    }
+    // Check omega^(order/q) != 1 for every prime q | order.
+    let mut n = order;
+    let mut primes = Vec::new();
+    let mut q = 2;
+    while q * q <= n {
+        if n % q == 0 {
+            primes.push(q);
+            while n % q == 0 {
+                n /= q;
+            }
+        }
+        q += 1;
+    }
+    if n > 1 {
+        primes.push(n);
+    }
+    primes.iter().all(|&q| omega.pow(order / q) != Fp::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_primitive() {
+        // ord(7) = p−1 iff 7^((p−1)/q) ≠ 1 for primes q | p−1.
+        // p−1 = 2^32 · (2^32 − 1) = 2^32 · 3 · 5 · 17 · 257 · 65537.
+        for q in [2u64, 3, 5, 17, 257, 65_537] {
+            assert_ne!(GENERATOR.pow((P - 1) / q), Fp::ONE, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn named_roots_are_primitive_powers_of_two() {
+        assert!(is_primitive_root(OMEGA_8, 8));
+        assert!(is_primitive_root(OMEGA_16, 16));
+        assert!(is_primitive_root(OMEGA_32, 32));
+        assert!(is_primitive_root(OMEGA_64, 64));
+        assert_eq!(OMEGA_64.pow(4), OMEGA_16);
+        assert_eq!(OMEGA_16.pow(2), OMEGA_8);
+        assert_eq!(OMEGA_32.pow(2), OMEGA_16);
+    }
+
+    #[test]
+    fn two_adic_chain() {
+        for k in 1..=12 {
+            let w = two_adic_root(k);
+            assert!(is_primitive_root(w, 1 << k), "k = {k}");
+            assert_eq!(two_adic_root(k + 1).square(), w);
+        }
+        assert!(is_primitive_root(two_adic_root(32), 1 << 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "2-adicity")]
+    fn two_adic_root_rejects_large_order() {
+        let _ = two_adic_root(33);
+    }
+
+    #[test]
+    fn omega_64k_alignment() {
+        let w = omega_64k();
+        assert!(is_primitive_root(w, 65_536));
+        assert_eq!(w.pow(1024), OMEGA_64);
+        assert_eq!(omega_4k().pow(64), OMEGA_64);
+        assert_eq!(omega_4k(), w.pow(16));
+        assert!(is_primitive_root(omega_4k(), 4096));
+    }
+
+    #[test]
+    fn root_of_unity_chain_consistency() {
+        // root(nm)^m = root(n) across the power-of-two chain ≤ 64K.
+        let orders = [2u64, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 65_536];
+        for &n in &orders {
+            let w = root_of_unity(n).unwrap();
+            assert!(is_primitive_root(w, n), "order {n}");
+            for &m in &orders {
+                if m < n && n % m == 0 {
+                    assert_eq!(w.pow(n / m), root_of_unity(m).unwrap(), "{n} -> {m}");
+                }
+            }
+        }
+        // Small roots equal the hardware constants.
+        assert_eq!(root_of_unity(64), Some(OMEGA_64));
+        assert_eq!(root_of_unity(16), Some(OMEGA_16));
+    }
+
+    #[test]
+    fn root_of_unity_non_dividing_order() {
+        assert_eq!(root_of_unity(0), None);
+        assert_eq!(root_of_unity(7), None); // 7 does not divide p−1
+        assert!(root_of_unity(3).is_some());
+        assert!(root_of_unity(5).is_some());
+        assert!(root_of_unity(65_537).is_some());
+    }
+
+    #[test]
+    fn power_table_contents() {
+        let table = power_table(OMEGA_64, 64);
+        assert_eq!(table.len(), 64);
+        assert_eq!(table[0], Fp::ONE);
+        assert_eq!(table[1], OMEGA_64);
+        assert_eq!(table[63] * OMEGA_64, Fp::ONE);
+    }
+}

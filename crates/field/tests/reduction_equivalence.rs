@@ -1,0 +1,57 @@
+//! Equivalence of the three reduction strategies on identical operands:
+//! the Eq. 4 Solinas path (the hardware's), Montgomery (the generic
+//! alternative of the §8 ablation), and plain `u128 %` (ground truth).
+
+use he_field::mont::{redc, MontFp, MONTGOMERY_COST, SOLINAS_COST};
+use he_field::{reduce, Fp, P};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn three_way_multiplication_agreement(a in any::<u64>(), b in any::<u64>()) {
+        let fa = Fp::new(a);
+        let fb = Fp::new(b);
+        // Ground truth.
+        let expected = ((fa.as_u64() as u128 * fb.as_u64() as u128) % P as u128) as u64;
+        // Eq. 4 path (operator).
+        prop_assert_eq!((fa * fb).as_u64(), expected);
+        // Montgomery path.
+        prop_assert_eq!((MontFp::from_fp(fa) * MontFp::from_fp(fb)).to_fp().as_u64(), expected);
+    }
+
+    #[test]
+    fn redc_inverts_the_montgomery_shift(a in any::<u64>()) {
+        // redc(x · 2^64) = x for canonical x.
+        let x = Fp::new(a).as_u64();
+        prop_assert_eq!(redc((x as u128) << 64), x % P);
+    }
+
+    #[test]
+    fn montgomery_power_chain_matches_fp_pow(a in any::<u64>(), e in 0u64..512) {
+        let base = Fp::new(a);
+        let mut acc = MontFp::from_fp(Fp::ONE);
+        let mbase = MontFp::from_fp(base);
+        for _ in 0..e {
+            acc = acc * mbase;
+        }
+        prop_assert_eq!(acc.to_fp(), base.pow(e));
+    }
+
+    #[test]
+    fn eq4_coarse_result_is_always_close(x in any::<u128>()) {
+        // The Normalize output needs at most two subtractions — the
+        // hardware sizing assumption for the AddMod stage.
+        let (coarse, corrections) = reduce::normalize_eq4(x);
+        prop_assert!(corrections <= 1);
+        prop_assert!(coarse < 3 * P as u128);
+    }
+}
+
+#[test]
+fn cost_model_reflects_the_design_choice() {
+    // The ablation's whole point: the Solinas prime removes multipliers
+    // from the reduction path at the price of two more adders.
+    assert_eq!(SOLINAS_COST.multipliers, 0);
+    assert_eq!(MONTGOMERY_COST.multipliers, 2);
+    assert!(SOLINAS_COST.adders > MONTGOMERY_COST.adders);
+}

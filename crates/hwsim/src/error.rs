@@ -1,0 +1,57 @@
+//! Error type for the hardware simulator.
+
+use core::fmt;
+
+use he_ssa::SsaError;
+
+/// Error from accelerator configuration or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwSimError {
+    /// The configuration violates a structural constraint of the design.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
+    /// A memory access pattern collided on a bank port.
+    BankConflict {
+        /// The bank (row, column) that was over-subscribed.
+        bank: (usize, usize),
+        /// Number of simultaneous accesses requested.
+        accesses: usize,
+        /// Number of ports available.
+        ports: usize,
+    },
+    /// An SSA-level failure (operand too large, invalid parameters).
+    Ssa(SsaError),
+}
+
+impl fmt::Display for HwSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwSimError::InvalidConfig { reason } => {
+                write!(f, "invalid accelerator configuration: {reason}")
+            }
+            HwSimError::BankConflict { bank, accesses, ports } => write!(
+                f,
+                "memory bank ({}, {}) received {accesses} accesses in one cycle but has {ports} ports",
+                bank.0, bank.1
+            ),
+            HwSimError::Ssa(e) => write!(f, "multiplication error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HwSimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HwSimError::Ssa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SsaError> for HwSimError {
+    fn from(e: SsaError) -> HwSimError {
+        HwSimError::Ssa(e)
+    }
+}

@@ -1,0 +1,505 @@
+//! Bit-exact models of the two radix-64 unit microarchitectures:
+//! the baseline of \[28\] (Fig. 3) and the paper's optimized unit (Fig. 4).
+//!
+//! Both operate on the 192-bit end-around-carry datapath
+//! ([`he_field::U192`]): twiddles are rotations, subtraction is bitwise
+//! complement, and the adder trees are 3:2 carry-save compressors whose
+//! weight-2 carry out of bit 191 wraps to bit 0 (`2^192 ≡ 1 (mod p)`).
+//! Each transform returns both the 64 output values — asserted equal to the
+//! reference NTT in tests — and a [`UnitCensus`] of the work performed,
+//! which feeds the Fig. 3/Fig. 4 ablation and the resource model.
+
+use he_field::{Fp, U192};
+use he_ntt::kernels::Direction;
+
+/// A carry-save value: two 192-bit vectors whose sum (mod `2^192 − 1`) is
+/// the represented number. Mirrors the hardware's redundant representation
+/// ("the output is then made up of two vectors, which are not merged until
+/// the very last block").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CarrySave {
+    sum: U192,
+    carry: U192,
+}
+
+impl CarrySave {
+    /// The zero value.
+    pub const ZERO: CarrySave = CarrySave {
+        sum: U192::ZERO,
+        carry: U192::ZERO,
+    };
+
+    /// 3:2 compression: folds one more operand into the redundant form
+    /// using one level of full adders (XOR for the sum bits, majority
+    /// rotated by one for the carries; the rotation is the end-around
+    /// carry).
+    #[inline]
+    pub fn compress(self, x: U192) -> CarrySave {
+        let xor = self.sum ^ self.carry ^ x;
+        let maj = (self.sum & self.carry) | (self.sum & x) | (self.carry & x);
+        CarrySave {
+            sum: xor,
+            carry: maj.rotl(1),
+        }
+    }
+
+    /// Merges the two vectors with a carry-propagate addition (the paper
+    /// merges "immediately after the adder tree" in the optimized unit, at
+    /// the very end in the baseline).
+    #[inline]
+    pub fn merge(self) -> U192 {
+        self.sum.wrapping_add(self.carry)
+    }
+
+    /// The represented field value.
+    pub fn to_fp(self) -> Fp {
+        self.merge().to_fp()
+    }
+}
+
+impl From<U192> for CarrySave {
+    fn from(value: U192) -> CarrySave {
+        CarrySave {
+            sum: value,
+            carry: U192::ZERO,
+        }
+    }
+}
+
+/// Work census of one transform on a unit, for ablation and the resource
+/// model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCensus {
+    /// Cycles from first input to steady-state completion (throughput
+    /// interval, not latency).
+    pub cycles: u64,
+    /// Shifter/rotator activations.
+    pub shift_ops: u64,
+    /// 3:2 compressor activations.
+    pub csa_ops: u64,
+    /// Carry-propagate merges.
+    pub merge_ops: u64,
+    /// Modular reductions performed.
+    pub reductor_uses: u64,
+    /// Modular reductor instances the microarchitecture needs.
+    pub reductors_instantiated: u64,
+    /// Peak memory words that must be written in a single cycle.
+    pub write_ports_required: u64,
+    /// Memory words read per cycle.
+    pub read_ports_required: u64,
+}
+
+/// Output of one 64-point transform on a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitOutput {
+    /// The 64 frequency components, natural order.
+    pub values: Vec<Fp>,
+    /// The work performed.
+    pub census: UnitCensus,
+}
+
+/// Negates a forward rotation amount for the inverse transform.
+#[inline]
+fn dir_shift(e: u64, dir: Direction) -> u32 {
+    let e = (e % 192) as u32;
+    match dir {
+        Direction::Forward => e,
+        Direction::Inverse => (192 - e) % 192,
+    }
+}
+
+/// The baseline radix-64 unit of \[28\] (Fig. 3): 64 independent computing
+/// chains, each with its own shifter bank, carry-save adder tree,
+/// accumulator, and modular reductor.
+///
+/// ```
+/// use he_field::Fp;
+/// use he_hwsim::fft_unit::BaselineFft64;
+/// use he_ntt::kernels::{self, Direction};
+///
+/// let input: Vec<Fp> = (0..64).map(Fp::new).collect();
+/// let out = BaselineFft64::new().transform(&input, Direction::Forward);
+/// assert_eq!(out.values, kernels::ntt_small(&input, Direction::Forward).unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineFft64;
+
+impl BaselineFft64 {
+    /// Creates the unit model.
+    pub fn new() -> BaselineFft64 {
+        BaselineFft64
+    }
+
+    /// Runs one 64-point transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 64`.
+    pub fn transform(&self, input: &[Fp], dir: Direction) -> UnitOutput {
+        assert_eq!(input.len(), 64, "the radix-64 unit takes 64 samples");
+        let mut census = UnitCensus {
+            cycles: 8,
+            reductors_instantiated: 64,
+            // All 64 chains finish together: 64 reduced values appear in the
+            // same cycle and must be written at once.
+            write_ports_required: 64,
+            read_ports_required: 8,
+            ..UnitCensus::default()
+        };
+
+        let mut values = vec![Fp::ZERO; 64];
+        for (k, slot) in values.iter_mut().enumerate() {
+            // Chain k: accumulate over 8 cycles, 8 samples per cycle.
+            let mut acc = CarrySave::ZERO;
+            for j in 0..8u64 {
+                for i in 0..8u64 {
+                    let n = 8 * j + i;
+                    let sample = U192::from(input[n as usize]);
+                    let rotated = sample.rotl(dir_shift(3 * n * k as u64, dir));
+                    census.shift_ops += 1;
+                    acc = acc.compress(rotated);
+                    census.csa_ops += 1;
+                }
+            }
+            let merged = acc.merge();
+            census.merge_ops += 1;
+            *slot = merged.to_fp();
+            census.reductor_uses += 1;
+        }
+        UnitOutput { values, census }
+    }
+}
+
+/// A fault to inject into a unit's datapath, for failure-injection
+/// testing: verifies that the workspace's cross-checks actually detect
+/// datapath corruption rather than vacuously passing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Accumulation cycle (0–7) in which the fault strikes.
+    pub cycle: u8,
+    /// Accumulator block hit (0–7).
+    pub block: u8,
+    /// Bit of the accumulator register flipped (0–191).
+    pub bit: u8,
+}
+
+/// The paper's optimized FFT-64 unit (Fig. 4).
+///
+/// Differences from the baseline, all from Section IV-b:
+///
+/// * Eq. 5 restructuring: the first stage computes **eight shared partial
+///   sums per cycle** (one per frequency group `k1`) instead of letting all
+///   64 chains redo the work;
+/// * only four first-stage components are computed; components 4–7 are
+///   **derived** from the even/odd difference with an extra `ω_16^j`
+///   rotation;
+/// * the second-stage twiddles `ω_8^{j·k2}` collapse to **four shifts**
+///   (0/24/48/72 bits) plus a subtract signal, because half the twiddle
+///   factors are the negatives of the other half;
+/// * carry-save vectors are **merged right after the adder tree**;
+/// * only **8 modular reductors**, time-multiplexed over the 64
+///   accumulators during an 8-cycle readout, so 8 results per cycle leave
+///   the unit already spaced for memory writing.
+///
+/// ```
+/// use he_field::Fp;
+/// use he_hwsim::fft_unit::{BaselineFft64, OptimizedFft64};
+/// use he_ntt::kernels::Direction;
+///
+/// let input: Vec<Fp> = (0..64).map(|i| Fp::new(i * i)).collect();
+/// let a = OptimizedFft64::new().transform(&input, Direction::Forward);
+/// let b = BaselineFft64::new().transform(&input, Direction::Forward);
+/// assert_eq!(a.values, b.values); // bit-exact agreement
+/// assert!(a.census.shift_ops < b.census.shift_ops / 4); // at 4× less work
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizedFft64;
+
+impl OptimizedFft64 {
+    /// Creates the unit model.
+    pub fn new() -> OptimizedFft64 {
+        OptimizedFft64
+    }
+
+    /// Runs one 64-point transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 64`.
+    pub fn transform(&self, input: &[Fp], dir: Direction) -> UnitOutput {
+        self.transform_with_fault(input, dir, None)
+    }
+
+    /// Runs one 64-point transform with an optional injected datapath
+    /// fault (a single bit flip in one accumulator register at one cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 64`.
+    pub fn transform_with_fault(
+        &self,
+        input: &[Fp],
+        dir: Direction,
+        fault: Option<InjectedFault>,
+    ) -> UnitOutput {
+        assert_eq!(input.len(), 64, "the radix-64 unit takes 64 samples");
+        let mut census = UnitCensus {
+            cycles: 8,
+            reductors_instantiated: 8,
+            write_ports_required: 8,
+            read_ports_required: 8,
+            ..UnitCensus::default()
+        };
+
+        // 64 accumulators in 8 blocks of 8: accumulator[k2][k1] holds
+        // A[k1 + 8·k2]. Merged (non-redundant) representation, add/sub.
+        let mut accumulators = [[U192::ZERO; 8]; 8];
+
+        for j in 0..8u64 {
+            // Memory provides 8 words per cycle: samples a[8·i + j].
+            let samples: Vec<U192> = (0..8)
+                .map(|i| U192::from(input[8 * i + j as usize]))
+                .collect();
+
+            // Stage 1, computed components k1 = 0..3: carry-save tree over
+            // the 8 rotated samples, with the modified tree also producing
+            // the even/odd difference for the derived components.
+            let mut stage1 = [U192::ZERO; 8];
+            for k1 in 0..4u64 {
+                let mut tree_sum = CarrySave::ZERO;
+                let mut tree_diff = CarrySave::ZERO;
+                for (i, &s) in samples.iter().enumerate() {
+                    let rotated = s.rotl(dir_shift(24 * i as u64 * k1, dir));
+                    census.shift_ops += 1;
+                    tree_sum = tree_sum.compress(rotated);
+                    census.csa_ops += 1;
+                    // Difference output: odd terms taken with negative sign.
+                    let signed = if i % 2 == 1 { rotated.complement() } else { rotated };
+                    tree_diff = tree_diff.compress(signed);
+                    census.csa_ops += 1;
+                }
+                // Early carry-save merge (one pipeline stage in hardware).
+                let sum = tree_sum.merge();
+                let diff = tree_diff.merge();
+                census.merge_ops += 2;
+                // ω_64^{j·k1} rotation on the computed component…
+                stage1[k1 as usize] = sum.rotl(dir_shift(3 * j * k1, dir));
+                census.shift_ops += 1;
+                // …and the derived component k1+4 = diff · ω_64^{j·k1} · ω_16^{j}.
+                stage1[(k1 + 4) as usize] = diff
+                    .rotl(dir_shift(3 * j * k1, dir))
+                    .rotl(dir_shift(12 * j, dir));
+                census.shift_ops += 2;
+            }
+
+            // Fault injection point: flip one accumulator bit at the
+            // configured cycle.
+            if let Some(f) = fault {
+                if u64::from(f.cycle) == j {
+                    let acc = &mut accumulators[(f.block % 8) as usize][0];
+                    let limb = (f.bit / 64) as usize;
+                    let mut limbs = acc.limbs();
+                    limbs[limb % 3] ^= 1u64 << (f.bit % 64);
+                    *acc = U192::from_limbs(limbs);
+                }
+            }
+
+            // Twiddle ω_8^{j·k2} as a 4-way shift mux + subtract signal:
+            // ω_8^t = 2^{24·t} and ω_8^{t+4} = −ω_8^t.
+            for k2 in 0..8u64 {
+                let t = (j * k2) % 8;
+                let (shift, subtract) = if t >= 4 { (24 * (t - 4), true) } else { (24 * t, false) };
+                for (k1, &v) in stage1.iter().enumerate() {
+                    let rotated = v.rotl(dir_shift(shift, dir));
+                    census.shift_ops += 1;
+                    let acc = &mut accumulators[k2 as usize][k1];
+                    // The inverse direction flips the sign convention too:
+                    // ω_8^{-t} for t ≥ 4 is −ω_8^{-(t-4)} as well, so the
+                    // subtract signal is direction-independent.
+                    *acc = if subtract {
+                        acc.wrapping_sub(rotated)
+                    } else {
+                        acc.wrapping_add(rotated)
+                    };
+                }
+            }
+        }
+
+        // Readout: 8 cycles, 8 reductors, one accumulator block each; the
+        // unit emits 8 reduced components per cycle.
+        let mut values = vec![Fp::ZERO; 64];
+        for slot in 0..8usize {
+            for k2 in 0..8usize {
+                let k1 = slot;
+                values[k1 + 8 * k2] = accumulators[k2][k1].to_fp();
+                census.reductor_uses += 1;
+            }
+        }
+        UnitOutput { values, census }
+    }
+
+    /// Runs one 16-point transform (the unit is "easily extended for
+    /// computing Radix-16"; two cycles at 8 words per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 16`.
+    pub fn transform16(&self, input: &[Fp], dir: Direction) -> UnitOutput {
+        assert_eq!(input.len(), 16, "the radix-16 mode takes 16 samples");
+        let mut census = UnitCensus {
+            cycles: 2,
+            reductors_instantiated: 8,
+            write_ports_required: 8,
+            read_ports_required: 8,
+            ..UnitCensus::default()
+        };
+        let mut values = vec![Fp::ZERO; 16];
+        for (k, slot) in values.iter_mut().enumerate() {
+            let mut acc = CarrySave::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                let rotated = U192::from(x).rotl(dir_shift(12 * (i * k) as u64, dir));
+                census.shift_ops += 1;
+                acc = acc.compress(rotated);
+                census.csa_ops += 1;
+            }
+            *slot = acc.to_fp();
+            census.merge_ops += 1;
+            census.reductor_uses += 1;
+        }
+        UnitOutput { values, census }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use he_ntt::kernels;
+
+    fn pattern(n: usize) -> Vec<Fp> {
+        (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x6c62_272e_07bb_0142) ^ 0xcbf2))
+            .collect()
+    }
+
+    #[test]
+    fn carry_save_accumulation_matches_direct_sum() {
+        let terms = pattern(10);
+        let mut cs = CarrySave::ZERO;
+        let mut direct = Fp::ZERO;
+        for &t in &terms {
+            cs = cs.compress(U192::from(t));
+            direct += t;
+        }
+        assert_eq!(cs.to_fp(), direct);
+    }
+
+    #[test]
+    fn baseline_matches_reference_forward_and_inverse() {
+        let input = pattern(64);
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let out = BaselineFft64::new().transform(&input, dir);
+            assert_eq!(out.values, kernels::ntt_small(&input, dir).unwrap(), "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn optimized_matches_reference_forward_and_inverse() {
+        let input = pattern(64);
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let out = OptimizedFft64::new().transform(&input, dir);
+            assert_eq!(out.values, kernels::ntt_small(&input, dir).unwrap(), "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn optimized_transform16_matches_reference() {
+        let input = pattern(16);
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let out = OptimizedFft64::new().transform16(&input, dir);
+            assert_eq!(out.values, kernels::ntt_small(&input, dir).unwrap(), "{dir:?}");
+            assert_eq!(out.census.cycles, 2);
+        }
+    }
+
+    #[test]
+    fn units_agree_on_random_like_inputs() {
+        let input = pattern(64);
+        let a = OptimizedFft64::new().transform(&input, Direction::Forward);
+        let b = BaselineFft64::new().transform(&input, Direction::Forward);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn optimized_does_less_work() {
+        let input = pattern(64);
+        let opt = OptimizedFft64::new().transform(&input, Direction::Forward).census;
+        let base = BaselineFft64::new().transform(&input, Direction::Forward).census;
+        // Eq. 5 sharing: ~4× fewer shift ops (paper's area argument).
+        assert!(opt.shift_ops * 4 <= base.shift_ops + opt.shift_ops,
+            "opt {} vs base {}", opt.shift_ops, base.shift_ops);
+        // 8 vs 64 reductors; 8 vs 64 write ports.
+        assert_eq!(opt.reductors_instantiated, 8);
+        assert_eq!(base.reductors_instantiated, 64);
+        assert_eq!(opt.write_ports_required, 8);
+        assert_eq!(base.write_ports_required, 64);
+        // Same throughput.
+        assert_eq!(opt.cycles, base.cycles);
+    }
+
+    #[test]
+    fn eight_cycle_throughput() {
+        let input = pattern(64);
+        let out = OptimizedFft64::new().transform(&input, Direction::Forward);
+        assert_eq!(out.census.cycles, 8);
+    }
+
+    #[test]
+    fn injected_faults_are_detected() {
+        // Failure injection: a single flipped accumulator bit must change
+        // the output — i.e. the bit-exact cross-checks in this workspace
+        // have real detection power.
+        let input = pattern(64);
+        let unit = OptimizedFft64::new();
+        let clean = unit.transform(&input, Direction::Forward);
+        for fault in [
+            InjectedFault { cycle: 0, block: 0, bit: 0 },
+            InjectedFault { cycle: 3, block: 5, bit: 100 },
+            InjectedFault { cycle: 7, block: 7, bit: 191 },
+        ] {
+            let faulty = unit.transform_with_fault(&input, Direction::Forward, Some(fault));
+            assert_ne!(faulty.values, clean.values, "fault {fault:?} went undetected");
+            // The fault is localized: at most a handful of components (one
+            // accumulator block feeds 8 outputs).
+            let diffs = faulty
+                .values
+                .iter()
+                .zip(&clean.values)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(diffs <= 8, "fault {fault:?} corrupted {diffs} components");
+        }
+    }
+
+    #[test]
+    fn no_fault_means_identical_output() {
+        let input = pattern(64);
+        let unit = OptimizedFft64::new();
+        assert_eq!(
+            unit.transform_with_fault(&input, Direction::Forward, None).values,
+            unit.transform(&input, Direction::Forward).values
+        );
+    }
+
+    #[test]
+    fn impulse_and_constant_sanity() {
+        let mut impulse = vec![Fp::ZERO; 64];
+        impulse[0] = Fp::new(5);
+        let out = OptimizedFft64::new().transform(&impulse, Direction::Forward);
+        assert!(out.values.iter().all(|&v| v == Fp::new(5)));
+
+        let constant = vec![Fp::new(3); 64];
+        let out = OptimizedFft64::new().transform(&constant, Direction::Forward);
+        assert_eq!(out.values[0], Fp::new(192));
+        assert!(out.values[1..].iter().all(|v| v.is_zero()));
+    }
+}

@@ -1,0 +1,653 @@
+//! Flexible transform orders on the same FFT unit — the closing claim of
+//! Section IV-b: *"the FFT-64 unit can be adapted, with minor modifications,
+//! to compute also Radix-8, Radix-16, and Radix-32 FFTs. This gives us
+//! greater flexibility in choosing an FFT order other than 64K."*
+//!
+//! This module makes that claim quantitative. A [`FlexPlan`] is a sequence
+//! of stage radices drawn from {8, 16, 32, 64}; [`FlexPerfModel`] extends
+//! the Section V timing formulas to any such plan, and [`operand_sweep`]
+//! sizes the accelerator for the whole DGHV security ladder (the paper's
+//! 786,432-bit point is the "small" setting; quarter/half/double/quadruple
+//! neighbours bracket it).
+//!
+//! Two structural facts drive the numbers:
+//!
+//! * the unit consumes 8 points per cycle regardless of radix (a radix-64
+//!   transform takes 8 cycles, radix-16 takes 2 — both are the paper's
+//!   figures — radix-8 takes 1 and radix-32 takes 4), so **every stage of an
+//!   `N`-point transform costs `N/8` unit cycles** and `T_FFT` is simply
+//!   `l·N/(8P)` plus any exposed communication;
+//! * the hypercube overlap constraint `l > d` (Section IV) caps the PE count
+//!   at `P ≤ 2^(l−1)`, so *fewer, larger* radix stages (the paper's choice)
+//!   are faster but distribute over fewer nodes.
+//!
+//! ```
+//! use he_hwsim::flexplan::{FlexPerfModel, FlexPlan};
+//! use he_hwsim::AcceleratorConfig;
+//!
+//! // The paper's design point expressed as a flexible plan.
+//! let model = FlexPerfModel::new(AcceleratorConfig::paper(), FlexPlan::paper())?;
+//! assert_eq!(model.fft_cycles(), 6144); // 30.72 µs at 200 MHz
+//! # Ok::<(), he_hwsim::HwSimError>(())
+//! ```
+
+use core::fmt;
+
+use he_ssa::SsaParams;
+
+use crate::carry::CarryRecoveryUnit;
+use crate::config::AcceleratorConfig;
+use crate::device::STRATIX_V_5SGSMD8;
+use crate::error::HwSimError;
+use crate::perf::STAGE_PIPELINE_OVERHEAD;
+
+/// Words the FFT unit consumes per clock cycle (the paper's memory
+/// parallelism: "eight words vs. 64").
+pub const UNIT_WORDS_PER_CYCLE: u64 = 8;
+
+/// A stage radix the adapted FFT-64 unit supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageRadix {
+    /// 8-point sub-transforms (1 cycle each).
+    R8,
+    /// 16-point sub-transforms (2 cycles each — the paper's FFT-16 figure).
+    R16,
+    /// 32-point sub-transforms (4 cycles each).
+    R32,
+    /// 64-point sub-transforms (8 cycles each — the paper's FFT-64 figure).
+    R64,
+}
+
+impl StageRadix {
+    /// All supported radices, ascending.
+    pub const ALL: [StageRadix; 4] = [
+        StageRadix::R8,
+        StageRadix::R16,
+        StageRadix::R32,
+        StageRadix::R64,
+    ];
+
+    /// The number of points of one sub-transform.
+    pub fn points(self) -> usize {
+        match self {
+            StageRadix::R8 => 8,
+            StageRadix::R16 => 16,
+            StageRadix::R32 => 32,
+            StageRadix::R64 => 64,
+        }
+    }
+
+    /// `log2` of the radix (3..=6).
+    pub fn log2(self) -> u32 {
+        self.points().trailing_zeros()
+    }
+
+    /// Cycles the unit needs per sub-transform at 8 points/cycle.
+    pub fn cycles_per_transform(self) -> u64 {
+        self.points() as u64 / UNIT_WORDS_PER_CYCLE
+    }
+
+    /// The radix with the given point count, if supported.
+    pub fn from_points(points: usize) -> Option<StageRadix> {
+        StageRadix::ALL.into_iter().find(|r| r.points() == points)
+    }
+
+    /// The radix with the given `log2`, if supported (3..=6).
+    pub fn from_log2(log2: u32) -> Option<StageRadix> {
+        StageRadix::ALL.into_iter().find(|r| r.log2() == log2)
+    }
+}
+
+impl fmt::Display for StageRadix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "radix-{}", self.points())
+    }
+}
+
+/// A transform order: the sequence of stage radices whose product is the
+/// point count `N`.
+///
+/// The paper's 64K plan is `[radix-64, radix-64, radix-16]`
+/// ([`FlexPlan::paper`], Eq. 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlexPlan {
+    stages: Vec<StageRadix>,
+}
+
+impl FlexPlan {
+    /// Builds a plan from an explicit stage sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::InvalidConfig`] if the sequence is empty or the
+    /// point count exceeds `2^26` (the largest transform `F_p`'s 2-adicity
+    /// sensibly supports for 24-bit-class coefficients; matches
+    /// `he_ssa::SsaParams`).
+    pub fn new(stages: Vec<StageRadix>) -> Result<FlexPlan, HwSimError> {
+        if stages.is_empty() {
+            return Err(HwSimError::InvalidConfig {
+                reason: "a transform plan needs at least one stage".into(),
+            });
+        }
+        let log2: u32 = stages.iter().map(|s| s.log2()).sum();
+        if log2 > 26 {
+            return Err(HwSimError::InvalidConfig {
+                reason: format!("transform length 2^{log2} exceeds the supported 2^26"),
+            });
+        }
+        Ok(FlexPlan { stages })
+    }
+
+    /// The paper's three-stage 64K plan: radix-64 · radix-64 · radix-16.
+    pub fn paper() -> FlexPlan {
+        FlexPlan {
+            stages: vec![StageRadix::R64, StageRadix::R64, StageRadix::R16],
+        }
+    }
+
+    /// Chooses a plan for an `n`-point transform with at least `min_stages`
+    /// stages (pass `d + 1` to satisfy the hypercube overlap constraint
+    /// `l > d`).
+    ///
+    /// Prefers the fewest stages (they minimize `T_FFT = l·N/(8P)`), packing
+    /// high radices first — which is exactly how the paper arrives at
+    /// 64·64·16 for 64K.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::InvalidConfig`] if `n` is not a power of two,
+    /// or no factorization into radices 8..=64 with at least `min_stages`
+    /// stages exists (e.g. `n = 256` cannot yield 3 stages because
+    /// `8^3 = 512 > 256`).
+    pub fn for_points(n: usize, min_stages: usize) -> Result<FlexPlan, HwSimError> {
+        if !n.is_power_of_two() || n < 8 {
+            return Err(HwSimError::InvalidConfig {
+                reason: format!("transform length {n} must be a power of two ≥ 8"),
+            });
+        }
+        let k = n.trailing_zeros();
+        // l stages of radices 2^3..2^6 cover exponents 3l..=6l.
+        let l_min = (k as usize).div_ceil(6).max(min_stages);
+        if 3 * l_min > k as usize {
+            return Err(HwSimError::InvalidConfig {
+                reason: format!(
+                    "{n} points cannot be factored into ≥ {min_stages} stages of radix 8..=64 \
+                     (needs at least 2^{})",
+                    3 * l_min
+                ),
+            });
+        }
+        // Give every stage exponent 3, then top up front stages to 6.
+        let mut exps = vec![3u32; l_min];
+        let mut rest = k - 3 * l_min as u32;
+        for e in exps.iter_mut() {
+            let add = rest.min(3);
+            *e += add;
+            rest -= add;
+        }
+        debug_assert_eq!(rest, 0);
+        let stages = exps
+            .into_iter()
+            .map(|e| StageRadix::from_log2(e).expect("exponent in 3..=6"))
+            .collect();
+        FlexPlan::new(stages)
+    }
+
+    /// The point count `N` (product of the stage radices).
+    pub fn n_points(&self) -> usize {
+        self.stages.iter().map(|s| s.points()).product()
+    }
+
+    /// The stage radices, outermost first.
+    pub fn stages(&self) -> &[StageRadix] {
+        &self.stages
+    }
+
+    /// The number of computation stages `l`.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Sub-transforms in stage `i`: `N / radix_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn transforms_in_stage(&self, i: usize) -> usize {
+        self.n_points() / self.stages[i].points()
+    }
+
+    /// The largest PE count the overlap constraint `l > d` allows:
+    /// `P = 2^(l−1)`.
+    pub fn max_pes(&self) -> usize {
+        1 << (self.num_stages() - 1)
+    }
+
+    /// Whether `p` PEs satisfy `l > d = log2(p)`.
+    pub fn supports_pes(&self, p: usize) -> bool {
+        p.is_power_of_two() && p <= self.max_pes()
+    }
+}
+
+impl fmt::Display for FlexPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.stages {
+            if !first {
+                write!(f, " × ")?;
+            }
+            write!(f, "{}", s.points())?;
+            first = false;
+        }
+        write!(f, " ({} points)", self.n_points())
+    }
+}
+
+/// The Section V analytic model generalized to an arbitrary [`FlexPlan`].
+///
+/// Uses the *structural* carry-recovery unit ([`CarryRecoveryUnit`])
+/// instead of the paper's flat 20 µs budget so that carry time scales with
+/// the coefficient count; at the paper's design point the two agree within
+/// 5 % (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone)]
+pub struct FlexPerfModel {
+    config: AcceleratorConfig,
+    plan: FlexPlan,
+    carry: CarryRecoveryUnit,
+}
+
+impl FlexPerfModel {
+    /// Builds the model, checking the overlap constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::InvalidConfig`] if the plan has too few stages
+    /// for the configured PE count (`l ≤ d`).
+    pub fn new(config: AcceleratorConfig, plan: FlexPlan) -> Result<FlexPerfModel, HwSimError> {
+        if !plan.supports_pes(config.num_pes()) {
+            return Err(HwSimError::InvalidConfig {
+                reason: format!(
+                    "{} stages cannot interleave with {} communication stages (need l > d); \
+                     use at most {} PEs",
+                    plan.num_stages(),
+                    config.hypercube_dim(),
+                    plan.max_pes()
+                ),
+            });
+        }
+        Ok(FlexPerfModel {
+            config,
+            plan,
+            carry: CarryRecoveryUnit::paper(),
+        })
+    }
+
+    /// The paper's design point (64·64·16 on the paper configuration).
+    pub fn paper() -> FlexPerfModel {
+        FlexPerfModel::new(AcceleratorConfig::paper(), FlexPlan::paper())
+            .expect("the paper's plan supports 4 PEs")
+    }
+
+    /// The configuration being modeled.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The transform order being modeled.
+    pub fn plan(&self) -> &FlexPlan {
+        &self.plan
+    }
+
+    /// Cycles of computation stage `i` across the PEs:
+    /// `(N/r_i)·(r_i/8)/P = N/(8P)` plus any configured pipeline overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn stage_cycles(&self, i: usize) -> u64 {
+        let transforms = self.plan.transforms_in_stage(i) as u64;
+        let per = self.plan.stages()[i].cycles_per_transform();
+        let base = transforms * per / self.config.num_pes() as u64;
+        base + self.overhead()
+    }
+
+    /// Cycles one hypercube exchange takes (each PE ships half its local
+    /// slice to one neighbor).
+    pub fn exchange_cycles(&self) -> u64 {
+        let local = (self.plan.n_points() / self.config.num_pes()) as u64;
+        (local / 2).div_ceil(self.config.link_words_per_cycle() as u64)
+    }
+
+    /// Whether every exchange hides behind the preceding computation stage.
+    pub fn communication_overlapped(&self) -> bool {
+        let slowest_hidden = (0..self.config.hypercube_dim() as usize)
+            .map(|i| self.stage_cycles(i))
+            .min()
+            .unwrap_or(0);
+        self.exchange_cycles() <= slowest_hidden
+    }
+
+    /// Total transform cycles: all computation stages plus any exposed
+    /// communication (one exchange after each of the first `d` stages).
+    pub fn fft_cycles(&self) -> u64 {
+        let compute: u64 = (0..self.plan.num_stages()).map(|i| self.stage_cycles(i)).sum();
+        let exposed: u64 = (0..self.config.hypercube_dim() as usize)
+            .map(|i| self.exchange_cycles().saturating_sub(self.stage_cycles(i)))
+            .sum();
+        compute + exposed
+    }
+
+    /// `T_FFT` in microseconds.
+    pub fn fft_us(&self) -> f64 {
+        self.cycles_to_us(self.fft_cycles())
+    }
+
+    /// Cycles for the component-wise spectrum product.
+    pub fn dot_product_cycles(&self) -> u64 {
+        (self.plan.n_points() as u64).div_ceil(self.config.dot_product_multipliers() as u64)
+    }
+
+    /// Cycles for carry recovery over the `N` product coefficients
+    /// (structural unit, scales with `N`).
+    pub fn carry_recovery_cycles(&self) -> u64 {
+        self.carry.cycles(self.plan.n_points())
+    }
+
+    /// Total cycles for one multiplication with `fresh` forward transforms
+    /// (2 = nothing cached, 1 = one spectrum cached, 0 = both cached) plus
+    /// the inverse transform, dot product and carry recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh > 2`.
+    pub fn multiplication_cycles_with_cached(&self, fresh: u64) -> u64 {
+        assert!(fresh <= 2, "a product has at most two forward transforms");
+        (fresh + 1) * self.fft_cycles() + self.dot_product_cycles() + self.carry_recovery_cycles()
+    }
+
+    /// Total cycles for one complete multiplication (three transforms).
+    pub fn multiplication_cycles(&self) -> u64 {
+        self.multiplication_cycles_with_cached(2)
+    }
+
+    /// `T_MULT` in microseconds.
+    pub fn multiplication_us(&self) -> f64 {
+        self.cycles_to_us(self.multiplication_cycles())
+    }
+
+    /// On-chip buffer bits for double-buffered operation: `2 × N × 64`.
+    pub fn memory_bits(&self) -> u64 {
+        2 * self.plan.n_points() as u64 * 64
+    }
+
+    /// Buffer memory in Mbit (`2^20` bits — the paper's "8 Mbit" for 64K).
+    pub fn memory_mbit(&self) -> f64 {
+        self.memory_bits() as f64 / (1 << 20) as f64
+    }
+
+    /// Converts cycles to microseconds at the configured clock.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.config.clock_period_ns() / 1000.0
+    }
+
+    fn overhead(&self) -> u64 {
+        if self.config.include_pipeline_overheads() {
+            STAGE_PIPELINE_OVERHEAD
+        } else {
+            0
+        }
+    }
+}
+
+/// One row of the operand-size sweep: the accelerator re-sized for a given
+/// operand bit-length.
+#[derive(Debug, Clone)]
+pub struct OperandPoint {
+    /// Operand size in bits.
+    pub operand_bits: usize,
+    /// Selected coefficient width `m`.
+    pub coeff_bits: u32,
+    /// Selected transform length `N`.
+    pub n_points: usize,
+    /// Selected transform order.
+    pub plan: FlexPlan,
+    /// Transform time, µs.
+    pub fft_us: f64,
+    /// Full multiplication time, µs.
+    pub multiplication_us: f64,
+    /// Double-buffer memory, Mbit.
+    pub memory_mbit: f64,
+    /// Buffer memory as a percentage of the Stratix V's M20K capacity.
+    pub bram_utilization_pct: f64,
+    /// Whether the buffers fit on the paper's single Stratix V — beyond
+    /// this the design must go off-chip/multi-FPGA, the scalability
+    /// scenario Section IV motivates the distributed architecture with.
+    pub fits_on_chip: bool,
+}
+
+/// The DGHV security ladder around the paper's point: quarter, half,
+/// **small (the paper)**, double, quadruple — in bits.
+pub const DGHV_LADDER_BITS: [usize; 5] =
+    [196_608, 393_216, 786_432, 1_572_864, 3_145_728];
+
+/// Sizes the accelerator for each operand size: picks `(m, N)` with
+/// `he_ssa::SsaParams::for_operand_bits`, factors `N` into supported
+/// radices with at least `d + 1` stages, and evaluates the timing model.
+///
+/// # Errors
+///
+/// Returns [`HwSimError::InvalidConfig`] if a size cannot be planned (no
+/// valid `(m, N)`, or `N` too small for the PE count) — the supplied sizes
+/// in [`DGHV_LADDER_BITS`] all plan cleanly on the paper configuration.
+pub fn operand_sweep(
+    config: &AcceleratorConfig,
+    sizes: &[usize],
+) -> Result<Vec<OperandPoint>, HwSimError> {
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &bits in sizes {
+        let params = SsaParams::for_operand_bits(bits).map_err(HwSimError::Ssa)?;
+        let min_stages = config.hypercube_dim() as usize + 1;
+        let plan = FlexPlan::for_points(params.n_points(), min_stages)?;
+        let model = FlexPerfModel::new(config.clone(), plan.clone())?;
+        let device = STRATIX_V_5SGSMD8;
+        let bram_utilization_pct =
+            device.utilization_pct(model.memory_bits(), device.bram_bits());
+        rows.push(OperandPoint {
+            operand_bits: bits,
+            coeff_bits: params.coeff_bits(),
+            n_points: params.n_points(),
+            plan,
+            fft_us: model.fft_us(),
+            multiplication_us: model.multiplication_us(),
+            memory_mbit: model.memory_mbit(),
+            bram_utilization_pct,
+            fits_on_chip: bram_utilization_pct <= 100.0,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_cycle_counts_match_paper_figures() {
+        // "The FFT-64 unit is able to output an FFT every eight clock
+        // cycles, while an FFT-16 will take two clock cycles."
+        assert_eq!(StageRadix::R64.cycles_per_transform(), 8);
+        assert_eq!(StageRadix::R16.cycles_per_transform(), 2);
+        assert_eq!(StageRadix::R8.cycles_per_transform(), 1);
+        assert_eq!(StageRadix::R32.cycles_per_transform(), 4);
+    }
+
+    #[test]
+    fn radix_conversions_roundtrip() {
+        for r in StageRadix::ALL {
+            assert_eq!(StageRadix::from_points(r.points()), Some(r));
+            assert_eq!(StageRadix::from_log2(r.log2()), Some(r));
+        }
+        assert_eq!(StageRadix::from_points(128), None);
+        assert_eq!(StageRadix::from_log2(2), None);
+    }
+
+    #[test]
+    fn paper_plan_is_64_64_16() {
+        let plan = FlexPlan::paper();
+        assert_eq!(plan.n_points(), 65_536);
+        assert_eq!(plan.num_stages(), 3);
+        assert_eq!(
+            plan.stages(),
+            [StageRadix::R64, StageRadix::R64, StageRadix::R16]
+        );
+        assert_eq!(plan.transforms_in_stage(0), 1024);
+        assert_eq!(plan.transforms_in_stage(2), 4096);
+        assert_eq!(plan.max_pes(), 4); // l = 3 ⇒ d ≤ 2 ⇒ P ≤ 4 — the paper's point
+    }
+
+    #[test]
+    fn for_points_recovers_the_paper_plan() {
+        let plan = FlexPlan::for_points(65_536, 3).unwrap();
+        assert_eq!(plan, FlexPlan::paper());
+    }
+
+    #[test]
+    fn for_points_prefers_fewest_stages() {
+        // 2^18 = three radix-64 stages.
+        let plan = FlexPlan::for_points(1 << 18, 3).unwrap();
+        assert_eq!(plan.stages(), [StageRadix::R64; 3]);
+        // 2^13 = 64·16·8 with min_stages = 3.
+        let plan = FlexPlan::for_points(1 << 13, 3).unwrap();
+        assert_eq!(
+            plan.stages(),
+            [StageRadix::R64, StageRadix::R16, StageRadix::R8]
+        );
+        // 2^19 needs four stages: 64·64·16·8.
+        let plan = FlexPlan::for_points(1 << 19, 3).unwrap();
+        assert_eq!(plan.num_stages(), 4);
+        assert_eq!(plan.n_points(), 1 << 19);
+    }
+
+    #[test]
+    fn for_points_honors_min_stages() {
+        // 4096 = 64·64 with l = 2, but min_stages = 3 forces 16·16·16.
+        let two = FlexPlan::for_points(4096, 2).unwrap();
+        assert_eq!(two.num_stages(), 2);
+        let three = FlexPlan::for_points(4096, 3).unwrap();
+        assert_eq!(three.num_stages(), 3);
+        assert_eq!(three.n_points(), 4096);
+    }
+
+    #[test]
+    fn for_points_rejects_impossible_requests() {
+        assert!(FlexPlan::for_points(100, 1).is_err()); // not a power of two
+        assert!(FlexPlan::for_points(4, 1).is_err()); // below radix-8
+        assert!(FlexPlan::for_points(256, 3).is_err()); // 8^3 > 256
+        assert!(FlexPlan::for_points(1 << 27, 5).is_err()); // above 2^26
+    }
+
+    #[test]
+    fn every_stage_costs_n_over_8p_cycles() {
+        // The structural invariant: radix choice cannot change stage time.
+        let config = AcceleratorConfig::paper();
+        for stages in [
+            vec![StageRadix::R64, StageRadix::R64, StageRadix::R16],
+            vec![StageRadix::R16, StageRadix::R64, StageRadix::R64],
+            vec![StageRadix::R32, StageRadix::R32, StageRadix::R64],
+        ] {
+            let plan = FlexPlan::new(stages).unwrap();
+            assert_eq!(plan.n_points(), 65_536);
+            let model = FlexPerfModel::new(config.clone(), plan).unwrap();
+            for i in 0..3 {
+                assert_eq!(model.stage_cycles(i), 65_536 / 8 / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_point_reproduced() {
+        let model = FlexPerfModel::paper();
+        assert_eq!(model.fft_cycles(), 6144);
+        assert!((model.fft_us() - 30.72).abs() < 1e-9);
+        assert_eq!(model.dot_product_cycles(), 2048);
+        assert_eq!(model.exchange_cycles(), 1024);
+        assert!(model.communication_overlapped());
+        // Structural carry unit: 4160 cycles ≈ 20.8 µs — within 5 % of the
+        // paper's 20 µs budget, so T_MULT lands within a µs of 122.4.
+        assert!((model.multiplication_us() - 122.4).abs() < 1.5);
+        assert!((model.memory_mbit() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_constraint_enforced() {
+        // Two stages (4096 points) cannot run on 4 PEs: l = 2 ≤ d = 2.
+        let plan = FlexPlan::for_points(4096, 2).unwrap();
+        let err = FlexPerfModel::new(AcceleratorConfig::paper(), plan.clone());
+        assert!(err.is_err());
+        // But two PEs (d = 1) are fine.
+        let cfg = AcceleratorConfig::paper().with_num_pes(2).unwrap();
+        assert!(FlexPerfModel::new(cfg, plan).is_ok());
+    }
+
+    #[test]
+    fn cached_transforms_save_full_ffts() {
+        let model = FlexPerfModel::paper();
+        let full = model.multiplication_cycles();
+        let one = model.multiplication_cycles_with_cached(1);
+        let both = model.multiplication_cycles_with_cached(0);
+        assert_eq!(full - one, model.fft_cycles());
+        assert_eq!(one - both, model.fft_cycles());
+        // Both-cached ≈ 61 µs: the "reduce the number of FFT computations"
+        // headroom of the paper's reference [25].
+        assert!((model.cycles_to_us(both) - 61.0).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two forward transforms")]
+    fn cached_count_validated() {
+        FlexPerfModel::paper().multiplication_cycles_with_cached(3);
+    }
+
+    #[test]
+    fn ladder_sweep_plans_cleanly_and_scales() {
+        let rows = operand_sweep(&AcceleratorConfig::paper(), &DGHV_LADDER_BITS).unwrap();
+        assert_eq!(rows.len(), DGHV_LADDER_BITS.len());
+        // The paper's point is in the ladder with the paper's numbers.
+        let paper = rows.iter().find(|r| r.operand_bits == 786_432).unwrap();
+        assert_eq!(paper.coeff_bits, 24);
+        assert_eq!(paper.n_points, 65_536);
+        assert_eq!(paper.plan, FlexPlan::paper());
+        assert!((paper.fft_us - 30.72).abs() < 1e-9);
+        // Time and memory grow monotonically with operand size.
+        for pair in rows.windows(2) {
+            assert!(pair[0].multiplication_us < pair[1].multiplication_us);
+            assert!(pair[0].memory_mbit <= pair[1].memory_mbit);
+            assert!(pair[0].n_points <= pair[1].n_points);
+        }
+        // Quadruple-size operands stay under 10× the paper's time: the
+        // near-linear scaling SSA promises.
+        assert!(rows[4].multiplication_us < 10.0 * paper.multiplication_us);
+        // On-chip feasibility: the paper's point uses ~20 % of M20K; the
+        // quadruple point exceeds the device — the off-chip/multi-FPGA
+        // scenario Section IV anticipates.
+        assert!((paper.bram_utilization_pct - 20.3).abs() < 0.5);
+        assert!(paper.fits_on_chip);
+        assert!(!rows[4].fits_on_chip);
+        assert!(rows[4].bram_utilization_pct > 100.0);
+    }
+
+    #[test]
+    fn narrow_links_expose_communication_in_flex_model() {
+        let cfg = AcceleratorConfig::paper().with_link_words_per_cycle(1).unwrap();
+        let model = FlexPerfModel::new(cfg, FlexPlan::paper()).unwrap();
+        assert!(!model.communication_overlapped());
+        // Same arithmetic as PerfModel: 2 exposed exchanges of 8192 − 2048.
+        assert_eq!(model.fft_cycles(), 6144 + 2 * (8192 - 2048));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StageRadix::R32.to_string(), "radix-32");
+        assert_eq!(FlexPlan::paper().to_string(), "64 × 64 × 16 (65536 points)");
+    }
+}

@@ -1,0 +1,370 @@
+//! The 2-D banked memory buffer (Fig. 5) and the 1-D baseline it improves
+//! on.
+//!
+//! Each square of Fig. 5 is a dual-port SRAM bank of 256 × 64-bit words
+//! (two Altera M20K blocks); a 4×4 array holds 4096 points. "Read access is
+//! column-wise, while write access is row-wise. Access parallelism is eight
+//! words per clock cycle, either during reading or writing."
+//!
+//! The FFT unit's two access patterns are:
+//!
+//! * **reads**: 8 samples with stride 8 (`a[8i + j]` for `i = 0..8`);
+//! * **writes**: 8 consecutive reduced outputs per cycle.
+//!
+//! The 2-D mapping `col = (w>>1) & 3`, `row = (w>>3) & 3` serves both
+//! patterns with at most two accesses per bank per cycle (dual-port): a
+//! stride-8 burst keeps `col` constant and sweeps the four rows twice
+//! (column-wise read), a consecutive burst keeps `row` constant and sweeps
+//! the four columns twice (row-wise write). A 1-D linear mapping
+//! `bank = w mod 8` funnels all eight strided accesses into a single bank —
+//! the collision Fig. 5's design removes.
+
+use he_field::Fp;
+
+use crate::error::HwSimError;
+
+/// Rows of banks in the 2-D array.
+pub const BANK_ROWS: usize = 4;
+/// Columns of banks in the 2-D array.
+pub const BANK_COLS: usize = 4;
+/// Words per bank.
+pub const BANK_DEPTH: usize = 256;
+/// Bits per word.
+pub const WORD_BITS: usize = 64;
+/// Points held by one 4×4 array.
+pub const ARRAY_POINTS: usize = BANK_ROWS * BANK_COLS * BANK_DEPTH;
+/// M20K blocks per bank (64-bit words exceed one M20K's 40-bit port).
+pub const M20K_PER_BANK: usize = 2;
+
+/// A banking scheme: maps a word address to a bank, with a port budget.
+pub trait BankingScheme {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Bank index for a word address.
+    fn bank_of(&self, word: usize) -> usize;
+    /// Number of banks.
+    fn num_banks(&self) -> usize;
+    /// Simultaneous accesses a bank supports per cycle.
+    fn ports_per_bank(&self) -> usize;
+
+    /// Checks one cycle's accesses; returns the per-bank load histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::BankConflict`] if any bank is over-subscribed.
+    fn check_cycle(&self, addresses: &[usize]) -> Result<Vec<usize>, HwSimError> {
+        let mut load = vec![0usize; self.num_banks()];
+        for &a in addresses {
+            load[self.bank_of(a)] += 1;
+        }
+        if let Some((bank, &count)) = load
+            .iter()
+            .enumerate()
+            .find(|(_, &c)| c > self.ports_per_bank())
+        {
+            return Err(HwSimError::BankConflict {
+                bank: (bank / BANK_COLS, bank % BANK_COLS),
+                accesses: count,
+                ports: self.ports_per_bank(),
+            });
+        }
+        Ok(load)
+    }
+}
+
+/// The paper's 2-D scheme: 4×4 dual-port banks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoDBanked;
+
+impl TwoDBanked {
+    /// Decomposes a word address into `(row, col, depth)`.
+    ///
+    /// `col` ignores address bit 3 onward shifts: a stride-8 burst holds it
+    /// constant; `row` ignores bits 0–2: an aligned consecutive burst holds
+    /// it constant.
+    pub fn coordinates(word: usize) -> (usize, usize, usize) {
+        let row = (word >> 3) & 3;
+        let col = (word >> 1) & 3;
+        let depth = ((word >> 5) << 1) | (word & 1);
+        (row, col, depth)
+    }
+}
+
+impl BankingScheme for TwoDBanked {
+    fn name(&self) -> &'static str {
+        "2-D banked (4x4 dual-port, Fig. 5)"
+    }
+
+    fn bank_of(&self, word: usize) -> usize {
+        let (row, col, _) = TwoDBanked::coordinates(word);
+        row * BANK_COLS + col
+    }
+
+    fn num_banks(&self) -> usize {
+        BANK_ROWS * BANK_COLS
+    }
+
+    fn ports_per_bank(&self) -> usize {
+        2 // dual-port M20K
+    }
+}
+
+/// The 1-D baseline: 8 banks, consecutive words interleaved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearBanked;
+
+impl BankingScheme for LinearBanked {
+    fn name(&self) -> &'static str {
+        "1-D linear (8-way interleaved)"
+    }
+
+    fn bank_of(&self, word: usize) -> usize {
+        word % 8
+    }
+
+    fn num_banks(&self) -> usize {
+        8
+    }
+
+    fn ports_per_bank(&self) -> usize {
+        2
+    }
+}
+
+/// The FFT unit's read pattern at cycle `j` of a transform whose 64 samples
+/// start at `base`: `base + 8·i + j` for `i = 0..8`.
+pub fn fft_read_pattern(base: usize, j: usize) -> Vec<usize> {
+    (0..8).map(|i| base + 8 * i + j).collect()
+}
+
+/// The FFT unit's write pattern: 8 consecutive words per cycle.
+pub fn fft_write_pattern(base: usize, cycle: usize) -> Vec<usize> {
+    (0..8).map(|i| base + 8 * cycle + i).collect()
+}
+
+/// A functional memory array with access checking and statistics.
+#[derive(Debug, Clone)]
+pub struct MemoryModel<S: BankingScheme> {
+    scheme: S,
+    data: Vec<Fp>,
+    cycles: u64,
+    peak_bank_load: usize,
+}
+
+impl<S: BankingScheme> MemoryModel<S> {
+    /// Creates a memory of `points` words under the given scheme.
+    pub fn new(scheme: S, points: usize) -> MemoryModel<S> {
+        MemoryModel {
+            scheme,
+            data: vec![Fp::ZERO; points],
+            cycles: 0,
+            peak_bank_load: 0,
+        }
+    }
+
+    /// The banking scheme.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Highest per-bank load observed in any cycle.
+    pub fn peak_bank_load(&self) -> usize {
+        self.peak_bank_load
+    }
+
+    /// Reads one cycle's worth of words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::BankConflict`] on port over-subscription.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address is out of range.
+    pub fn read_cycle(&mut self, addresses: &[usize]) -> Result<Vec<Fp>, HwSimError> {
+        let load = self.scheme.check_cycle(addresses)?;
+        self.bump(&load);
+        Ok(addresses.iter().map(|&a| self.data[a]).collect())
+    }
+
+    /// Writes one cycle's worth of words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::BankConflict`] on port over-subscription.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address is out of range.
+    pub fn write_cycle(&mut self, writes: &[(usize, Fp)]) -> Result<(), HwSimError> {
+        let addresses: Vec<usize> = writes.iter().map(|&(a, _)| a).collect();
+        let load = self.scheme.check_cycle(&addresses)?;
+        self.bump(&load);
+        for &(a, v) in writes {
+            self.data[a] = v;
+        }
+        Ok(())
+    }
+
+    fn bump(&mut self, load: &[usize]) {
+        self.cycles += 1;
+        self.peak_bank_load = self.peak_bank_load.max(load.iter().copied().max().unwrap_or(0));
+    }
+}
+
+/// M20K blocks needed to store `points` 64-bit words in dual-port banks.
+pub fn m20k_blocks_for(points: usize) -> usize {
+    points.div_ceil(BANK_DEPTH) * M20K_PER_BANK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinates_cover_the_array() {
+        let mut seen = vec![0usize; 16];
+        for w in 0..ARRAY_POINTS {
+            let (r, c, d) = TwoDBanked::coordinates(w);
+            assert!(r < 4 && c < 4 && d < BANK_DEPTH);
+            seen[r * 4 + c] += 1;
+        }
+        // Every bank holds exactly its depth.
+        assert!(seen.iter().all(|&n| n == BANK_DEPTH));
+    }
+
+    #[test]
+    fn two_d_supports_strided_reads() {
+        let scheme = TwoDBanked;
+        for base in [0usize, 64, 128, 1024] {
+            for j in 0..8 {
+                let load = scheme.check_cycle(&fft_read_pattern(base, j)).unwrap();
+                // Exactly one column active (4 banks), two accesses per bank.
+                assert_eq!(load.iter().filter(|&&c| c > 0).count(), 4);
+                assert!(load.iter().all(|&c| c <= 2));
+            }
+        }
+    }
+
+    #[test]
+    fn two_d_strided_reads_are_column_wise() {
+        for j in 0..8 {
+            let cols: Vec<usize> = fft_read_pattern(256, j)
+                .iter()
+                .map(|&w| TwoDBanked::coordinates(w).1)
+                .collect();
+            assert!(cols.windows(2).all(|w| w[0] == w[1]), "one column per cycle");
+        }
+    }
+
+    #[test]
+    fn two_d_supports_sequential_writes() {
+        let scheme = TwoDBanked;
+        for base in [0usize, 64, 512] {
+            for cycle in 0..8 {
+                let load = scheme.check_cycle(&fft_write_pattern(base, cycle)).unwrap();
+                // Aligned bursts activate exactly one row of four banks.
+                assert_eq!(load.iter().filter(|&&c| c > 0).count(), 4);
+            }
+        }
+        // Row-wise: all 8 words of an aligned burst share the bank row.
+        let rows: Vec<usize> = fft_write_pattern(64, 0)
+            .iter()
+            .map(|&w| TwoDBanked::coordinates(w).0)
+            .collect();
+        assert!(rows.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn two_d_exhaustive_conflict_freedom() {
+        // Every transform placement in a 4096-point array, both patterns.
+        let scheme = TwoDBanked;
+        for transform in 0..(ARRAY_POINTS / 64) {
+            let base = transform * 64;
+            for c in 0..8 {
+                scheme
+                    .check_cycle(&fft_read_pattern(base, c))
+                    .unwrap_or_else(|e| panic!("read base={base} cycle={c}: {e}"));
+                scheme
+                    .check_cycle(&fft_write_pattern(base, c))
+                    .unwrap_or_else(|e| panic!("write base={base} cycle={c}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn depth_mapping_is_a_bijection() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..ARRAY_POINTS {
+            let (r, c, d) = TwoDBanked::coordinates(w);
+            assert!(d < BANK_DEPTH, "depth {d} out of range for word {w}");
+            assert!(seen.insert((r, c, d)), "collision at word {w}");
+        }
+    }
+
+    #[test]
+    fn linear_collides_on_strided_reads() {
+        let scheme = LinearBanked;
+        let err = scheme.check_cycle(&fft_read_pattern(0, 3)).unwrap_err();
+        match err {
+            HwSimError::BankConflict { accesses, ports, .. } => {
+                assert_eq!(accesses, 8);
+                assert_eq!(ports, 2);
+            }
+            other => panic!("expected a bank conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_handles_sequential_accesses() {
+        let scheme = LinearBanked;
+        scheme.check_cycle(&fft_write_pattern(0, 0)).unwrap();
+    }
+
+    #[test]
+    fn functional_memory_roundtrip_under_fft_patterns() {
+        let mut mem = MemoryModel::new(TwoDBanked, ARRAY_POINTS);
+        // Write a 64-point transform result (8 cycles of 8 words)…
+        for cycle in 0..8 {
+            let writes: Vec<(usize, Fp)> = fft_write_pattern(0, cycle)
+                .into_iter()
+                .map(|a| (a, Fp::new(a as u64 + 1)))
+                .collect();
+            mem.write_cycle(&writes).unwrap();
+        }
+        // …then read it back with the strided pattern.
+        let mut seen = vec![Fp::ZERO; 64];
+        for j in 0..8 {
+            let addrs = fft_read_pattern(0, j);
+            let values = mem.read_cycle(&addrs).unwrap();
+            for (a, v) in addrs.iter().zip(values) {
+                seen[*a] = v;
+            }
+        }
+        for (a, v) in seen.iter().enumerate() {
+            assert_eq!(*v, Fp::new(a as u64 + 1));
+        }
+        assert_eq!(mem.cycles(), 16);
+        assert!(mem.peak_bank_load() <= 2);
+    }
+
+    #[test]
+    fn functional_memory_reports_conflicts() {
+        let mut mem = MemoryModel::new(LinearBanked, ARRAY_POINTS);
+        assert!(mem.read_cycle(&fft_read_pattern(0, 0)).is_err());
+    }
+
+    #[test]
+    fn m20k_accounting() {
+        // One 4×4 array: 4096 points → 16 banks → 32 M20K = 256 Kb of the
+        // paper's description.
+        assert_eq!(m20k_blocks_for(ARRAY_POINTS), 32);
+        // One PE buffer: 16K points → 128 M20K.
+        assert_eq!(m20k_blocks_for(16_384), 128);
+    }
+}

@@ -1,0 +1,247 @@
+//! The hypercube interconnect and the Fig. 2 compute/exchange schedule.
+//!
+//! "For the implementation of the 64K-point FFT building block, we devised a
+//! flexible distributed approach, relying on several nodes connected in a
+//! hypercube topology, which matches exactly the logical topology of the
+//! distributed FFT algorithm. … Using a hypercube topology, the number of
+//! communication stages for FFT computation is the hypercube dimension `d`.
+//! In each stage, a node communicates only with one of its `d` neighbors.
+//! … We must have `l > d` in order to correctly interleave computation and
+//! communication."
+
+use core::fmt;
+
+/// A `d`-dimensional hypercube of `2^d` nodes.
+///
+/// ```
+/// use he_hwsim::network::Hypercube;
+///
+/// let cube = Hypercube::new(2); // the paper's 4 PEs
+/// assert_eq!(cube.nodes(), 4);
+/// assert_eq!(cube.neighbor(0b01, 1), 0b11);
+/// assert!(cube.are_neighbors(0, 1));
+/// assert!(!cube.are_neighbors(0, 3)); // differs in two bits
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates a hypercube of dimension `dim` (`2^dim` nodes).
+    pub fn new(dim: u32) -> Hypercube {
+        Hypercube { dim }
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        1usize << self.dim
+    }
+
+    /// The neighbor of `node` across dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d ≥ dim` or `node` is out of range.
+    pub fn neighbor(&self, node: usize, d: u32) -> usize {
+        assert!(d < self.dim, "dimension {d} out of range");
+        assert!(node < self.nodes(), "node {node} out of range");
+        node ^ (1 << d)
+    }
+
+    /// Whether two nodes are directly connected.
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        a < self.nodes() && b < self.nodes() && (a ^ b).count_ones() == 1
+    }
+
+    /// The disjoint node pairs exchanging across dimension `d`.
+    pub fn exchange_pairs(&self, d: u32) -> Vec<(usize, usize)> {
+        (0..self.nodes())
+            .filter(|n| n & (1 << d) == 0)
+            .map(|n| (n, self.neighbor(n, d)))
+            .collect()
+    }
+}
+
+/// One phase of the Fig. 2 schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulePhase {
+    /// A computation stage: every PE runs sub-FFTs over the named index.
+    Compute {
+        /// Stage label (C1, C2, C3).
+        label: &'static str,
+        /// The index the sub-FFT runs over — the "bold" index of Fig. 2.
+        bold_index: &'static str,
+        /// Radix of the sub-transforms.
+        radix: usize,
+        /// Sub-transforms per PE.
+        ffts_per_pe: usize,
+    },
+    /// A communication stage across one hypercube dimension, overlapped
+    /// with the preceding computation under double buffering.
+    Exchange {
+        /// Stage label (X1, X2).
+        label: &'static str,
+        /// Hypercube dimension used.
+        dimension: u32,
+        /// The coordinate being redistributed (input digit → output digit).
+        rewrites: &'static str,
+        /// Words each PE sends to its neighbor.
+        words_per_pe: usize,
+    },
+}
+
+impl fmt::Display for SchedulePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulePhase::Compute { label, bold_index, radix, ffts_per_pe } => write!(
+                f,
+                "{label}: compute  radix-{radix:<2} over {bold_index:<3} ({ffts_per_pe} FFTs/PE)"
+            ),
+            SchedulePhase::Exchange { label, dimension, rewrites, words_per_pe } => write!(
+                f,
+                "{label}: exchange dim {dimension} ({rewrites}), {words_per_pe} words/PE"
+            ),
+        }
+    }
+}
+
+/// The Fig. 2 schedule for the 64K transform on `P ∈ {1, 2, 4}` PEs.
+///
+/// `l = 3` computation stages interleave with `d = log2(P)` exchanges;
+/// the paper's constraint `l > d` restricts the three-stage plan to at most
+/// four PEs (larger arrays need a deeper FFT decomposition).
+pub fn schedule_64k(num_pes: usize) -> Vec<SchedulePhase> {
+    assert!(
+        matches!(num_pes, 1 | 2 | 4),
+        "the 3-stage plan supports 1, 2 or 4 PEs (l > d requires d < 3)"
+    );
+    let local = 65_536 / num_pes;
+    let mut phases = vec![SchedulePhase::Compute {
+        label: "C1",
+        bold_index: "n3",
+        radix: 64,
+        ffts_per_pe: 1024 / num_pes,
+    }];
+    if num_pes >= 2 {
+        phases.push(SchedulePhase::Exchange {
+            label: "X1",
+            dimension: 0,
+            rewrites: "n2[5] -> kA[5]",
+            words_per_pe: local / 2,
+        });
+    }
+    phases.push(SchedulePhase::Compute {
+        label: "C2",
+        bold_index: "n2",
+        radix: 64,
+        ffts_per_pe: 1024 / num_pes,
+    });
+    if num_pes >= 4 {
+        phases.push(SchedulePhase::Exchange {
+            label: "X2",
+            dimension: 1,
+            rewrites: "n1[3] -> kB[5]",
+            words_per_pe: local / 2,
+        });
+    }
+    phases.push(SchedulePhase::Compute {
+        label: "C3",
+        bold_index: "n1",
+        radix: 16,
+        ffts_per_pe: 4096 / num_pes,
+    });
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypercube_basics() {
+        let cube = Hypercube::new(3);
+        assert_eq!(cube.nodes(), 8);
+        assert_eq!(cube.neighbor(0, 0), 1);
+        assert_eq!(cube.neighbor(5, 1), 7);
+        assert!(cube.are_neighbors(2, 6));
+        assert!(!cube.are_neighbors(0, 0));
+        assert!(!cube.are_neighbors(1, 2));
+    }
+
+    #[test]
+    fn exchange_pairs_partition_the_nodes() {
+        let cube = Hypercube::new(2);
+        for d in 0..2 {
+            let pairs = cube.exchange_pairs(d);
+            assert_eq!(pairs.len(), 2);
+            let mut seen: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3]);
+            for (a, b) in pairs {
+                assert!(cube.are_neighbors(a, b));
+                assert_eq!(a ^ b, 1 << d);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn neighbor_rejects_bad_dimension() {
+        Hypercube::new(2).neighbor(0, 2);
+    }
+
+    #[test]
+    fn paper_schedule_shape() {
+        let phases = schedule_64k(4);
+        // C1 X1 C2 X2 C3: l = 3 computes, d = 2 exchanges, l > d.
+        assert_eq!(phases.len(), 5);
+        let computes = phases
+            .iter()
+            .filter(|p| matches!(p, SchedulePhase::Compute { .. }))
+            .count();
+        let exchanges = phases.len() - computes;
+        assert_eq!(computes, 3);
+        assert_eq!(exchanges, 2);
+        assert!(computes > exchanges, "the paper requires l > d");
+        // 256 FFT-64s per PE per radix-64 stage, 1024 FFT-16s per PE.
+        if let SchedulePhase::Compute { ffts_per_pe, .. } = &phases[0] {
+            assert_eq!(*ffts_per_pe, 256);
+        }
+        if let SchedulePhase::Compute { ffts_per_pe, .. } = &phases[4] {
+            assert_eq!(*ffts_per_pe, 1024);
+        }
+        // Each PE exchanges half its 16K local points.
+        if let SchedulePhase::Exchange { words_per_pe, .. } = &phases[1] {
+            assert_eq!(*words_per_pe, 8192);
+        }
+    }
+
+    #[test]
+    fn single_pe_schedule_has_no_exchanges() {
+        let phases = schedule_64k(1);
+        assert_eq!(phases.len(), 3);
+        assert!(phases
+            .iter()
+            .all(|p| matches!(p, SchedulePhase::Compute { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "l > d")]
+    fn eight_pes_rejected_by_three_stage_plan() {
+        let _ = schedule_64k(8);
+    }
+
+    #[test]
+    fn phases_render() {
+        for phase in schedule_64k(4) {
+            let s = phase.to_string();
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The Processing Element (Fig. 1): double-buffered banked memory, the
+//! radix-64/16 FFT unit, twiddle multipliers, and the data route.
+//!
+//! "The core computing element is the Radix-64/16 FFT unit … Since in our
+//! distributed scheme communication will indeed overlap with computing,
+//! double buffering is used: while a buffer is feeding current input values,
+//! the other one is filled with new values coming partly from the same node
+//! and partly from one of its neighbors. … The data route component is
+//! responsible for the proper ordering of FFT output points before writing
+//! to the memory buffers."
+
+use crate::memory::{m20k_blocks_for, ARRAY_POINTS};
+use crate::modmul::DspModMul;
+
+/// Which of the two buffers a PE is currently computing from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveBuffer {
+    /// Buffer A feeds the FFT unit; B fills with incoming data.
+    A,
+    /// Buffer B feeds the FFT unit; A fills with incoming data.
+    B,
+}
+
+impl ActiveBuffer {
+    /// The other buffer.
+    pub fn swapped(self) -> ActiveBuffer {
+        match self {
+            ActiveBuffer::A => ActiveBuffer::B,
+            ActiveBuffer::B => ActiveBuffer::A,
+        }
+    }
+}
+
+/// Structural description of one Processing Element.
+///
+/// ```
+/// use he_hwsim::pe::ProcessingElement;
+///
+/// let pe = ProcessingElement::paper(0);
+/// assert_eq!(pe.local_points(), 16_384);
+/// assert_eq!(pe.twiddle_multipliers(), 8);
+/// assert_eq!(pe.memory_arrays_per_buffer(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessingElement {
+    id: usize,
+    local_points: usize,
+    twiddle_multipliers: usize,
+    active: ActiveBuffer,
+    buffer_swaps: u64,
+}
+
+impl ProcessingElement {
+    /// A PE of the paper's 4-PE configuration: 16K local points.
+    pub fn paper(id: usize) -> ProcessingElement {
+        ProcessingElement::new(id, 65_536 / 4, 8)
+    }
+
+    /// A PE holding `local_points` with `twiddle_multipliers` DSP
+    /// multipliers.
+    pub fn new(id: usize, local_points: usize, twiddle_multipliers: usize) -> ProcessingElement {
+        ProcessingElement {
+            id,
+            local_points,
+            twiddle_multipliers,
+            active: ActiveBuffer::A,
+            buffer_swaps: 0,
+        }
+    }
+
+    /// The PE's node id in the hypercube.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Points held in each of the two buffers.
+    pub fn local_points(&self) -> usize {
+        self.local_points
+    }
+
+    /// Twiddle-factor modular multipliers (one per memory word lane).
+    pub fn twiddle_multipliers(&self) -> usize {
+        self.twiddle_multipliers
+    }
+
+    /// 4×4 banked arrays needed per buffer (4096 points each).
+    pub fn memory_arrays_per_buffer(&self) -> usize {
+        self.local_points.div_ceil(ARRAY_POINTS)
+    }
+
+    /// M20K blocks for both buffers.
+    pub fn m20k_blocks(&self) -> usize {
+        2 * m20k_blocks_for(self.local_points)
+    }
+
+    /// Memory bits for both buffers.
+    pub fn buffer_bits(&self) -> usize {
+        2 * self.local_points * 64
+    }
+
+    /// DSP blocks for the twiddle multipliers.
+    pub fn dsp_blocks(&self) -> u64 {
+        self.twiddle_multipliers as u64 * DspModMul::dsp_blocks()
+    }
+
+    /// The buffer currently feeding the FFT unit.
+    pub fn active_buffer(&self) -> ActiveBuffer {
+        self.active
+    }
+
+    /// Number of buffer swaps so far (one per compute/exchange stage).
+    pub fn buffer_swaps(&self) -> u64 {
+        self.buffer_swaps
+    }
+
+    /// Ends a stage: the roles of the buffers are swapped.
+    pub fn swap_buffers(&mut self) {
+        self.active = self.active.swapped();
+        self.buffer_swaps += 1;
+    }
+
+    /// The data-route address for output word `slot` of transform
+    /// `transform_idx` at readout cycle `cycle` — "it is just a memory
+    /// address generator": 8 consecutive words per cycle.
+    pub fn route_address(&self, transform_idx: usize, cycle: usize, slot: usize) -> usize {
+        debug_assert!(slot < 8 && cycle < 8);
+        (transform_idx * 64 + cycle * 8 + slot) % self.local_points
+    }
+
+    /// One-paragraph structural description (the Fig. 1 inventory).
+    pub fn describe(&self) -> String {
+        format!(
+            "PE{}: radix-64/16 FFT unit; 2x{} point buffers ({} 4x4 banked arrays each, {} M20K, double-buffered); {} twiddle modular multipliers ({} DSP); data route = address generator",
+            self.id,
+            self.local_points,
+            self.memory_arrays_per_buffer(),
+            self.m20k_blocks(),
+            self.twiddle_multipliers,
+            self.dsp_blocks(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pe_inventory() {
+        let pe = ProcessingElement::paper(2);
+        assert_eq!(pe.id(), 2);
+        assert_eq!(pe.local_points(), 16_384);
+        // 16K points = 4 arrays of 4096; ×2 buffers = 256 M20K blocks.
+        assert_eq!(pe.memory_arrays_per_buffer(), 4);
+        assert_eq!(pe.m20k_blocks(), 256);
+        // 2 Mbit of buffer per PE → 8 Mbit over 4 PEs (Table I).
+        assert_eq!(pe.buffer_bits(), 2 * 1024 * 1024);
+        assert_eq!(pe.dsp_blocks(), 64); // 8 multipliers × 8 DSP
+    }
+
+    #[test]
+    fn four_paper_pes_use_8_mbit_and_256_dsp() {
+        let total_bits: usize = (0..4).map(|i| ProcessingElement::paper(i).buffer_bits()).sum();
+        assert_eq!(total_bits, 8 * 1024 * 1024);
+        let total_dsp: u64 = (0..4).map(|i| ProcessingElement::paper(i).dsp_blocks()).sum();
+        assert_eq!(total_dsp, 256);
+    }
+
+    #[test]
+    fn buffer_swapping() {
+        let mut pe = ProcessingElement::paper(0);
+        assert_eq!(pe.active_buffer(), ActiveBuffer::A);
+        pe.swap_buffers();
+        assert_eq!(pe.active_buffer(), ActiveBuffer::B);
+        pe.swap_buffers();
+        assert_eq!(pe.active_buffer(), ActiveBuffer::A);
+        assert_eq!(pe.buffer_swaps(), 2);
+    }
+
+    #[test]
+    fn route_addresses_are_sequential_within_a_transform() {
+        let pe = ProcessingElement::paper(0);
+        let mut addrs = Vec::new();
+        for cycle in 0..8 {
+            for slot in 0..8 {
+                addrs.push(pe.route_address(3, cycle, slot));
+            }
+        }
+        let expected: Vec<usize> = (3 * 64..4 * 64).collect();
+        assert_eq!(addrs, expected);
+    }
+
+    #[test]
+    fn describe_mentions_every_component() {
+        let text = ProcessingElement::paper(1).describe();
+        for needle in ["FFT unit", "buffers", "banked", "twiddle", "DSP", "data route"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

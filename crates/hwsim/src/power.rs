@@ -1,0 +1,194 @@
+//! Energy model — the efficiency claim behind the paper's platform
+//! argument.
+//!
+//! The related work the paper endorses (\[28\]) concludes that "the FPGA
+//! version is at least twice as fast as the GPU one, **with lower power
+//! consumption**"; the paper itself argues FPGAs beat CPUs/GPUs for this
+//! workload. This module quantifies that claim for the reproduced design:
+//! per-activation energies for each datapath primitive (28 nm FPGA rules of
+//! thumb) are multiplied by the operation censuses the functional
+//! simulation produces, and the result is compared against the GPU
+//! comparators at their published times and board power.
+//!
+//! This is an **extension experiment** (the paper prints no power numbers
+//! of its own); `EXPERIMENTS.md` records it as such.
+
+use he_ntt::N64K;
+
+use crate::comparators::{Comparator, WANG_GPU_26, WANG_GPU_27};
+use crate::config::AcceleratorConfig;
+use crate::perf::PerfModel;
+
+/// Per-activation energies in picojoules (28 nm FPGA estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyFactors {
+    /// One 192-bit shift/rotate (routing + muxes).
+    pub shift_pj: f64,
+    /// One 192-bit 3:2 compression.
+    pub csa_pj: f64,
+    /// One modular reduction (Normalize + AddMod).
+    pub reduce_pj: f64,
+    /// One 64×64 DSP modular multiplication.
+    pub dsp_mul_pj: f64,
+    /// One 64-bit M20K access.
+    pub bram_access_pj: f64,
+    /// One 64-bit word over a hypercube link.
+    pub link_word_pj: f64,
+    /// Static/idle power of the whole FPGA in watts.
+    pub static_w: f64,
+}
+
+impl Default for EnergyFactors {
+    fn default() -> EnergyFactors {
+        EnergyFactors {
+            shift_pj: 15.0,
+            csa_pj: 20.0,
+            reduce_pj: 40.0,
+            dsp_mul_pj: 80.0,
+            bram_access_pj: 25.0,
+            link_word_pj: 30.0,
+            static_w: 2.5,
+        }
+    }
+}
+
+/// Energy breakdown of one full multiplication on the accelerator.
+#[derive(Debug, Clone)]
+pub struct EnergyReport {
+    /// Dynamic energy in microjoules.
+    pub dynamic_uj: f64,
+    /// Static energy over the multiplication's duration, in microjoules.
+    pub static_uj: f64,
+    /// The multiplication time used, in microseconds.
+    pub time_us: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.dynamic_uj + self.static_uj
+    }
+
+    /// Average power in watts.
+    pub fn average_w(&self) -> f64 {
+        self.total_uj() / self.time_us
+    }
+}
+
+/// Estimates the energy of one 786,432-bit multiplication on the modeled
+/// accelerator.
+pub fn multiplication_energy(config: &AcceleratorConfig, factors: &EnergyFactors) -> EnergyReport {
+    let model = PerfModel::new(config.clone());
+    let n = N64K as f64;
+
+    // Operation counts per 64K transform (from the unit censuses):
+    // 2048 FFT-64 (864 shifts, 896 CSA each), 4096 FFT-16 (256 shifts/CSA),
+    // 64K reductions, 128K twiddle DSP multiplications.
+    let shifts_per_fft = 2048.0 * 864.0 + 4096.0 * 256.0;
+    let csa_per_fft = 2048.0 * 896.0 + 4096.0 * 256.0;
+    let reductions_per_fft = n;
+    let twiddles_per_fft = 2.0 * n;
+    // Memory: every point read and written once per stage (3 stages).
+    let bram_per_fft = 2.0 * 3.0 * n;
+    // Network: both exchanges move half the points per PE.
+    let link_words_per_fft = (config.num_pes() as f64).log2() * n / 2.0;
+
+    let per_fft_pj = shifts_per_fft * factors.shift_pj
+        + csa_per_fft * factors.csa_pj
+        + reductions_per_fft * factors.reduce_pj
+        + twiddles_per_fft * factors.dsp_mul_pj
+        + bram_per_fft * factors.bram_access_pj
+        + link_words_per_fft * factors.link_word_pj;
+
+    // Whole multiplication: 3 transforms + dot product + carry recovery.
+    let dot_pj = n * factors.dsp_mul_pj + 2.0 * n * factors.bram_access_pj;
+    let carry_pj = n * (factors.csa_pj + factors.bram_access_pj);
+    let dynamic_uj = (3.0 * per_fft_pj + dot_pj + carry_pj) / 1e6;
+
+    let time_us = model.multiplication_us();
+    EnergyReport {
+        dynamic_uj,
+        static_uj: factors.static_w * time_us,
+        time_us,
+    }
+}
+
+/// Energy a comparator spends per multiplication at its published time and
+/// a given board power.
+pub fn comparator_energy_uj(comparator: &Comparator, board_w: f64) -> Option<f64> {
+    comparator.multiplication_us.map(|us| us * board_w)
+}
+
+/// Published board power of the NVIDIA Tesla C2050 used by \[26\]\[27\].
+pub const TESLA_C2050_W: f64 = 238.0;
+
+/// The energy-efficiency table of the extension experiment.
+pub fn render_energy_table(config: &AcceleratorConfig) -> String {
+    let report = multiplication_energy(config, &EnergyFactors::default());
+    let mut out = String::new();
+    out.push_str("ENERGY PER 786,432-BIT MULTIPLICATION (extension; paper reports no power)\n");
+    out.push_str(&format!(
+        "{:<28} {:>10.1} uJ ({:>5.2} W avg over {:>6.1} us)\n",
+        "Proposed (model)",
+        report.total_uj(),
+        report.average_w(),
+        report.time_us,
+    ));
+    for gpu in [&WANG_GPU_26, &WANG_GPU_27] {
+        if let Some(uj) = comparator_energy_uj(gpu, TESLA_C2050_W) {
+            out.push_str(&format!(
+                "{:<28} {:>10.1} uJ ({:>5.0} W board over {:>6.0} us)\n",
+                format!("{} {}", gpu.tag, gpu.platform),
+                uj,
+                TESLA_C2050_W,
+                gpu.multiplication_us.unwrap_or(0.0),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_energy_is_orders_of_magnitude_below_gpu() {
+        let cfg = AcceleratorConfig::paper();
+        let fpga = multiplication_energy(&cfg, &EnergyFactors::default());
+        let gpu26 = comparator_energy_uj(&WANG_GPU_26, TESLA_C2050_W).unwrap();
+        let gpu27 = comparator_energy_uj(&WANG_GPU_27, TESLA_C2050_W).unwrap();
+        assert!(
+            fpga.total_uj() * 20.0 < gpu26,
+            "FPGA {} uJ vs GPU {} uJ",
+            fpga.total_uj(),
+            gpu26
+        );
+        assert!(fpga.total_uj() * 20.0 < gpu27);
+    }
+
+    #[test]
+    fn average_power_is_plausible_for_an_fpga() {
+        let report = multiplication_energy(&AcceleratorConfig::paper(), &EnergyFactors::default());
+        // A busy Stratix V accelerator draws single-digit-to-tens of watts.
+        let w = report.average_w();
+        assert!((1.0..50.0).contains(&w), "average power {w} W");
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let fast = multiplication_energy(&AcceleratorConfig::paper(), &EnergyFactors::default());
+        let slow_cfg = AcceleratorConfig::paper().with_num_pes(1).unwrap();
+        let slow = multiplication_energy(&slow_cfg, &EnergyFactors::default());
+        assert!(slow.static_uj > fast.static_uj);
+        assert!(slow.time_us > fast.time_us);
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = render_energy_table(&AcceleratorConfig::paper());
+        assert!(s.contains("Proposed"));
+        assert!(s.contains("[26]"));
+        assert!(s.contains("[27]"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Cycle-stamped execution traces and ASCII timeline rendering.
+//!
+//! Turns the run reports of [`crate::distributed`] and [`crate::accel`]
+//! into explicit `(start, end)` intervals — making the Fig. 2 overlap of
+//! computation and communication *visible* rather than implied — and
+//! renders them as a text Gantt chart for the reproduction binaries.
+
+use crate::accel::MultiplyReport;
+use crate::distributed::{NttRunReport, PhaseReport};
+
+/// What an interval on the timeline represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// FFT computation on the PE array.
+    Compute,
+    /// Hypercube exchange (runs concurrently with compute).
+    Exchange,
+    /// Component-wise product on the modular multipliers.
+    DotProduct,
+    /// Carry-recovery addition.
+    CarryRecovery,
+}
+
+/// One interval on the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Label shown on the chart.
+    pub label: String,
+    /// Interval kind.
+    pub kind: EventKind,
+    /// First cycle of the interval.
+    pub start: u64,
+    /// One past the last cycle.
+    pub end: u64,
+}
+
+impl TraceEvent {
+    /// Interval length in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// A timeline of events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total simulated cycles (end of the latest event).
+    pub fn total_cycles(&self) -> u64 {
+        self.events.iter().map(|e| e.end).max().unwrap_or(0)
+    }
+
+    /// Builds the timeline of one distributed transform starting at
+    /// `offset`: exchanges start with the *preceding* compute stage (the
+    /// double-buffering overlap of Section IV).
+    pub fn from_ntt_report(report: &NttRunReport, offset: u64, tag: &str) -> Trace {
+        let mut trace = Trace::new();
+        let mut clock = offset;
+        let mut last_compute_start = offset;
+        for phase in &report.phases {
+            match phase {
+                PhaseReport::Compute { label, cycles, .. } => {
+                    trace.events.push(TraceEvent {
+                        label: format!("{tag}{label}"),
+                        kind: EventKind::Compute,
+                        start: clock,
+                        end: clock + cycles,
+                    });
+                    last_compute_start = clock;
+                    clock += cycles;
+                }
+                PhaseReport::Exchange { label, cycles, .. } => {
+                    // Overlapped with the preceding compute stage; any
+                    // excess extends past it and delays the next stage.
+                    let start = last_compute_start;
+                    let end = start + cycles;
+                    trace.events.push(TraceEvent {
+                        label: format!("{tag}{label}"),
+                        kind: EventKind::Exchange,
+                        start,
+                        end,
+                    });
+                    clock = clock.max(end);
+                }
+            }
+        }
+        trace
+    }
+
+    /// Builds the full-multiplication timeline from a
+    /// [`MultiplyReport`].
+    pub fn from_multiply_report(report: &MultiplyReport) -> Trace {
+        let mut trace = Trace::new();
+        let mut clock = 0u64;
+        for (i, fft) in report.fft_reports.iter().enumerate() {
+            let tag = match i {
+                0 => "NTT(a) ",
+                1 => "NTT(b) ",
+                _ => "INTT   ",
+            };
+            let sub = Trace::from_ntt_report(fft, clock, tag);
+            clock = sub.total_cycles();
+            // The dot product sits between the forward and inverse passes.
+            if i == 1 {
+                trace.events.push(TraceEvent {
+                    label: "dot product".to_string(),
+                    kind: EventKind::DotProduct,
+                    start: clock,
+                    end: clock + report.dot_product_cycles,
+                });
+                clock += report.dot_product_cycles;
+            }
+            trace.events.extend(sub.events);
+        }
+        trace.events.push(TraceEvent {
+            label: "carry recovery".to_string(),
+            kind: EventKind::CarryRecovery,
+            start: clock,
+            end: clock + report.carry_recovery_cycles,
+        });
+        trace.events.sort_by_key(|e| (e.start, e.end));
+        trace
+    }
+
+    /// Renders an ASCII Gantt chart `width` characters wide.
+    pub fn gantt(&self, width: usize) -> String {
+        let total = self.total_cycles().max(1);
+        let scale = |c: u64| (c as usize * width) / total as usize;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} 0 {} {} cycles\n",
+            "",
+            "-".repeat(width.saturating_sub(10)),
+            total
+        ));
+        for e in &self.events {
+            let from = scale(e.start);
+            let to = scale(e.end).max(from + 1);
+            let ch = match e.kind {
+                EventKind::Compute => '#',
+                EventKind::Exchange => '~',
+                EventKind::DotProduct => '*',
+                EventKind::CarryRecovery => '+',
+            };
+            out.push_str(&format!(
+                "{:<16} {}{}{}\n",
+                e.label,
+                " ".repeat(from),
+                ch.to_string().repeat(to - from),
+                ""
+            ));
+        }
+        out.push_str("legend: # compute   ~ exchange (overlapped)   * dot product   + carry\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AcceleratorSim;
+    use crate::config::AcceleratorConfig;
+    use crate::distributed::DistributedNtt;
+    use he_bigint::UBig;
+    use he_field::Fp;
+    use he_ntt::N64K;
+
+    fn sample_report() -> NttRunReport {
+        let dist = DistributedNtt::new(AcceleratorConfig::paper()).unwrap();
+        let input = vec![Fp::ONE; N64K];
+        dist.forward(&input).1
+    }
+
+    #[test]
+    fn exchanges_overlap_computes() {
+        let trace = Trace::from_ntt_report(&sample_report(), 0, "");
+        let computes: Vec<&TraceEvent> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Compute)
+            .collect();
+        let exchanges: Vec<&TraceEvent> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::Exchange)
+            .collect();
+        assert_eq!(computes.len(), 3);
+        assert_eq!(exchanges.len(), 2);
+        // X1 starts when C1 starts and ends before C1 ends.
+        assert_eq!(exchanges[0].start, computes[0].start);
+        assert!(exchanges[0].end <= computes[0].end);
+        // Total equals the report's overlap-aware count.
+        assert_eq!(trace.total_cycles(), sample_report().total_cycles());
+    }
+
+    #[test]
+    fn multiply_timeline_is_complete() {
+        let sim = AcceleratorSim::paper();
+        let (_, report) = sim.multiply(&UBig::from(3u64), &UBig::from(5u64)).unwrap();
+        let trace = Trace::from_multiply_report(&report);
+        assert_eq!(trace.total_cycles(), report.total_cycles());
+        let kinds: std::collections::HashSet<_> =
+            trace.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Compute));
+        assert!(kinds.contains(&EventKind::Exchange));
+        assert!(kinds.contains(&EventKind::DotProduct));
+        assert!(kinds.contains(&EventKind::CarryRecovery));
+    }
+
+    #[test]
+    fn gantt_renders_every_event() {
+        let trace = Trace::from_ntt_report(&sample_report(), 0, "fft ");
+        let chart = trace.gantt(60);
+        for e in trace.events() {
+            assert!(chart.contains(&e.label), "missing {}", e.label);
+        }
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert_eq!(t.total_cycles(), 0);
+        assert!(t.gantt(40).contains("legend"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the hardware models: the FFT units, the
+//! modular multipliers and the memory patterns must hold on *random*
+//! inputs, not just structured ones.
+
+use he_field::Fp;
+use he_hwsim::fft_unit::{BaselineFft64, CarrySave, OptimizedFft64};
+use he_hwsim::memory::{fft_read_pattern, fft_write_pattern, BankingScheme, TwoDBanked};
+use he_hwsim::modmul::{Dsp27ModMul, DspModMul};
+use he_ntt::kernels::{self, Direction};
+use proptest::prelude::*;
+
+fn arb_fp() -> impl Strategy<Value = Fp> {
+    any::<u64>().prop_map(Fp::new)
+}
+
+fn arb_block64() -> impl Strategy<Value = Vec<Fp>> {
+    proptest::collection::vec(arb_fp(), 64..=64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_unit_matches_reference(input in arb_block64()) {
+        let out = OptimizedFft64::new().transform(&input, Direction::Forward);
+        prop_assert_eq!(
+            out.values,
+            kernels::ntt_small(&input, Direction::Forward).unwrap()
+        );
+    }
+
+    #[test]
+    fn baseline_unit_matches_reference(input in arb_block64()) {
+        let out = BaselineFft64::new().transform(&input, Direction::Forward);
+        prop_assert_eq!(
+            out.values,
+            kernels::ntt_small(&input, Direction::Forward).unwrap()
+        );
+    }
+
+    #[test]
+    fn units_invert_each_other(input in arb_block64()) {
+        // forward then (unscaled) inverse = 64·input.
+        let unit = OptimizedFft64::new();
+        let fwd = unit.transform(&input, Direction::Forward);
+        let back = unit.transform(&fwd.values, Direction::Inverse);
+        for (x, y) in input.iter().zip(&back.values) {
+            prop_assert_eq!(*x * Fp::new(64), *y);
+        }
+    }
+
+    #[test]
+    fn fft16_mode_matches_reference(input in proptest::collection::vec(arb_fp(), 16..=16)) {
+        let out = OptimizedFft64::new().transform16(&input, Direction::Forward);
+        prop_assert_eq!(
+            out.values,
+            kernels::ntt_small(&input, Direction::Forward).unwrap()
+        );
+    }
+
+    #[test]
+    fn dsp_multipliers_match_field(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(DspModMul::new().multiply(a, b), a * b);
+        prop_assert_eq!(Dsp27ModMul::new().multiply(a, b), a * b);
+    }
+
+    #[test]
+    fn carry_save_accumulates_correctly(terms in proptest::collection::vec(arb_fp(), 0..40)) {
+        let mut cs = CarrySave::ZERO;
+        let mut direct = Fp::ZERO;
+        for &t in &terms {
+            cs = cs.compress(he_field::U192::from(t));
+            direct += t;
+        }
+        prop_assert_eq!(cs.to_fp(), direct);
+    }
+
+    #[test]
+    fn memory_patterns_conflict_free_at_any_aligned_base(transform in 0usize..64, cycle in 0usize..8) {
+        let scheme = TwoDBanked;
+        let base = transform * 64;
+        prop_assert!(scheme.check_cycle(&fft_read_pattern(base, cycle)).is_ok());
+        prop_assert!(scheme.check_cycle(&fft_write_pattern(base, cycle)).is_ok());
+    }
+
+    #[test]
+    fn unit_censuses_are_input_independent(a in arb_block64(), b in arb_block64()) {
+        // The cycle/op counts are structural, not data-dependent.
+        let unit = OptimizedFft64::new();
+        let ca = unit.transform(&a, Direction::Forward).census;
+        let cb = unit.transform(&b, Direction::Forward).census;
+        prop_assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for transform-plan construction.
+
+use core::fmt;
+
+/// Error constructing or applying a transform plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttError {
+    /// The requested size is not supported by the plan
+    /// (e.g. not a power of two, or not a product of the allowed radices).
+    UnsupportedSize {
+        /// The offending transform length.
+        n: usize,
+        /// Why this length cannot be planned.
+        reason: &'static str,
+    },
+    /// The input length does not match the plan's transform length.
+    LengthMismatch {
+        /// The plan's transform length.
+        expected: usize,
+        /// The supplied input length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NttError::UnsupportedSize { n, reason } => {
+                write!(f, "unsupported transform size {n}: {reason}")
+            }
+            NttError::LengthMismatch { expected, actual } => {
+                write!(f, "input length {actual} does not match plan size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttError {}

@@ -1,0 +1,207 @@
+//! Shift-only small transforms (paper Eq. 3).
+//!
+//! For any `n` dividing 192, the canonical `n`-th root of unity is the power
+//! of two `2^{192/n}`, so the full `n`-point DFT
+//! `A[k] = Σ_i a[i]·(2^{192/n})^{ik}` uses **only shifts and additions** —
+//! this is what makes the FFGA's radix-64 unit multiplier-free. The paper
+//! notes the unit "can be adapted, with minor modifications, to compute also
+//! Radix-8, Radix-16, and Radix-32 FFTs"; all four sizes are provided here.
+//!
+//! The 64-point kernel additionally uses the paper's Eq. 5 two-level
+//! decomposition (8 × 8) to share first-stage partial sums, reducing the
+//! shift/add count from `64·64` to `2·64·8` — the same restructuring the
+//! optimized hardware unit exploits.
+
+use he_field::{Fp, U192};
+
+use crate::error::NttError;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Forward transform with root `2^{192/n}`.
+    Forward,
+    /// Inverse (unscaled) transform with root `2^{-192/n}`.
+    Inverse,
+}
+
+/// Sizes supported by the shift-only kernels.
+pub const SHIFT_KERNEL_SIZES: [usize; 4] = [8, 16, 32, 64];
+
+/// Whether `n` has a shift-only kernel.
+pub fn supports(n: usize) -> bool {
+    SHIFT_KERNEL_SIZES.contains(&n)
+}
+
+/// Computes an `n`-point DFT with shift-only twiddles, `n ∈ {8, 16, 32, 64}`.
+///
+/// Natural order in and out; the inverse direction is **unscaled** (no
+/// `1/n` factor), matching what the hardware unit produces.
+///
+/// # Errors
+///
+/// Returns [`NttError::UnsupportedSize`] for other sizes.
+///
+/// ```
+/// use he_field::{roots, Fp};
+/// use he_ntt::kernels::{ntt_small, Direction};
+/// use he_ntt::naive;
+///
+/// let input: Vec<Fp> = (0..64).map(Fp::new).collect();
+/// let out = ntt_small(&input, Direction::Forward)?;
+/// assert_eq!(out, naive::dft(&input, roots::OMEGA_64));
+/// # Ok::<(), he_ntt::NttError>(())
+/// ```
+pub fn ntt_small(input: &[Fp], direction: Direction) -> Result<Vec<Fp>, NttError> {
+    match input.len() {
+        64 => Ok(ntt64(input, direction)),
+        8 | 16 | 32 => Ok(ntt_direct_shift(input, direction)),
+        n => Err(NttError::UnsupportedSize {
+            n,
+            reason: "shift-only kernels exist for 8, 16, 32 and 64 points",
+        }),
+    }
+}
+
+/// Direct shift-based DFT for `n | 192`: `A[k] = Σ_i a[i]·2^{(192/n)·ik}`.
+///
+/// Quadratic in `n` but multiplier-free; used for the 8/16/32-point sizes
+/// where sharing buys little.
+fn ntt_direct_shift(input: &[Fp], direction: Direction) -> Vec<Fp> {
+    let n = input.len() as u32;
+    debug_assert!(192 % n == 0);
+    let step = 192 / n;
+    (0..n)
+        .map(|k| {
+            let mut acc = U192::ZERO;
+            for (i, &a) in input.iter().enumerate() {
+                let e = (step as u64 * i as u64 * k as u64 % 192) as u32;
+                let e = apply_direction(e, direction);
+                acc = acc.wrapping_add(U192::from(a).rotl(e));
+            }
+            acc.to_fp()
+        })
+        .collect()
+}
+
+/// 64-point kernel via the paper's Eq. 5: split `i = 8·i' + j`, compute the
+/// eight 8-point sub-DFTs (over `i'`, one per input phase `j`), then combine
+/// across `j` with twiddles `ω_64^{j·k1}·ω_8^{j·k2}` — all shifts.
+fn ntt64(input: &[Fp], direction: Direction) -> Vec<Fp> {
+    debug_assert_eq!(input.len(), 64);
+    // Stage 1: for each phase j, the 8-point DFT of a[8i+j] over i.
+    // inner[j][k1] = Σ_i a[8i+j]·ω_8^{i·k1}, with ω_8 = 2^24.
+    let mut inner = [[U192::ZERO; 8]; 8];
+    for j in 0..8 {
+        for k1 in 0..8u64 {
+            let mut acc = U192::ZERO;
+            for i in 0..8u64 {
+                let e = apply_direction((24 * i * k1 % 192) as u32, direction);
+                acc = acc.wrapping_add(U192::from(input[(8 * i + j as u64) as usize]).rotl(e));
+            }
+            inner[j][k1 as usize] = acc;
+        }
+    }
+    // Stage 2: A[k1 + 8·k2] = Σ_j inner[j][k1]·ω_64^{j·k1}·ω_8^{j·k2},
+    // with ω_64 = 2^3.
+    let mut out = vec![Fp::ZERO; 64];
+    for k1 in 0..8u64 {
+        for k2 in 0..8u64 {
+            let mut acc = U192::ZERO;
+            for j in 0..8u64 {
+                let e = ((3 * j * k1 + 24 * j * k2) % 192) as u32;
+                let e = apply_direction(e, direction);
+                acc = acc.wrapping_add(inner[j as usize][k1 as usize].rotl(e));
+            }
+            out[(k1 + 8 * k2) as usize] = acc.to_fp();
+        }
+    }
+    out
+}
+
+/// Maps a forward shift exponent to the requested direction
+/// (`2^{-e} = 2^{192−e}` since `2^192 ≡ 1`).
+fn apply_direction(e: u32, direction: Direction) -> u32 {
+    match direction {
+        Direction::Forward => e % 192,
+        Direction::Inverse => (192 - e % 192) % 192,
+    }
+}
+
+/// The number of shift-rotate operations the Eq. 5 decomposition performs
+/// for one 64-point transform (used by the operation-count ablation).
+pub const NTT64_SHARED_SHIFT_OPS: usize = 2 * 64 * 8;
+
+/// The number of shift-rotate operations a flat Eq. 3 evaluation performs.
+pub const NTT64_FLAT_SHIFT_OPS: usize = 64 * 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use he_field::roots;
+
+    fn test_input(n: usize) -> Vec<Fp> {
+        (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x0123_4567_89ab_cdef) ^ 0x55)).collect()
+    }
+
+    #[test]
+    fn all_sizes_match_naive_forward() {
+        for n in SHIFT_KERNEL_SIZES {
+            let input = test_input(n);
+            let omega = roots::root_of_unity(n as u64).unwrap();
+            assert_eq!(
+                ntt_small(&input, Direction::Forward).unwrap(),
+                naive::dft(&input, omega),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_is_unscaled_idft() {
+        for n in SHIFT_KERNEL_SIZES {
+            let input = test_input(n);
+            let omega = roots::root_of_unity(n as u64).unwrap();
+            let inv_unscaled = ntt_small(&input, Direction::Inverse).unwrap();
+            let expected = naive::dft(&input, omega.inverse().unwrap());
+            assert_eq!(inv_unscaled, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_scales_by_n() {
+        for n in SHIFT_KERNEL_SIZES {
+            let input = test_input(n);
+            let fwd = ntt_small(&input, Direction::Forward).unwrap();
+            let back = ntt_small(&fwd, Direction::Inverse).unwrap();
+            let n_fp = Fp::new(n as u64);
+            for (x, y) in input.iter().zip(&back) {
+                assert_eq!(*x * n_fp, *y, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_sizes_error() {
+        for n in [0usize, 1, 2, 4, 7, 128] {
+            let input = vec![Fp::ZERO; n];
+            assert!(ntt_small(&input, Direction::Forward).is_err(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_multiplier_free_claim() {
+        // The roots used are powers of two (documentation-level invariant).
+        for n in SHIFT_KERNEL_SIZES {
+            let omega = roots::root_of_unity(n as u64).unwrap();
+            let log = omega.log2_of_pow2().expect("kernel root must be a power of two");
+            assert_eq!(log as usize, 192 / n);
+        }
+    }
+
+    #[test]
+    fn eq5_sharing_reduces_ops() {
+        assert!(NTT64_SHARED_SHIFT_OPS * 4 == NTT64_FLAT_SHIFT_OPS);
+    }
+}

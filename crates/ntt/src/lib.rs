@@ -1,0 +1,66 @@
+//! Number-theoretic transforms over the Solinas prime `p = 2^64 − 2^32 + 1`.
+//!
+//! This crate implements the transform layer of the DATE 2016 accelerator
+//! (Section III of the paper):
+//!
+//! * [`naive`] — the `O(n²)` reference DFT used as ground truth in tests;
+//! * [`Radix2Plan`] — the conventional iterative radix-2 transform the paper
+//!   *avoids* ("instead of the more common binary recursive splitting
+//!   approach relying on a radix-2 transform"); kept as the software
+//!   baseline for the `ntt_radix` ablation bench;
+//! * [`kernels`] — shift-only transforms of 8/16/32/64 points: in this
+//!   field the `n`-th root of unity for `n | 192` is a power of two, so
+//!   every twiddle inside these blocks is a shift (paper Eq. 3);
+//! * [`MixedRadixPlan`] — the general Cooley–Tukey decomposition of paper
+//!   Eq. 1 for any size that factors into 8/16/32/64;
+//! * [`Ntt64k`] — the paper's exact three-stage 64K-point decomposition
+//!   (Eq. 2: radix-64, radix-64, radix-16) with precomputed inter-stage
+//!   twiddle tables, plus its inverse;
+//! * [`SixStepPlan`] — Eq. 1 applied once with explicit transposes (the
+//!   "four-step/six-step" algorithm), the shared-memory counterpoint to
+//!   the paper's distributed schedule;
+//! * [`convolution`] — cyclic convolution, the operation Schönhage–Strassen
+//!   multiplication reduces to;
+//! * [`negacyclic`] — ψ-twisted transforms for products in
+//!   `Z_p[X]/(X^n + 1)`, the RLWE workloads Section III says "may thus be
+//!   implemented on top of the accelerator".
+//!
+//! All transforms take and produce **natural-order** coefficient vectors, so
+//! they are interchangeable and mutually checkable.
+//!
+//! # Example
+//!
+//! ```
+//! use he_field::Fp;
+//! use he_ntt::{Ntt64k, naive};
+//!
+//! let plan = Ntt64k::new();
+//! let mut data = vec![Fp::ZERO; 65_536];
+//! data[0] = Fp::new(3);
+//! data[1] = Fp::new(5);
+//! let freq = plan.forward(&data);
+//! let back = plan.inverse(&freq);
+//! assert_eq!(back, data);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convolution;
+mod error;
+pub mod kernels;
+mod mixed;
+pub mod naive;
+pub mod negacyclic;
+pub mod plan;
+mod plan64k;
+mod radix2;
+mod sixstep;
+
+pub use error::NttError;
+pub use mixed::MixedRadixPlan;
+pub use negacyclic::NegacyclicPlan;
+pub use plan::Transform;
+pub use plan64k::{Ntt64k, N64K};
+pub use radix2::Radix2Plan;
+pub use sixstep::SixStepPlan;

@@ -1,0 +1,292 @@
+//! General mixed-radix Cooley–Tukey decomposition (paper Eq. 1).
+//!
+//! For `N = R·M` and index split `n = M·d + m` (`d` the high digit), the
+//! DFT factors as
+//!
+//! ```text
+//! F[kA + R·kB] = Σ_m [ (Σ_d a[M·d + m]·ω_R^{d·kA}) · ω^{kA·m} ] · ω_M^{m·kB}
+//! ```
+//!
+//! — an inner `R`-point DFT per residue `m`, a twiddle multiplication
+//! (the accelerator's DSP-based modular multipliers), and a recursive
+//! `M`-point transform. Choosing radices from `{8, 16, 32, 64}` makes every
+//! inner DFT shift-only ([`crate::kernels`]); the paper's 64K plan is the
+//! radix list `[64, 64, 16]` (see [`crate::Ntt64k`] for the specialized
+//! version with precomputed tables).
+
+use he_field::{roots, Fp};
+
+use crate::error::NttError;
+use crate::kernels::{self, Direction};
+use crate::naive;
+
+/// A planned mixed-radix NTT.
+///
+/// Input and output are in natural order.
+///
+/// ```
+/// use he_field::Fp;
+/// use he_ntt::MixedRadixPlan;
+///
+/// // A 4096-point transform as radix-64 × radix-64.
+/// let plan = MixedRadixPlan::new(&[64, 64])?;
+/// let input: Vec<Fp> = (0..4096).map(Fp::new).collect();
+/// let freq = plan.forward(&input);
+/// assert_eq!(plan.inverse(&freq), input);
+/// # Ok::<(), he_ntt::NttError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedRadixPlan {
+    n: usize,
+    radices: Vec<usize>,
+    omega: Fp,
+    /// `omega^e` for `e` in `[0, n)`.
+    forward_table: Vec<Fp>,
+    n_inv: Fp,
+}
+
+impl MixedRadixPlan {
+    /// Plans a transform of length `Π radices` with the canonical root.
+    ///
+    /// Radices are listed outermost-first: `radices[0]` is the first
+    /// computation stage (the paper's stage operating on the
+    /// highest-stride digit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::UnsupportedSize`] if the radix list is empty, a
+    /// radix is `< 2`, or the product does not divide `p − 1`.
+    pub fn new(radices: &[usize]) -> Result<MixedRadixPlan, NttError> {
+        if radices.is_empty() {
+            return Err(NttError::UnsupportedSize {
+                n: 0,
+                reason: "at least one radix is required",
+            });
+        }
+        if let Some(&r) = radices.iter().find(|&&r| r < 2) {
+            return Err(NttError::UnsupportedSize {
+                n: r,
+                reason: "radices must be at least 2",
+            });
+        }
+        let n: usize = radices.iter().product();
+        let omega = roots::root_of_unity(n as u64).ok_or(NttError::UnsupportedSize {
+            n,
+            reason: "transform length must divide p-1",
+        })?;
+        let forward_table = roots::power_table(omega, n);
+        let n_inv = Fp::new(n as u64).inverse().expect("n < p");
+        Ok(MixedRadixPlan {
+            n,
+            radices: radices.to_vec(),
+            omega,
+            forward_table,
+            n_inv,
+        })
+    }
+
+    /// The paper's 64K-point plan: radix-64, radix-64, radix-16.
+    pub fn paper_64k() -> MixedRadixPlan {
+        MixedRadixPlan::new(&[64, 64, 16]).expect("64·64·16 divides p-1")
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is empty (never; provided for convention).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The radix list, outermost stage first.
+    pub fn radices(&self) -> &[usize] {
+        &self.radices
+    }
+
+    /// The primitive root used by the plan.
+    pub fn omega(&self) -> Fp {
+        self.omega
+    }
+
+    /// Forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the plan length.
+    pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        assert_eq!(input.len(), self.n, "input length must equal plan length");
+        self.transform_rec(input, 1, &self.radices, Direction::Forward)
+    }
+
+    /// Inverse transform including the `1/n` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the plan length.
+    pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        assert_eq!(input.len(), self.n, "input length must equal plan length");
+        let mut out = self.transform_rec(input, 1, &self.radices, Direction::Inverse);
+        for x in out.iter_mut() {
+            *x *= self.n_inv;
+        }
+        out
+    }
+
+    /// Looks up `ω^{±(stride·e)}` from the precomputed table.
+    #[inline]
+    fn tw(&self, stride: usize, e: usize, direction: Direction) -> Fp {
+        // stride ≤ n and e % n < n, so the product fits 64-bit usize for all
+        // plannable sizes (n ≤ 2^26).
+        let idx = (stride * (e % self.n)) % self.n;
+        match direction {
+            Direction::Forward => self.forward_table[idx],
+            Direction::Inverse => self.forward_table[(self.n - idx) % self.n],
+        }
+    }
+
+    /// Recursive Cooley–Tukey step. `stride` expresses the current level's
+    /// root as `ω_level = ω^stride`.
+    fn transform_rec(
+        &self,
+        input: &[Fp],
+        stride: usize,
+        radices: &[usize],
+        direction: Direction,
+    ) -> Vec<Fp> {
+        let len = input.len();
+        if radices.len() == 1 {
+            return self.base_dft(input, stride, direction);
+        }
+        let r = radices[0];
+        let m_len = len / r;
+        debug_assert_eq!(m_len * r, len);
+
+        // Inner R-point DFTs over the high digit, one per residue m.
+        // g[kA·m_len + m] = Σ_d input[M·d + m]·ω_R^{d·kA}
+        let mut g = vec![Fp::ZERO; len];
+        let mut column = vec![Fp::ZERO; r];
+        for m in 0..m_len {
+            for (d, c) in column.iter_mut().enumerate() {
+                *c = input[m_len * d + m];
+            }
+            let sub = self.base_dft(&column, stride * m_len, direction);
+            for (ka, &v) in sub.iter().enumerate() {
+                g[ka * m_len + m] = v;
+            }
+        }
+
+        // Twiddle + recurse on each row.
+        let mut out = vec![Fp::ZERO; len];
+        for ka in 0..r {
+            let row = &mut g[ka * m_len..(ka + 1) * m_len];
+            if ka > 0 {
+                for (m, v) in row.iter_mut().enumerate() {
+                    *v *= self.tw(stride, ka * m, direction);
+                }
+            }
+            let sub = self.transform_rec(row, stride * r, &radices[1..], direction);
+            for (kb, &v) in sub.iter().enumerate() {
+                out[ka + r * kb] = v;
+            }
+        }
+        out
+    }
+
+    /// Base-case DFT with root `ω^stride`; uses the shift-only kernel when
+    /// the root matches the canonical power-of-two root.
+    fn base_dft(&self, input: &[Fp], stride: usize, direction: Direction) -> Vec<Fp> {
+        let r = input.len();
+        let omega_base = self.tw(stride, 1, Direction::Forward);
+        if kernels::supports(r) {
+            let canonical = roots::root_of_unity(r as u64).expect("r divides 192");
+            if omega_base == canonical {
+                return kernels::ntt_small(input, direction).expect("size checked");
+            }
+        }
+        match direction {
+            Direction::Forward => naive::dft(input, omega_base),
+            Direction::Inverse => {
+                naive::dft(input, omega_base.inverse().expect("root is nonzero"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<Fp> {
+        (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect()
+    }
+
+    #[test]
+    fn rejects_bad_plans() {
+        assert!(MixedRadixPlan::new(&[]).is_err());
+        assert!(MixedRadixPlan::new(&[1]).is_err());
+        assert!(MixedRadixPlan::new(&[64, 0]).is_err());
+        // 3·7 = 21 does not divide p−1? p−1 = 2^32·3·5·17·257·65537, so 21
+        // does NOT divide (no factor 7).
+        assert!(MixedRadixPlan::new(&[3, 7]).is_err());
+    }
+
+    #[test]
+    fn single_stage_matches_kernel_sizes() {
+        for r in [8usize, 16, 32, 64] {
+            let plan = MixedRadixPlan::new(&[r]).unwrap();
+            let input = ramp(r);
+            assert_eq!(plan.forward(&input), naive::dft(&input, plan.omega()), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn two_stage_matches_naive() {
+        for radices in [[8usize, 8], [16, 8], [8, 16], [16, 16], [64, 16]] {
+            let plan = MixedRadixPlan::new(&radices).unwrap();
+            let input = ramp(plan.len());
+            assert_eq!(
+                plan.forward(&input),
+                naive::dft(&input, plan.omega()),
+                "radices = {radices:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_stage_roundtrip() {
+        for radices in [[8usize, 8, 8], [16, 8, 8], [32, 16, 8]] {
+            let plan = MixedRadixPlan::new(&radices).unwrap();
+            let input = ramp(plan.len());
+            assert_eq!(plan.inverse(&plan.forward(&input)), input, "radices = {radices:?}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_radices_work() {
+        // Radix 3 and 5 divide p−1; base case falls back to the naive DFT.
+        let plan = MixedRadixPlan::new(&[3, 5]).unwrap();
+        let input = ramp(15);
+        assert_eq!(plan.forward(&input), naive::dft(&input, plan.omega()));
+        assert_eq!(plan.inverse(&plan.forward(&input)), input);
+    }
+
+    #[test]
+    fn paper_plan_shape() {
+        let plan = MixedRadixPlan::paper_64k();
+        assert_eq!(plan.len(), 65_536);
+        assert_eq!(plan.radices(), &[64, 64, 16]);
+        assert_eq!(plan.omega(), he_field::roots::omega_64k());
+    }
+
+    #[test]
+    fn stage_order_is_observable() {
+        // [64,16] and [16,64] are different factorizations of 1024 that must
+        // agree on the result.
+        let a = MixedRadixPlan::new(&[64, 16]).unwrap();
+        let b = MixedRadixPlan::new(&[16, 64]).unwrap();
+        let input = ramp(1024);
+        assert_eq!(a.forward(&input), b.forward(&input));
+    }
+}

@@ -1,0 +1,109 @@
+//! Quadratic reference DFT: the ground truth every fast transform in this
+//! workspace is checked against.
+
+use he_field::{roots, Fp};
+
+/// Computes the `n`-point DFT `F[k] = Σ_i a[i]·ω^{ik}` directly.
+///
+/// `omega` must be a primitive `n`-th root of unity (use
+/// [`he_field::roots::root_of_unity`]).
+///
+/// ```
+/// use he_field::{roots, Fp};
+/// use he_ntt::naive;
+///
+/// let omega = roots::root_of_unity(4).unwrap();
+/// let spectrum = naive::dft(&[Fp::ONE; 4], omega);
+/// // The DFT of a constant is an impulse of height n.
+/// assert_eq!(spectrum, vec![Fp::new(4), Fp::ZERO, Fp::ZERO, Fp::ZERO]);
+/// ```
+pub fn dft(input: &[Fp], omega: Fp) -> Vec<Fp> {
+    let n = input.len();
+    let table = roots::power_table(omega, n);
+    (0..n)
+        .map(|k| {
+            input
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| a * table[i * k % n])
+                .sum()
+        })
+        .collect()
+}
+
+/// Computes the inverse DFT (including the `1/n` scaling).
+///
+/// # Panics
+///
+/// Panics if `n` is not invertible modulo `p` (never the case for the
+/// power-of-two sizes used here).
+pub fn idft(input: &[Fp], omega: Fp) -> Vec<Fp> {
+    let n = input.len();
+    let omega_inv = omega.inverse().expect("omega is a root of unity");
+    let n_inv = Fp::new(n as u64).inverse().expect("n invertible");
+    dft(input, omega_inv).into_iter().map(|x| x * n_inv).collect()
+}
+
+/// Cyclic convolution by the definition `c[k] = Σ_{i+j ≡ k (mod n)} a[i]·b[j]`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths.
+pub fn cyclic_convolve(a: &[Fp], b: &[Fp]) -> Vec<Fp> {
+    assert_eq!(a.len(), b.len(), "convolution operands must match in length");
+    let n = a.len();
+    let mut out = vec![Fp::ZERO; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai.is_zero() {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let k = (i + j) % n;
+            out[k] += ai * bj;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let omega = roots::root_of_unity(8).unwrap();
+        let mut input = vec![Fp::ZERO; 8];
+        input[0] = Fp::new(7);
+        assert_eq!(dft(&input, omega), vec![Fp::new(7); 8]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let omega = roots::root_of_unity(16).unwrap();
+        let input: Vec<Fp> = (0..16).map(|i| Fp::new(i * i + 1)).collect();
+        assert_eq!(idft(&dft(&input, omega), omega), input);
+    }
+
+    #[test]
+    fn shifted_impulse_gives_geometric_series() {
+        let omega = roots::root_of_unity(8).unwrap();
+        let mut input = vec![Fp::ZERO; 8];
+        input[1] = Fp::ONE;
+        let spectrum = dft(&input, omega);
+        for (k, &v) in spectrum.iter().enumerate() {
+            assert_eq!(v, omega.pow(k as u64));
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_by_hand() {
+        let omega = roots::root_of_unity(8).unwrap();
+        let a: Vec<Fp> = (1..=8).map(Fp::new).collect();
+        let b: Vec<Fp> = (0..8).map(|i| Fp::new(i * 3 + 2)).collect();
+        let expected = cyclic_convolve(&a, &b);
+        let fa = dft(&a, omega);
+        let fb = dft(&b, omega);
+        let pointwise: Vec<Fp> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+        assert_eq!(idft(&pointwise, omega), expected);
+    }
+}

@@ -1,0 +1,180 @@
+//! A common interface over the transform implementations, and automatic
+//! plan selection.
+
+use he_field::Fp;
+
+use crate::error::NttError;
+use crate::mixed::MixedRadixPlan;
+use crate::plan64k::{Ntt64k, N64K};
+use crate::radix2::Radix2Plan;
+
+/// A planned transform of fixed length with forward and inverse passes.
+///
+/// Implemented by [`Radix2Plan`], [`MixedRadixPlan`] and [`Ntt64k`], so
+/// callers can switch strategies (or accept any via `Box<dyn Transform>`).
+pub trait Transform {
+    /// The transform length.
+    fn len(&self) -> usize;
+
+    /// Whether the plan is empty (lengths are ≥ 2, so never).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forward transform, natural order in and out.
+    fn forward(&self, input: &[Fp]) -> Vec<Fp>;
+
+    /// Inverse transform including the `1/n` scaling.
+    fn inverse(&self, input: &[Fp]) -> Vec<Fp>;
+}
+
+impl Transform for Radix2Plan {
+    fn len(&self) -> usize {
+        Radix2Plan::len(self)
+    }
+
+    fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        Radix2Plan::forward(self, input)
+    }
+
+    fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        Radix2Plan::inverse(self, input)
+    }
+}
+
+impl Transform for MixedRadixPlan {
+    fn len(&self) -> usize {
+        MixedRadixPlan::len(self)
+    }
+
+    fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        MixedRadixPlan::forward(self, input)
+    }
+
+    fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        MixedRadixPlan::inverse(self, input)
+    }
+}
+
+impl Transform for Ntt64k {
+    fn len(&self) -> usize {
+        Ntt64k::len(self)
+    }
+
+    fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        Ntt64k::forward(self, input)
+    }
+
+    fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        Ntt64k::inverse(self, input)
+    }
+}
+
+/// Plans the preferred transform for length `n`, in the paper's style:
+/// the dedicated three-stage plan at 64K, a high-radix mixed plan when `n`
+/// factors into `{64, 32, 16, 8}`, and radix-2 otherwise.
+///
+/// # Errors
+///
+/// Returns [`NttError::UnsupportedSize`] if `n` is not a supported power
+/// of two.
+///
+/// ```
+/// use he_field::Fp;
+/// use he_ntt::plan::plan_for;
+///
+/// let plan = plan_for(4096)?;
+/// let data: Vec<Fp> = (0..4096).map(Fp::new).collect();
+/// assert_eq!(plan.inverse(&plan.forward(&data)), data);
+/// # Ok::<(), he_ntt::NttError>(())
+/// ```
+pub fn plan_for(n: usize) -> Result<Box<dyn Transform>, NttError> {
+    if n == N64K {
+        return Ok(Box::new(Ntt64k::new()));
+    }
+    if !n.is_power_of_two() || n < 2 {
+        return Err(NttError::UnsupportedSize {
+            n,
+            reason: "plan_for supports power-of-two lengths >= 2",
+        });
+    }
+    if let Some(radices) = high_radix_factorization(n) {
+        return Ok(Box::new(MixedRadixPlan::new(&radices)?));
+    }
+    Ok(Box::new(Radix2Plan::new(n)?))
+}
+
+/// Greedy factorization into the hardware radices `{64, 32, 16, 8}`, if
+/// one exists (i.e. `n = 2^k` with `k ≥ 3`).
+pub fn high_radix_factorization(n: usize) -> Option<Vec<usize>> {
+    if !n.is_power_of_two() || n < 8 {
+        return None;
+    }
+    let mut k = n.trailing_zeros();
+    let mut radices = Vec::new();
+    while k > 0 {
+        // Pick the largest radix that leaves a factorable remainder
+        // (remaining exponent 0 or ≥ 3).
+        let step = [6u32, 5, 4, 3]
+            .into_iter()
+            .find(|&s| s <= k && (k - s == 0 || k - s >= 3))?;
+        radices.push(1usize << step);
+        k -= step;
+    }
+    Some(radices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use he_field::roots;
+
+    #[test]
+    fn factorization_covers_all_exponents() {
+        for k in 3..=26u32 {
+            let n = 1usize << k;
+            let radices = high_radix_factorization(n).unwrap_or_else(|| panic!("k = {k}"));
+            assert_eq!(radices.iter().product::<usize>(), n, "k = {k}");
+            assert!(radices.iter().all(|r| [8, 16, 32, 64].contains(r)), "k = {k}");
+        }
+        assert_eq!(high_radix_factorization(4), None);
+        assert_eq!(high_radix_factorization(12), None);
+    }
+
+    #[test]
+    fn plan_for_picks_correct_lengths() {
+        for n in [2usize, 4, 8, 64, 1024, 65_536] {
+            let plan = plan_for(n).unwrap();
+            assert_eq!(plan.len(), n);
+            assert!(!plan.is_empty());
+        }
+        assert!(plan_for(0).is_err());
+        assert!(plan_for(100).is_err());
+    }
+
+    #[test]
+    fn all_plans_agree_through_the_trait() {
+        let n = 512;
+        let input: Vec<Fp> = (0..n as u64).map(|i| Fp::new(i * 17 + 5)).collect();
+        let expected = naive::dft(&input, roots::root_of_unity(n as u64).unwrap());
+        let plans: Vec<Box<dyn Transform>> = vec![
+            Box::new(Radix2Plan::new(n).unwrap()),
+            Box::new(MixedRadixPlan::new(&[64, 8]).unwrap()),
+            plan_for(n).unwrap(),
+        ];
+        for plan in &plans {
+            assert_eq!(plan.forward(&input), expected);
+            assert_eq!(plan.inverse(&plan.forward(&input)), input);
+        }
+    }
+
+    #[test]
+    fn trait_objects_roundtrip_at_64k() {
+        let plan = plan_for(N64K).unwrap();
+        let mut v = vec![Fp::ZERO; N64K];
+        v[1] = Fp::new(7);
+        v[99] = Fp::new(13);
+        assert_eq!(plan.inverse(&plan.forward(&v)), v);
+    }
+}

@@ -1,0 +1,267 @@
+//! The paper's three-stage 64K-point transform (Eq. 2), with precomputed
+//! inter-stage twiddle tables.
+//!
+//! Index layout (DESIGN.md §7): input `n = 1024·n3 + 16·n2 + n1` with
+//! `n3, n2 ∈ [0, 64)`, `n1 ∈ [0, 16)`; output `k = kA + 64·kB + 4096·kC`.
+//!
+//! * **Stage 1** — 1024 shift-only 64-point DFTs over `n3` → digit `kA`;
+//! * **Twiddle 2** — multiply by `ω_4096^{kA·n2}` (the accelerator's
+//!   DSP modular multipliers);
+//! * **Stage 2** — 1024 shift-only 64-point DFTs over `n2` → digit `kB`;
+//! * **Twiddle 3** — multiply by `ω^{n1·(kA + 64·kB)}`;
+//! * **Stage 3** — 4096 shift-only 16-point DFTs over `n1` → digit `kC`.
+//!
+//! These are exactly the operation counts behind the paper's timing model:
+//! two stages of 1024 FFT-64s plus one stage of 4096 FFT-16s
+//! (`T_FFT = 2·(T_C·8·1024)/P + (T_C·2)·4096/P`).
+
+use he_field::{roots, Fp};
+
+use crate::error::NttError;
+use crate::kernels::{self, Direction};
+
+/// The transform length of the paper's plan: 64K points.
+pub const N64K: usize = 65_536;
+
+/// The paper's 64K-point NTT (radix-64 × radix-64 × radix-16), forward and
+/// inverse, with precomputed twiddle tables.
+///
+/// The inverse applies the `1/65536 = 2^{176} (mod p)` scaling — itself a
+/// shift, one more convenience of the Solinas prime.
+///
+/// ```
+/// use he_field::Fp;
+/// use he_ntt::{Ntt64k, N64K};
+///
+/// let plan = Ntt64k::new();
+/// let mut x = vec![Fp::ZERO; N64K];
+/// x[3] = Fp::new(9);
+/// assert_eq!(plan.inverse(&plan.forward(&x)), x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ntt64k {
+    /// `ω^e` for `e ∈ [0, 65536)`, `ω` the aligned 65,536th root.
+    table: Vec<Fp>,
+}
+
+impl Default for Ntt64k {
+    fn default() -> Ntt64k {
+        Ntt64k::new()
+    }
+}
+
+impl Ntt64k {
+    /// Builds the plan (computes the 64K-entry twiddle table once).
+    pub fn new() -> Ntt64k {
+        Ntt64k {
+            table: roots::power_table(roots::omega_64k(), N64K),
+        }
+    }
+
+    /// The transform length (always [`N64K`]).
+    pub fn len(&self) -> usize {
+        N64K
+    }
+
+    /// Whether the plan is empty (never; provided for convention).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The primitive 65,536th root in use.
+    pub fn omega(&self) -> Fp {
+        self.table[1]
+    }
+
+    #[inline]
+    fn tw(&self, e: usize, direction: Direction) -> Fp {
+        match direction {
+            Direction::Forward => self.table[e % N64K],
+            Direction::Inverse => self.table[(N64K - e % N64K) % N64K],
+        }
+    }
+
+    /// Forward 64K-point transform (natural order in and out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 65536`.
+    pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        self.transform(input, Direction::Forward)
+    }
+
+    /// Inverse 64K-point transform including the `1/n` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != 65536`.
+    pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        let mut out = self.transform(input, Direction::Inverse);
+        // 1/65536 = 2^{-16} = 2^{176} (mod p): the scaling is a shift.
+        for x in out.iter_mut() {
+            *x = x.mul_by_pow2(176);
+        }
+        out
+    }
+
+    /// Fallible forward transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::LengthMismatch`] if the input is not 64K points.
+    pub fn try_forward(&self, input: &[Fp]) -> Result<Vec<Fp>, NttError> {
+        if input.len() != N64K {
+            return Err(NttError::LengthMismatch {
+                expected: N64K,
+                actual: input.len(),
+            });
+        }
+        Ok(self.forward(input))
+    }
+
+    fn transform(&self, input: &[Fp], dir: Direction) -> Vec<Fp> {
+        assert_eq!(input.len(), N64K, "Ntt64k operates on 65536 points");
+
+        // Stage 1: 64-point DFTs over n3 (stride 1024), for each
+        // m = 16·n2 + n1. Result s1[kA·1024 + m].
+        let mut s1 = vec![Fp::ZERO; N64K];
+        let mut column = [Fp::ZERO; 64];
+        for m in 0..1024 {
+            for (d, c) in column.iter_mut().enumerate() {
+                *c = input[1024 * d + m];
+            }
+            let sub = kernels::ntt_small(&column, dir).expect("64 is supported");
+            for (ka, &v) in sub.iter().enumerate() {
+                s1[ka * 1024 + m] = v;
+            }
+        }
+
+        // Twiddle 2 + Stage 2: for each (kA, n1), 64-point DFT over n2.
+        // Input element (kA, n2, n1) sits at s1[kA·1024 + 16·n2 + n1] and is
+        // twiddled by ω_4096^{kA·n2} = ω^{16·kA·n2}.
+        // Result s2[(kA + 64·kB)·16 + n1].
+        let mut s2 = vec![Fp::ZERO; N64K];
+        for ka in 0..64 {
+            for n1 in 0..16 {
+                for (n2, c) in column.iter_mut().enumerate().take(64) {
+                    let v = s1[ka * 1024 + 16 * n2 + n1];
+                    *c = v * self.tw(16 * ka * n2, dir);
+                }
+                let sub = kernels::ntt_small(&column, dir).expect("64 is supported");
+                for (kb, &v) in sub.iter().enumerate() {
+                    s2[(ka + 64 * kb) * 16 + n1] = v;
+                }
+            }
+        }
+
+        // Twiddle 3 + Stage 3: for each k2' = kA + 64·kB, 16-point DFT over
+        // n1 with twiddle ω^{n1·k2'}. Output k = k2' + 4096·kC.
+        let mut out = vec![Fp::ZERO; N64K];
+        let mut col16 = [Fp::ZERO; 16];
+        for k2p in 0..4096 {
+            for (n1, c) in col16.iter_mut().enumerate() {
+                let v = s2[k2p * 16 + n1];
+                *c = v * self.tw(n1 * k2p, dir);
+            }
+            let sub = kernels::ntt_small(&col16, dir).expect("16 is supported");
+            for (kc, &v) in sub.iter().enumerate() {
+                out[k2p + 4096 * kc] = v;
+            }
+        }
+        out
+    }
+
+    /// Operation census for one forward transform, used by the performance
+    /// and resource models: `(fft64_count, fft16_count, twiddle_muls)`.
+    pub fn operation_counts() -> (usize, usize, usize) {
+        // 1024 FFT-64s in each of stages 1 and 2; 4096 FFT-16s in stage 3;
+        // twiddle multiplications before stages 2 and 3 (64K each, minus the
+        // trivial ω^0 ones which hardware still spends a multiplier slot on).
+        (2 * 1024, 4096, 2 * N64K)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixed::MixedRadixPlan;
+
+    fn sparse_input() -> Vec<Fp> {
+        let mut v = vec![Fp::ZERO; N64K];
+        v[0] = Fp::new(3);
+        v[1] = Fp::new(1);
+        v[17] = Fp::new(255);
+        v[1024] = Fp::new(7);
+        v[65_535] = Fp::new(11);
+        v
+    }
+
+    #[test]
+    fn impulse_spectrum_is_flat() {
+        let plan = Ntt64k::new();
+        let mut v = vec![Fp::ZERO; N64K];
+        v[0] = Fp::new(42);
+        let f = plan.forward(&v);
+        assert!(f.iter().all(|&x| x == Fp::new(42)));
+    }
+
+    #[test]
+    fn shifted_impulse_spectrum_is_geometric() {
+        let plan = Ntt64k::new();
+        let mut v = vec![Fp::ZERO; N64K];
+        v[1] = Fp::ONE;
+        let f = plan.forward(&v);
+        let w = plan.omega();
+        // Spot-check a handful of frequencies (the full check is O(n log n)
+        // worth of pows).
+        for k in [0usize, 1, 2, 63, 64, 4095, 4096, 65_535] {
+            assert_eq!(f[k], w.pow(k as u64), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let plan = Ntt64k::new();
+        let v = sparse_input();
+        assert_eq!(plan.inverse(&plan.forward(&v)), v);
+    }
+
+    #[test]
+    fn matches_generic_mixed_radix() {
+        let plan = Ntt64k::new();
+        let generic = MixedRadixPlan::paper_64k();
+        let v = sparse_input();
+        assert_eq!(plan.forward(&v), generic.forward(&v));
+    }
+
+    #[test]
+    fn alternative_factorizations_agree() {
+        // The unit "can be adapted … to compute also Radix-8, Radix-16 and
+        // Radix-32 FFTs. This gives us greater flexibility in choosing an
+        // FFT order": any factorization of 64K must give the same spectrum.
+        let plan = Ntt64k::new();
+        let v = sparse_input();
+        let reference = plan.forward(&v);
+        for radices in [vec![32usize, 32, 8, 8], vec![16, 64, 64], vec![8, 8, 8, 8, 16]] {
+            let alt = MixedRadixPlan::new(&radices).unwrap();
+            assert_eq!(alt.len(), N64K);
+            assert_eq!(alt.forward(&v), reference, "radices {radices:?}");
+        }
+    }
+
+    #[test]
+    fn try_forward_length_check() {
+        let plan = Ntt64k::new();
+        assert!(matches!(
+            plan.try_forward(&[Fp::ZERO; 4]),
+            Err(NttError::LengthMismatch { expected: N64K, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn operation_counts_match_paper_formula() {
+        let (fft64, fft16, _) = Ntt64k::operation_counts();
+        assert_eq!(fft64, 2048);
+        assert_eq!(fft16, 4096);
+    }
+}

@@ -1,0 +1,284 @@
+//! The six-step (transpose-based) transform — the textbook realization of
+//! the paper's Eq. 1 decomposition `N = N1·N2`.
+//!
+//! Section III derives the general Cooley–Tukey splitting
+//!
+//! ```text
+//! F[N1·k2 + k1] = Σ_{n2} [ ( Σ_{n1} f[N2·n1 + n2]·ω_{N1}^{n1·k1} )·ω_N^{n2·k1} ]·ω_{N2}^{n2·k2}
+//! ```
+//!
+//! The paper applies it recursively to get the three-stage radix-64/16
+//! plan; applied *once* with explicit matrix transposes it is the
+//! "four-step/six-step" algorithm common on shared-memory machines:
+//!
+//! 1. transpose the `N1 × N2` coefficient matrix;
+//! 2. `N2` transforms of length `N1` (now row-contiguous);
+//! 3. multiply by the twiddles `ω_N^{n2·k1}`;
+//! 4. transpose back;
+//! 5. `N1` transforms of length `N2`;
+//! 6. transpose into the output ordering.
+//!
+//! It computes exactly the same DFT as [`Radix2Plan`] and the paper's
+//! [`crate::Ntt64k`] — asserted by tests — and serves as the
+//! shared-memory counterpoint to the paper's distributed schedule: the
+//! transposes are the all-to-all traffic the hypercube exchanges
+//! implement, made explicit.
+//!
+//! ```
+//! use he_field::Fp;
+//! use he_ntt::{Radix2Plan, SixStepPlan};
+//!
+//! let six = SixStepPlan::new(16, 64)?; // 1024 points as a 16 × 64 matrix
+//! let reference = Radix2Plan::new(1024)?;
+//! let data: Vec<Fp> = (0..1024).map(Fp::new).collect();
+//! assert_eq!(six.forward(&data), reference.forward(&data));
+//! # Ok::<(), he_ntt::NttError>(())
+//! ```
+
+use he_field::{roots, Fp};
+
+use crate::error::NttError;
+use crate::radix2::Radix2Plan;
+
+/// A planned `N = N1·N2` six-step transform.
+#[derive(Debug, Clone)]
+pub struct SixStepPlan {
+    n1: usize,
+    n2: usize,
+    omega: Fp,
+    omega_inv: Fp,
+    /// Length-`n1` sub-transform with root `ω^{N2}`.
+    col_plan: Radix2Plan,
+    /// Length-`n2` sub-transform with root `ω^{N1}`.
+    row_plan: Radix2Plan,
+}
+
+impl SixStepPlan {
+    /// Plans an `(n1, n2)` decomposition of an `n1·n2`-point transform,
+    /// using the same canonical root as [`Radix2Plan::new`] so results are
+    /// interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::UnsupportedSize`] unless `n1` and `n2` are
+    /// powers of two `≥ 2` and `n1·n2` divides `p − 1`.
+    pub fn new(n1: usize, n2: usize) -> Result<SixStepPlan, NttError> {
+        let n = n1.checked_mul(n2).ok_or(NttError::UnsupportedSize {
+            n: usize::MAX,
+            reason: "n1*n2 overflows",
+        })?;
+        let omega = roots::root_of_unity(n as u64).ok_or(NttError::UnsupportedSize {
+            n,
+            reason: "length must divide p-1",
+        })?;
+        let col_plan = Radix2Plan::with_omega(n1, omega.pow(n2 as u64))?;
+        let row_plan = Radix2Plan::with_omega(n2, omega.pow(n1 as u64))?;
+        Ok(SixStepPlan {
+            n1,
+            n2,
+            omega,
+            omega_inv: omega.inverse().expect("root of unity is invertible"),
+            col_plan,
+            row_plan,
+        })
+    }
+
+    /// The square-ish decomposition of a 64K transform (256 × 256).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: 256 × 256 is always plannable.
+    pub fn square_64k() -> SixStepPlan {
+        SixStepPlan::new(256, 256).expect("256 x 256 is a valid plan")
+    }
+
+    /// Total transform length `N = N1·N2`.
+    pub fn len(&self) -> usize {
+        self.n1 * self.n2
+    }
+
+    /// Whether the plan is empty (it never is; for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `(N1, N2)` factorization.
+    pub fn factors(&self) -> (usize, usize) {
+        (self.n1, self.n2)
+    }
+
+    /// The primitive `N`-th root of unity in use.
+    pub fn omega(&self) -> Fp {
+        self.omega
+    }
+
+    /// Forward transform (natural order in, natural order out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        assert_eq!(input.len(), self.len(), "input length must be N1*N2");
+        // Input matrix A[n1][n2] = f[N2·n1 + n2] is row-major as given.
+        // Step 1: transpose to N2 × N1 so columns become contiguous rows.
+        let t = transpose(input, self.n1, self.n2);
+        // Step 2: N2 length-N1 transforms (over n1, producing digit k1).
+        let mut g = Vec::with_capacity(self.len());
+        for row in t.chunks_exact(self.n1) {
+            g.extend(self.col_plan.forward(row));
+        }
+        // Step 3: twiddle G[n2][k1] by ω^{n2·k1}, row by row.
+        for (n2, row) in g.chunks_exact_mut(self.n1).enumerate() {
+            let step = self.omega.pow(n2 as u64);
+            let mut w = Fp::ONE;
+            for value in row.iter_mut() {
+                *value = *value * w;
+                w = w * step;
+            }
+        }
+        // Step 4: transpose back to N1 × N2 (rows indexed by k1).
+        let u = transpose(&g, self.n2, self.n1);
+        // Step 5: N1 length-N2 transforms (over n2, producing digit k2).
+        let mut h = Vec::with_capacity(self.len());
+        for row in u.chunks_exact(self.n2) {
+            h.extend(self.row_plan.forward(row));
+        }
+        // Step 6: transpose so F[N1·k2 + k1] — k1 is the fast output digit.
+        transpose(&h, self.n1, self.n2)
+    }
+
+    /// Inverse transform (exact inverse of [`SixStepPlan::forward`],
+    /// including the `1/N` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.len()`.
+    pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        assert_eq!(input.len(), self.len(), "input length must be N1*N2");
+        // Undo step 6: back to H[k1][k2].
+        let h = transpose(input, self.n2, self.n1);
+        // Undo step 5: inverse length-N2 transforms (scales by 1/N2).
+        let mut u = Vec::with_capacity(self.len());
+        for row in h.chunks_exact(self.n2) {
+            u.extend(self.row_plan.inverse(row));
+        }
+        // Undo step 4: to G[n2][k1].
+        let mut g = transpose(&u, self.n1, self.n2);
+        // Undo step 3: inverse twiddles ω^{-n2·k1}.
+        for (n2, row) in g.chunks_exact_mut(self.n1).enumerate() {
+            let step = self.omega_inv.pow(n2 as u64);
+            let mut w = Fp::ONE;
+            for value in row.iter_mut() {
+                *value = *value * w;
+                w = w * step;
+            }
+        }
+        // Undo step 2: inverse length-N1 transforms (scales by 1/N1).
+        let mut t = Vec::with_capacity(self.len());
+        for row in g.chunks_exact(self.n1) {
+            t.extend(self.col_plan.inverse(row));
+        }
+        // Undo step 1.
+        transpose(&t, self.n2, self.n1)
+    }
+}
+
+/// Transposes a row-major `rows × cols` matrix.
+fn transpose(src: &[Fp], rows: usize, cols: usize) -> Vec<Fp> {
+    debug_assert_eq!(src.len(), rows * cols);
+    let mut dst = vec![Fp::ZERO; src.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use crate::plan64k::Ntt64k;
+
+    fn ramp(n: usize) -> Vec<Fp> {
+        (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_on_small_sizes() {
+        for (n1, n2) in [(2usize, 2usize), (2, 4), (4, 4), (8, 4), (4, 16)] {
+            let plan = SixStepPlan::new(n1, n2).unwrap();
+            let input = ramp(n1 * n2);
+            let expected = naive::dft(&input, plan.omega());
+            assert_eq!(plan.forward(&input), expected, "({n1}, {n2})");
+        }
+    }
+
+    #[test]
+    fn matches_radix2_plan_across_shapes() {
+        for (n1, n2) in [(4usize, 64usize), (64, 4), (16, 16), (32, 128), (128, 32)] {
+            let n = n1 * n2;
+            let six = SixStepPlan::new(n1, n2).unwrap();
+            let reference = Radix2Plan::new(n).unwrap();
+            let input = ramp(n);
+            assert_eq!(six.forward(&input), reference.forward(&input), "({n1}, {n2})");
+        }
+    }
+
+    #[test]
+    fn rectangular_and_square_factorizations_agree() {
+        let input = ramp(4096);
+        let square = SixStepPlan::new(64, 64).unwrap();
+        let tall = SixStepPlan::new(256, 16).unwrap();
+        let wide = SixStepPlan::new(16, 256).unwrap();
+        let expected = square.forward(&input);
+        assert_eq!(tall.forward(&input), expected);
+        assert_eq!(wide.forward(&input), expected);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for (n1, n2) in [(4usize, 8usize), (16, 16), (64, 16)] {
+            let plan = SixStepPlan::new(n1, n2).unwrap();
+            let input = ramp(n1 * n2);
+            assert_eq!(plan.inverse(&plan.forward(&input)), input, "({n1}, {n2})");
+        }
+    }
+
+    #[test]
+    fn square_64k_matches_the_paper_plan() {
+        // The paper's three-stage 64K transform and the 256×256 six-step
+        // transform are the same mathematical object (both are Eq. 1).
+        let six = SixStepPlan::square_64k();
+        assert_eq!(six.len(), 65_536);
+        assert_eq!(six.factors(), (256, 256));
+        let paper = Ntt64k::new();
+        let input = ramp(65_536);
+        let a = six.forward(&input);
+        let b = paper.forward(&input);
+        assert_eq!(a, b);
+        assert_eq!(six.inverse(&a), input);
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        assert!(SixStepPlan::new(3, 4).is_err()); // not a power of two
+        assert!(SixStepPlan::new(0, 4).is_err());
+        assert!(SixStepPlan::new(1, 4).is_err()); // sub-plan needs ≥ 2
+    }
+
+    #[test]
+    #[should_panic(expected = "input length must be N1*N2")]
+    fn forward_checks_length() {
+        SixStepPlan::new(4, 4).unwrap().forward(&ramp(15));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = ramp(24);
+        assert_eq!(transpose(&transpose(&m, 4, 6), 6, 4), m);
+    }
+}

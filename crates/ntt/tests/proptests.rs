@@ -1,0 +1,127 @@
+//! Property-based cross-checks between the transform implementations.
+
+use he_field::{roots, Fp};
+use he_ntt::kernels::{self, Direction};
+use he_ntt::{naive, MixedRadixPlan, Radix2Plan};
+use proptest::prelude::*;
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<Fp>> {
+    proptest::collection::vec(any::<u64>().prop_map(Fp::new), n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn radix2_matches_naive(v in arb_vec(32)) {
+        let plan = Radix2Plan::new(32).unwrap();
+        prop_assert_eq!(plan.forward(&v), naive::dft(&v, plan.omega()));
+    }
+
+    #[test]
+    fn radix2_roundtrip(v in arb_vec(128)) {
+        let plan = Radix2Plan::new(128).unwrap();
+        prop_assert_eq!(plan.inverse(&plan.forward(&v)), v);
+    }
+
+    #[test]
+    fn kernels_match_naive_64(v in arb_vec(64)) {
+        prop_assert_eq!(
+            kernels::ntt_small(&v, Direction::Forward).unwrap(),
+            naive::dft(&v, roots::OMEGA_64)
+        );
+    }
+
+    #[test]
+    fn kernels_match_naive_16(v in arb_vec(16)) {
+        prop_assert_eq!(
+            kernels::ntt_small(&v, Direction::Forward).unwrap(),
+            naive::dft(&v, roots::OMEGA_16)
+        );
+    }
+
+    #[test]
+    fn mixed_radix_matches_radix2(v in arb_vec(512)) {
+        // 512 = 8·64; radix-2 and mixed-radix share the canonical root chain.
+        let mixed = MixedRadixPlan::new(&[8, 64]).unwrap();
+        let radix2 = Radix2Plan::new(512).unwrap();
+        prop_assert_eq!(mixed.omega(), radix2.omega());
+        prop_assert_eq!(mixed.forward(&v), radix2.forward(&v));
+    }
+
+    #[test]
+    fn mixed_radix_roundtrip_1024(v in arb_vec(1024)) {
+        let plan = MixedRadixPlan::new(&[64, 16]).unwrap();
+        prop_assert_eq!(plan.inverse(&plan.forward(&v)), v);
+    }
+
+    #[test]
+    fn convolution_theorem_pow2(
+        a in arb_vec(64),
+        b in arb_vec(64)
+    ) {
+        prop_assert_eq!(
+            he_ntt::convolution::cyclic_convolve_pow2(&a, &b).unwrap(),
+            naive::cyclic_convolve(&a, &b)
+        );
+    }
+
+    #[test]
+    fn parseval_like_dc_term(v in arb_vec(64)) {
+        // F[0] is the plain sum of the inputs for any correct DFT.
+        let f = kernels::ntt_small(&v, Direction::Forward).unwrap();
+        let sum: Fp = v.iter().copied().sum();
+        prop_assert_eq!(f[0], sum);
+    }
+
+    #[test]
+    fn negacyclic_matches_naive(a in arb_vec(32), b in arb_vec(32)) {
+        let plan = he_ntt::NegacyclicPlan::new(32).unwrap();
+        prop_assert_eq!(
+            plan.multiply(&a, &b),
+            he_ntt::negacyclic::naive_negacyclic(&a, &b)
+        );
+    }
+
+    #[test]
+    fn negacyclic_roundtrip(a in arb_vec(64)) {
+        let plan = he_ntt::NegacyclicPlan::new(64).unwrap();
+        prop_assert_eq!(plan.inverse(&plan.forward(&a)), a);
+    }
+
+    #[test]
+    fn plan_trait_implementations_agree(a in arb_vec(64)) {
+        use he_ntt::plan::{plan_for, Transform};
+        let via_trait = plan_for(64).unwrap();
+        let direct = Radix2Plan::new(64).unwrap();
+        prop_assert_eq!(via_trait.forward(&a), Transform::forward(&direct, &a));
+    }
+
+    #[test]
+    fn transform_is_linear(a in arb_vec(64), b in arb_vec(64), c in any::<u64>().prop_map(Fp::new)) {
+        let fa = kernels::ntt_small(&a, Direction::Forward).unwrap();
+        let fb = kernels::ntt_small(&b, Direction::Forward).unwrap();
+        let combo: Vec<Fp> = a.iter().zip(&b).map(|(&x, &y)| x * c + y).collect();
+        let fcombo = kernels::ntt_small(&combo, Direction::Forward).unwrap();
+        for k in 0..64 {
+            prop_assert_eq!(fcombo[k], fa[k] * c + fb[k]);
+        }
+    }
+}
+
+/// The 64K plan agrees with the radix-2 transform built on the same root.
+/// One deterministic case (a 64K proptest case would dominate runtime).
+#[test]
+fn ntt64k_matches_radix2_on_same_root() {
+    use he_ntt::{Ntt64k, N64K};
+    let plan = Ntt64k::new();
+    let radix2 = Radix2Plan::with_omega(N64K, roots::omega_64k()).unwrap();
+    let mut v = vec![Fp::ZERO; N64K];
+    for i in 0..N64K {
+        if i % 97 == 0 {
+            v[i] = Fp::new((i as u64).wrapping_mul(0xdead_beef));
+        }
+    }
+    assert_eq!(plan.forward(&v), radix2.forward(&v));
+    assert_eq!(plan.inverse(&plan.forward(&v)), v);
+}

@@ -1,0 +1,37 @@
+//! Dense polynomial and quotient-ring arithmetic over `F_p`,
+//! `p = 2^64 − 2^32 + 1`.
+//!
+//! Section III of the paper observes that its multiplier serves not only
+//! the integer-based FHE schemes but also "solutions based on Lattice
+//! problems and Learning with Errors, which may thus be implemented on top
+//! of the accelerator". Those schemes compute in polynomial rings; this
+//! crate provides that layer:
+//!
+//! * [`Poly`] — dense polynomials over `F_p` with NTT-backed
+//!   multiplication (the accelerator's transforms);
+//! * [`RingElement`] — arithmetic in `R = F_p[X]/(X^n + 1)`, the standard
+//!   RLWE ring, with negacyclic NTT products;
+//! * [`rlwe`] — a compact RLWE symmetric encryption scheme built on the
+//!   ring, exercising the full path.
+//!
+//! # Example
+//!
+//! ```
+//! use he_field::Fp;
+//! use he_poly::Poly;
+//!
+//! let a = Poly::from_coeffs(vec![Fp::ONE, Fp::ONE]); // 1 + X
+//! let b = Poly::from_coeffs(vec![Fp::ONE, -Fp::ONE]); // 1 − X
+//! let product = &a * &b; // 1 − X²
+//! assert_eq!(product, Poly::from_coeffs(vec![Fp::ONE, Fp::ZERO, -Fp::ONE]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod poly;
+mod ring;
+pub mod rlwe;
+
+pub use poly::Poly;
+pub use ring::{RingContext, RingElement};

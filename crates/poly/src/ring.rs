@@ -1,0 +1,332 @@
+//! The RLWE quotient ring `R = F_p[X]/(X^n + 1)`.
+
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
+
+use he_field::Fp;
+use he_ntt::{NegacyclicPlan, NttError};
+
+use crate::poly::Poly;
+
+/// A shared context for ring arithmetic: the dimension and the planned
+/// negacyclic transform.
+///
+/// ```
+/// use he_field::Fp;
+/// use he_poly::RingContext;
+///
+/// let ring = RingContext::new(8)?;
+/// let x = ring.element_from(&[Fp::ZERO, Fp::ONE]); // X
+/// // X^4 · X^4 = X^8 ≡ −1.
+/// let x4 = ring.monomial(4);
+/// assert_eq!((&x4 * &x4), -ring.one());
+/// # drop(x);
+/// # Ok::<(), he_ntt::NttError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingContext {
+    n: usize,
+    plan: Arc<NegacyclicPlan>,
+}
+
+impl RingContext {
+    /// Creates the ring `F_p[X]/(X^n + 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::UnsupportedSize`] unless `n` is a supported
+    /// power of two.
+    pub fn new(n: usize) -> Result<RingContext, NttError> {
+        Ok(RingContext {
+            n,
+            plan: Arc::new(NegacyclicPlan::new(n)?),
+        })
+    }
+
+    /// The ring dimension `n`.
+    pub fn dimension(&self) -> usize {
+        self.n
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> RingElement {
+        RingElement {
+            ctx: self.clone(),
+            coeffs: vec![Fp::ZERO; self.n],
+        }
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> RingElement {
+        self.monomial(0)
+    }
+
+    /// The monomial `X^k` (reduced: `X^n ≡ −1`).
+    pub fn monomial(&self, k: usize) -> RingElement {
+        let mut coeffs = vec![Fp::ZERO; self.n];
+        let sign = (k / self.n) % 2 == 1;
+        coeffs[k % self.n] = if sign { -Fp::ONE } else { Fp::ONE };
+        RingElement {
+            ctx: self.clone(),
+            coeffs,
+        }
+    }
+
+    /// An element from (at most `n`) little-endian coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `n` coefficients are supplied.
+    pub fn element_from(&self, coeffs: &[Fp]) -> RingElement {
+        assert!(coeffs.len() <= self.n, "too many coefficients for the ring");
+        let mut v = coeffs.to_vec();
+        v.resize(self.n, Fp::ZERO);
+        RingElement {
+            ctx: self.clone(),
+            coeffs: v,
+        }
+    }
+
+    /// Reduces an arbitrary polynomial modulo `X^n + 1`.
+    pub fn reduce(&self, poly: &Poly) -> RingElement {
+        let mut coeffs = vec![Fp::ZERO; self.n];
+        for (i, &c) in poly.coeffs().iter().enumerate() {
+            let slot = i % self.n;
+            if (i / self.n) % 2 == 0 {
+                coeffs[slot] += c;
+            } else {
+                coeffs[slot] -= c;
+            }
+        }
+        RingElement {
+            ctx: self.clone(),
+            coeffs,
+        }
+    }
+
+    /// A uniformly random element.
+    pub fn random<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> RingElement {
+        RingElement {
+            ctx: self.clone(),
+            coeffs: (0..self.n).map(|_| Fp::new(rng.gen())).collect(),
+        }
+    }
+
+    /// A random element with ternary coefficients (`−1, 0, 1`) — the small
+    /// secrets/errors of RLWE.
+    pub fn random_ternary<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> RingElement {
+        RingElement {
+            ctx: self.clone(),
+            coeffs: (0..self.n)
+                .map(|_| match rng.gen_range(0..3) {
+                    0 => Fp::ZERO,
+                    1 => Fp::ONE,
+                    _ => -Fp::ONE,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An element of `F_p[X]/(X^n + 1)`: exactly `n` coefficients.
+#[derive(Clone)]
+pub struct RingElement {
+    ctx: RingContext,
+    coeffs: Vec<Fp>,
+}
+
+impl RingElement {
+    /// The coefficients (always length `n`).
+    pub fn coeffs(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
+    /// The ring this element belongs to.
+    pub fn context(&self) -> &RingContext {
+        &self.ctx
+    }
+
+    fn assert_same_ring(&self, other: &RingElement) {
+        assert_eq!(
+            self.ctx.n, other.ctx.n,
+            "ring elements must share a dimension"
+        );
+    }
+}
+
+impl PartialEq for RingElement {
+    fn eq(&self, other: &RingElement) -> bool {
+        self.ctx.n == other.ctx.n && self.coeffs == other.coeffs
+    }
+}
+
+impl Eq for RingElement {}
+
+impl fmt::Debug for RingElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RingElement(n={}, {:?})", self.ctx.n, &self.coeffs[..self.coeffs.len().min(4)])
+    }
+}
+
+impl Add<&RingElement> for &RingElement {
+    type Output = RingElement;
+
+    fn add(self, rhs: &RingElement) -> RingElement {
+        self.assert_same_ring(rhs);
+        RingElement {
+            ctx: self.ctx.clone(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Add for RingElement {
+    type Output = RingElement;
+
+    fn add(self, rhs: RingElement) -> RingElement {
+        &self + &rhs
+    }
+}
+
+impl Sub<&RingElement> for &RingElement {
+    type Output = RingElement;
+
+    fn sub(self, rhs: &RingElement) -> RingElement {
+        self.assert_same_ring(rhs);
+        RingElement {
+            ctx: self.ctx.clone(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for RingElement {
+    type Output = RingElement;
+
+    fn sub(self, rhs: RingElement) -> RingElement {
+        &self - &rhs
+    }
+}
+
+impl Neg for RingElement {
+    type Output = RingElement;
+
+    fn neg(self) -> RingElement {
+        RingElement {
+            coeffs: self.coeffs.iter().map(|&c| -c).collect(),
+            ctx: self.ctx,
+        }
+    }
+}
+
+impl Neg for &RingElement {
+    type Output = RingElement;
+
+    fn neg(self) -> RingElement {
+        -self.clone()
+    }
+}
+
+impl Mul<&RingElement> for &RingElement {
+    type Output = RingElement;
+
+    /// Negacyclic NTT product — two forward transforms, a pointwise
+    /// product and an inverse, exactly the accelerator's dataflow.
+    fn mul(self, rhs: &RingElement) -> RingElement {
+        self.assert_same_ring(rhs);
+        RingElement {
+            ctx: self.ctx.clone(),
+            coeffs: self.ctx.plan.multiply(&self.coeffs, &rhs.coeffs),
+        }
+    }
+}
+
+impl Mul for RingElement {
+    type Output = RingElement;
+
+    fn mul(self, rhs: RingElement) -> RingElement {
+        &self * &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn x_to_the_n_is_minus_one() {
+        let ring = RingContext::new(16).unwrap();
+        assert_eq!(ring.monomial(16), -ring.one());
+        assert_eq!(ring.monomial(32), ring.one());
+        let x8 = ring.monomial(8);
+        assert_eq!(&x8 * &x8, -ring.one());
+    }
+
+    #[test]
+    fn reduce_matches_monomial_convention() {
+        let ring = RingContext::new(8).unwrap();
+        // X^9 ≡ −X.
+        let reduced = ring.reduce(&Poly::monomial(9));
+        assert_eq!(reduced, -ring.monomial(1));
+        // X^16 ≡ 1.
+        assert_eq!(ring.reduce(&Poly::monomial(16)), ring.one());
+    }
+
+    #[test]
+    fn ring_product_matches_reduce_of_poly_product() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ring = RingContext::new(32).unwrap();
+        let a = ring.random(&mut rng);
+        let b = ring.random(&mut rng);
+        let direct = &a * &b;
+        let via_poly = ring.reduce(
+            &(&Poly::from_coeffs(a.coeffs().to_vec()) * &Poly::from_coeffs(b.coeffs().to_vec())),
+        );
+        assert_eq!(direct, via_poly);
+    }
+
+    #[test]
+    fn ring_axioms() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let ring = RingContext::new(64).unwrap();
+        let a = ring.random(&mut rng);
+        let b = ring.random(&mut rng);
+        let c = ring.random(&mut rng);
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+        assert_eq!(&a * &ring.one(), a.clone());
+        assert_eq!(&a * &ring.zero(), ring.zero());
+        assert_eq!(&a - &a, ring.zero());
+    }
+
+    #[test]
+    fn ternary_elements_are_small() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ring = RingContext::new(128).unwrap();
+        let t = ring.random_ternary(&mut rng);
+        for &c in t.coeffs() {
+            assert!(c == Fp::ZERO || c == Fp::ONE || c == -Fp::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn cross_ring_operations_panic() {
+        let r8 = RingContext::new(8).unwrap();
+        let r16 = RingContext::new(16).unwrap();
+        let _ = &r8.one() + &r16.one();
+    }
+}

@@ -1,0 +1,143 @@
+//! A compact RLWE symmetric encryption scheme on the ring — the
+//! lattice-side workload of Section III, as a library (the
+//! `rlwe_polymul` example shows the same flow inline).
+//!
+//! Encryption of a binary message polynomial `m`:
+//!
+//! ```text
+//! a  ← uniform in R,   e ← small,   s = secret (small)
+//! ct = (c0, c1) = (a·s + e + ⌊q/2⌋·m,  −a)
+//! ```
+//!
+//! Decryption computes `c0 + c1·s = e + ⌊q/2⌋·m` and rounds each
+//! coefficient to the nearer of `{0, ⌊q/2⌋}`. Every ring product is a
+//! negacyclic NTT — the transform the accelerator implements.
+
+use he_field::{Fp, P};
+use rand::Rng;
+
+use crate::ring::{RingContext, RingElement};
+
+/// The RLWE secret key: a small ring element.
+#[derive(Debug, Clone)]
+pub struct RlweSecretKey {
+    s: RingElement,
+}
+
+/// An RLWE ciphertext pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RlweCiphertext {
+    c0: RingElement,
+    c1: RingElement,
+}
+
+impl RlweCiphertext {
+    /// The `c0` component.
+    pub fn c0(&self) -> &RingElement {
+        &self.c0
+    }
+
+    /// The `c1` component.
+    pub fn c1(&self) -> &RingElement {
+        &self.c1
+    }
+
+    /// Homomorphic addition (message bits XOR as long as errors stay
+    /// small).
+    pub fn add(&self, other: &RlweCiphertext) -> RlweCiphertext {
+        RlweCiphertext {
+            c0: &self.c0 + &other.c0,
+            c1: &self.c1 + &other.c1,
+        }
+    }
+}
+
+impl RlweSecretKey {
+    /// Samples a ternary secret.
+    pub fn generate<R: Rng + ?Sized>(ring: &RingContext, rng: &mut R) -> RlweSecretKey {
+        RlweSecretKey {
+            s: ring.random_ternary(rng),
+        }
+    }
+
+    /// Encrypts a bit vector (one bit per coefficient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len()` differs from the ring dimension.
+    pub fn encrypt<R: Rng + ?Sized>(&self, message: &[bool], rng: &mut R) -> RlweCiphertext {
+        let ring = self.s.context();
+        assert_eq!(message.len(), ring.dimension(), "one bit per coefficient");
+        let a = ring.random(rng);
+        let e = ring.random_ternary(rng);
+        let delta = Fp::new(P / 2);
+        let encoded: Vec<Fp> = message
+            .iter()
+            .map(|&m| if m { delta } else { Fp::ZERO })
+            .collect();
+        let encoded = ring.element_from(&encoded);
+        let c0 = &(&(&a * &self.s) + &e) + &encoded;
+        RlweCiphertext { c0, c1: -a }
+    }
+
+    /// Decrypts to the bit vector.
+    pub fn decrypt(&self, ct: &RlweCiphertext) -> Vec<bool> {
+        let v = &ct.c0 + &(&ct.c1 * &self.s);
+        v.coeffs()
+            .iter()
+            .map(|c| {
+                let x = c.as_u64();
+                x.min(P - x) > P / 4
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ring = RingContext::new(256).unwrap();
+        let sk = RlweSecretKey::generate(&ring, &mut rng);
+        let message: Vec<bool> = (0..256).map(|i| i % 3 == 0).collect();
+        let ct = sk.encrypt(&message, &mut rng);
+        assert_eq!(sk.decrypt(&ct), message);
+    }
+
+    #[test]
+    fn homomorphic_addition_xors_bits() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ring = RingContext::new(128).unwrap();
+        let sk = RlweSecretKey::generate(&ring, &mut rng);
+        let a: Vec<bool> = (0..128).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..128).map(|i| i % 5 == 0).collect();
+        let sum = sk.encrypt(&a, &mut rng).add(&sk.encrypt(&b, &mut rng));
+        let expected: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        assert_eq!(sk.decrypt(&sum), expected);
+    }
+
+    #[test]
+    fn wrong_key_garbles() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let ring = RingContext::new(128).unwrap();
+        let sk = RlweSecretKey::generate(&ring, &mut rng);
+        let other = RlweSecretKey::generate(&ring, &mut rng);
+        let message: Vec<bool> = (0..128).map(|i| i % 7 == 0).collect();
+        let ct = sk.encrypt(&message, &mut rng);
+        assert_ne!(other.decrypt(&ct), message);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per coefficient")]
+    fn wrong_message_length_panics() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let ring = RingContext::new(64).unwrap();
+        let sk = RlweSecretKey::generate(&ring, &mut rng);
+        let _ = sk.encrypt(&[true; 32], &mut rng);
+    }
+}

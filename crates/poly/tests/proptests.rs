@@ -1,0 +1,62 @@
+//! Property-based tests for the polynomial/ring layer.
+
+use he_field::Fp;
+use he_poly::{Poly, RingContext};
+use proptest::prelude::*;
+
+fn arb_poly(max_len: usize) -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(any::<u64>().prop_map(Fp::new), 0..=max_len)
+        .prop_map(Poly::from_coeffs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mul_commutes(a in arb_poly(50), b in arb_poly(50)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in arb_poly(30), b in arb_poly(30), c in arb_poly(30)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn ntt_matches_schoolbook(a in arb_poly(100), b in arb_poly(100)) {
+        prop_assert_eq!(a.mul_ntt(&b), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn degree_of_product(a in arb_poly(20), b in arb_poly(20)) {
+        let p = &a * &b;
+        match (a.degree(), b.degree()) {
+            (Some(da), Some(db)) => prop_assert_eq!(p.degree(), Some(da + db)),
+            _ => prop_assert!(p.is_zero()),
+        }
+    }
+
+    #[test]
+    fn evaluation_homomorphism(a in arb_poly(25), b in arb_poly(25), x in any::<u64>().prop_map(Fp::new)) {
+        prop_assert_eq!((&a * &b).evaluate(x), a.evaluate(x) * b.evaluate(x));
+        prop_assert_eq!((&a + &b).evaluate(x), a.evaluate(x) + b.evaluate(x));
+    }
+
+    #[test]
+    fn ring_product_via_poly_reduce(
+        a in proptest::collection::vec(any::<u64>().prop_map(Fp::new), 16..=16),
+        b in proptest::collection::vec(any::<u64>().prop_map(Fp::new), 16..=16),
+    ) {
+        let ring = RingContext::new(16).unwrap();
+        let ra = ring.element_from(&a);
+        let rb = ring.element_from(&b);
+        let direct = &ra * &rb;
+        let via_poly = ring.reduce(&(&Poly::from_coeffs(a) * &Poly::from_coeffs(b)));
+        prop_assert_eq!(direct, via_poly);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(a in arb_poly(40), b in arb_poly(40)) {
+        prop_assert_eq!(&(&a - &b) + &b, a);
+    }
+}

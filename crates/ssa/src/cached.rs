@@ -1,0 +1,339 @@
+//! Transform caching: reuse an operand's forward NTT across products.
+//!
+//! The paper's related-work section singles out this optimization — the
+//! design of \[31\] "includes optimizations previously introduced in \[25\]
+//! to reduce the number of FFT computations". The idea (Wang et al., also
+//! used by Gentry–Halevi) is that SSA's three transforms per product drop
+//! to two, one, or even zero forward transforms when operands recur:
+//!
+//! * a plain product is `NTT(a)`, `NTT(b)`, pointwise, `NTT⁻¹` — 3 transforms;
+//! * if `a` is reused across many products (a fixed key element, a running
+//!   accumulator), `NTT(a)` is paid once and each product costs 2 transforms;
+//! * if **both** spectra are cached, a product is pointwise + `NTT⁻¹` — 1.
+//!
+//! On the accelerator every avoided transform saves a full `T_FFT`
+//! (30.7 µs of the 122 µs product, Section V), so a both-cached product
+//! runs in ≈ 61 µs — the model side of this accounting lives in
+//! `he_hwsim::perf::PerfModel::cached_multiplication_cycles`.
+//!
+//! # Example
+//!
+//! ```
+//! use he_bigint::UBig;
+//! use he_ssa::{SsaMultiplier, SsaParams};
+//!
+//! let ssa = SsaMultiplier::with_params(SsaParams::new(8, 64)?)?;
+//! let a = UBig::from(0xdead_beefu64);
+//! let b = UBig::from(0x1234_5678u64);
+//! let ta = ssa.transform(&a)?; // forward NTT paid once
+//! let tb = ssa.transform(&b)?;
+//! assert_eq!(ssa.multiply_transformed(&ta, &tb)?, &a * &b);
+//! assert_eq!(ssa.multiply_one_cached(&ta, &b)?, &a * &b);
+//! # Ok::<(), he_ssa::SsaError>(())
+//! ```
+
+use he_bigint::UBig;
+use he_field::Fp;
+
+use crate::error::SsaError;
+use crate::multiplier::SsaMultiplier;
+use crate::params::SsaParams;
+use crate::recompose::{decompose, recompose};
+
+/// A big integer held in the transform (spectral) domain of a specific
+/// [`SsaMultiplier`] plan.
+///
+/// Produced by [`SsaMultiplier::transform`]; consumed by
+/// [`SsaMultiplier::multiply_transformed`] and
+/// [`SsaMultiplier::multiply_one_cached`]. The operand's coefficient count
+/// is retained so capacity (wrap-around) checks still work without the
+/// original integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformedOperand {
+    spectrum: Vec<Fp>,
+    coeff_count: usize,
+    params: SsaParams,
+}
+
+impl TransformedOperand {
+    /// The `N`-point forward spectrum.
+    pub fn spectrum(&self) -> &[Fp] {
+        &self.spectrum
+    }
+
+    /// How many `m`-bit coefficients the original operand occupied
+    /// (0 for the zero operand).
+    pub fn coeff_count(&self) -> usize {
+        self.coeff_count
+    }
+
+    /// The parameters of the plan that produced this spectrum.
+    pub fn params(&self) -> SsaParams {
+        self.params
+    }
+
+    /// Whether the original operand was zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeff_count == 0
+    }
+}
+
+impl SsaMultiplier {
+    /// Computes and caches the forward NTT of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::OperandTooLarge`] if `a` alone does not fit the
+    /// transform length (more than `N` coefficients); products additionally
+    /// enforce the wrap-around bound at multiplication time.
+    pub fn transform(&self, a: &UBig) -> Result<TransformedOperand, SsaError> {
+        let params = self.params();
+        let n = params.n_points();
+        let ca = if a.is_zero() {
+            0
+        } else {
+            params.coeff_count(a.bit_len())
+        };
+        if ca > n {
+            return Err(SsaError::OperandTooLarge {
+                bits: a.bit_len(),
+                max_bits: params.max_operand_bits(),
+            });
+        }
+        let av = decompose(a, params.coeff_bits(), n);
+        Ok(TransformedOperand {
+            spectrum: self.forward_points(&av),
+            coeff_count: ca,
+            params,
+        })
+    }
+
+    /// Multiplies two cached spectra: pointwise product + one inverse
+    /// transform — **one** transform instead of three.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::InvalidParams`] if either spectrum was produced
+    /// under different parameters, and [`SsaError::OperandTooLarge`] if the
+    /// acyclic product would wrap the cyclic transform
+    /// (`coeffs(a) + coeffs(b) − 1 > N`).
+    pub fn multiply_transformed(
+        &self,
+        a: &TransformedOperand,
+        b: &TransformedOperand,
+    ) -> Result<UBig, SsaError> {
+        self.check_compatible(a)?;
+        self.check_compatible(b)?;
+        if a.is_zero() || b.is_zero() {
+            return Ok(UBig::zero());
+        }
+        self.check_capacity(a.coeff_count, b.coeff_count)?;
+        let pointwise: Vec<Fp> = a
+            .spectrum
+            .iter()
+            .zip(&b.spectrum)
+            .map(|(&x, &y)| x * y)
+            .collect();
+        let cv = self.inverse_points(&pointwise);
+        Ok(recompose(&cv, self.params().coeff_bits()))
+    }
+
+    /// Multiplies a cached spectrum by a fresh integer: one forward + one
+    /// inverse transform — **two** transforms instead of three.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsaMultiplier::multiply_transformed`].
+    pub fn multiply_one_cached(
+        &self,
+        a: &TransformedOperand,
+        b: &UBig,
+    ) -> Result<UBig, SsaError> {
+        self.check_compatible(a)?;
+        if a.is_zero() || b.is_zero() {
+            return Ok(UBig::zero());
+        }
+        let params = self.params();
+        let cb = params.coeff_count(b.bit_len());
+        self.check_capacity(a.coeff_count, cb)?;
+        let bv = decompose(b, params.coeff_bits(), params.n_points());
+        let fb = self.forward_points(&bv);
+        let pointwise: Vec<Fp> = a
+            .spectrum
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| x * y)
+            .collect();
+        let cv = self.inverse_points(&pointwise);
+        Ok(recompose(&cv, params.coeff_bits()))
+    }
+
+    /// Squares a cached spectrum: pointwise squaring + one inverse
+    /// transform.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsaMultiplier::multiply_transformed`].
+    pub fn square_transformed(&self, a: &TransformedOperand) -> Result<UBig, SsaError> {
+        self.multiply_transformed(a, a)
+    }
+
+    fn check_compatible(&self, t: &TransformedOperand) -> Result<(), SsaError> {
+        if t.params != self.params() {
+            return Err(SsaError::InvalidParams {
+                reason: format!(
+                    "spectrum was transformed with (m={}, N={}) but this multiplier uses (m={}, N={})",
+                    t.params.coeff_bits(),
+                    t.params.n_points(),
+                    self.params().coeff_bits(),
+                    self.params().n_points()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_capacity(&self, ca: usize, cb: usize) -> Result<(), SsaError> {
+        if ca + cb - 1 > self.params().n_points() {
+            return Err(SsaError::OperandTooLarge {
+                bits: (ca + cb) * self.params().coeff_bits() as usize,
+                max_bits: 2 * self.params().max_operand_bits(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> SsaMultiplier {
+        SsaMultiplier::with_params(SsaParams::new(8, 64).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cached_matches_plain_multiply() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let ssa = small();
+        for _ in 0..25 {
+            let a = UBig::random_bits(&mut rng, 120);
+            let b = UBig::random_bits(&mut rng, 130);
+            let ta = ssa.transform(&a).unwrap();
+            let tb = ssa.transform(&b).unwrap();
+            let expected = ssa.multiply(&a, &b).unwrap();
+            assert_eq!(ssa.multiply_transformed(&ta, &tb).unwrap(), expected);
+            assert_eq!(ssa.multiply_one_cached(&ta, &b).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn zero_operands() {
+        let ssa = small();
+        let tz = ssa.transform(&UBig::zero()).unwrap();
+        assert!(tz.is_zero());
+        assert_eq!(tz.coeff_count(), 0);
+        let x = UBig::from(77u64);
+        let tx = ssa.transform(&x).unwrap();
+        assert_eq!(ssa.multiply_transformed(&tz, &tx).unwrap(), UBig::zero());
+        assert_eq!(ssa.multiply_one_cached(&tz, &x).unwrap(), UBig::zero());
+        assert_eq!(ssa.multiply_one_cached(&tx, &UBig::zero()).unwrap(), UBig::zero());
+    }
+
+    #[test]
+    fn one_is_the_multiplicative_identity_in_the_spectrum() {
+        let ssa = small();
+        let t1 = ssa.transform(&UBig::one()).unwrap();
+        // NTT of the delta impulse is the all-ones spectrum.
+        assert!(t1.spectrum().iter().all(|&x| x == he_field::Fp::ONE));
+        let x = UBig::from(0x1234_5678_9abcu64);
+        let tx = ssa.transform(&x).unwrap();
+        assert_eq!(ssa.multiply_transformed(&t1, &tx).unwrap(), x);
+    }
+
+    #[test]
+    fn capacity_enforced_without_original_integer() {
+        let ssa = small();
+        // 33 + 32 − 1 = 64 fits; 33 + 33 − 1 = 65 does not.
+        let a = UBig::pow2(256); // 33 coefficients of 8 bits
+        let b_fit = &UBig::pow2(255) - &UBig::one(); // 32 coefficients
+        let ta = ssa.transform(&a).unwrap();
+        let tb = ssa.transform(&b_fit).unwrap();
+        assert_eq!(
+            ssa.multiply_transformed(&ta, &tb).unwrap(),
+            a.mul_schoolbook(&b_fit)
+        );
+        let tc = ssa.transform(&a).unwrap();
+        assert!(matches!(
+            ssa.multiply_transformed(&ta, &tc),
+            Err(SsaError::OperandTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn transform_rejects_oversized_operand() {
+        let ssa = small();
+        let huge = UBig::pow2(8 * 64); // 65 coefficients > N = 64
+        assert!(matches!(
+            ssa.transform(&huge),
+            Err(SsaError::OperandTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_plans_rejected() {
+        let ssa_a = small();
+        let ssa_b = SsaMultiplier::with_params(SsaParams::new(8, 128).unwrap()).unwrap();
+        let t = ssa_b.transform(&UBig::from(5u64)).unwrap();
+        let u = ssa_a.transform(&UBig::from(7u64)).unwrap();
+        assert!(matches!(
+            ssa_a.multiply_transformed(&t, &u),
+            Err(SsaError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            ssa_a.multiply_one_cached(&t, &UBig::from(7u64)),
+            Err(SsaError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn square_transformed_matches_square() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let ssa = small();
+        let a = UBig::random_bits(&mut rng, 128);
+        let ta = ssa.transform(&a).unwrap();
+        assert_eq!(ssa.square_transformed(&ta).unwrap(), ssa.square(&a).unwrap());
+    }
+
+    #[test]
+    fn repeated_products_reuse_one_spectrum() {
+        // The motivating access pattern: one fixed operand times a stream.
+        let mut rng = StdRng::seed_from_u64(44);
+        let ssa = small();
+        let fixed = UBig::random_bits(&mut rng, 200);
+        let tf = ssa.transform(&fixed).unwrap();
+        for _ in 0..10 {
+            let b = UBig::random_bits(&mut rng, 56);
+            assert_eq!(
+                ssa.multiply_one_cached(&tf, &b).unwrap(),
+                fixed.mul_schoolbook(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_engine_cached_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let ssa = SsaMultiplier::paper();
+        let a = UBig::random_bits(&mut rng, 60_000);
+        let b = UBig::random_bits(&mut rng, 60_000);
+        let ta = ssa.transform(&a).unwrap();
+        let tb = ssa.transform(&b).unwrap();
+        assert_eq!(
+            ssa.multiply_transformed(&ta, &tb).unwrap(),
+            a.mul_karatsuba(&b)
+        );
+    }
+}

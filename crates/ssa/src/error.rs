@@ -1,0 +1,54 @@
+//! Error type for SSA parameter selection and multiplication.
+
+use core::fmt;
+
+use he_ntt::NttError;
+
+/// Error from SSA parameter validation or multiplication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsaError {
+    /// The parameter combination cannot guarantee an exact convolution.
+    InvalidParams {
+        /// Human-readable explanation of the violated constraint.
+        reason: String,
+    },
+    /// An operand exceeds the capacity of the configured transform.
+    OperandTooLarge {
+        /// Bit length of the offending operand pair (sum of both).
+        bits: usize,
+        /// Maximum total bits representable without wrap-around.
+        max_bits: usize,
+    },
+    /// An underlying transform error.
+    Ntt(NttError),
+}
+
+impl fmt::Display for SsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsaError::InvalidParams { reason } => {
+                write!(f, "invalid SSA parameters: {reason}")
+            }
+            SsaError::OperandTooLarge { bits, max_bits } => write!(
+                f,
+                "operands of {bits} total bits exceed the transform capacity of {max_bits} bits"
+            ),
+            SsaError::Ntt(e) => write!(f, "transform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SsaError::Ntt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NttError> for SsaError {
+    fn from(e: NttError) -> SsaError {
+        SsaError::Ntt(e)
+    }
+}

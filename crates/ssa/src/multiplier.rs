@@ -1,0 +1,294 @@
+//! The Schönhage–Strassen multiplier.
+
+use he_bigint::UBig;
+use he_field::Fp;
+use he_ntt::{convolution, Ntt64k, Radix2Plan, N64K};
+
+use crate::error::SsaError;
+use crate::params::SsaParams;
+use crate::recompose::{decompose, recompose};
+
+/// A planned Schönhage–Strassen multiplier.
+///
+/// Construction precomputes the transform plan (twiddle tables); each
+/// [`SsaMultiplier::multiply`] then performs two forward NTTs, a pointwise
+/// product, an inverse NTT, and carry recovery — exactly the dataflow of the
+/// paper's accelerator (three transforms + dot product + carry recovery,
+/// Section V).
+///
+/// ```
+/// use he_bigint::UBig;
+/// use he_ssa::SsaMultiplier;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let ssa = SsaMultiplier::paper();
+/// let a = UBig::random_bits(&mut rng, 10_000);
+/// let b = UBig::random_bits(&mut rng, 10_000);
+/// assert_eq!(ssa.multiply(&a, &b)?, a.mul_karatsuba(&b));
+/// # Ok::<(), he_ssa::SsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsaMultiplier {
+    params: SsaParams,
+    engine: Engine,
+}
+
+#[derive(Debug, Clone)]
+enum Engine {
+    /// The paper's three-stage mixed-radix plan (only for `N = 65536`).
+    Paper64k(Box<Ntt64k>),
+    /// Generic radix-2 plan for other transform lengths.
+    Radix2(Box<Radix2Plan>),
+}
+
+impl SsaMultiplier {
+    /// A multiplier with the paper's parameters (`m = 24`, `N = 64K`,
+    /// operands up to 786,432 bits) on the three-stage transform.
+    pub fn paper() -> SsaMultiplier {
+        SsaMultiplier {
+            params: SsaParams::paper(),
+            engine: Engine::Paper64k(Box::new(Ntt64k::new())),
+        }
+    }
+
+    /// A multiplier with explicit parameters.
+    ///
+    /// Uses the paper's three-stage plan when `N = 65536`, a radix-2 plan
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SsaError`] from parameter validation or plan
+    /// construction.
+    pub fn with_params(params: SsaParams) -> Result<SsaMultiplier, SsaError> {
+        let engine = if params.n_points() == N64K {
+            Engine::Paper64k(Box::new(Ntt64k::new()))
+        } else {
+            Engine::Radix2(Box::new(Radix2Plan::new(params.n_points())?))
+        };
+        Ok(SsaMultiplier { params, engine })
+    }
+
+    /// A multiplier sized automatically for operands of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::InvalidParams`] if no parameter set fits.
+    pub fn for_operand_bits(bits: usize) -> Result<SsaMultiplier, SsaError> {
+        SsaMultiplier::with_params(SsaParams::for_operand_bits(bits)?)
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> SsaParams {
+        self.params
+    }
+
+    /// Multiplies two integers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::OperandTooLarge`] if the acyclic product would
+    /// wrap around the cyclic transform, i.e. if
+    /// `coeffs(a) + coeffs(b) − 1 > N`.
+    pub fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, SsaError> {
+        if a.is_zero() || b.is_zero() {
+            return Ok(UBig::zero());
+        }
+        let n = self.params.n_points();
+        let ca = self.params.coeff_count(a.bit_len());
+        let cb = self.params.coeff_count(b.bit_len());
+        if ca + cb - 1 > n {
+            return Err(SsaError::OperandTooLarge {
+                bits: a.bit_len() + b.bit_len(),
+                max_bits: 2 * self.params.max_operand_bits(),
+            });
+        }
+        let m = self.params.coeff_bits();
+        let av = decompose(a, m, n);
+        let bv = decompose(b, m, n);
+        let cv = self.convolve(&av, &bv);
+        Ok(recompose(&cv, m))
+    }
+
+    /// Squares an integer with only **two** transforms (one forward, one
+    /// inverse) instead of three — the forward spectrum is shared by both
+    /// operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::OperandTooLarge`] like [`SsaMultiplier::multiply`].
+    pub fn square(&self, a: &UBig) -> Result<UBig, SsaError> {
+        if a.is_zero() {
+            return Ok(UBig::zero());
+        }
+        let n = self.params.n_points();
+        let ca = self.params.coeff_count(a.bit_len());
+        if 2 * ca - 1 > n {
+            return Err(SsaError::OperandTooLarge {
+                bits: 2 * a.bit_len(),
+                max_bits: 2 * self.params.max_operand_bits(),
+            });
+        }
+        let m = self.params.coeff_bits();
+        let av = decompose(a, m, n);
+        let cv = match &self.engine {
+            Engine::Paper64k(plan) => {
+                let fa = plan.forward(&av);
+                let squared: Vec<Fp> = fa.iter().map(|&x| x * x).collect();
+                plan.inverse(&squared)
+            }
+            Engine::Radix2(plan) => {
+                let fa = plan.forward(&av);
+                let squared: Vec<Fp> = fa.iter().map(|&x| x * x).collect();
+                plan.inverse(&squared)
+            }
+        };
+        Ok(recompose(&cv, m))
+    }
+
+    /// Forward transform of one coefficient vector (used by the
+    /// transform-caching API in [`crate::cached`]).
+    pub(crate) fn forward_points(&self, a: &[Fp]) -> Vec<Fp> {
+        match &self.engine {
+            Engine::Paper64k(plan) => plan.forward(a),
+            Engine::Radix2(plan) => plan.forward(a),
+        }
+    }
+
+    /// Inverse transform of one spectrum (used by the transform-caching API
+    /// in [`crate::cached`]).
+    pub(crate) fn inverse_points(&self, a: &[Fp]) -> Vec<Fp> {
+        match &self.engine {
+            Engine::Paper64k(plan) => plan.inverse(a),
+            Engine::Radix2(plan) => plan.inverse(a),
+        }
+    }
+
+    /// The three NTTs + pointwise product, exposed for the hardware
+    /// simulator to cross-check stage by stage.
+    pub fn convolve(&self, a: &[Fp], b: &[Fp]) -> Vec<Fp> {
+        match &self.engine {
+            Engine::Paper64k(plan) => convolution::cyclic_convolve_64k(plan, a, b),
+            Engine::Radix2(plan) => {
+                let fa = plan.forward(a);
+                let fb = plan.forward(b);
+                plan.inverse(&convolution::pointwise(&fa, &fb))
+            }
+        }
+    }
+}
+
+impl Default for SsaMultiplier {
+    fn default() -> SsaMultiplier {
+        SsaMultiplier::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_OPERAND_BITS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_one() {
+        let ssa = SsaMultiplier::with_params(SsaParams::new(8, 64).unwrap()).unwrap();
+        let x = UBig::from(12345u64);
+        assert_eq!(ssa.multiply(&UBig::zero(), &x).unwrap(), UBig::zero());
+        assert_eq!(ssa.multiply(&x, &UBig::zero()).unwrap(), UBig::zero());
+        assert_eq!(ssa.multiply(&UBig::one(), &x).unwrap(), x);
+    }
+
+    #[test]
+    fn small_plan_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ssa = SsaMultiplier::with_params(SsaParams::new(8, 64).unwrap()).unwrap();
+        for _ in 0..20 {
+            let a = UBig::random_bits(&mut rng, 200);
+            let b = UBig::random_bits(&mut rng, 56);
+            assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_schoolbook(&b));
+        }
+    }
+
+    #[test]
+    fn capacity_boundary() {
+        let params = SsaParams::new(8, 64).unwrap();
+        let ssa = SsaMultiplier::with_params(params).unwrap();
+        // 32 coefficients each: 33 + 32 − 1 = 64 ≤ 64 — apparently at the
+        // limit with max_operand_bits = 256.
+        let a = &UBig::pow2(256) - &UBig::one(); // exactly 32 coefficients
+        let b = a.clone();
+        assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_schoolbook(&b));
+        // One extra coefficient overflows the cyclic length.
+        let too_big = UBig::pow2(256); // 33 coefficients
+        let err = ssa.multiply(&too_big, &too_big).unwrap_err();
+        assert!(matches!(err, SsaError::OperandTooLarge { .. }));
+    }
+
+    #[test]
+    fn asymmetric_operands_use_slack() {
+        // A tiny b leaves room for a beyond max_operand_bits: a may use
+        // nearly all N points when b has a single coefficient.
+        let params = SsaParams::new(8, 64).unwrap();
+        let ssa = SsaMultiplier::with_params(params).unwrap();
+        let a = &UBig::pow2(8 * 63) - &UBig::one(); // 63 coefficients
+        let b = UBig::from(200u64); // 1 coefficient
+        assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn paper_scale_multiply_matches_karatsuba() {
+        let mut rng = StdRng::seed_from_u64(2016);
+        let ssa = SsaMultiplier::paper();
+        let a = UBig::random_bits(&mut rng, PAPER_OPERAND_BITS);
+        let b = UBig::random_bits(&mut rng, PAPER_OPERAND_BITS);
+        assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_karatsuba(&b));
+    }
+
+    #[test]
+    fn auto_sized_multiplier() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for bits in [100usize, 5_000, 120_000] {
+            let ssa = SsaMultiplier::for_operand_bits(bits).unwrap();
+            let a = UBig::random_bits(&mut rng, bits);
+            let b = UBig::random_bits(&mut rng, bits);
+            assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_karatsuba(&b), "bits = {bits}");
+        }
+    }
+
+    #[test]
+    fn square_matches_multiply() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let ssa = SsaMultiplier::with_params(SsaParams::new(16, 256).unwrap()).unwrap();
+        for bits in [0usize, 1, 100, 1500] {
+            let a = UBig::random_bits(&mut rng, bits);
+            assert_eq!(
+                ssa.square(&a).unwrap(),
+                ssa.multiply(&a, &a).unwrap(),
+                "bits = {bits}"
+            );
+        }
+        // Capacity: squaring needs 2·ca − 1 ≤ N.
+        let too_big = UBig::pow2(16 * 129); // 130 coefficients: 259 > 256
+        assert!(ssa.square(&too_big).is_err());
+    }
+
+    #[test]
+    fn radix2_engine_and_paper_engine_agree() {
+        // Same parameters, different transform plans.
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = UBig::random_bits(&mut rng, 50_000);
+        let b = UBig::random_bits(&mut rng, 50_000);
+        let paper = SsaMultiplier::paper();
+        let radix2 = {
+            // Force the radix-2 engine by using a different (valid) size.
+            SsaMultiplier::with_params(SsaParams::new(24, 1 << 15).unwrap()).unwrap()
+        };
+        assert_eq!(
+            paper.multiply(&a, &b).unwrap(),
+            radix2.multiply(&a, &b).unwrap()
+        );
+    }
+}

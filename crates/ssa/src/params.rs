@@ -1,0 +1,175 @@
+//! SSA parameter selection: coefficient width `m` and transform length `N`.
+
+use he_field::P;
+
+use crate::error::SsaError;
+
+/// Parameters of a Schönhage–Strassen multiplication over `F_p`.
+///
+/// The paper's configuration is [`SsaParams::paper`]: 786,432-bit operands
+/// split into 32K coefficients of 24 bits, transformed with 64K points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SsaParams {
+    coeff_bits: u32,
+    n_points: usize,
+}
+
+impl SsaParams {
+    /// Creates and validates a parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::InvalidParams`] unless all of the following hold:
+    ///
+    /// * `N` is a power of two with `4 ≤ N ≤ 2^26`
+    ///   (`N` must divide `p − 1`, and the twiddle table must stay sane);
+    /// * `1 ≤ m ≤ 30`;
+    /// * the worst-case convolution term fits: `(N/2)·(2^m − 1)² < p`.
+    pub fn new(coeff_bits: u32, n_points: usize) -> Result<SsaParams, SsaError> {
+        if !(1..=30).contains(&coeff_bits) {
+            return Err(SsaError::InvalidParams {
+                reason: format!("coefficient width {coeff_bits} outside 1..=30"),
+            });
+        }
+        if !n_points.is_power_of_two() || n_points < 4 || n_points > 1 << 26 {
+            return Err(SsaError::InvalidParams {
+                reason: format!("transform length {n_points} must be a power of two in [4, 2^26]"),
+            });
+        }
+        let max_coeff = (1u128 << coeff_bits) - 1;
+        let worst = (n_points as u128 / 2) * max_coeff * max_coeff;
+        if worst >= P as u128 {
+            return Err(SsaError::InvalidParams {
+                reason: format!(
+                    "convolution terms can reach {worst:#x} >= p; reduce m={coeff_bits} or N={n_points}"
+                ),
+            });
+        }
+        Ok(SsaParams {
+            coeff_bits,
+            n_points,
+        })
+    }
+
+    /// The paper's parameters: `m = 24`, `N = 65,536`.
+    pub fn paper() -> SsaParams {
+        SsaParams::new(24, 65_536).expect("the paper's parameters are valid")
+    }
+
+    /// Picks parameters for multiplying two operands of at most `bits` bits
+    /// each, preferring the widest coefficient (fewest points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsaError::InvalidParams`] if no supported transform length
+    /// can accommodate the operands.
+    pub fn for_operand_bits(bits: usize) -> Result<SsaParams, SsaError> {
+        let mut n = 4usize;
+        loop {
+            // Largest m such that (N/2)·(2^m−1)² < p, i.e.
+            // 2m + log2(N/2) ≤ 63.
+            let log_half = n.trailing_zeros() - 1;
+            let m = (63u32.saturating_sub(log_half)) / 2;
+            let m = m.min(30);
+            if m >= 1 {
+                let params = SsaParams::new(m, n)?;
+                if params.max_operand_bits() >= bits {
+                    return Ok(params);
+                }
+            }
+            if n >= 1 << 26 {
+                return Err(SsaError::InvalidParams {
+                    reason: format!("no supported transform length fits {bits}-bit operands"),
+                });
+            }
+            n *= 2;
+        }
+    }
+
+    /// The coefficient width `m` in bits.
+    pub fn coeff_bits(&self) -> u32 {
+        self.coeff_bits
+    }
+
+    /// The transform length `N`.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Maximum bits per operand: each operand may use at most `N/2`
+    /// coefficients so the (acyclic) product fits in `N` without
+    /// wrap-around.
+    pub fn max_operand_bits(&self) -> usize {
+        self.n_points / 2 * self.coeff_bits as usize
+    }
+
+    /// Number of coefficients an operand of `bits` bits occupies.
+    pub fn coeff_count(&self, bits: usize) -> usize {
+        bits.div_ceil(self.coeff_bits as usize)
+    }
+}
+
+impl Default for SsaParams {
+    fn default() -> SsaParams {
+        SsaParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_OPERAND_BITS;
+
+    #[test]
+    fn paper_params() {
+        let p = SsaParams::paper();
+        assert_eq!(p.coeff_bits(), 24);
+        assert_eq!(p.n_points(), 65_536);
+        // 32K coefficients of 24 bits = 786,432 bits: exactly the paper's
+        // operand size.
+        assert_eq!(p.max_operand_bits(), PAPER_OPERAND_BITS);
+        assert_eq!(p.coeff_count(PAPER_OPERAND_BITS), 32_768);
+    }
+
+    #[test]
+    fn rejects_unsafe_combinations() {
+        // m = 25 with N = 64K: 2^15·(2^25−1)² ≈ 2^65 > p.
+        assert!(SsaParams::new(25, 65_536).is_err());
+        assert!(SsaParams::new(0, 64).is_err());
+        assert!(SsaParams::new(31, 4).is_err());
+        assert!(SsaParams::new(24, 100).is_err()); // not a power of two
+        assert!(SsaParams::new(24, 2).is_err()); // too short
+    }
+
+    #[test]
+    fn boundary_combination_is_accepted() {
+        // m = 24, N = 2^17: 2^16·(2^24−1)² < 2^64−2^32+1? 2^16·~2^48 = ~2^64
+        // — slightly less than 2^64 but is it less than p?
+        // (2^24−1)² = 2^48 − 2^25 + 1; ×2^16 = 2^64 − 2^41 + 2^16 < p iff
+        // 2^64 − p = 2^32 − 1 < 2^41 − 2^16 ✓.
+        assert!(SsaParams::new(24, 1 << 17).is_ok());
+        // One more doubling breaks it.
+        assert!(SsaParams::new(24, 1 << 18).is_err());
+    }
+
+    #[test]
+    fn auto_selection_covers_paper_size() {
+        let p = SsaParams::for_operand_bits(PAPER_OPERAND_BITS).unwrap();
+        assert!(p.max_operand_bits() >= PAPER_OPERAND_BITS);
+        assert!(p.n_points() <= 65_536, "should not need more than 64K points");
+    }
+
+    #[test]
+    fn auto_selection_small_sizes() {
+        for bits in [1usize, 64, 1000, 100_000] {
+            let p = SsaParams::for_operand_bits(bits).unwrap();
+            assert!(p.max_operand_bits() >= bits, "bits = {bits}");
+            SsaParams::new(p.coeff_bits(), p.n_points()).unwrap();
+        }
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(SsaParams::default(), SsaParams::paper());
+    }
+}

@@ -1,0 +1,99 @@
+//! Differential tests on adversarial operand structures: values that
+//! stress carry recovery, coefficient boundaries and spectral edge cases.
+
+use he_bigint::UBig;
+use he_ssa::{SsaMultiplier, SsaParams};
+
+fn ssa() -> SsaMultiplier {
+    SsaMultiplier::with_params(SsaParams::new(24, 4096).unwrap()).unwrap()
+}
+
+/// All-ones operands maximize every convolution coefficient and force the
+/// longest carry ripple in recomposition.
+#[test]
+fn all_ones_operands() {
+    let m = ssa();
+    for bits in [24usize, 25, 1000, 10_000, 24 * 2048] {
+        let a = &UBig::pow2(bits) - &UBig::one();
+        assert_eq!(
+            m.multiply(&a, &a).unwrap(),
+            a.mul_schoolbook(&a),
+            "bits = {bits}"
+        );
+    }
+}
+
+/// Powers of two hit single-coefficient spectra.
+#[test]
+fn powers_of_two() {
+    let m = ssa();
+    for sa in [0usize, 1, 23, 24, 25, 47, 48, 1000] {
+        for sb in [0usize, 24, 100, 999] {
+            let a = UBig::pow2(sa);
+            let b = UBig::pow2(sb);
+            assert_eq!(m.multiply(&a, &b).unwrap(), UBig::pow2(sa + sb), "{sa}+{sb}");
+        }
+    }
+}
+
+/// `2^k ± 1` yields two-coefficient operands with extreme values.
+#[test]
+fn power_of_two_neighbors() {
+    let m = ssa();
+    for k in [24usize, 48, 96, 960] {
+        let plus = &UBig::pow2(k) + &UBig::one();
+        let minus = &UBig::pow2(k) - &UBig::one();
+        assert_eq!(m.multiply(&plus, &minus).unwrap(), &UBig::pow2(2 * k) - &UBig::one());
+        assert_eq!(m.multiply(&plus, &plus).unwrap(), plus.mul_schoolbook(&plus));
+    }
+}
+
+/// Sparse bit patterns: isolated bits at coefficient boundaries.
+#[test]
+fn sparse_boundary_bits() {
+    let m = ssa();
+    let mut a = UBig::zero();
+    for i in 0..40 {
+        a.set_bit(i * 24, true); // one bit at the bottom of each coefficient
+        a.set_bit(i * 24 + 23, true); // and one at the top
+    }
+    let mut b = UBig::zero();
+    for i in 0..40 {
+        b.set_bit(i * 23, true); // misaligned with the coefficient grid
+    }
+    assert_eq!(m.multiply(&a, &b).unwrap(), a.mul_schoolbook(&b));
+}
+
+/// Repeating byte patterns (compressible structure that has historically
+/// caught FFT-multiplier bugs).
+#[test]
+fn repeating_patterns() {
+    let m = ssa();
+    for byte in [0x01u8, 0x55, 0xAA, 0xFF] {
+        let a = UBig::from_le_bytes(&vec![byte; 1000]);
+        let b = UBig::from_le_bytes(&vec![byte ^ 0xFF; 997]);
+        assert_eq!(
+            m.multiply(&a, &b).unwrap(),
+            a.mul_schoolbook(&b),
+            "byte = {byte:#x}"
+        );
+    }
+}
+
+/// Maximum-capacity asymmetry: one huge operand, one single-coefficient
+/// operand, exercising the `ca + cb − 1 ≤ N` boundary exactly.
+#[test]
+fn capacity_boundary_asymmetric() {
+    let m = ssa();
+    let n = 4096;
+    let a = &UBig::pow2(24 * (n - 1)) - &UBig::one(); // n−1 coefficients
+    let b = &UBig::pow2(24) - &UBig::one(); // 1 coefficient
+    // (n−1) + 1 − 1 = n−1 ≤ n: fits.
+    assert_eq!(m.multiply(&a, &b).unwrap(), a.mul_karatsuba(&b));
+    // Push a to n coefficients: n + 1 − 1 = n: still fits.
+    let a = &UBig::pow2(24 * n) - &UBig::one();
+    assert_eq!(m.multiply(&a, &b).unwrap(), a.mul_karatsuba(&b));
+    // But two 2-coefficient… (n) + 2 − 1 > n: rejected.
+    let c = &UBig::pow2(48) - &UBig::one();
+    assert!(m.multiply(&a, &c).is_err());
+}

@@ -1,0 +1,57 @@
+//! Property-based tests: SSA multiplication agrees with the classical
+//! algorithms on random operands across parameter sets.
+
+use he_bigint::UBig;
+use he_ssa::{decompose, recompose, SsaMultiplier, SsaParams};
+use proptest::prelude::*;
+
+fn arb_ubig(max_bits: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..=max_bits / 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ssa_matches_schoolbook_small(a in arb_ubig(200), b in arb_ubig(200)) {
+        let a = UBig::from_le_bytes(&a);
+        let b = UBig::from_le_bytes(&b);
+        let ssa = SsaMultiplier::with_params(SsaParams::new(8, 64).unwrap()).unwrap();
+        prop_assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn ssa_matches_schoolbook_wider_coeffs(a in arb_ubig(1500), b in arb_ubig(1500)) {
+        let a = UBig::from_le_bytes(&a);
+        let b = UBig::from_le_bytes(&b);
+        let ssa = SsaMultiplier::with_params(SsaParams::new(20, 256).unwrap()).unwrap();
+        prop_assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn decompose_recompose_identity(bytes in arb_ubig(1024), m in 1u32..=30) {
+        let x = UBig::from_le_bytes(&bytes);
+        let count = x.bit_len().div_ceil(m as usize).max(1);
+        let n = (2 * count).next_power_of_two().max(4);
+        let coeffs = decompose(&x, m, n);
+        prop_assert_eq!(recompose(&coeffs, m), x);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in arb_ubig(400), b in arb_ubig(400)) {
+        let a = UBig::from_le_bytes(&a);
+        let b = UBig::from_le_bytes(&b);
+        let ssa = SsaMultiplier::with_params(SsaParams::new(16, 128).unwrap()).unwrap();
+        prop_assert_eq!(
+            ssa.multiply(&a, &b).unwrap(),
+            ssa.multiply(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn squaring_matches(a in arb_ubig(300)) {
+        let a = UBig::from_le_bytes(&a);
+        let ssa = SsaMultiplier::with_params(SsaParams::new(12, 128).unwrap()).unwrap();
+        prop_assert_eq!(ssa.multiply(&a, &a).unwrap(), a.mul_schoolbook(&a));
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates the paper's evaluation (Tables I and II) from the resource
+//! model, the analytic timing model, and one cycle-simulated paper-scale
+//! multiplication.
+//!
+//! Run with: `cargo run --release -p he-accel --example accelerator_report`
+
+use he_accel::hwsim::comparators::Table2;
+use he_accel::hwsim::power::render_energy_table;
+use he_accel::hwsim::resources::Table1;
+use he_accel::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), MultiplyError> {
+    let config = AcceleratorConfig::paper();
+
+    let t1 = Table1::from_model(&config);
+    println!("{}", t1.render());
+    println!(
+        "average ALM/register/DSP saving vs [28]: {:.0}% (paper: ~60%)\n",
+        t1.average_saving_pct()
+    );
+
+    let t2 = Table2::from_model(config.clone());
+    println!("{}", t2.render());
+    for c in &t2.comparators {
+        if let Some(speedup) = t2.multiplication_speedup(c) {
+            println!("  speedup vs {} ({}): {speedup:.2}x", c.tag, c.platform);
+        }
+    }
+
+    println!("\ncycle-simulating one paper-scale multiplication…");
+    let mut rng = StdRng::seed_from_u64(1);
+    let bits = he_accel::ssa::PAPER_OPERAND_BITS;
+    let a = UBig::random_bits(&mut rng, bits);
+    let b = UBig::random_bits(&mut rng, bits);
+    let hw = HardwareSim::paper();
+    let (product, report) = hw.multiply_with_report(&a, &b)?;
+    println!("{}", report.render());
+    println!(
+        "product verified: {} bits, equals karatsuba: {}",
+        product.bit_len(),
+        product == a.mul_karatsuba(&b)
+    );
+
+    println!("\n{}", render_energy_table(&config));
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Lattice workloads on the same transform hardware — the paper's claim
+//! that LWE/RLWE-based schemes "may thus be implemented on top of the
+//! accelerator" (Section III).
+//!
+//! RLWE symmetric encryption in `R = Z_p[X]/(X^1024 + 1)` using the
+//! `he-poly` ring layer: every ring product is a negacyclic convolution
+//! computed with the NTT machinery, i.e. the exact datapath the
+//! accelerator provides.
+//!
+//! Run with: `cargo run --release -p he-accel --example rlwe_polymul`
+
+use he_accel::poly::rlwe::RlweSecretKey;
+use he_accel::poly::RingContext;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1024;
+
+fn main() -> Result<(), he_accel::ntt::NttError> {
+    let ring = RingContext::new(N)?;
+    let mut rng = StdRng::seed_from_u64(1337);
+
+    println!("ring: Z_p[X]/(X^{N} + 1), p = 2^64 - 2^32 + 1");
+    let sk = RlweSecretKey::generate(&ring, &mut rng);
+
+    let message: Vec<bool> = (0..N).map(|_| rng.gen()).collect();
+    println!("encrypting a {N}-bit message (one negacyclic ring product)…");
+    let ct = sk.encrypt(&message, &mut rng);
+
+    println!("decrypting (one more ring product)…");
+    let decrypted = sk.decrypt(&ct);
+    let wrong = decrypted
+        .iter()
+        .zip(&message)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!("decoded {N} bits, {wrong} errors");
+    assert_eq!(wrong, 0, "toy RLWE must decrypt exactly");
+
+    // Homomorphic addition for good measure: XOR of two messages.
+    let other: Vec<bool> = (0..N).map(|_| rng.gen()).collect();
+    let sum = ct.add(&sk.encrypt(&other, &mut rng));
+    let expected: Vec<bool> = message.iter().zip(&other).map(|(a, b)| a ^ b).collect();
+    assert_eq!(sk.decrypt(&sum), expected);
+    println!("homomorphic addition (slot-wise XOR) verified.");
+
+    println!(
+        "\nboth ring products ran on the negacyclic NTT — a ψ-twist around the\n\
+         same cyclic transform the accelerator's FFT units compute, confirming\n\
+         the paper's point that lattice schemes map onto this hardware."
+    );
+    Ok(())
+}

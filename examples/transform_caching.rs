@@ -1,0 +1,79 @@
+//! Transform caching: pay an operand's forward NTT once, reuse the spectrum
+//! across many products — the "reduce the number of FFT computations"
+//! optimization of the paper's reference [25], here on the software SSA
+//! multiplier and in the accelerator's timing model.
+//!
+//! Run with: `cargo run --release -p he-accel --example transform_caching`
+
+use std::time::Instant;
+
+use he_accel::hwsim::perf::PerfModel;
+use he_accel::prelude::*;
+use he_accel::ssa::SsaError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), SsaError> {
+    let bits = he_accel::ssa::PAPER_OPERAND_BITS / 2;
+    let stream_len = 8;
+    println!("one fixed {bits}-bit operand times a stream of {stream_len} operands\n");
+
+    let mut rng = StdRng::seed_from_u64(25);
+    let fixed = UBig::random_bits(&mut rng, bits);
+    let stream: Vec<UBig> = (0..stream_len)
+        .map(|_| UBig::random_bits(&mut rng, bits))
+        .collect();
+
+    let ssa = SsaMultiplier::paper();
+
+    // Plain: three transforms per product.
+    let start = Instant::now();
+    let plain: Vec<UBig> = stream
+        .iter()
+        .map(|b| ssa.multiply(&fixed, b))
+        .collect::<Result<_, _>>()?;
+    let t_plain = start.elapsed();
+
+    // Cached: transform the fixed operand once, two transforms per product.
+    let start = Instant::now();
+    let spectrum = ssa.transform(&fixed)?;
+    let cached: Vec<UBig> = stream
+        .iter()
+        .map(|b| ssa.multiply_one_cached(&spectrum, b))
+        .collect::<Result<_, _>>()?;
+    let t_cached = start.elapsed();
+
+    assert_eq!(plain, cached, "cached products must be bit-exact");
+    println!("software SSA ({} products, bit-exact):", stream.len());
+    println!("  plain (3 transforms each)     {t_plain:>12.2?}");
+    println!("  cached (1 + 2 per product)    {t_cached:>12.2?}");
+    println!(
+        "  measured saving               {:>11.1}%",
+        100.0 * (1.0 - t_cached.as_secs_f64() / t_plain.as_secs_f64())
+    );
+
+    // Both-cached products (e.g. squaring a transformed accumulator).
+    let t_both = ssa.transform(&stream[0])?;
+    let both = ssa.multiply_transformed(&spectrum, &t_both)?;
+    assert_eq!(both, plain[0]);
+
+    // The same accounting on the accelerator model (Section V formulas).
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    println!("\naccelerator model (per product, 4 PEs @ 200 MHz):");
+    for (label, fresh) in [
+        ("nothing cached (3 transforms)", 2u64),
+        ("one spectrum cached", 1),
+        ("both spectra cached", 0),
+    ] {
+        println!(
+            "  {label:<31} {:>8.2} us",
+            model.cached_multiplication_us(fresh)
+        );
+    }
+    println!(
+        "\neach cached spectrum saves one full T_FFT = {:.2} us of the {:.1} us product",
+        model.fft_us(),
+        model.multiplication_us()
+    );
+    Ok(())
+}

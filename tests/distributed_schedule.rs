@@ -1,0 +1,164 @@
+//! Structural properties of the Fig. 2 schedule: locality, neighbor-only
+//! traffic, balance, and overlap.
+
+use he_accel::field::Fp;
+use he_accel::hwsim::distributed::{DistributedNtt, PhaseReport};
+use he_accel::hwsim::network::{schedule_64k, Hypercube, SchedulePhase};
+use he_accel::ntt::N64K;
+use he_accel::prelude::*;
+
+fn run_report(pes: usize) -> (DistributedNtt, Vec<PhaseReport>) {
+    let cfg = AcceleratorConfig::paper().with_num_pes(pes).unwrap();
+    let dist = DistributedNtt::new(cfg).unwrap();
+    let input = vec![Fp::ONE; N64K];
+    let (_, report) = dist.forward(&input);
+    (dist, report.phases)
+}
+
+#[test]
+fn compute_and_exchange_interleave() {
+    let (_, phases) = run_report(4);
+    // C1 X1 C2 X2 C3.
+    let kinds: Vec<bool> = phases
+        .iter()
+        .map(|p| matches!(p, PhaseReport::Compute { .. }))
+        .collect();
+    assert_eq!(kinds, vec![true, false, true, false, true]);
+}
+
+#[test]
+fn l_greater_than_d_holds_for_all_supported_pe_counts() {
+    for pes in [1usize, 2, 4] {
+        let (_, phases) = run_report(pes);
+        let computes = phases
+            .iter()
+            .filter(|p| matches!(p, PhaseReport::Compute { .. }))
+            .count();
+        let exchanges = phases.len() - computes;
+        assert_eq!(computes, 3, "P = {pes}");
+        assert_eq!(exchanges, (pes as f64).log2() as usize, "P = {pes}");
+        assert!(computes > exchanges, "P = {pes}: l > d violated");
+    }
+}
+
+#[test]
+fn ownership_partitions_are_balanced() {
+    for pes in [1usize, 2, 4] {
+        let cfg = AcceleratorConfig::paper().with_num_pes(pes).unwrap();
+        let dist = DistributedNtt::new(cfg).unwrap();
+        let mut input_counts = vec![0usize; pes];
+        let mut output_counts = vec![0usize; pes];
+        for n in 0..N64K {
+            input_counts[dist.owner_input(n)] += 1;
+            output_counts[dist.owner_output(n)] += 1;
+        }
+        for pe in 0..pes {
+            assert_eq!(input_counts[pe], N64K / pes, "P = {pes}, input PE {pe}");
+            assert_eq!(output_counts[pe], N64K / pes, "P = {pes}, output PE {pe}");
+        }
+    }
+}
+
+#[test]
+fn exchanges_move_exactly_half_the_local_points() {
+    let (_, phases) = run_report(4);
+    for phase in &phases {
+        if let PhaseReport::Exchange { words_per_pe, .. } = phase {
+            assert_eq!(*words_per_pe, N64K / 4 / 2);
+        }
+    }
+}
+
+#[test]
+fn paper_link_width_fully_overlaps_communication() {
+    let (_, phases) = run_report(4);
+    for phase in &phases {
+        if let PhaseReport::Exchange { overlapped, cycles, .. } = phase {
+            assert!(*overlapped);
+            assert_eq!(*cycles, 1024); // 8192 words at 8 words/cycle
+        }
+    }
+}
+
+#[test]
+fn narrow_links_are_detected_as_exposed() {
+    let cfg = AcceleratorConfig::paper()
+        .with_link_words_per_cycle(2)
+        .unwrap();
+    let dist = DistributedNtt::new(cfg).unwrap();
+    let input = vec![Fp::ONE; N64K];
+    let (_, report) = dist.forward(&input);
+    for phase in &report.phases {
+        if let PhaseReport::Exchange { overlapped, cycles, .. } = phase {
+            // 8192 words at 2 words/cycle = 4096 cycles > 2048 compute.
+            assert_eq!(*cycles, 4096);
+            assert!(!*overlapped);
+        }
+    }
+    assert_eq!(report.total_cycles(), 6144 + 2 * (4096 - 2048));
+}
+
+#[test]
+fn planned_schedule_matches_measured_schedule() {
+    let planned = schedule_64k(4);
+    let (_, measured) = run_report(4);
+    assert_eq!(planned.len(), measured.len());
+    for (p, m) in planned.iter().zip(&measured) {
+        match (p, m) {
+            (
+                SchedulePhase::Compute { radix: pr, ffts_per_pe: pf, .. },
+                PhaseReport::Compute { radix: mr, ffts_per_pe: mf, .. },
+            ) => {
+                assert_eq!(pr, mr);
+                assert_eq!(pf, mf);
+            }
+            (
+                SchedulePhase::Exchange { dimension: pd, words_per_pe: pw, .. },
+                PhaseReport::Exchange { dimension: md, words_per_pe: mw, .. },
+            ) => {
+                assert_eq!(pd, md);
+                assert_eq!(pw, mw);
+            }
+            (p, m) => panic!("phase kind mismatch: {p:?} vs {m:?}"),
+        }
+    }
+}
+
+#[test]
+fn cyclone_prototype_exposes_communication() {
+    // The multi-board Cyclone V prototype (Section IV) has serial off-chip
+    // links: communication can no longer hide behind computation, which is
+    // one reason the design moved to a single large Stratix V.
+    let proto = AcceleratorConfig::cyclone_prototype();
+    let dist = DistributedNtt::new(proto.clone()).unwrap();
+    let input = vec![Fp::ONE; N64K];
+    let (_, report) = dist.forward(&input);
+    let mut any_exposed = false;
+    for phase in &report.phases {
+        if let PhaseReport::Exchange { overlapped, .. } = phase {
+            any_exposed |= !overlapped;
+        }
+    }
+    assert!(any_exposed, "1-word links must expose exchange time");
+    // And the end-to-end FFT is far slower than the paper's design point:
+    // more cycles AND a slower clock.
+    let paper = DistributedNtt::new(AcceleratorConfig::paper()).unwrap();
+    let (_, paper_report) = paper.forward(&input);
+    let proto_us = report.total_cycles() as f64 * proto.clock_period_ns() / 1000.0;
+    assert!(report.total_cycles() > paper_report.total_cycles());
+    assert!(proto_us > 4.0 * 30.72, "prototype should be several times slower");
+}
+
+#[test]
+fn hypercube_pairs_partition_nodes_at_every_dimension() {
+    for dim in 1..=3u32 {
+        let cube = Hypercube::new(dim);
+        for d in 0..dim {
+            let pairs = cube.exchange_pairs(d);
+            assert_eq!(pairs.len(), cube.nodes() / 2);
+            let mut all: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..cube.nodes()).collect::<Vec<_>>());
+        }
+    }
+}

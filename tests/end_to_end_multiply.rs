@@ -1,0 +1,61 @@
+//! End-to-end multiplication agreement at paper scale: every backend in
+//! the workspace computes the same 786,432 × 786,432-bit product.
+
+use he_accel::prelude::*;
+use he_accel::{Karatsuba, Schoolbook, Toom3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn paper_scale_all_software_backends_agree() {
+    let mut rng = StdRng::seed_from_u64(0xDA7E_2016);
+    let bits = he_accel::ssa::PAPER_OPERAND_BITS;
+    let a = UBig::random_bits(&mut rng, bits);
+    let b = UBig::random_bits(&mut rng, bits);
+
+    let reference = Karatsuba.multiply(&a, &b).unwrap();
+    assert_eq!(reference.bit_len(), 2 * bits, "product of two top-bit-set operands");
+    assert_eq!(Toom3.multiply(&a, &b).unwrap(), reference);
+    assert_eq!(SsaSoftware::paper().multiply(&a, &b).unwrap(), reference);
+}
+
+#[test]
+fn medium_scale_including_schoolbook() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = UBig::random_bits(&mut rng, 50_000);
+    let b = UBig::random_bits(&mut rng, 50_000);
+    let reference = Schoolbook.multiply(&a, &b).unwrap();
+    assert_eq!(Karatsuba.multiply(&a, &b).unwrap(), reference);
+    assert_eq!(Toom3.multiply(&a, &b).unwrap(), reference);
+    let ssa = SsaSoftware::for_operand_bits(50_000).unwrap();
+    assert_eq!(ssa.multiply(&a, &b).unwrap(), reference);
+}
+
+#[test]
+fn asymmetric_and_degenerate_operands() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let big = UBig::random_bits(&mut rng, 400_000);
+    let small = UBig::random_bits(&mut rng, 100);
+    let ssa = SsaSoftware::paper();
+    assert_eq!(
+        ssa.multiply(&big, &small).unwrap(),
+        Karatsuba.multiply(&big, &small).unwrap()
+    );
+    assert_eq!(ssa.multiply(&big, &UBig::one()).unwrap(), big);
+    assert_eq!(ssa.multiply(&big, &UBig::zero()).unwrap(), UBig::zero());
+}
+
+#[test]
+fn capacity_edge_exact_maximum() {
+    // Operands of exactly 786,432 bits are the documented maximum.
+    let bits = he_accel::ssa::PAPER_OPERAND_BITS;
+    let a = &UBig::pow2(bits) - &UBig::one();
+    let ssa = SsaSoftware::paper();
+    let square = ssa.multiply(&a, &a).unwrap();
+    // (2^n − 1)² = 2^{2n} − 2^{n+1} + 1
+    let expected = &(&UBig::pow2(2 * bits) - &UBig::pow2(bits + 1)) + &UBig::one();
+    assert_eq!(square, expected);
+    // One bit more must be rejected.
+    let too_big = UBig::pow2(bits);
+    assert!(ssa.multiply(&too_big, &too_big).is_err());
+}

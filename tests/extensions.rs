@@ -1,0 +1,233 @@
+//! Integration tests for the extension features: transform caching
+//! (ref [25]), flexible transform orders (Section IV-b's radix-8/16/32
+//! claim), and compressed public keys (ref [34]) — each cross-checked
+//! against the core stack.
+
+use he_accel::dghv::{CompressedKeyPair, DghvParams, ModulusLadder, SsaBackend};
+use he_accel::hwsim::flexplan::{operand_sweep, FlexPerfModel, FlexPlan, DGHV_LADDER_BITS};
+use he_accel::hwsim::perf::PerfModel;
+use he_accel::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn cached_products_are_bit_exact_at_paper_scale() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    let ssa = SsaMultiplier::paper();
+    let a = UBig::random_bits(&mut rng, he_accel::ssa::PAPER_OPERAND_BITS);
+    let b = UBig::random_bits(&mut rng, he_accel::ssa::PAPER_OPERAND_BITS);
+
+    let expected = a.mul_karatsuba(&b);
+    let ta = ssa.transform(&a).expect("paper-scale operand fits");
+    let tb = ssa.transform(&b).expect("paper-scale operand fits");
+    assert_eq!(ssa.multiply_transformed(&ta, &tb).unwrap(), expected);
+    assert_eq!(ssa.multiply_one_cached(&ta, &b).unwrap(), expected);
+}
+
+#[test]
+fn cached_product_stream_reuses_one_spectrum() {
+    let mut rng = StdRng::seed_from_u64(0x5EC7);
+    let ssa = SsaMultiplier::paper();
+    let fixed = UBig::random_bits(&mut rng, 300_000);
+    let spectrum = ssa.transform(&fixed).unwrap();
+    for _ in 0..3 {
+        let b = UBig::random_bits(&mut rng, 300_000);
+        assert_eq!(
+            ssa.multiply_one_cached(&spectrum, &b).unwrap(),
+            fixed.mul_karatsuba(&b)
+        );
+    }
+}
+
+#[test]
+fn caching_model_matches_software_transform_counts() {
+    // fresh = 2 is the plain product; each cached spectrum removes exactly
+    // one T_FFT from the model — mirroring the software API, which removes
+    // exactly one forward transform.
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    assert_eq!(model.cached_multiplication_cycles(2), model.multiplication_cycles());
+    for fresh in [0u64, 1] {
+        assert_eq!(
+            model.multiplication_cycles() - model.cached_multiplication_cycles(fresh),
+            (2 - fresh) * model.fft_cycles()
+        );
+    }
+}
+
+#[test]
+fn flex_paper_plan_agrees_with_the_section_v_model() {
+    let flex = FlexPerfModel::paper();
+    let perf = PerfModel::new(AcceleratorConfig::paper());
+    assert_eq!(flex.fft_cycles(), perf.fft_cycles());
+    assert_eq!(flex.dot_product_cycles(), perf.dot_product_cycles());
+    // Carry differs by design (structural unit vs 20 µs budget) but within
+    // 5 %.
+    let a = flex.carry_recovery_cycles() as f64;
+    let b = perf.carry_recovery_cycles() as f64;
+    assert!((a - b).abs() / b < 0.05, "carry {a} vs budget {b}");
+}
+
+#[test]
+fn flexible_orders_compute_correct_transforms() {
+    // The alternative orders are not just timing rows: each one is a valid
+    // mixed-radix factorization that the software NTT executes, and the
+    // result must match the reference radix-2 transform.
+    use he_accel::field::Fp;
+    use he_accel::ntt::{MixedRadixPlan, Radix2Plan};
+
+    for stages in [vec![64usize, 16, 8], vec![32, 32, 8], vec![16, 16, 16]] {
+        let n: usize = stages.iter().product();
+        let mixed = MixedRadixPlan::new(&stages).expect("valid radices");
+        let radix2 = Radix2Plan::new(n).unwrap();
+        let input: Vec<Fp> = (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect();
+        assert_eq!(
+            mixed.forward(&input),
+            radix2.forward(&input),
+            "order {stages:?} disagrees with radix-2"
+        );
+        // And the hardware plan prices it: stages within the unit's radix
+        // set always cost N/8 cycles per stage.
+        let plan = FlexPlan::new(
+            stages
+                .iter()
+                .map(|&p| he_accel::hwsim::flexplan::StageRadix::from_points(p).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        let cfg = AcceleratorConfig::paper().with_num_pes(4).unwrap();
+        let model = FlexPerfModel::new(cfg, plan).unwrap();
+        for i in 0..3 {
+            assert_eq!(model.stage_cycles(i), (n / 8 / 4) as u64);
+        }
+    }
+}
+
+#[test]
+fn operand_ladder_covers_the_paper_point_exactly() {
+    let rows = operand_sweep(&AcceleratorConfig::paper(), &DGHV_LADDER_BITS).unwrap();
+    let paper = rows.iter().find(|r| r.operand_bits == 786_432).unwrap();
+    assert_eq!((paper.coeff_bits, paper.n_points), (24, 65_536));
+    assert_eq!(paper.plan, FlexPlan::paper());
+    assert!((paper.fft_us - 30.72).abs() < 1e-9);
+    assert!((paper.memory_mbit - 8.0).abs() < 1e-9);
+}
+
+#[test]
+fn compressed_keys_run_the_full_pipeline_on_the_ssa_backend() {
+    // Compressed keygen → expansion → encryption → homomorphic AND on the
+    // Schönhage–Strassen backend — the complete paper pipeline with the
+    // [34] extension in front.
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let keys = CompressedKeyPair::generate(DghvParams::tiny(), 42, &mut rng).unwrap();
+    let public = keys.compressed().expand();
+    let backend = SsaBackend::for_gamma(keys.secret().params().gamma);
+    for a in [false, true] {
+        for b in [false, true] {
+            let ca = public.encrypt(a, &mut rng);
+            let cb = public.encrypt(b, &mut rng);
+            let and = public.mul(&backend, &ca, &cb).unwrap();
+            assert_eq!(keys.secret().decrypt(&and), a & b, "{a} AND {b}");
+        }
+    }
+    assert!(keys.compressed().compression_ratio() > 1.5);
+}
+
+#[test]
+fn compressed_and_plain_keys_have_identical_ciphertext_shape() {
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    let params = DghvParams::tiny();
+    let compressed = CompressedKeyPair::generate(params, 7, &mut rng).unwrap();
+    let plain = KeyPair::generate(params, &mut rng).unwrap();
+    let ct_c = compressed.compressed().expand().encrypt(true, &mut rng);
+    let ct_p = plain.public().encrypt(true, &mut rng);
+    assert!(ct_c.bit_len() <= params.gamma as usize + 1);
+    assert!(ct_p.bit_len() <= params.gamma as usize + 1);
+    assert_eq!(ct_c.noise_bits(), ct_p.noise_bits());
+}
+
+#[test]
+fn ladder_compresses_results_from_a_compressed_key() {
+    // Both [34] techniques composed: compressed keygen, expansion,
+    // evaluation, then ciphertext laddering of the result.
+    let mut rng = StdRng::seed_from_u64(0x1ADD);
+    let keys = CompressedKeyPair::generate(DghvParams::tiny(), 99, &mut rng).unwrap();
+    let ladder = ModulusLadder::generate(keys.secret(), &mut rng);
+    let public = keys.compressed().expand();
+    let backend = SsaBackend::for_gamma(keys.secret().params().gamma);
+    let ca = public.encrypt(true, &mut rng);
+    let cb = public.encrypt(true, &mut rng);
+    let and = public.mul(&backend, &ca, &cb).unwrap();
+    let small = ladder.compress_fully(&and).unwrap();
+    assert!(small.bit_len() < and.bit_len() / 2);
+    assert!(keys.secret().decrypt(&small));
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Cached products agree with plain products for arbitrary operand
+        /// sizes, including extreme asymmetry.
+        #[test]
+        fn cached_equals_plain(bits_a in 1usize..4000, bits_b in 1usize..4000, seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ssa = SsaMultiplier::for_operand_bits(4000).unwrap();
+            let a = UBig::random_bits(&mut rng, bits_a);
+            let b = UBig::random_bits(&mut rng, bits_b);
+            let ta = ssa.transform(&a).unwrap();
+            let tb = ssa.transform(&b).unwrap();
+            let expected = ssa.multiply(&a, &b).unwrap();
+            prop_assert_eq!(ssa.multiply_one_cached(&ta, &b).unwrap(), expected.clone());
+            prop_assert_eq!(ssa.multiply_transformed(&ta, &tb).unwrap(), expected);
+        }
+
+        /// Every factorization FlexPlan produces multiplies out to N, uses
+        /// only supported radices, and honors the stage-count request; a
+        /// failure implies the request was infeasible (8^min_stages > N).
+        #[test]
+        fn flexplan_factorization_invariants(k in 3u32..=24, min_stages in 1usize..=4) {
+            let n = 1usize << k;
+            match FlexPlan::for_points(n, min_stages) {
+                Ok(plan) => {
+                    prop_assert_eq!(plan.n_points(), n);
+                    prop_assert!(plan.num_stages() >= min_stages);
+                    prop_assert!(plan.num_stages() <= (k as usize / 3).max(min_stages));
+                    for s in plan.stages() {
+                        prop_assert!(matches!(s.points(), 8 | 16 | 32 | 64));
+                    }
+                }
+                Err(_) => prop_assert!(3 * min_stages > k as usize),
+            }
+        }
+
+        /// The modulus ladder never disturbs the plaintext, at any level.
+        #[test]
+        fn ladder_preserves_plaintext(seed: u64, m: bool) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).unwrap();
+            let ladder = ModulusLadder::generate(keys.secret(), &mut rng);
+            let ct = keys.public().encrypt(m, &mut rng);
+            for level in 0..ladder.num_rungs() {
+                prop_assert_eq!(keys.secret().decrypt(&ladder.compress(&ct, level)), m);
+            }
+        }
+
+        /// Seed-compressed keys expand to working keys for any seed.
+        #[test]
+        fn compressed_keys_roundtrip(seed: u64, pk_seed: u64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let keys =
+                CompressedKeyPair::generate(DghvParams::tiny(), pk_seed, &mut rng).unwrap();
+            let public = keys.compressed().expand();
+            for m in [false, true] {
+                let ct = public.encrypt(m, &mut rng);
+                prop_assert_eq!(keys.secret().decrypt(&ct), m);
+            }
+        }
+    }
+}

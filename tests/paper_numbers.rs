@@ -1,0 +1,156 @@
+//! Assertions tying the models to the numbers printed in the paper:
+//! Table I (resources), Table II (times), and the Section V formulas.
+
+use he_accel::field::Fp;
+use he_accel::hwsim::comparators::{Table2, WANG_HUANG_FPGA_28};
+use he_accel::hwsim::fft_unit::{BaselineFft64, OptimizedFft64};
+use he_accel::hwsim::perf::PerfModel;
+use he_accel::hwsim::resources::Table1;
+use he_accel::ntt::kernels::Direction;
+use he_accel::prelude::*;
+
+// --- Section V timing formulas ---------------------------------------------
+
+#[test]
+fn t_fft_formula() {
+    // T_FFT = 2·(T_C·8·1024)/P + (T_C·2)·4096/P = 20480 + 10240 ns ≈ 30.7 µs
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    let stage12_ns = model.stage64_cycles() as f64 * 5.0;
+    let stage3_ns = model.stage16_cycles() as f64 * 5.0;
+    assert_eq!(stage12_ns as u64, 10_240); // per radix-64 stage
+    assert_eq!(stage3_ns as u64, 10_240);
+    assert!((model.fft_us() - 30.72).abs() < 1e-9);
+}
+
+#[test]
+fn t_dotprod_formula() {
+    // T_DOTPROD = T_C·65536/32 ≈ 10.2 µs
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    assert!((model.dot_product_us() - 10.24).abs() < 1e-9);
+}
+
+#[test]
+fn t_mult_total() {
+    // 3 FFTs + dot product + ~20 µs carry recovery ≈ 122 µs.
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    assert!((model.multiplication_us() - 122.4).abs() < 1e-9);
+    assert!((model.multiplication_us() - 122.0).abs() < 1.0, "paper rounds to 122");
+}
+
+// --- Table II ----------------------------------------------------------------
+
+#[test]
+fn table2_speedups_reproduce() {
+    let table = Table2::from_model(AcceleratorConfig::paper());
+    let s28 = table.multiplication_speedup(&WANG_HUANG_FPGA_28).unwrap();
+    assert!((s28 - 3.32).abs() < 0.02, "paper: [28] is 3.32X slower; got {s28:.3}");
+    assert!(
+        table.min_multiplication_speedup() >= 1.65,
+        "paper: all others at least 1.69X slower (with its own rounding)"
+    );
+    // FFT comparison: 30.7 vs 125 and 250.
+    assert!(table.proposed_fft_us < 31.0);
+    for c in &table.comparators {
+        if let Some(f) = c.fft_us {
+            assert!(f >= 125.0);
+        }
+    }
+}
+
+// --- Table I -----------------------------------------------------------------
+
+#[test]
+fn table1_reproduces_within_tolerance() {
+    let t = Table1::from_model(&AcceleratorConfig::paper());
+    let close = |got: u64, paper: u64, tol: f64, what: &str| {
+        let rel = (got as f64 - paper as f64).abs() / paper as f64;
+        assert!(rel <= tol, "{what}: model {got} vs paper {paper} ({:.1}% off)", rel * 100.0);
+    };
+    close(t.proposed.alms, 104_000, 0.15, "proposed ALMs");
+    close(t.proposed.registers, 116_000, 0.15, "proposed registers");
+    assert_eq!(t.proposed.dsp_blocks, 256);
+    assert!((t.proposed.bram_mbit() - 8.0).abs() < 0.05);
+    close(t.baseline.alms, 231_000, 0.15, "[28] ALMs");
+    close(t.baseline.registers, 336_377, 0.15, "[28] registers");
+    assert_eq!(t.baseline.dsp_blocks, 720);
+}
+
+#[test]
+fn table1_saving_claim() {
+    let t = Table1::from_model(&AcceleratorConfig::paper());
+    let saving = t.average_saving_pct();
+    assert!((50.0..=70.0).contains(&saving), "~60% claimed, got {saving:.1}%");
+}
+
+// --- Figs. 3/4: the unit-level optimization --------------------------------
+
+#[test]
+fn fig3_fig4_units_bitexact_and_cheaper() {
+    let input: Vec<Fp> = (0..64).map(|i| Fp::new(i * 997 + 13)).collect();
+    let base = BaselineFft64::new().transform(&input, Direction::Forward);
+    let opt = OptimizedFft64::new().transform(&input, Direction::Forward);
+    assert_eq!(base.values, opt.values);
+    assert_eq!(base.census.reductors_instantiated, 64);
+    assert_eq!(opt.census.reductors_instantiated, 8);
+    assert_eq!(base.census.write_ports_required, 64);
+    assert_eq!(opt.census.write_ports_required, 8);
+    assert!(opt.census.shift_ops < base.census.shift_ops / 4);
+    assert_eq!(base.census.cycles, opt.census.cycles, "same throughput");
+}
+
+// --- the cycle simulation equals the analytic model -------------------------
+
+#[test]
+fn cycle_simulation_reproduces_paper_times() {
+    let hw = HardwareSim::paper();
+    let (_, report) = hw
+        .multiply_with_report(&UBig::from(2u64), &UBig::from(3u64))
+        .unwrap();
+    assert!((report.fft_us() - 30.72).abs() < 1e-9);
+    assert!((report.total_us() - 122.4).abs() < 1e-9);
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    assert_eq!(report.total_cycles(), model.multiplication_cycles());
+}
+
+// --- the micro-program interpreter agrees too --------------------------------
+
+#[test]
+fn instruction_stream_reproduces_fft_cycles() {
+    use he_accel::hwsim::program::{PeInterpreter, PeProgram};
+    for pes in [1usize, 2, 4] {
+        let cfg = AcceleratorConfig::paper().with_num_pes(pes).unwrap();
+        let program = PeProgram::for_64k_schedule(&cfg);
+        let stats = PeInterpreter::new(cfg.clone()).execute(&program).unwrap();
+        assert_eq!(stats.cycles, PerfModel::new(cfg).fft_cycles(), "P = {pes}");
+    }
+}
+
+// --- streaming throughput (the paper's headroom note) ------------------------
+
+#[test]
+fn streaming_throughput_is_fft_bound() {
+    use he_accel::hwsim::stream::StreamSim;
+    let report = StreamSim::new(AcceleratorConfig::paper()).run(12);
+    let model = PerfModel::new(AcceleratorConfig::paper());
+    assert_eq!(
+        report.steady_interval_cycles(),
+        Some(model.pipelined_multiplication_cycles())
+    );
+    assert_eq!(model.pipelined_multiplication_cycles(), 3 * model.fft_cycles());
+}
+
+// --- PE-count scaling (Series B) --------------------------------------------
+
+#[test]
+fn fft_time_scales_with_pes() {
+    let mut last = f64::INFINITY;
+    for p in [1usize, 2, 4] {
+        let cfg = AcceleratorConfig::paper().with_num_pes(p).unwrap();
+        let us = PerfModel::new(cfg).fft_us();
+        assert!(us < last, "more PEs must be faster");
+        last = us;
+    }
+    // Perfect scaling in the analytic model: P=1 is 4× the paper's time.
+    let p1 = PerfModel::new(AcceleratorConfig::paper().with_num_pes(1).unwrap());
+    assert!((p1.fft_us() - 4.0 * 30.72).abs() < 1e-9);
+}
