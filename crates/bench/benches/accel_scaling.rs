@@ -13,7 +13,9 @@ fn bench_scaling(c: &mut Criterion) {
     let input: Vec<Fp> = (0..N64K as u64).map(Fp::new).collect();
 
     for pes in [1usize, 2, 4] {
-        let cfg = AcceleratorConfig::paper().with_num_pes(pes).expect("supported");
+        let cfg = AcceleratorConfig::paper()
+            .with_num_pes(pes)
+            .expect("supported");
         let dist = DistributedNtt::new(cfg).expect("supported");
         group.bench_with_input(BenchmarkId::new("sequential", pes), &input, |b, d| {
             b.iter(|| dist.forward(d))

@@ -46,6 +46,11 @@ fn bench_crossover(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("ssa", bits), &bits, |bench, _| {
         bench.iter(|| ssa.multiply(&a, &b).expect("operands fit"))
     });
+    // The zero-allocation form: same pipeline, caller-owned result.
+    let mut out = he_bigint::UBig::zero();
+    group.bench_with_input(BenchmarkId::new("ssa_into", bits), &bits, |bench, _| {
+        bench.iter(|| ssa.multiply_into(&a, &b, &mut out).expect("operands fit"))
+    });
     group.finish();
 }
 

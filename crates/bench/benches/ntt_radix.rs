@@ -4,10 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use he_field::Fp;
-use he_ntt::{MixedRadixPlan, Ntt64k, Radix2Plan, SixStepPlan, N64K};
+use he_ntt::{par, MixedRadixPlan, Ntt64k, NttScratch, Radix2Plan, SixStepPlan, N64K};
 
 fn input(n: usize) -> Vec<Fp> {
-    (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect()
+    (0..n as u64)
+        .map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect()
 }
 
 fn bench_radix(c: &mut Criterion) {
@@ -41,5 +43,48 @@ fn bench_radix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_radix);
+/// The PR's before/after story at the 64K design point: the allocating
+/// single-thread path vs the in-place scratch path, single-thread and
+/// with the multi-core stage fan-out.
+fn bench_inplace_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt64k_inplace");
+    group.sample_size(10);
+
+    let data = input(N64K);
+    let plan = Ntt64k::new();
+
+    par::set_threads(1);
+    group.bench_with_input(BenchmarkId::new("alloc_1thread", N64K), &data, |b, d| {
+        b.iter(|| plan.forward(d))
+    });
+    let mut scratch = NttScratch::new();
+    let mut buf = data.clone();
+    group.bench_with_input(BenchmarkId::new("into_1thread", N64K), &data, |b, _| {
+        b.iter(|| plan.forward_into(&mut buf, &mut scratch))
+    });
+    par::set_threads(0); // machine default: all cores
+    group.bench_with_input(
+        BenchmarkId::new(format!("into_{}threads", par::thread_count()), N64K),
+        &data,
+        |b, _| b.iter(|| plan.forward_into(&mut buf, &mut scratch)),
+    );
+
+    // The six-step plan gets the same treatment (it shares the fan-out).
+    let six = SixStepPlan::square_64k();
+    par::set_threads(1);
+    group.bench_with_input(
+        BenchmarkId::new("sixstep_into_1thread", N64K),
+        &data,
+        |b, _| b.iter(|| six.forward_into(&mut buf, &mut scratch)),
+    );
+    par::set_threads(0);
+    group.bench_with_input(
+        BenchmarkId::new(format!("sixstep_into_{}threads", par::thread_count()), N64K),
+        &data,
+        |b, _| b.iter(|| six.forward_into(&mut buf, &mut scratch)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_radix, bench_inplace_parallel);
 criterion_main!(benches);

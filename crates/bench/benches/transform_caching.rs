@@ -21,15 +21,47 @@ fn bench_caching(c: &mut Criterion) {
         let ta = ssa.transform(&a).expect("operand fits");
         let tb = ssa.transform(&b).expect("operand fits");
 
-        group.bench_with_input(BenchmarkId::new("plain_3_transforms", bits), &bits, |bench, _| {
-            bench.iter(|| ssa.multiply(&a, &b).expect("operands fit"))
+        group.bench_with_input(
+            BenchmarkId::new("plain_3_transforms", bits),
+            &bits,
+            |bench, _| bench.iter(|| ssa.multiply(&a, &b).expect("operands fit")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_cached_2_transforms", bits),
+            &bits,
+            |bench, _| bench.iter(|| ssa.multiply_one_cached(&ta, &b).expect("operands fit")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("both_cached_1_transform", bits),
+            &bits,
+            |bench, _| bench.iter(|| ssa.multiply_transformed(&ta, &tb).expect("operands fit")),
+        );
+        // The pooled `_into` forms: identical transform counts, zero heap
+        // allocations per product after warm-up.
+        let mut out = he_bigint::UBig::zero();
+        group.bench_with_input(BenchmarkId::new("plain_into", bits), &bits, |bench, _| {
+            bench.iter(|| ssa.multiply_into(&a, &b, &mut out).expect("operands fit"))
         });
-        group.bench_with_input(BenchmarkId::new("one_cached_2_transforms", bits), &bits, |bench, _| {
-            bench.iter(|| ssa.multiply_one_cached(&ta, &b).expect("operands fit"))
-        });
-        group.bench_with_input(BenchmarkId::new("both_cached_1_transform", bits), &bits, |bench, _| {
-            bench.iter(|| ssa.multiply_transformed(&ta, &tb).expect("operands fit"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("one_cached_into", bits),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    ssa.multiply_one_cached_into(&ta, &b, &mut out)
+                        .expect("operands fit")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("both_cached_into", bits),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    ssa.multiply_transformed_into(&ta, &tb, &mut out)
+                        .expect("operands fit")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,90 @@
+//! Perf-trajectory baseline: emits `BENCH_ntt.json` with the 64K-transform
+//! and paper-scale (786,432-bit) multiply timings, single-thread and
+//! multi-core, allocating and in-place.
+//!
+//! Run with `cargo run --release -p he-bench --bin bench_ntt`. The file is
+//! written to the current directory; future PRs append their own runs to
+//! track the throughput trajectory (ROADMAP "Open items").
+
+use std::time::Instant;
+
+use he_bench::operand;
+use he_bigint::UBig;
+use he_field::Fp;
+use he_ntt::{par, Ntt64k, NttScratch, N64K};
+use he_ssa::{SsaMultiplier, PAPER_OPERAND_BITS};
+
+/// Median-of-`iters` wall time per call, in microseconds.
+fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let plan = Ntt64k::new();
+    let data: Vec<Fp> = (0..N64K as u64)
+        .map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        .collect();
+    let mut scratch = NttScratch::new();
+    let mut buf = data.clone();
+
+    he_bench::section("64K-point NTT");
+    par::set_threads(1);
+    let ntt_alloc_1t = time_us(10, || {
+        std::hint::black_box(plan.forward(&data));
+    });
+    println!("allocating, 1 thread:     {ntt_alloc_1t:>10.1} µs");
+    let ntt_into_1t = time_us(10, || plan.forward_into(&mut buf, &mut scratch));
+    println!("in-place,   1 thread:     {ntt_into_1t:>10.1} µs");
+    par::set_threads(0);
+    let ntt_into_par = time_us(10, || plan.forward_into(&mut buf, &mut scratch));
+    println!("in-place,   {threads} thread(s):  {ntt_into_par:>10.1} µs");
+
+    he_bench::section("786,432-bit multiplication (paper operand size)");
+    let ssa = SsaMultiplier::paper();
+    let a = operand(PAPER_OPERAND_BITS, 1);
+    let b = operand(PAPER_OPERAND_BITS, 2);
+    let mut out = UBig::zero();
+    par::set_threads(1);
+    let mul_alloc_1t = time_us(5, || {
+        std::hint::black_box(ssa.multiply(&a, &b).expect("operands fit"));
+    });
+    println!("multiply,      1 thread:  {mul_alloc_1t:>10.1} µs");
+    let mul_into_1t = time_us(5, || {
+        ssa.multiply_into(&a, &b, &mut out).expect("operands fit")
+    });
+    println!("multiply_into, 1 thread:  {mul_into_1t:>10.1} µs");
+    par::set_threads(0);
+    let mul_into_par = time_us(5, || {
+        ssa.multiply_into(&a, &b, &mut out).expect("operands fit")
+    });
+    println!("multiply_into, {threads} thread(s): {mul_into_par:>10.1} µs");
+
+    // Hand-rolled JSON (the workspace builds without a registry, so no
+    // serde); keys stay stable for downstream tooling.
+    let json = format!(
+        "{{\n  \
+         \"host_threads\": {threads},\n  \
+         \"ntt64k_forward_us\": {{\n    \
+         \"allocating_1thread\": {ntt_alloc_1t:.1},\n    \
+         \"inplace_1thread\": {ntt_into_1t:.1},\n    \
+         \"inplace_all_threads\": {ntt_into_par:.1}\n  }},\n  \
+         \"mul_786432bit_us\": {{\n    \
+         \"multiply_1thread\": {mul_alloc_1t:.1},\n    \
+         \"multiply_into_1thread\": {mul_into_1t:.1},\n    \
+         \"multiply_into_all_threads\": {mul_into_par:.1}\n  }}\n}}\n"
+    );
+    std::fs::write("BENCH_ntt.json", &json).expect("write BENCH_ntt.json");
+    println!("\nwrote BENCH_ntt.json");
+}

@@ -32,10 +32,21 @@ fn main() {
     let (_, report) = dist.forward(&input);
     for phase in &report.phases {
         match phase {
-            PhaseReport::Compute { label, radix, ffts_per_pe, cycles } => println!(
-                "  {label}: {ffts_per_pe:>4} radix-{radix:<2} FFTs/PE {cycles:>6} cycles"
-            ),
-            PhaseReport::Exchange { label, dimension, words_per_pe, cycles, overlapped } => {
+            PhaseReport::Compute {
+                label,
+                radix,
+                ffts_per_pe,
+                cycles,
+            } => {
+                println!("  {label}: {ffts_per_pe:>4} radix-{radix:<2} FFTs/PE {cycles:>6} cycles")
+            }
+            PhaseReport::Exchange {
+                label,
+                dimension,
+                words_per_pe,
+                cycles,
+                overlapped,
+            } => {
                 println!(
                     "  {label}: dim-{dimension} exchange {words_per_pe:>6} words/PE {cycles:>6} cycles  [{}]",
                     if *overlapped { "overlapped" } else { "EXPOSED" }

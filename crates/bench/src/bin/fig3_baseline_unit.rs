@@ -23,8 +23,14 @@ fn main() {
     println!("  shifter activations    {:>8}", out.census.shift_ops);
     println!("  carry-save ops         {:>8}", out.census.csa_ops);
     println!("  modular reductions     {:>8}", out.census.reductor_uses);
-    println!("  reductors instantiated {:>8}", out.census.reductors_instantiated);
-    println!("  write ports needed     {:>8}", out.census.write_ports_required);
+    println!(
+        "  reductors instantiated {:>8}",
+        out.census.reductors_instantiated
+    );
+    println!(
+        "  write ports needed     {:>8}",
+        out.census.write_ports_required
+    );
 
     let reference = kernels::ntt_small(&input, Direction::Forward).expect("64 points");
     println!(

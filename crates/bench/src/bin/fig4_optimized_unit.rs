@@ -21,7 +21,10 @@ fn main() {
     let opt = OptimizedFft64::new().transform(&input, Direction::Forward);
     assert_eq!(base.values, opt.values, "units must be bit-exact");
 
-    println!("{:<24} {:>12} {:>12} {:>8}", "per 64-point transform", "baseline", "optimized", "ratio");
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}",
+        "per 64-point transform", "baseline", "optimized", "ratio"
+    );
     let row = |name: &str, b: u64, o: u64| {
         println!(
             "{name:<24} {b:>12} {o:>12} {:>7.2}x",
@@ -30,8 +33,16 @@ fn main() {
     };
     row("shift ops", base.census.shift_ops, opt.census.shift_ops);
     row("carry-save ops", base.census.csa_ops, opt.census.csa_ops);
-    row("reductors", base.census.reductors_instantiated, opt.census.reductors_instantiated);
-    row("write ports", base.census.write_ports_required, opt.census.write_ports_required);
+    row(
+        "reductors",
+        base.census.reductors_instantiated,
+        opt.census.reductors_instantiated,
+    );
+    row(
+        "write ports",
+        base.census.write_ports_required,
+        opt.census.write_ports_required,
+    );
     row("cycles (throughput)", base.census.cycles, opt.census.cycles);
 
     let tech = TechFactors::default();

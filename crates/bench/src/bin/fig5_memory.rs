@@ -5,8 +5,8 @@
 
 use he_bench::section;
 use he_hwsim::memory::{
-    fft_read_pattern, fft_write_pattern, m20k_blocks_for, BankingScheme, LinearBanked,
-    TwoDBanked, ARRAY_POINTS,
+    fft_read_pattern, fft_write_pattern, m20k_blocks_for, BankingScheme, LinearBanked, TwoDBanked,
+    ARRAY_POINTS,
 };
 
 fn replay(scheme: &dyn BankingScheme) -> (usize, usize, usize) {
@@ -16,7 +16,10 @@ fn replay(scheme: &dyn BankingScheme) -> (usize, usize, usize) {
     for transform in 0..(ARRAY_POINTS / 64) {
         let base = transform * 64;
         for cycle in 0..8 {
-            for pattern in [fft_read_pattern(base, cycle), fft_write_pattern(base, cycle)] {
+            for pattern in [
+                fft_read_pattern(base, cycle),
+                fft_write_pattern(base, cycle),
+            ] {
                 match scheme.check_cycle(&pattern) {
                     Ok(load) => {
                         ok += 1;

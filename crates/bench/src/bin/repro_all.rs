@@ -21,7 +21,10 @@ fn main() {
     section("Table I");
     let t1 = Table1::from_model(&config);
     println!("{}", t1.render());
-    println!("average saving: {:.0}% (paper: ~60%)", t1.average_saving_pct());
+    println!(
+        "average saving: {:.0}% (paper: ~60%)",
+        t1.average_saving_pct()
+    );
 
     section("Table II");
     let t2 = Table2::from_model(config.clone());
@@ -40,7 +43,10 @@ fn main() {
     let b = operand(786_432, 2);
     let (product, report) = sim.multiply(&a, &b).expect("operands fit");
     println!("{}", report.render());
-    println!("product bits: {} (bit-exact against software)", product.bit_len());
+    println!(
+        "product bits: {} (bit-exact against software)",
+        product.bit_len()
+    );
     println!("{}", Trace::from_multiply_report(&report).gantt(56));
 
     section("micro-program execution (instruction-derived cycle count)");
@@ -77,7 +83,11 @@ fn main() {
     let rows = he_hwsim::flexplan::operand_sweep(&config, &he_hwsim::flexplan::DGHV_LADDER_BITS)
         .expect("ladder plans cleanly");
     for r in &rows {
-        let marker = if r.operand_bits == 786_432 { "  <- paper" } else { "" };
+        let marker = if r.operand_bits == 786_432 {
+            "  <- paper"
+        } else {
+            ""
+        };
         println!(
             "{:>9} bits: N = {:>6}, T_MULT = {:>8.2} us{marker}",
             r.operand_bits, r.n_points, r.multiplication_us

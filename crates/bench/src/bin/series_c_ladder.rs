@@ -36,8 +36,14 @@ fn main() {
         };
         println!(
             "{:>12} {:>6} {:>9} {:>16} {:>10.2} {:>11.2} {:>9.1} {:>7.1}{marker}",
-            r.operand_bits, r.coeff_bits, r.n_points, plan, r.fft_us, r.multiplication_us,
-            r.memory_mbit, r.bram_utilization_pct
+            r.operand_bits,
+            r.coeff_bits,
+            r.n_points,
+            plan,
+            r.fft_us,
+            r.multiplication_us,
+            r.memory_mbit,
+            r.bram_utilization_pct
         );
     }
     println!(
@@ -46,7 +52,10 @@ fn main() {
     );
 
     section("Series C.2 - alternative 64K orders at the paper's point");
-    println!("{:>20} {:>8} {:>10} {:>9}", "order", "stages", "T_FFT us", "max PEs");
+    println!(
+        "{:>20} {:>8} {:>10} {:>9}",
+        "order", "stages", "T_FFT us", "max PEs"
+    );
     for stages in [
         vec![he_hwsim::flexplan::StageRadix::R64; 2],
         FlexPlan::paper().stages().to_vec(),

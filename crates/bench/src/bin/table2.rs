@@ -46,8 +46,7 @@ fn main() {
     println!(
         "steady-state interval: {} cycles = {:.2} us  ({:.0} multiplications/s)",
         stream.steady_interval_cycles().expect("16 entries"),
-        stream.steady_interval_cycles().expect("16 entries") as f64
-            * config.clock_period_ns()
+        stream.steady_interval_cycles().expect("16 entries") as f64 * config.clock_period_ns()
             / 1000.0,
         stream.throughput_per_second(),
     );
@@ -58,9 +57,14 @@ fn main() {
 
     if std::env::args().any(|a| a == "--scaling") {
         section("Series B — T_FFT(P) scaling of the analytic model");
-        println!("{:>4} {:>12} {:>12} {:>12}", "P", "stage64 cyc", "FFT cyc", "FFT us");
+        println!(
+            "{:>4} {:>12} {:>12} {:>12}",
+            "P", "stage64 cyc", "FFT cyc", "FFT us"
+        );
         for p in [1usize, 2, 4, 8, 16] {
-            let cfg = AcceleratorConfig::paper().with_num_pes(p).expect("power of two");
+            let cfg = AcceleratorConfig::paper()
+                .with_num_pes(p)
+                .expect("power of two");
             let m = PerfModel::new(cfg);
             println!(
                 "{:>4} {:>12} {:>12} {:>12.2}",

@@ -25,7 +25,10 @@ pub fn operand(bits: usize, salt: u64) -> UBig {
 
 /// Prints a section header for harness output.
 pub fn section(title: &str) {
-    println!("\n=== {title} {}", "=".repeat(68usize.saturating_sub(title.len())));
+    println!(
+        "\n=== {title} {}",
+        "=".repeat(68usize.saturating_sub(title.len()))
+    );
 }
 
 #[cfg(test)]

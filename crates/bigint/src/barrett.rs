@@ -69,7 +69,9 @@ impl BarrettReducer {
         let q3 = q2 >> (64 * (self.k + 1));
         let r2 = &q3 * &self.modulus;
         // r = x − q3·m; the estimate guarantees 0 ≤ r < 3m.
-        let mut r = x.checked_sub(&r2).expect("Barrett estimate never exceeds x");
+        let mut r = x
+            .checked_sub(&r2)
+            .expect("Barrett estimate never exceeds x");
         while r >= self.modulus {
             r -= &self.modulus;
         }
@@ -107,7 +109,14 @@ mod tests {
         for mbits in [64usize, 100, 512, 1000, 4096] {
             let m = UBig::random_bits(&mut rng, mbits);
             let reducer = BarrettReducer::new(m.clone()).unwrap();
-            for xbits in [1usize, mbits - 1, mbits, mbits + 1, 2 * mbits - 1, 2 * mbits + 64] {
+            for xbits in [
+                1usize,
+                mbits - 1,
+                mbits,
+                mbits + 1,
+                2 * mbits - 1,
+                2 * mbits + 64,
+            ] {
                 let x = UBig::random_bits(&mut rng, xbits);
                 assert_eq!(
                     reducer.reduce(&x),

@@ -47,9 +47,7 @@ impl UBig {
             let mut qhat = numerator / v[n - 1] as u128;
             let mut rhat = numerator % v[n - 1] as u128;
 
-            while qhat >= b
-                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v[n - 1] as u128;
                 if rhat >= b {

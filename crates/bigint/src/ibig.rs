@@ -145,14 +145,12 @@ impl Add<&IBig> for &IBig {
         } else {
             match self.magnitude.cmp(&rhs.magnitude) {
                 Ordering::Equal => IBig::zero(),
-                Ordering::Greater => IBig::from_sign_magnitude(
-                    self.negative,
-                    &self.magnitude - &rhs.magnitude,
-                ),
-                Ordering::Less => IBig::from_sign_magnitude(
-                    rhs.negative,
-                    &rhs.magnitude - &self.magnitude,
-                ),
+                Ordering::Greater => {
+                    IBig::from_sign_magnitude(self.negative, &self.magnitude - &rhs.magnitude)
+                }
+                Ordering::Less => {
+                    IBig::from_sign_magnitude(rhs.negative, &rhs.magnitude - &self.magnitude)
+                }
             }
         }
     }

@@ -112,7 +112,9 @@ mod tests {
         );
         // modulus one: everything is zero
         assert_eq!(
-            UBig::from(7u64).mod_pow(&UBig::from(5u64), &UBig::one()).unwrap(),
+            UBig::from(7u64)
+                .mod_pow(&UBig::from(5u64), &UBig::one())
+                .unwrap(),
             UBig::zero()
         );
     }

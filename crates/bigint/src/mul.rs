@@ -253,6 +253,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // multiplying by zero is the point
     fn mul_by_u64_scalar() {
         let a = UBig::from_limbs(vec![u64::MAX, u64::MAX]);
         assert_eq!(&a * 2u64, &a << 1);

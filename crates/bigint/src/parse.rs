@@ -43,18 +43,23 @@ impl UBig {
     /// # Ok::<(), he_bigint::ParseUBigError>(())
     /// ```
     pub fn from_hex(s: &str) -> Result<UBig, ParseUBigError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let digits: Vec<u8> = s
             .chars()
             .filter(|&c| c != '_')
             .map(|c| {
-                c.to_digit(16)
-                    .map(|d| d as u8)
-                    .ok_or(ParseUBigError { kind: ParseErrorKind::InvalidDigit(c) })
+                c.to_digit(16).map(|d| d as u8).ok_or(ParseUBigError {
+                    kind: ParseErrorKind::InvalidDigit(c),
+                })
             })
             .collect::<Result<_, _>>()?;
         if digits.is_empty() {
-            return Err(ParseUBigError { kind: ParseErrorKind::Empty });
+            return Err(ParseUBigError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut limbs = vec![0u64; digits.len().div_ceil(16)];
         for (i, &d) in digits.iter().rev().enumerate() {
@@ -75,14 +80,16 @@ impl UBig {
             if c == '_' {
                 continue;
             }
-            let d = c
-                .to_digit(10)
-                .ok_or(ParseUBigError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let d = c.to_digit(10).ok_or(ParseUBigError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             acc = &acc * 10u64 + &UBig::from(d as u64);
             seen = true;
         }
         if !seen {
-            return Err(ParseUBigError { kind: ParseErrorKind::Empty });
+            return Err(ParseUBigError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         Ok(acc)
     }
@@ -107,7 +114,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = UBig::from_hex(s).unwrap();
             assert_eq!(UBig::from_hex(&format!("{v:x}")).unwrap(), v, "input {s}");
         }

@@ -59,6 +59,20 @@ impl UBig {
         UBig { limbs }
     }
 
+    /// Overwrites this value from little-endian limbs, reusing the
+    /// existing allocation (no heap traffic once the capacity fits).
+    ///
+    /// The allocation-free carry-recovery path of the SSA multiplier
+    /// (`he-ssa`) writes each product into a caller-owned `UBig` this way.
+    pub fn assign_from_limbs(&mut self, limbs: &[u64]) {
+        let significant = limbs
+            .iter()
+            .rposition(|&l| l != 0)
+            .map_or(0, |last| last + 1);
+        self.limbs.clear();
+        self.limbs.extend_from_slice(&limbs[..significant]);
+    }
+
     /// Constructs from little-endian bytes.
     pub fn from_le_bytes(bytes: &[u8]) -> UBig {
         let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
@@ -106,7 +120,7 @@ impl UBig {
     /// Whether the value is even.
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// The number of significant bits (`0` for zero).
@@ -305,7 +319,6 @@ impl UBig {
             self.limbs.pop();
         }
     }
-
 }
 
 impl From<u64> for UBig {
@@ -499,7 +512,7 @@ impl Shr<usize> for &UBig {
         let bit_shift = shift % 64;
         let n = self.limbs.len() - limb_shift;
         let mut out = vec![0u64; n];
-        for i in 0..n {
+        for (i, slot) in out.iter_mut().enumerate() {
             let lo = self.limbs[i + limb_shift] >> bit_shift;
             let hi = if bit_shift == 0 {
                 0
@@ -511,7 +524,7 @@ impl Shr<usize> for &UBig {
                     .checked_shl(64 - bit_shift as u32)
                     .unwrap_or(0)
             };
-            out[i] = lo | hi;
+            *slot = lo | hi;
         }
         UBig::from_limbs(out)
     }
@@ -538,7 +551,12 @@ impl fmt::Debug for UBig {
         if self.bit_len() <= 128 {
             write!(f, "UBig({self})")
         } else {
-            write!(f, "UBig(<{} bits> {:#x}...)", self.bit_len(), self.limbs.last().unwrap())
+            write!(
+                f,
+                "UBig(<{} bits> {:#x}...)",
+                self.bit_len(),
+                self.limbs.last().unwrap()
+            )
         }
     }
 }
@@ -718,7 +736,10 @@ mod tests {
     #[test]
     fn display_and_hex() {
         assert_eq!(UBig::zero().to_string(), "0");
-        assert_eq!(UBig::from(1234567890123456789u64).to_string(), "1234567890123456789");
+        assert_eq!(
+            UBig::from(1234567890123456789u64).to_string(),
+            "1234567890123456789"
+        );
         // A 2-limb value: 2^64 = 18446744073709551616.
         assert_eq!(UBig::pow2(64).to_string(), "18446744073709551616");
         assert_eq!(format!("{:x}", UBig::pow2(64)), "10000000000000000");
@@ -733,7 +754,10 @@ mod tests {
         assert_eq!(UBig::pow2(64).to_u64(), None);
         assert_eq!(UBig::pow2(64).to_u128(), Some(1u128 << 64));
         assert_eq!(UBig::pow2(128).to_u128(), None);
-        assert_eq!(UBig::from(u128::MAX), UBig::from_limbs(vec![u64::MAX, u64::MAX]));
+        assert_eq!(
+            UBig::from(u128::MAX),
+            UBig::from_limbs(vec![u64::MAX, u64::MAX])
+        );
     }
 
     #[test]

@@ -214,8 +214,12 @@ impl BatchSecretKey {
                 ceiling_bits: self.params.base.noise_ceiling_bits(),
             });
         }
+        // The `_into` form lets pooled backends (SSA) keep the 786,432-bit
+        // product pipeline allocation-free.
+        let mut value = UBig::zero();
+        backend.multiply_into(a.value(), b.value(), &mut value);
         Ok(BatchCiphertext {
-            value: backend.multiply(a.value(), b.value()),
+            value,
             noise_bits: would_be,
         })
     }

@@ -97,12 +97,7 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
     }
 
     /// XNOR (bit equality): `¬(a ⊕ b)`.
-    pub fn xnor<R: Rng + ?Sized>(
-        &self,
-        a: &Ciphertext,
-        b: &Ciphertext,
-        rng: &mut R,
-    ) -> Ciphertext {
+    pub fn xnor<R: Rng + ?Sized>(&self, a: &Ciphertext, b: &Ciphertext, rng: &mut R) -> Ciphertext {
         let x = self.xor(a, b);
         self.not(&x, rng)
     }
@@ -238,7 +233,9 @@ pub fn encrypt_number<R: Rng + ?Sized>(
     width: u32,
     rng: &mut R,
 ) -> Vec<Ciphertext> {
-    (0..width).map(|i| pk.encrypt(value >> i & 1 == 1, rng)).collect()
+    (0..width)
+        .map(|i| pk.encrypt(value >> i & 1 == 1, rng))
+        .collect()
 }
 
 /// Decrypts a little-endian encrypted bit-vector back to an integer.
@@ -334,7 +331,10 @@ mod tests {
             for b in [false, true] {
                 let ca = keys.public().encrypt(a, &mut rng);
                 let cb = keys.public().encrypt(b, &mut rng);
-                assert_eq!(keys.secret().decrypt(&eval.xnor(&ca, &cb, &mut rng)), a == b);
+                assert_eq!(
+                    keys.secret().decrypt(&eval.xnor(&ca, &cb, &mut rng)),
+                    a == b
+                );
                 for sel in [false, true] {
                     let cs = keys.public().encrypt(sel, &mut rng);
                     let out = eval.mux(&cs, &ca, &cb).unwrap();
@@ -409,7 +409,11 @@ mod tests {
                 .zip(&ey)
                 .map(|(xb, yb)| eval.mux(&x_lt_y, yb, xb).unwrap())
                 .collect();
-            assert_eq!(decrypt_number(keys.secret(), &max_bits), x.max(y), "max({x},{y})");
+            assert_eq!(
+                decrypt_number(keys.secret(), &max_bits),
+                x.max(y),
+                "max({x},{y})"
+            );
         }
     }
 
@@ -420,7 +424,9 @@ mod tests {
         let eval = CircuitEvaluator::new(keys.public(), &backend);
         let a = encrypt_number(keys.public(), 1, 1, &mut rng);
         let b = encrypt_number(keys.public(), 1, 1, &mut rng);
-        assert!(keys.secret().decrypt(&eval.equals(&a, &b, &mut rng).unwrap()));
+        assert!(keys
+            .secret()
+            .decrypt(&eval.equals(&a, &b, &mut rng).unwrap()));
         let wider = encrypt_number(keys.public(), 1, 2, &mut rng);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = eval.equals(&a, &wider, &mut rng);

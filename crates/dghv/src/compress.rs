@@ -324,8 +324,7 @@ mod tests {
     fn toy_scale_roundtrip() {
         // The γ ≈ 147K-bit "toy" setting: compression is ≈ 100×.
         let mut rng = StdRng::seed_from_u64(12);
-        let keys =
-            CompressedKeyPair::generate(DghvParams::toy(), 0xDADA, &mut rng).unwrap();
+        let keys = CompressedKeyPair::generate(DghvParams::toy(), 0xDADA, &mut rng).unwrap();
         let ratio = keys.compressed().compression_ratio();
         assert!(ratio > 50.0, "toy-scale ratio {ratio} should exceed 50×");
         let public = keys.compressed().expand();

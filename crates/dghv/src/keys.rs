@@ -220,7 +220,8 @@ impl PublicKey {
                 ceiling_bits: self.noise_ceiling_bits(),
             });
         }
-        let product = backend.multiply(a.value(), b.value());
+        let mut product = UBig::zero();
+        backend.multiply_into(a.value(), b.value(), &mut product);
         Ok(Ciphertext::new(self.reducer.reduce(&product), would_be))
     }
 }
@@ -256,7 +257,14 @@ mod tests {
         for m in [false, true] {
             let ct = keys.secret().encrypt_symmetric(m, &mut rng);
             assert_eq!(keys.secret().decrypt(&ct), m);
-            assert_eq!(ct.bit_len() as u32, DghvParams::tiny().gamma);
+            // p·q of exact η-bit and (γ−η)-bit factors has γ or γ−1 bits,
+            // so the ciphertext width is seed-dependent within that range.
+            let gamma = DghvParams::tiny().gamma;
+            let got = ct.bit_len() as u32;
+            assert!(
+                got == gamma || got == gamma - 1,
+                "bit_len {got} vs gamma {gamma}"
+            );
         }
     }
 
@@ -296,7 +304,11 @@ mod tests {
         let ca = keys.public().encrypt(true, &mut rng);
         let cb = keys.public().encrypt(true, &mut rng);
         let (_, actual_fresh) = keys.secret().decrypt_with_noise(&ca);
-        assert!(actual_fresh <= ca.noise_bits(), "{actual_fresh} vs {}", ca.noise_bits());
+        assert!(
+            actual_fresh <= ca.noise_bits(),
+            "{actual_fresh} vs {}",
+            ca.noise_bits()
+        );
         let product = keys.public().mul(&KaratsubaBackend, &ca, &cb).unwrap();
         let (_, actual_prod) = keys.secret().decrypt_with_noise(&product);
         assert!(actual_prod <= product.noise_bits());
@@ -314,7 +326,7 @@ mod tests {
         for _ in 0..20 {
             match keys.public().mul(&backend, &acc, &other) {
                 Ok(next) => {
-                    assert_eq!(keys.secret().decrypt(&next), true);
+                    assert!(keys.secret().decrypt(&next));
                     acc = next;
                 }
                 Err(DghvError::NoiseBudgetExhausted { .. }) => return,

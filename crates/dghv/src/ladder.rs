@@ -223,11 +223,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).unwrap();
         // η = 96: the 90-bit and 98-bit requests must be dropped.
-        let ladder = ModulusLadder::generate_with_sizes(
-            keys.secret(),
-            &[400, 98, 90],
-            &mut rng,
-        );
+        let ladder = ModulusLadder::generate_with_sizes(keys.secret(), &[400, 98, 90], &mut rng);
         assert_eq!(ladder.num_rungs(), 1);
         assert!(ladder.rungs()[0].bit_len() >= 390);
     }

@@ -54,7 +54,7 @@ pub use ciphertext::Ciphertext;
 pub use circuits::CircuitEvaluator;
 pub use compress::{CompressedKeyPair, CompressedPublicKey};
 pub use error::DghvError;
-pub use ladder::ModulusLadder;
 pub use keys::{KeyPair, PublicKey, SecretKey};
+pub use ladder::ModulusLadder;
 pub use multiplier::{CiphertextMultiplier, KaratsubaBackend, SchoolbookBackend, SsaBackend};
 pub use params::DghvParams;

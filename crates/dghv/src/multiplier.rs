@@ -15,6 +15,14 @@ pub trait CiphertextMultiplier {
     /// Multiplies two nonnegative integers exactly.
     fn multiply(&self, a: &UBig, b: &UBig) -> UBig;
 
+    /// Multiplies into a caller-owned result, letting backends with
+    /// internal buffer pools (the SSA backend) run allocation-free on the
+    /// homomorphic-AND hot path. The default delegates to
+    /// [`CiphertextMultiplier::multiply`].
+    fn multiply_into(&self, a: &UBig, b: &UBig, out: &mut UBig) {
+        *out = self.multiply(a, b);
+    }
+
     /// Backend name for reports.
     fn name(&self) -> &'static str;
 }
@@ -61,8 +69,7 @@ impl SsaBackend {
     /// Panics if no SSA parameter set fits `gamma` (beyond `2^26`-point
     /// transforms).
     pub fn for_gamma(gamma: u32) -> SsaBackend {
-        let params =
-            SsaParams::for_operand_bits(gamma as usize).expect("gamma within SSA range");
+        let params = SsaParams::for_operand_bits(gamma as usize).expect("gamma within SSA range");
         SsaBackend {
             inner: SsaMultiplier::with_params(params).expect("validated params"),
         }
@@ -81,6 +88,12 @@ impl CiphertextMultiplier for SsaBackend {
         self.inner
             .multiply(a, b)
             .expect("backend sized for ciphertext width")
+    }
+
+    fn multiply_into(&self, a: &UBig, b: &UBig, out: &mut UBig) {
+        self.inner
+            .multiply_into(a, b, out)
+            .expect("backend sized for ciphertext width");
     }
 
     fn name(&self) -> &'static str {

@@ -102,7 +102,7 @@ impl DghvParams {
         let fresh = self.fresh_noise_bits().max(1);
         let mut depth = 0;
         let mut noise = fresh;
-        while noise * 2 + 1 <= self.noise_ceiling_bits() {
+        while noise * 2 < self.noise_ceiling_bits() {
             noise = noise * 2 + 1;
             depth += 1;
         }

@@ -28,7 +28,9 @@ fn get_ubig(input: &mut &[u8]) -> Result<UBig, DghvError> {
         .ok_or_else(|| malformed("truncated length"))?;
     *input = &input[8..];
     let len = u64::from_le_bytes(len_bytes) as usize;
-    let bytes = input.get(..len).ok_or_else(|| malformed("truncated payload"))?;
+    let bytes = input
+        .get(..len)
+        .ok_or_else(|| malformed("truncated payload"))?;
     *input = &input[len..];
     Ok(UBig::from_le_bytes(bytes))
 }
@@ -57,7 +59,9 @@ impl Ciphertext {
     ///
     /// Returns [`DghvError::InvalidParams`] on a malformed buffer.
     pub fn from_bytes(mut input: &[u8]) -> Result<Ciphertext, DghvError> {
-        let header = input.get(..6).ok_or_else(|| malformed("truncated header"))?;
+        let header = input
+            .get(..6)
+            .ok_or_else(|| malformed("truncated header"))?;
         if &header[..4] != MAGIC || header[4] != VERSION || header[5] != b'c' {
             return Err(malformed("bad magic/version/tag"));
         }
@@ -102,7 +106,11 @@ impl DghvParams {
             return Err(malformed("bad magic/version/tag"));
         }
         let word = |i: usize| {
-            u32::from_le_bytes(input[6 + 4 * i..10 + 4 * i].try_into().expect("sized above"))
+            u32::from_le_bytes(
+                input[6 + 4 * i..10 + 4 * i]
+                    .try_into()
+                    .expect("sized above"),
+            )
         };
         let params = DghvParams {
             lambda: word(0),
@@ -137,7 +145,11 @@ mod tests {
 
     #[test]
     fn params_roundtrip() {
-        for params in [DghvParams::tiny(), DghvParams::toy(), DghvParams::small_paper()] {
+        for params in [
+            DghvParams::tiny(),
+            DghvParams::toy(),
+            DghvParams::small_paper(),
+        ] {
             assert_eq!(DghvParams::from_bytes(&params.to_bytes()).unwrap(), params);
         }
     }

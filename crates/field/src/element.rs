@@ -46,7 +46,11 @@ impl TryFromIntError {
 
 impl fmt::Display for TryFromIntError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "value {:#x} is not a canonical residue modulo p", self.value)
+        write!(
+            f,
+            "value {:#x} is not a canonical residue modulo p",
+            self.value
+        )
     }
 }
 
@@ -371,6 +375,7 @@ impl Div for Fp {
     ///
     /// Panics on division by zero.
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS inverse-multiply here
     fn div(self, rhs: Fp) -> Fp {
         self * rhs.inverse().expect("division by zero in Fp")
     }

@@ -171,6 +171,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the hardware claim
     fn ablation_costs_favor_solinas() {
         assert_eq!(SOLINAS_COST.multipliers, 0);
         assert!(MONTGOMERY_COST.multipliers > SOLINAS_COST.multipliers);

@@ -111,14 +111,20 @@ pub fn addmod_final(coarse: u128) -> u64 {
 /// ```
 #[inline]
 pub fn reduce192(lo: u128, hi: u64) -> u64 {
-    let lo_red = reduce128(lo) as u128;
-    let hi_term = reduce128((hi as u128) << 32) as u128;
-    let r = if lo_red >= hi_term {
-        lo_red - hi_term
+    // Split at bit 96 and use 2^96 ≡ −1: the value is l96 − rest with both
+    // parts below 2^96. On underflow, add the multiple of p nearest 2^96:
+    // p·(2^32 + 1) = 2^96 + 1. One 128-bit Eq. 4 reduction finishes the
+    // job — this runs once per transform-kernel output, so the single-pass
+    // form matters.
+    const MASK96: u128 = (1u128 << 96) - 1;
+    let l96 = lo & MASK96;
+    let rest = (lo >> 96) | ((hi as u128) << 32); // < 2^96
+    let d = if l96 >= rest {
+        l96 - rest
     } else {
-        lo_red + P as u128 - hi_term
+        l96 + ((1u128 << 96) + 1) - rest
     };
-    r as u64
+    reduce128(d)
 }
 
 #[cfg(test)]
@@ -190,7 +196,10 @@ mod tests {
             (u128::MAX, u64::MAX),
             (1, 1),
             (P as u128, 0xffff_ffff),
-            (0x0123_4567_89ab_cdef_0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210),
+            (
+                0x0123_4567_89ab_cdef_0123_4567_89ab_cdef,
+                0xfedc_ba98_7654_3210,
+            ),
             (u128::MAX, 0),
         ];
         for &(lo, hi) in &cases {

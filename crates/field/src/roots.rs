@@ -60,7 +60,7 @@ pub fn two_adic_root(log2_order: u32) -> Fp {
 /// roots produced by this function are mutually consistent
 /// (`root(nm)^m = root(n)` for the supported power-of-two chain).
 pub fn root_of_unity(order: u64) -> Option<Fp> {
-    if order == 0 || (P - 1) % order != 0 {
+    if order == 0 || !(P - 1).is_multiple_of(order) {
         return None;
     }
     if order.is_power_of_two() {
@@ -93,8 +93,8 @@ pub fn omega_64k() -> Fp {
     *OMEGA.get_or_init(|| {
         let r = two_adic_root(16); // some primitive 65,536th root
         let w64 = r.pow(1024); // a primitive 64th root
-        // 8 is a primitive 64th root, so 8 = w64^t for a unique odd t mod 64;
-        // then ω = r^t is a primitive 65,536th root with ω^1024 = 8.
+                               // 8 is a primitive 64th root, so 8 = w64^t for a unique odd t mod 64;
+                               // then ω = r^t is a primitive 65,536th root with ω^1024 = 8.
         for t in (1u64..64).step_by(2) {
             if w64.pow(t) == OMEGA_64 {
                 return r.pow(t);
@@ -135,9 +135,9 @@ pub fn is_primitive_root(omega: Fp, order: u64) -> bool {
     let mut primes = Vec::new();
     let mut q = 2;
     while q * q <= n {
-        if n % q == 0 {
+        if n.is_multiple_of(q) {
             primes.push(q);
-            while n % q == 0 {
+            while n.is_multiple_of(q) {
                 n /= q;
             }
         }

@@ -102,22 +102,28 @@ impl U192 {
     /// twiddles are `2^{3ik}`).
     #[inline]
     pub fn rotl(self, s: u32) -> U192 {
-        let s = (s % 192) as u64;
-        if s == 0 {
-            return self;
+        let s = s % 192;
+        // Whole-limb rotation first, then a sub-limb shift. This form is
+        // branch-lean (one three-way match plus one `k == 0` test), which
+        // matters: the transform kernels execute one rotation per butterfly
+        // term, making this the single hottest operation in the workspace.
+        let [a, b, c] = self.limbs;
+        let [a, b, c] = match s / 64 {
+            0 => [a, b, c],
+            1 => [c, a, b],
+            _ => [b, c, a],
+        };
+        let k = s % 64;
+        if k == 0 {
+            return U192 { limbs: [a, b, c] };
         }
-        let limb_shift = (s / 64) as usize;
-        let bit_shift = s % 64;
-        let mut rotated = [0u64; 3];
-        for (i, &limb) in self.limbs.iter().enumerate() {
-            let lo_pos = (i + limb_shift) % 3;
-            rotated[lo_pos] |= limb.checked_shl(bit_shift as u32).unwrap_or(0);
-            if bit_shift != 0 {
-                let hi_pos = (i + limb_shift + 1) % 3;
-                rotated[hi_pos] |= limb >> (64 - bit_shift);
-            }
+        U192 {
+            limbs: [
+                (a << k) | (c >> (64 - k)),
+                (b << k) | (a >> (64 - k)),
+                (c << k) | (b >> (64 - k)),
+            ],
         }
-        U192 { limbs: rotated }
     }
 
     /// Reduces to the canonical field element (the Normalize + AddMod

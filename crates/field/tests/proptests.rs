@@ -1,7 +1,7 @@
 //! Property-based tests for the field axioms and the hardware-path
 //! equivalences (Eq. 4 reduction, shift twiddles, 192-bit end-around carry).
 
-use he_field::{reduce, roots, Fp, U192, P};
+use he_field::{reduce, roots, Fp, P, U192};
 use proptest::prelude::*;
 
 fn arb_fp() -> impl Strategy<Value = Fp> {

@@ -48,6 +48,7 @@ proptest! {
 }
 
 #[test]
+#[allow(clippy::assertions_on_constants)] // documents the hardware claim
 fn cost_model_reflects_the_design_choice() {
     // The ablation's whole point: the Solinas prime removes multipliers
     // from the reduction path at the price of two more adders.

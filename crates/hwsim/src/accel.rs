@@ -56,7 +56,11 @@ impl MultiplyReport {
     /// Renders a breakdown table.
     pub fn render(&self) -> String {
         let us = |c: u64| c as f64 * self.clock_period_ns / 1000.0;
-        let fft: u64 = self.fft_reports.iter().map(NttRunReport::total_cycles).sum();
+        let fft: u64 = self
+            .fft_reports
+            .iter()
+            .map(NttRunReport::total_cycles)
+            .sum();
         format!(
             "multiplication breakdown @ {:.0} MHz\n  3 x 64K NTT     {:>8} cycles  {:>8.2} us\n  dot product     {:>8} cycles  {:>8.2} us\n  carry recovery  {:>8} cycles  {:>8.2} us\n  total           {:>8} cycles  {:>8.2} us\n",
             1000.0 / self.clock_period_ns,
@@ -166,8 +170,7 @@ impl AcceleratorSim {
             .zip(&fb)
             .map(|(&x, &y)| self.modmul.multiply(x, y))
             .collect();
-        let dot_cycles =
-            (N64K as u64).div_ceil(self.config.dot_product_multipliers() as u64);
+        let dot_cycles = (N64K as u64).div_ceil(self.config.dot_product_multipliers() as u64);
 
         // Inverse transform.
         let (cv, r3) = self.dist.inverse(&fc);
@@ -224,7 +227,9 @@ mod tests {
     #[test]
     fn small_products_are_exact() {
         let sim = AcceleratorSim::paper();
-        let (p, _) = sim.multiply(&UBig::from(12345u64), &UBig::from(67890u64)).unwrap();
+        let (p, _) = sim
+            .multiply(&UBig::from(12345u64), &UBig::from(67890u64))
+            .unwrap();
         assert_eq!(p, UBig::from(12345u64 as u128 * 67890u64 as u128));
     }
 
@@ -244,7 +249,11 @@ mod tests {
         let (p, report) = sim.multiply(&a, &b).unwrap();
         assert_eq!(p, a.mul_karatsuba(&b));
         // And the timing reproduces the paper's ≈122 µs.
-        assert!((report.total_us() - 122.4).abs() < 1e-9, "got {}", report.total_us());
+        assert!(
+            (report.total_us() - 122.4).abs() < 1e-9,
+            "got {}",
+            report.total_us()
+        );
     }
 
     #[test]

@@ -144,11 +144,7 @@ mod tests {
         let unit = CarryRecoveryUnit::paper();
         for len in [1usize, 16, 17, 100, 4096] {
             let coeffs: Vec<Fp> = (0..len).map(|_| Fp::new(rng.gen())).collect();
-            assert_eq!(
-                unit.recover(&coeffs),
-                recompose(&coeffs, 24),
-                "len = {len}"
-            );
+            assert_eq!(unit.recover(&coeffs), recompose(&coeffs, 24), "len = {len}");
         }
     }
 

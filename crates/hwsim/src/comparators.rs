@@ -105,15 +105,15 @@ impl Table2 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("TABLE II. COMPARISON OF EXECUTION TIME.\n");
-        out.push_str(&format!(
-            "{:<20} {:>10}",
-            "", "Proposed"
-        ));
+        out.push_str(&format!("{:<20} {:>10}", "", "Proposed"));
         for c in &self.comparators {
             out.push_str(&format!(" {:>10}", c.tag));
         }
         out.push('\n');
-        out.push_str(&format!("{:<20} {:>10.1}", "FFT (us)", self.proposed_fft_us));
+        out.push_str(&format!(
+            "{:<20} {:>10.1}",
+            "FFT (us)", self.proposed_fft_us
+        ));
         for c in &self.comparators {
             match c.fft_us {
                 Some(t) => out.push_str(&format!(" {:>10.0}", t)),

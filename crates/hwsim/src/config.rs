@@ -78,6 +78,7 @@ impl AcceleratorConfig {
     ///
     /// Returns [`HwSimError::InvalidConfig`] for non-positive frequencies.
     pub fn with_clock_mhz(mut self, mhz: f64) -> Result<AcceleratorConfig, HwSimError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // rejects NaN too
         if !(mhz > 0.0) {
             return Err(HwSimError::InvalidConfig {
                 reason: format!("clock must be positive, got {mhz}"),
@@ -207,8 +208,12 @@ mod tests {
         assert!(AcceleratorConfig::paper().with_num_pes(8).is_ok());
         assert!(AcceleratorConfig::paper().with_clock_mhz(0.0).is_err());
         assert!(AcceleratorConfig::paper().with_clock_mhz(-5.0).is_err());
-        assert!(AcceleratorConfig::paper().with_link_words_per_cycle(0).is_err());
-        assert!(AcceleratorConfig::paper().with_dot_product_multipliers(0).is_err());
+        assert!(AcceleratorConfig::paper()
+            .with_link_words_per_cycle(0)
+            .is_err());
+        assert!(AcceleratorConfig::paper()
+            .with_dot_product_multipliers(0)
+            .is_err());
     }
 
     #[test]

@@ -84,6 +84,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the device-table claim
     fn cyclone_is_much_smaller() {
         assert!(CYCLONE_V_5CGXC7.alms * 4 < STRATIX_V_5SGSMD8.alms);
         assert!(CYCLONE_V_5CGXC7.bram_bits() < STRATIX_V_5SGSMD8.bram_bits() / 4);

@@ -16,9 +16,11 @@
 //! [`DspModMul`](crate::modmul::DspModMul) DSP datapath — the simulation
 //! exercises the same arithmetic the FPGA would.
 
+use std::sync::Mutex;
+
 use he_field::{roots, Fp};
 use he_ntt::kernels::Direction;
-use he_ntt::N64K;
+use he_ntt::{NttScratch, N64K};
 
 use crate::config::AcceleratorConfig;
 use crate::error::HwSimError;
@@ -100,13 +102,28 @@ impl NttRunReport {
 }
 
 /// The distributed transform engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DistributedNtt {
     config: AcceleratorConfig,
     unit: OptimizedFft64,
     modmul: DspModMul,
     /// `ω^e` for the aligned 65,536th root.
     table: Vec<Fp>,
+    /// Pooled staging buffers: the PE-local memories, which the hardware
+    /// also reuses across transforms rather than reallocating.
+    pool: Mutex<NttScratch>,
+}
+
+impl Clone for DistributedNtt {
+    fn clone(&self) -> DistributedNtt {
+        DistributedNtt {
+            config: self.config.clone(),
+            unit: self.unit,
+            modmul: self.modmul,
+            table: self.table.clone(),
+            pool: Mutex::new(NttScratch::new()),
+        }
+    }
 }
 
 impl DistributedNtt {
@@ -131,6 +148,7 @@ impl DistributedNtt {
             unit: OptimizedFft64::new(),
             modmul: DspModMul::new(),
             table: roots::power_table(roots::omega_64k(), N64K),
+            pool: Mutex::new(NttScratch::new()),
         })
     }
 
@@ -201,10 +219,14 @@ impl DistributedNtt {
             twiddle_muls: 0,
         };
         let cube = Hypercube::new(self.config.hypercube_dim());
+        // Stage buffers come from the engine's pool (the PE-local
+        // memories); sub-transform outputs live on the stack.
+        let pool = &mut *self.pool.lock().expect("stage buffer pool");
+        let mut s1 = pool.take(N64K);
+        let mut col = [Fp::ZERO; 64];
+        let mut sub = [Fp::ZERO; 64];
 
         // --- C1: radix-64 over n3, one column per (n2, n1) pair ----------
-        let mut s1 = vec![Fp::ZERO; N64K];
-        let mut col = vec![Fp::ZERO; 64];
         let mut per_pe = vec![0usize; pes];
         for m in 0..1024 {
             let owner = self.owner_input(m); // column owner = f(n1, n2) only
@@ -213,8 +235,8 @@ impl DistributedNtt {
                 *c = input[1024 * d + m];
             }
             per_pe[owner] += 1;
-            let out = self.unit.transform(&col, dir);
-            for (ka, &v) in out.values.iter().enumerate() {
+            self.unit.transform_into(&col, &mut sub, dir);
+            for (ka, &v) in sub.iter().enumerate() {
                 s1[ka * 1024 + m] = v;
             }
         }
@@ -236,7 +258,7 @@ impl DistributedNtt {
         }
 
         // --- C2: twiddle ω_4096^{kA·n2}, radix-64 over n2 ----------------
-        let mut s2 = vec![Fp::ZERO; N64K];
+        let mut s2 = pool.take(N64K);
         let mut per_pe = vec![0usize; pes];
         for ka in 0..64 {
             for n1 in 0..16 {
@@ -247,8 +269,8 @@ impl DistributedNtt {
                     *c = self.modmul.multiply(v, self.tw(16 * ka * n2, dir));
                     report.twiddle_muls += 1;
                 }
-                let out = self.unit.transform(&col, dir);
-                for (kb, &v) in out.values.iter().enumerate() {
+                self.unit.transform_into(&col, &mut sub, dir);
+                for (kb, &v) in sub.iter().enumerate() {
                     s2[(ka + 64 * kb) * 16 + n1] = v;
                 }
             }
@@ -272,7 +294,8 @@ impl DistributedNtt {
 
         // --- C3: twiddle ω^{n1·k2'}, radix-16 over n1 --------------------
         let mut out_vec = vec![Fp::ZERO; N64K];
-        let mut col16 = vec![Fp::ZERO; 16];
+        let mut col16 = [Fp::ZERO; 16];
+        let mut sub16 = [Fp::ZERO; 16];
         let mut per_pe = vec![0usize; pes];
         for k2p in 0..4096 {
             let ka = k2p % 64;
@@ -284,13 +307,15 @@ impl DistributedNtt {
                 *c = self.modmul.multiply(v, self.tw(n1 * k2p, dir));
                 report.twiddle_muls += 1;
             }
-            let out = self.unit.transform16(&col16, dir);
-            for (kc, &v) in out.values.iter().enumerate() {
+            self.unit.transform16_into(&col16, &mut sub16, dir);
+            for (kc, &v) in sub16.iter().enumerate() {
                 out_vec[k2p + 4096 * kc] = v;
             }
         }
         self.push_compute(&mut report, "C3", 16, &per_pe, FFT16_CYCLES);
 
+        pool.put(s1);
+        pool.put(s2);
         (out_vec, report)
     }
 
@@ -377,8 +402,10 @@ impl DistributedNtt {
         // its X1 message, so receivers must match on (phase, from) and
         // stash anything that arrives early.
         type Msg = (u8, usize, Vec<(usize, Fp)>);
-        let channels: Vec<(crossbeam::channel::Sender<Msg>, crossbeam::channel::Receiver<Msg>)> =
-            (0..pes).map(|_| crossbeam::channel::unbounded()).collect();
+        let channels: Vec<(
+            crossbeam::channel::Sender<Msg>,
+            crossbeam::channel::Receiver<Msg>,
+        )> = (0..pes).map(|_| crossbeam::channel::unbounded()).collect();
         let senders: Vec<_> = channels.iter().map(|(s, _)| s.clone()).collect();
 
         let mut results: Vec<Vec<(usize, Fp)>> = Vec::new();
@@ -394,9 +421,7 @@ impl DistributedNtt {
                     // out-of-order deliveries.
                     let mut stash: Vec<Msg> = Vec::new();
                     let recv_exact = |stash: &mut Vec<Msg>, phase: u8, from: usize| {
-                        if let Some(pos) =
-                            stash.iter().position(|m| m.0 == phase && m.1 == from)
-                        {
+                        if let Some(pos) = stash.iter().position(|m| m.0 == phase && m.1 == from) {
                             return stash.swap_remove(pos).2;
                         }
                         loop {
@@ -436,7 +461,9 @@ impl DistributedNtt {
                         let (outgoing, kept): (Vec<_>, Vec<_>) = local
                             .into_iter()
                             .partition(|&(idx, _)| ((idx / 1024) >> 5) & 1 != pb);
-                        senders[neighbor].send((1, pe, outgoing)).expect("peer alive");
+                        senders[neighbor]
+                            .send((1, pe, outgoing))
+                            .expect("peer alive");
                         local = kept;
                         local.extend(recv_exact(&mut stash, 1, neighbor));
                     }
@@ -450,8 +477,9 @@ impl DistributedNtt {
                         let n2 = r / 16;
                         let n1 = r % 16;
                         let tw = this.tw(16 * ka * n2, dir);
-                        columns.entry(ka * 16 + n1).or_insert_with(|| vec![Fp::ZERO; 64])[n2] =
-                            modmul.multiply(v, tw);
+                        columns
+                            .entry(ka * 16 + n1)
+                            .or_insert_with(|| vec![Fp::ZERO; 64])[n2] = modmul.multiply(v, tw);
                     }
                     local = Vec::new();
                     for (key, col) in columns {
@@ -470,7 +498,9 @@ impl DistributedNtt {
                         let (outgoing, kept): (Vec<_>, Vec<_>) = local
                             .into_iter()
                             .partition(|&(idx, _)| ((idx / 16 / 64) >> 5) & 1 != pa);
-                        senders[neighbor].send((2, pe, outgoing)).expect("peer alive");
+                        senders[neighbor]
+                            .send((2, pe, outgoing))
+                            .expect("peer alive");
                         local = kept;
                         local.extend(recv_exact(&mut stash, 2, neighbor));
                     }
@@ -495,7 +525,10 @@ impl DistributedNtt {
                     outputs
                 }));
             }
-            results = handles.into_iter().map(|h| h.join().expect("PE thread")).collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("PE thread"))
+                .collect();
         })
         .expect("PE scope");
 
@@ -513,7 +546,13 @@ impl DistributedNtt {
         out
     }
 
-    fn push_exchange(&self, report: &mut NttRunReport, label: &'static str, dimension: u32, words: usize) {
+    fn push_exchange(
+        &self,
+        report: &mut NttRunReport,
+        label: &'static str,
+        dimension: u32,
+        words: usize,
+    ) {
         let cycles = (words as u64).div_ceil(self.config.link_words_per_cycle() as u64);
         let last_compute = report
             .phases
@@ -542,9 +581,9 @@ mod tests {
 
     fn sparse_input() -> Vec<Fp> {
         let mut v = vec![Fp::ZERO; N64K];
-        for i in 0..N64K {
+        for (i, slot) in v.iter_mut().enumerate() {
             if i % 193 == 0 {
-                v[i] = Fp::new((i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                *slot = Fp::new((i as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
             }
         }
         v
@@ -597,9 +636,11 @@ mod tests {
             .phases
             .iter()
             .filter_map(|p| match p {
-                PhaseReport::Exchange { words_per_pe, overlapped, .. } => {
-                    Some((*words_per_pe, *overlapped))
-                }
+                PhaseReport::Exchange {
+                    words_per_pe,
+                    overlapped,
+                    ..
+                } => Some((*words_per_pe, *overlapped)),
                 _ => None,
             })
             .collect();

@@ -136,7 +136,20 @@ impl BaselineFft64 {
     ///
     /// Panics if `input.len() != 64`.
     pub fn transform(&self, input: &[Fp], dir: Direction) -> UnitOutput {
+        let mut values = vec![Fp::ZERO; 64];
+        let census = self.transform_into(input, &mut values, dir);
+        UnitOutput { values, census }
+    }
+
+    /// [`BaselineFft64::transform`] writing into a caller-provided buffer
+    /// (no allocation; used by the distributed engine's pooled pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length is not 64.
+    pub fn transform_into(&self, input: &[Fp], values: &mut [Fp], dir: Direction) -> UnitCensus {
         assert_eq!(input.len(), 64, "the radix-64 unit takes 64 samples");
+        assert_eq!(values.len(), 64, "the radix-64 unit emits 64 samples");
         let mut census = UnitCensus {
             cycles: 8,
             reductors_instantiated: 64,
@@ -147,7 +160,6 @@ impl BaselineFft64 {
             ..UnitCensus::default()
         };
 
-        let mut values = vec![Fp::ZERO; 64];
         for (k, slot) in values.iter_mut().enumerate() {
             // Chain k: accumulate over 8 cycles, 8 samples per cycle.
             let mut acc = CarrySave::ZERO;
@@ -166,7 +178,7 @@ impl BaselineFft64 {
             *slot = merged.to_fp();
             census.reductor_uses += 1;
         }
-        UnitOutput { values, census }
+        census
     }
 }
 
@@ -242,7 +254,36 @@ impl OptimizedFft64 {
         dir: Direction,
         fault: Option<InjectedFault>,
     ) -> UnitOutput {
+        let mut values = vec![Fp::ZERO; 64];
+        let census = self.transform_with_fault_into(input, &mut values, dir, fault);
+        UnitOutput { values, census }
+    }
+
+    /// [`OptimizedFft64::transform`] writing into a caller-provided buffer
+    /// (no allocation; used by the distributed engine's pooled pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length is not 64.
+    pub fn transform_into(&self, input: &[Fp], values: &mut [Fp], dir: Direction) -> UnitCensus {
+        self.transform_with_fault_into(input, values, dir, None)
+    }
+
+    /// [`OptimizedFft64::transform_with_fault`] writing into a
+    /// caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length is not 64.
+    pub fn transform_with_fault_into(
+        &self,
+        input: &[Fp],
+        values: &mut [Fp],
+        dir: Direction,
+        fault: Option<InjectedFault>,
+    ) -> UnitCensus {
         assert_eq!(input.len(), 64, "the radix-64 unit takes 64 samples");
+        assert_eq!(values.len(), 64, "the radix-64 unit emits 64 samples");
         let mut census = UnitCensus {
             cycles: 8,
             reductors_instantiated: 8,
@@ -257,9 +298,8 @@ impl OptimizedFft64 {
 
         for j in 0..8u64 {
             // Memory provides 8 words per cycle: samples a[8·i + j].
-            let samples: Vec<U192> = (0..8)
-                .map(|i| U192::from(input[8 * i + j as usize]))
-                .collect();
+            let samples: [U192; 8] =
+                core::array::from_fn(|i| U192::from(input[8 * i + j as usize]));
 
             // Stage 1, computed components k1 = 0..3: carry-save tree over
             // the 8 rotated samples, with the modified tree also producing
@@ -274,7 +314,11 @@ impl OptimizedFft64 {
                     tree_sum = tree_sum.compress(rotated);
                     census.csa_ops += 1;
                     // Difference output: odd terms taken with negative sign.
-                    let signed = if i % 2 == 1 { rotated.complement() } else { rotated };
+                    let signed = if i % 2 == 1 {
+                        rotated.complement()
+                    } else {
+                        rotated
+                    };
                     tree_diff = tree_diff.compress(signed);
                     census.csa_ops += 1;
                 }
@@ -308,7 +352,11 @@ impl OptimizedFft64 {
             // ω_8^t = 2^{24·t} and ω_8^{t+4} = −ω_8^t.
             for k2 in 0..8u64 {
                 let t = (j * k2) % 8;
-                let (shift, subtract) = if t >= 4 { (24 * (t - 4), true) } else { (24 * t, false) };
+                let (shift, subtract) = if t >= 4 {
+                    (24 * (t - 4), true)
+                } else {
+                    (24 * t, false)
+                };
                 for (k1, &v) in stage1.iter().enumerate() {
                     let rotated = v.rotl(dir_shift(shift, dir));
                     census.shift_ops += 1;
@@ -327,7 +375,6 @@ impl OptimizedFft64 {
 
         // Readout: 8 cycles, 8 reductors, one accumulator block each; the
         // unit emits 8 reduced components per cycle.
-        let mut values = vec![Fp::ZERO; 64];
         for slot in 0..8usize {
             for k2 in 0..8usize {
                 let k1 = slot;
@@ -335,7 +382,7 @@ impl OptimizedFft64 {
                 census.reductor_uses += 1;
             }
         }
-        UnitOutput { values, census }
+        census
     }
 
     /// Runs one 16-point transform (the unit is "easily extended for
@@ -345,7 +392,20 @@ impl OptimizedFft64 {
     ///
     /// Panics if `input.len() != 16`.
     pub fn transform16(&self, input: &[Fp], dir: Direction) -> UnitOutput {
+        let mut values = vec![Fp::ZERO; 16];
+        let census = self.transform16_into(input, &mut values, dir);
+        UnitOutput { values, census }
+    }
+
+    /// [`OptimizedFft64::transform16`] writing into a caller-provided
+    /// buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer's length is not 16.
+    pub fn transform16_into(&self, input: &[Fp], values: &mut [Fp], dir: Direction) -> UnitCensus {
         assert_eq!(input.len(), 16, "the radix-16 mode takes 16 samples");
+        assert_eq!(values.len(), 16, "the radix-16 mode emits 16 samples");
         let mut census = UnitCensus {
             cycles: 2,
             reductors_instantiated: 8,
@@ -353,7 +413,6 @@ impl OptimizedFft64 {
             read_ports_required: 8,
             ..UnitCensus::default()
         };
-        let mut values = vec![Fp::ZERO; 16];
         for (k, slot) in values.iter_mut().enumerate() {
             let mut acc = CarrySave::ZERO;
             for (i, &x) in input.iter().enumerate() {
@@ -366,7 +425,7 @@ impl OptimizedFft64 {
             census.merge_ops += 1;
             census.reductor_uses += 1;
         }
-        UnitOutput { values, census }
+        census
     }
 }
 
@@ -398,7 +457,11 @@ mod tests {
         let input = pattern(64);
         for dir in [Direction::Forward, Direction::Inverse] {
             let out = BaselineFft64::new().transform(&input, dir);
-            assert_eq!(out.values, kernels::ntt_small(&input, dir).unwrap(), "{dir:?}");
+            assert_eq!(
+                out.values,
+                kernels::ntt_small(&input, dir).unwrap(),
+                "{dir:?}"
+            );
         }
     }
 
@@ -407,7 +470,11 @@ mod tests {
         let input = pattern(64);
         for dir in [Direction::Forward, Direction::Inverse] {
             let out = OptimizedFft64::new().transform(&input, dir);
-            assert_eq!(out.values, kernels::ntt_small(&input, dir).unwrap(), "{dir:?}");
+            assert_eq!(
+                out.values,
+                kernels::ntt_small(&input, dir).unwrap(),
+                "{dir:?}"
+            );
         }
     }
 
@@ -416,7 +483,11 @@ mod tests {
         let input = pattern(16);
         for dir in [Direction::Forward, Direction::Inverse] {
             let out = OptimizedFft64::new().transform16(&input, dir);
-            assert_eq!(out.values, kernels::ntt_small(&input, dir).unwrap(), "{dir:?}");
+            assert_eq!(
+                out.values,
+                kernels::ntt_small(&input, dir).unwrap(),
+                "{dir:?}"
+            );
             assert_eq!(out.census.cycles, 2);
         }
     }
@@ -432,11 +503,19 @@ mod tests {
     #[test]
     fn optimized_does_less_work() {
         let input = pattern(64);
-        let opt = OptimizedFft64::new().transform(&input, Direction::Forward).census;
-        let base = BaselineFft64::new().transform(&input, Direction::Forward).census;
+        let opt = OptimizedFft64::new()
+            .transform(&input, Direction::Forward)
+            .census;
+        let base = BaselineFft64::new()
+            .transform(&input, Direction::Forward)
+            .census;
         // Eq. 5 sharing: ~4× fewer shift ops (paper's area argument).
-        assert!(opt.shift_ops * 4 <= base.shift_ops + opt.shift_ops,
-            "opt {} vs base {}", opt.shift_ops, base.shift_ops);
+        assert!(
+            opt.shift_ops * 4 <= base.shift_ops + opt.shift_ops,
+            "opt {} vs base {}",
+            opt.shift_ops,
+            base.shift_ops
+        );
         // 8 vs 64 reductors; 8 vs 64 write ports.
         assert_eq!(opt.reductors_instantiated, 8);
         assert_eq!(base.reductors_instantiated, 64);
@@ -462,12 +541,27 @@ mod tests {
         let unit = OptimizedFft64::new();
         let clean = unit.transform(&input, Direction::Forward);
         for fault in [
-            InjectedFault { cycle: 0, block: 0, bit: 0 },
-            InjectedFault { cycle: 3, block: 5, bit: 100 },
-            InjectedFault { cycle: 7, block: 7, bit: 191 },
+            InjectedFault {
+                cycle: 0,
+                block: 0,
+                bit: 0,
+            },
+            InjectedFault {
+                cycle: 3,
+                block: 5,
+                bit: 100,
+            },
+            InjectedFault {
+                cycle: 7,
+                block: 7,
+                bit: 191,
+            },
         ] {
             let faulty = unit.transform_with_fault(&input, Direction::Forward, Some(fault));
-            assert_ne!(faulty.values, clean.values, "fault {fault:?} went undetected");
+            assert_ne!(
+                faulty.values, clean.values,
+                "fault {fault:?} went undetected"
+            );
             // The fault is localized: at most a handful of components (one
             // accumulator block feeds 8 outputs).
             let diffs = faulty
@@ -485,7 +579,8 @@ mod tests {
         let input = pattern(64);
         let unit = OptimizedFft64::new();
         assert_eq!(
-            unit.transform_with_fault(&input, Direction::Forward, None).values,
+            unit.transform_with_fault(&input, Direction::Forward, None)
+                .values,
             unit.transform(&input, Direction::Forward).values
         );
     }

@@ -330,7 +330,9 @@ impl FlexPerfModel {
     /// Total transform cycles: all computation stages plus any exposed
     /// communication (one exchange after each of the first `d` stages).
     pub fn fft_cycles(&self) -> u64 {
-        let compute: u64 = (0..self.plan.num_stages()).map(|i| self.stage_cycles(i)).sum();
+        let compute: u64 = (0..self.plan.num_stages())
+            .map(|i| self.stage_cycles(i))
+            .sum();
         let exposed: u64 = (0..self.config.hypercube_dim() as usize)
             .map(|i| self.exchange_cycles().saturating_sub(self.stage_cycles(i)))
             .sum();
@@ -427,8 +429,7 @@ pub struct OperandPoint {
 
 /// The DGHV security ladder around the paper's point: quarter, half,
 /// **small (the paper)**, double, quadruple — in bits.
-pub const DGHV_LADDER_BITS: [usize; 5] =
-    [196_608, 393_216, 786_432, 1_572_864, 3_145_728];
+pub const DGHV_LADDER_BITS: [usize; 5] = [196_608, 393_216, 786_432, 1_572_864, 3_145_728];
 
 /// Sizes the accelerator for each operand size: picks `(m, N)` with
 /// `he_ssa::SsaParams::for_operand_bits`, factors `N` into supported
@@ -450,8 +451,7 @@ pub fn operand_sweep(
         let plan = FlexPlan::for_points(params.n_points(), min_stages)?;
         let model = FlexPerfModel::new(config.clone(), plan.clone())?;
         let device = STRATIX_V_5SGSMD8;
-        let bram_utilization_pct =
-            device.utilization_pct(model.memory_bits(), device.bram_bits());
+        let bram_utilization_pct = device.utilization_pct(model.memory_bits(), device.bram_bits());
         rows.push(OperandPoint {
             operand_bits: bits,
             coeff_bits: params.coeff_bits(),
@@ -638,7 +638,9 @@ mod tests {
 
     #[test]
     fn narrow_links_expose_communication_in_flex_model() {
-        let cfg = AcceleratorConfig::paper().with_link_words_per_cycle(1).unwrap();
+        let cfg = AcceleratorConfig::paper()
+            .with_link_words_per_cycle(1)
+            .unwrap();
         let model = FlexPerfModel::new(cfg, FlexPlan::paper()).unwrap();
         assert!(!model.communication_overlapped());
         // Same arithmetic as PerfModel: 2 exposed exchanges of 8192 − 2048.

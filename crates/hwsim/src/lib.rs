@@ -54,10 +54,10 @@ pub mod config;
 pub mod device;
 pub mod distributed;
 pub mod fft_unit;
+pub mod flexplan;
 pub mod memory;
 pub mod modmul;
 pub mod network;
-pub mod flexplan;
 pub mod pe;
 pub mod perf;
 pub mod power;

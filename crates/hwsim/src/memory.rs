@@ -213,7 +213,9 @@ impl<S: BankingScheme> MemoryModel<S> {
 
     fn bump(&mut self, load: &[usize]) {
         self.cycles += 1;
-        self.peak_bank_load = self.peak_bank_load.max(load.iter().copied().max().unwrap_or(0));
+        self.peak_bank_load = self
+            .peak_bank_load
+            .max(load.iter().copied().max().unwrap_or(0));
     }
 }
 
@@ -228,7 +230,7 @@ mod tests {
 
     #[test]
     fn coordinates_cover_the_array() {
-        let mut seen = vec![0usize; 16];
+        let mut seen = [0usize; 16];
         for w in 0..ARRAY_POINTS {
             let (r, c, d) = TwoDBanked::coordinates(w);
             assert!(r < 4 && c < 4 && d < BANK_DEPTH);
@@ -258,7 +260,10 @@ mod tests {
                 .iter()
                 .map(|&w| TwoDBanked::coordinates(w).1)
                 .collect();
-            assert!(cols.windows(2).all(|w| w[0] == w[1]), "one column per cycle");
+            assert!(
+                cols.windows(2).all(|w| w[0] == w[1]),
+                "one column per cycle"
+            );
         }
     }
 
@@ -312,7 +317,9 @@ mod tests {
         let scheme = LinearBanked;
         let err = scheme.check_cycle(&fft_read_pattern(0, 3)).unwrap_err();
         match err {
-            HwSimError::BankConflict { accesses, ports, .. } => {
+            HwSimError::BankConflict {
+                accesses, ports, ..
+            } => {
                 assert_eq!(accesses, 8);
                 assert_eq!(ports, 2);
             }

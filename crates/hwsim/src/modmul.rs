@@ -60,10 +60,26 @@ impl DspModMul {
         let (a0, a1) = (a.as_u64() as u32 as u64, a.as_u64() >> 32);
         let (b0, b1) = (b.as_u64() as u32 as u64, b.as_u64() >> 32);
         vec![
-            PartialProduct { i: 0, j: 0, value: (a0 * b0) as u128 },
-            PartialProduct { i: 0, j: 1, value: (a0 * b1) as u128 },
-            PartialProduct { i: 1, j: 0, value: (a1 * b0) as u128 },
-            PartialProduct { i: 1, j: 1, value: (a1 * b1) as u128 },
+            PartialProduct {
+                i: 0,
+                j: 0,
+                value: (a0 * b0) as u128,
+            },
+            PartialProduct {
+                i: 0,
+                j: 1,
+                value: (a0 * b1) as u128,
+            },
+            PartialProduct {
+                i: 1,
+                j: 0,
+                value: (a1 * b0) as u128,
+            },
+            PartialProduct {
+                i: 1,
+                j: 1,
+                value: (a1 * b1) as u128,
+            },
         ]
     }
 
@@ -71,10 +87,7 @@ impl DspModMul {
     /// Normalize (Eq. 4) → AddMod.
     pub fn multiply(&self, a: Fp, b: Fp) -> Fp {
         let parts = self.partial_products(a, b);
-        let wide: u128 = parts
-            .iter()
-            .map(|p| p.value << (32 * (p.i + p.j)))
-            .fold(0u128, |acc, v| acc + v);
+        let wide: u128 = parts.iter().map(|p| p.value << (32 * (p.i + p.j))).sum();
         let (coarse, _) = reduce::normalize_eq4(wide);
         Fp::new(reduce::addmod_final(coarse))
     }
@@ -119,7 +132,7 @@ impl Dsp27ModMul {
             .partial_products(a, b)
             .iter()
             .map(|p| p.value << (22 * (p.i + p.j)))
-            .fold(0u128, |acc, v| acc + v);
+            .sum();
         let (coarse, _) = reduce::normalize_eq4(wide);
         Fp::new(reduce::addmod_final(coarse))
     }

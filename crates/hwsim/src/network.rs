@@ -99,11 +99,21 @@ pub enum SchedulePhase {
 impl fmt::Display for SchedulePhase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedulePhase::Compute { label, bold_index, radix, ffts_per_pe } => write!(
+            SchedulePhase::Compute {
+                label,
+                bold_index,
+                radix,
+                ffts_per_pe,
+            } => write!(
                 f,
                 "{label}: compute  radix-{radix:<2} over {bold_index:<3} ({ffts_per_pe} FFTs/PE)"
             ),
-            SchedulePhase::Exchange { label, dimension, rewrites, words_per_pe } => write!(
+            SchedulePhase::Exchange {
+                label,
+                dimension,
+                rewrites,
+                words_per_pe,
+            } => write!(
                 f,
                 "{label}: exchange dim {dimension} ({rewrites}), {words_per_pe} words/PE"
             ),

@@ -160,9 +160,13 @@ mod tests {
 
     #[test]
     fn four_paper_pes_use_8_mbit_and_256_dsp() {
-        let total_bits: usize = (0..4).map(|i| ProcessingElement::paper(i).buffer_bits()).sum();
+        let total_bits: usize = (0..4)
+            .map(|i| ProcessingElement::paper(i).buffer_bits())
+            .sum();
         assert_eq!(total_bits, 8 * 1024 * 1024);
-        let total_dsp: u64 = (0..4).map(|i| ProcessingElement::paper(i).dsp_blocks()).sum();
+        let total_dsp: u64 = (0..4)
+            .map(|i| ProcessingElement::paper(i).dsp_blocks())
+            .sum();
         assert_eq!(total_dsp, 256);
     }
 
@@ -193,7 +197,14 @@ mod tests {
     #[test]
     fn describe_mentions_every_component() {
         let text = ProcessingElement::paper(1).describe();
-        for needle in ["FFT unit", "buffers", "banked", "twiddle", "DSP", "data route"] {
+        for needle in [
+            "FFT unit",
+            "buffers",
+            "banked",
+            "twiddle",
+            "DSP",
+            "data route",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
     }

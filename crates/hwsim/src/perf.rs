@@ -227,7 +227,9 @@ mod tests {
 
     #[test]
     fn narrow_links_expose_communication() {
-        let cfg = AcceleratorConfig::paper().with_link_words_per_cycle(1).unwrap();
+        let cfg = AcceleratorConfig::paper()
+            .with_link_words_per_cycle(1)
+            .unwrap();
         let m = PerfModel::new(cfg);
         // 8192 cycles of exchange vs 2048 of compute: 6144 exposed per
         // exchange, two exchanges.
@@ -240,11 +242,7 @@ mod tests {
         for p in [1usize, 2, 4, 8, 16] {
             let cfg = AcceleratorConfig::paper().with_num_pes(p).unwrap();
             let m = PerfModel::new(cfg);
-            assert_eq!(
-                m.stage64_cycles(),
-                8 * 1024 / p as u64,
-                "P = {p}"
-            );
+            assert_eq!(m.stage64_cycles(), 8 * 1024 / p as u64, "P = {p}");
         }
         // More PEs with the paper's link width: at P=16, compute shrinks to
         // 512 cycles but each PE still moves 2048 words = 256 cycles —
@@ -257,7 +255,10 @@ mod tests {
     fn pipeline_overheads_add_small_constant() {
         let base = PerfModel::new(AcceleratorConfig::paper());
         let with = PerfModel::new(AcceleratorConfig::paper().with_pipeline_overheads(true));
-        assert_eq!(with.fft_cycles(), base.fft_cycles() + 3 * STAGE_PIPELINE_OVERHEAD);
+        assert_eq!(
+            with.fft_cycles(),
+            base.fft_cycles() + 3 * STAGE_PIPELINE_OVERHEAD
+        );
         // The overhead changes the estimate by well under 2%.
         assert!((with.fft_us() - base.fft_us()) / base.fft_us() < 0.02);
     }

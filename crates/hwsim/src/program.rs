@@ -73,13 +73,19 @@ impl PeProgram {
     pub fn push_radix64_stage(&mut self, transforms: u32, twiddled: bool) {
         for t in 0..transforms {
             for cycle in 0..8u8 {
-                self.ops.push(MicroOp::ReadBurst { transform: t, cycle });
+                self.ops.push(MicroOp::ReadBurst {
+                    transform: t,
+                    cycle,
+                });
                 if twiddled {
                     self.ops.push(MicroOp::TwiddleBurst);
                 }
                 // The readout of transform t−1 writes while t reads.
                 if t > 0 {
-                    self.ops.push(MicroOp::WriteBurst { transform: t - 1, cycle });
+                    self.ops.push(MicroOp::WriteBurst {
+                        transform: t - 1,
+                        cycle,
+                    });
                 }
             }
         }
@@ -98,12 +104,18 @@ impl PeProgram {
     pub fn push_radix16_stage(&mut self, transforms: u32, twiddled: bool) {
         for t in 0..transforms {
             for cycle in 0..2u8 {
-                self.ops.push(MicroOp::ReadBurst { transform: t, cycle });
+                self.ops.push(MicroOp::ReadBurst {
+                    transform: t,
+                    cycle,
+                });
                 if twiddled {
                     self.ops.push(MicroOp::TwiddleBurst);
                 }
                 if t > 0 {
-                    self.ops.push(MicroOp::WriteBurst { transform: t - 1, cycle });
+                    self.ops.push(MicroOp::WriteBurst {
+                        transform: t - 1,
+                        cycle,
+                    });
                 }
             }
         }
@@ -202,7 +214,8 @@ impl PeInterpreter {
                     // The burst address pattern cycles within a 4096-point
                     // array; transforms wrap across the buffer's arrays.
                     let base = (transform as usize * 64) % 4096;
-                    self.banking.check_cycle(&fft_read_pattern(base, cycle as usize))?;
+                    self.banking
+                        .check_cycle(&fft_read_pattern(base, cycle as usize))?;
                     stats.read_bursts += 1;
                     clock += 1; // reads pace the pipeline
                 }
@@ -250,9 +263,15 @@ mod tests {
     fn paper_program_reproduces_the_fft_cycle_count() {
         let config = AcceleratorConfig::paper();
         let program = PeProgram::for_64k_schedule(&config);
-        let stats = PeInterpreter::new(config.clone()).execute(&program).unwrap();
+        let stats = PeInterpreter::new(config.clone())
+            .execute(&program)
+            .unwrap();
         let model = PerfModel::new(config);
-        assert_eq!(stats.cycles, model.fft_cycles(), "instruction-derived count");
+        assert_eq!(
+            stats.cycles,
+            model.fft_cycles(),
+            "instruction-derived count"
+        );
         assert_eq!(stats.cycles, 6144);
         assert_eq!(stats.link_stall_cycles, 0, "paper links fully overlap");
         assert_eq!(stats.buffer_swaps, 2);
@@ -262,7 +281,9 @@ mod tests {
     fn burst_counts_match_the_stage_structure() {
         let config = AcceleratorConfig::paper();
         let program = PeProgram::for_64k_schedule(&config);
-        let stats = PeInterpreter::new(config.clone()).execute(&program).unwrap();
+        let stats = PeInterpreter::new(config.clone())
+            .execute(&program)
+            .unwrap();
         // 256 transforms × 8 bursts in C1 and C2; 1024 × 2 in C3.
         assert_eq!(stats.read_bursts, 256 * 8 + 256 * 8 + 1024 * 2);
         assert_eq!(stats.write_bursts, stats.read_bursts);
@@ -276,7 +297,9 @@ mod tests {
     fn narrow_links_stall_the_swap() {
         let config = AcceleratorConfig::cyclone_prototype();
         let program = PeProgram::for_64k_schedule(&config);
-        let stats = PeInterpreter::new(config.clone()).execute(&program).unwrap();
+        let stats = PeInterpreter::new(config.clone())
+            .execute(&program)
+            .unwrap();
         assert!(stats.link_stall_cycles > 0, "serial links must stall");
         let model = PerfModel::new(config);
         assert_eq!(stats.cycles, model.fft_cycles(), "stall accounting agrees");
@@ -286,7 +309,9 @@ mod tests {
     fn single_pe_program_has_no_exchanges() {
         let config = AcceleratorConfig::paper().with_num_pes(1).unwrap();
         let program = PeProgram::for_64k_schedule(&config);
-        let stats = PeInterpreter::new(config.clone()).execute(&program).unwrap();
+        let stats = PeInterpreter::new(config.clone())
+            .execute(&program)
+            .unwrap();
         assert_eq!(stats.words_sent, 0);
         assert_eq!(stats.buffer_swaps, 0);
         assert_eq!(stats.cycles, PerfModel::new(config).fft_cycles());

@@ -418,7 +418,10 @@ impl Table1 {
         let pct = |used: u64, cap: u64| d.utilization_pct(used, cap);
         let mut out = String::new();
         out.push_str("TABLE I. COMPARISON OF RESOURCE USAGE.\n");
-        out.push_str(&format!("{:<12} {:>22} {:>22}\n", "", "Proposed here", "[28]"));
+        out.push_str(&format!(
+            "{:<12} {:>22} {:>22}\n",
+            "", "Proposed here", "[28]"
+        ));
         out.push_str(&format!(
             "{:<12} {:>13} ({:>3.0}%) {:>15} ({:>3.0}%)\n",
             "ALMs",

@@ -212,8 +212,7 @@ mod tests {
         let (_, report) = sim.multiply(&UBig::from(3u64), &UBig::from(5u64)).unwrap();
         let trace = Trace::from_multiply_report(&report);
         assert_eq!(trace.total_cycles(), report.total_cycles());
-        let kinds: std::collections::HashSet<_> =
-            trace.events().iter().map(|e| e.kind).collect();
+        let kinds: std::collections::HashSet<_> = trace.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&EventKind::Compute));
         assert!(kinds.contains(&EventKind::Exchange));
         assert!(kinds.contains(&EventKind::DotProduct));

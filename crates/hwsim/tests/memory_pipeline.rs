@@ -26,7 +26,8 @@ fn fill_input_memory() -> MemoryModel<TwoDBanked> {
                 .into_iter()
                 .map(|addr| (addr, Fp::new((addr as u64).wrapping_mul(0x9e37_79b9) + 1)))
                 .collect();
-            mem.write_cycle(&writes).expect("write pattern is conflict-free");
+            mem.write_cycle(&writes)
+                .expect("write pattern is conflict-free");
         }
     }
     mem
@@ -45,7 +46,9 @@ fn full_buffer_of_transforms_without_conflicts() {
         let mut samples = vec![Fp::ZERO; 64];
         for j in 0..8 {
             let addrs = fft_read_pattern(base, j);
-            let values = input.read_cycle(&addrs).expect("read pattern is conflict-free");
+            let values = input
+                .read_cycle(&addrs)
+                .expect("read pattern is conflict-free");
             for (i, v) in values.into_iter().enumerate() {
                 samples[8 * i + j] = v;
             }
@@ -63,7 +66,9 @@ fn full_buffer_of_transforms_without_conflicts() {
                 .enumerate()
                 .map(|(k2, addr)| (addr, out.values[c + 8 * k2]))
                 .collect();
-            output.write_cycle(&writes).expect("write pattern is conflict-free");
+            output
+                .write_cycle(&writes)
+                .expect("write pattern is conflict-free");
         }
     }
 

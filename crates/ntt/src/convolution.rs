@@ -7,6 +7,7 @@ use he_field::Fp;
 use crate::error::NttError;
 use crate::plan64k::{Ntt64k, N64K};
 use crate::radix2::Radix2Plan;
+use crate::scratch::NttScratch;
 
 /// Pointwise product of two equal-length spectra (the accelerator's
 /// dot-product phase, `T_DOTPROD` in Section V).
@@ -19,18 +20,51 @@ pub fn pointwise(a: &[Fp], b: &[Fp]) -> Vec<Fp> {
     a.iter().zip(b).map(|(&x, &y)| x * y).collect()
 }
 
+/// Pointwise product accumulated into the left operand: `a[i] *= b[i]` —
+/// the allocation-free dot-product phase.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn pointwise_assign(a: &mut [Fp], b: &[Fp]) {
+    assert_eq!(a.len(), b.len(), "pointwise product requires equal lengths");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x *= y;
+    }
+}
+
 /// Cyclic convolution of two 64K-point sequences using the paper's
 /// three-stage transform.
+///
+/// Thin allocating wrapper over [`cyclic_convolve_64k_into`].
 ///
 /// # Panics
 ///
 /// Panics if either input is not 65,536 points.
 pub fn cyclic_convolve_64k(plan: &Ntt64k, a: &[Fp], b: &[Fp]) -> Vec<Fp> {
+    let mut out = a.to_vec();
+    cyclic_convolve_64k_into(plan, &mut out, b, &mut NttScratch::new());
+    out
+}
+
+/// Cyclic convolution `a ← a ⊛ b` computed in place: two forward
+/// transforms, a pointwise product and an inverse transform, all staged in
+/// `scratch` — the exact accelerator dataflow, allocation-free once the
+/// scratch is warm.
+///
+/// # Panics
+///
+/// Panics if either buffer is not 65,536 points.
+pub fn cyclic_convolve_64k_into(plan: &Ntt64k, a: &mut [Fp], b: &[Fp], scratch: &mut NttScratch) {
     assert_eq!(a.len(), N64K);
     assert_eq!(b.len(), N64K);
-    let fa = plan.forward(a);
-    let fb = plan.forward(b);
-    plan.inverse(&pointwise(&fa, &fb))
+    plan.forward_into(a, scratch);
+    let mut fb = scratch.take_any(N64K);
+    fb.copy_from_slice(b);
+    plan.forward_into(&mut fb, scratch);
+    pointwise_assign(a, &fb);
+    scratch.put(fb);
+    plan.inverse_into(a, scratch);
 }
 
 /// Cyclic convolution of two power-of-two-length sequences via radix-2

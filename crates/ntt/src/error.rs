@@ -29,7 +29,10 @@ impl fmt::Display for NttError {
                 write!(f, "unsupported transform size {n}: {reason}")
             }
             NttError::LengthMismatch { expected, actual } => {
-                write!(f, "input length {actual} does not match plan size {expected}")
+                write!(
+                    f,
+                    "input length {actual} does not match plan size {expected}"
+                )
             }
         }
     }

@@ -7,10 +7,15 @@
 //! notes the unit "can be adapted, with minor modifications, to compute also
 //! Radix-8, Radix-16, and Radix-32 FFTs"; all four sizes are provided here.
 //!
-//! The 64-point kernel additionally uses the paper's Eq. 5 two-level
-//! decomposition (8 × 8) to share first-stage partial sums, reducing the
-//! shift/add count from `64·64` to `2·64·8` — the same restructuring the
-//! optimized hardware unit exploits.
+//! The hardware evaluates the 64-point block with the paper's Eq. 5
+//! two-level decomposition (8 × 8), sharing first-stage partial sums to cut
+//! the shift/add count from `64·64` to `2·64·8` — modeled bit-exactly by
+//! the unit models in `he-hwsim`. In software the same multiplier-free
+//! property admits an even cheaper evaluation: a radix-2 butterfly network
+//! whose twiddles are all rotations (`(n/2)·log2(n)` butterflies), which is
+//! what these kernels use. Both evaluations produce identical canonical
+//! outputs; the Eq. 5 operation counts remain exported for the hardware
+//! ablation ([`NTT64_SHARED_SHIFT_OPS`], [`NTT64_FLAT_SHIFT_OPS`]).
 
 use he_field::{Fp, U192};
 
@@ -53,9 +58,34 @@ pub fn supports(n: usize) -> bool {
 /// # Ok::<(), he_ntt::NttError>(())
 /// ```
 pub fn ntt_small(input: &[Fp], direction: Direction) -> Result<Vec<Fp>, NttError> {
+    let mut out = vec![Fp::ZERO; input.len()];
+    ntt_small_into(input, &mut out, direction)?;
+    Ok(out)
+}
+
+/// [`ntt_small`] writing into a caller-provided buffer — the kernel form
+/// the in-place transform pipeline uses (no heap allocation; all
+/// temporaries live on the stack).
+///
+/// `input` and `out` must not overlap (they are distinct borrows by
+/// construction) and must have the same supported length.
+///
+/// # Errors
+///
+/// Returns [`NttError::UnsupportedSize`] for sizes outside `{8, 16, 32,
+/// 64}` and [`NttError::LengthMismatch`] if `out` has a different length.
+pub fn ntt_small_into(input: &[Fp], out: &mut [Fp], direction: Direction) -> Result<(), NttError> {
+    if input.len() != out.len() {
+        return Err(NttError::LengthMismatch {
+            expected: input.len(),
+            actual: out.len(),
+        });
+    }
     match input.len() {
-        64 => Ok(ntt64(input, direction)),
-        8 | 16 | 32 => Ok(ntt_direct_shift(input, direction)),
+        8 | 16 | 32 | 64 => {
+            ntt_pow2_shift(input, out, direction);
+            Ok(())
+        }
         n => Err(NttError::UnsupportedSize {
             n,
             reason: "shift-only kernels exist for 8, 16, 32 and 64 points",
@@ -63,60 +93,50 @@ pub fn ntt_small(input: &[Fp], direction: Direction) -> Result<Vec<Fp>, NttError
     }
 }
 
-/// Direct shift-based DFT for `n | 192`: `A[k] = Σ_i a[i]·2^{(192/n)·ik}`.
+/// Shift-only radix-2 decimation-in-time FFT for `n | 192`, `n ∈ {8, 16,
+/// 32, 64}`, entirely in `U192` end-around-carry arithmetic.
 ///
-/// Quadratic in `n` but multiplier-free; used for the 8/16/32-point sizes
-/// where sharing buys little.
-fn ntt_direct_shift(input: &[Fp], direction: Direction) -> Vec<Fp> {
-    let n = input.len() as u32;
-    debug_assert!(192 % n == 0);
-    let step = 192 / n;
-    (0..n)
-        .map(|k| {
-            let mut acc = U192::ZERO;
-            for (i, &a) in input.iter().enumerate() {
-                let e = (step as u64 * i as u64 * k as u64 % 192) as u32;
-                let e = apply_direction(e, direction);
-                acc = acc.wrapping_add(U192::from(a).rotl(e));
-            }
-            acc.to_fp()
-        })
-        .collect()
-}
-
-/// 64-point kernel via the paper's Eq. 5: split `i = 8·i' + j`, compute the
-/// eight 8-point sub-DFTs (over `i'`, one per input phase `j`), then combine
-/// across `j` with twiddles `ω_64^{j·k1}·ω_8^{j·k2}` — all shifts.
-fn ntt64(input: &[Fp], direction: Direction) -> Vec<Fp> {
-    debug_assert_eq!(input.len(), 64);
-    // Stage 1: for each phase j, the 8-point DFT of a[8i+j] over i.
-    // inner[j][k1] = Σ_i a[8i+j]·ω_8^{i·k1}, with ω_8 = 2^24.
-    let mut inner = [[U192::ZERO; 8]; 8];
-    for j in 0..8 {
-        for k1 in 0..8u64 {
-            let mut acc = U192::ZERO;
-            for i in 0..8u64 {
-                let e = apply_direction((24 * i * k1 % 192) as u32, direction);
-                acc = acc.wrapping_add(U192::from(input[(8 * i + j as u64) as usize]).rotl(e));
-            }
-            inner[j][k1 as usize] = acc;
-        }
+/// The hardware evaluates these blocks with the Eq. 5 shared-partial-sum
+/// structure (see [`NTT64_SHARED_SHIFT_OPS`] and the bit-exact unit models
+/// in `he-hwsim`); in software the same multiplier-free property — every
+/// twiddle `ω_m^j = 2^{(192/m)·j}` is a rotation — makes the full
+/// `(n/2)·log2(n)` butterfly network the cheapest evaluation: ~3 rotate/
+/// add-class operations per butterfly instead of 2 per term of the
+/// quadratic forms. All intermediates are exact modulo `2^192 − 1`, so the
+/// canonical outputs are bit-identical to any other evaluation order.
+fn ntt_pow2_shift(input: &[Fp], out: &mut [Fp], direction: Direction) {
+    let n = input.len();
+    debug_assert!(n.is_power_of_two() && 192 % n == 0 && n <= 64);
+    let mut storage = [U192::ZERO; 64];
+    let buf = &mut storage[..n];
+    // Bit-reversed load (decimation in time).
+    let bits = n.trailing_zeros();
+    for (i, &a) in input.iter().enumerate() {
+        let j = ((i as u32).reverse_bits() >> (32 - bits)) as usize;
+        buf[j] = U192::from(a);
     }
-    // Stage 2: A[k1 + 8·k2] = Σ_j inner[j][k1]·ω_64^{j·k1}·ω_8^{j·k2},
-    // with ω_64 = 2^3.
-    let mut out = vec![Fp::ZERO; 64];
-    for k1 in 0..8u64 {
-        for k2 in 0..8u64 {
-            let mut acc = U192::ZERO;
-            for j in 0..8u64 {
-                let e = ((3 * j * k1 + 24 * j * k2) % 192) as u32;
-                let e = apply_direction(e, direction);
-                acc = acc.wrapping_add(inner[j as usize][k1 as usize].rotl(e));
-            }
-            out[(k1 + 8 * k2) as usize] = acc.to_fp();
+    let mut exps = [0u32; 32];
+    let mut m = 2usize;
+    while m <= n {
+        let half = m / 2;
+        let step = (192 / m) as u32; // ω_m = 2^{192/m}
+        for (j, e) in exps[..half].iter_mut().enumerate() {
+            *e = apply_direction(step * j as u32, direction);
         }
+        for block in buf.chunks_exact_mut(m) {
+            let (lo, hi) = block.split_at_mut(half);
+            for ((u, v), &e) in lo.iter_mut().zip(hi.iter_mut()).zip(&exps[..half]) {
+                let t = v.rotl(e);
+                let a = *u;
+                *u = a.wrapping_add(t);
+                *v = a.wrapping_sub(t);
+            }
+        }
+        m *= 2;
     }
-    out
+    for (slot, &v) in out.iter_mut().zip(buf.iter()) {
+        *slot = v.to_fp();
+    }
 }
 
 /// Maps a forward shift exponent to the requested direction
@@ -142,7 +162,9 @@ mod tests {
     use he_field::roots;
 
     fn test_input(n: usize) -> Vec<Fp> {
-        (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x0123_4567_89ab_cdef) ^ 0x55)).collect()
+        (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x0123_4567_89ab_cdef) ^ 0x55))
+            .collect()
     }
 
     #[test]
@@ -195,12 +217,15 @@ mod tests {
         // The roots used are powers of two (documentation-level invariant).
         for n in SHIFT_KERNEL_SIZES {
             let omega = roots::root_of_unity(n as u64).unwrap();
-            let log = omega.log2_of_pow2().expect("kernel root must be a power of two");
+            let log = omega
+                .log2_of_pow2()
+                .expect("kernel root must be a power of two");
             assert_eq!(log as usize, 192 / n);
         }
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the paper's 4x claim
     fn eq5_sharing_reduces_ops() {
         assert!(NTT64_SHARED_SHIFT_OPS * 4 == NTT64_FLAT_SHIFT_OPS);
     }

@@ -28,19 +28,49 @@
 //! All transforms take and produce **natural-order** coefficient vectors, so
 //! they are interchangeable and mutually checkable.
 //!
+//! # In-place, scratch-reusing APIs
+//!
+//! Every plan offers two API shapes:
+//!
+//! * **allocating** — `forward(&[Fp]) -> Vec<Fp>` / `inverse`, convenient
+//!   for one-off transforms and tests;
+//! * **in-place** — `forward_into(&mut [Fp], &mut NttScratch)` /
+//!   `inverse_into`, which transform the buffer where it lives and stage
+//!   intermediates in a reusable [`NttScratch`] pool. After one warm-up
+//!   call the scratch serves every subsequent transform with **zero heap
+//!   allocations**, mirroring the accelerator's fixed on-chip buffers.
+//!   The allocating methods are thin wrappers over the in-place ones.
+//!
+//! The [`Transform`] trait exposes both shapes, so `Box<dyn Transform>`
+//! callers (e.g. the SSA multiplier) get the allocation-free path too.
+//!
+//! # Multi-core execution
+//!
+//! The paper's decomposition exposes 1024 (stages 1–2) and 4096 (stage 3)
+//! *independent* sub-transforms per stage — the parallelism its four-PE
+//! hypercube exploits in hardware. With the `parallel` feature (default
+//! on), [`Ntt64k`] and [`SixStepPlan`] fan those sub-transforms out over
+//! the available cores via scoped threads ([`par`]); set `HE_NTT_THREADS=1`
+//! (or disable the feature) for strictly sequential execution. The fan-out
+//! is a pure scheduling change: results are bit-identical either way.
+//!
 //! # Example
 //!
 //! ```
 //! use he_field::Fp;
-//! use he_ntt::{Ntt64k, naive};
+//! use he_ntt::{naive, Ntt64k, NttScratch};
 //!
 //! let plan = Ntt64k::new();
 //! let mut data = vec![Fp::ZERO; 65_536];
 //! data[0] = Fp::new(3);
 //! data[1] = Fp::new(5);
-//! let freq = plan.forward(&data);
-//! let back = plan.inverse(&freq);
-//! assert_eq!(back, data);
+//! let freq = plan.forward(&data); // allocating
+//!
+//! let mut scratch = NttScratch::new();
+//! plan.forward_into(&mut data, &mut scratch); // in place
+//! assert_eq!(data, freq);
+//! plan.inverse_into(&mut data, &mut scratch); // scratch reused
+//! assert_eq!(data[0], Fp::new(3));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,9 +82,11 @@ pub mod kernels;
 mod mixed;
 pub mod naive;
 pub mod negacyclic;
+pub mod par;
 pub mod plan;
 mod plan64k;
 mod radix2;
+mod scratch;
 mod sixstep;
 
 pub use error::NttError;
@@ -63,4 +95,5 @@ pub use negacyclic::NegacyclicPlan;
 pub use plan::Transform;
 pub use plan64k::{Ntt64k, N64K};
 pub use radix2::Radix2Plan;
+pub use scratch::NttScratch;
 pub use sixstep::SixStepPlan;

@@ -19,6 +19,7 @@ use he_field::{roots, Fp};
 use crate::error::NttError;
 use crate::kernels::{self, Direction};
 use crate::naive;
+use crate::scratch::NttScratch;
 
 /// A planned mixed-radix NTT.
 ///
@@ -112,26 +113,71 @@ impl MixedRadixPlan {
 
     /// Forward transform.
     ///
+    /// Thin allocating wrapper over [`MixedRadixPlan::forward_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the plan length.
     pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
-        assert_eq!(input.len(), self.n, "input length must equal plan length");
-        self.transform_rec(input, 1, &self.radices, Direction::Forward)
+        let mut data = input.to_vec();
+        self.forward_into(&mut data, &mut NttScratch::new());
+        data
     }
 
     /// Inverse transform including the `1/n` scaling.
+    ///
+    /// Thin allocating wrapper over [`MixedRadixPlan::inverse_into`].
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the plan length.
     pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
-        assert_eq!(input.len(), self.n, "input length must equal plan length");
-        let mut out = self.transform_rec(input, 1, &self.radices, Direction::Inverse);
-        for x in out.iter_mut() {
-            *x *= self.n_inv;
+        let mut data = input.to_vec();
+        self.inverse_into(&mut data, &mut NttScratch::new());
+        data
+    }
+
+    /// In-place forward transform staging through `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        assert_eq!(data.len(), self.n, "input length must equal plan length");
+        let mut out = scratch.take_any(self.n);
+        self.transform_rec(
+            data,
+            &mut out,
+            1,
+            &self.radices,
+            Direction::Forward,
+            scratch,
+        );
+        data.copy_from_slice(&out);
+        scratch.put(out);
+    }
+
+    /// In-place inverse transform (including the `1/n` scaling) staging
+    /// through `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        assert_eq!(data.len(), self.n, "input length must equal plan length");
+        let mut out = scratch.take_any(self.n);
+        self.transform_rec(
+            data,
+            &mut out,
+            1,
+            &self.radices,
+            Direction::Inverse,
+            scratch,
+        );
+        for (slot, &v) in data.iter_mut().zip(out.iter()) {
+            *slot = v * self.n_inv;
         }
-        out
+        scratch.put(out);
     }
 
     /// Looks up `ω^{±(stride·e)}` from the precomputed table.
@@ -146,18 +192,23 @@ impl MixedRadixPlan {
         }
     }
 
-    /// Recursive Cooley–Tukey step. `stride` expresses the current level's
-    /// root as `ω_level = ω^stride`.
+    /// Recursive Cooley–Tukey step writing into `out`. `stride` expresses
+    /// the current level's root as `ω_level = ω^stride`; all intermediate
+    /// buffers come from (and return to) `scratch`.
     fn transform_rec(
         &self,
         input: &[Fp],
+        out: &mut [Fp],
         stride: usize,
         radices: &[usize],
         direction: Direction,
-    ) -> Vec<Fp> {
+        scratch: &mut NttScratch,
+    ) {
         let len = input.len();
+        debug_assert_eq!(out.len(), len);
         if radices.len() == 1 {
-            return self.base_dft(input, stride, direction);
+            self.base_dft_into(input, out, stride, direction);
+            return;
         }
         let r = radices[0];
         let m_len = len / r;
@@ -165,20 +216,23 @@ impl MixedRadixPlan {
 
         // Inner R-point DFTs over the high digit, one per residue m.
         // g[kA·m_len + m] = Σ_d input[M·d + m]·ω_R^{d·kA}
-        let mut g = vec![Fp::ZERO; len];
-        let mut column = vec![Fp::ZERO; r];
+        let mut g = scratch.take_any(len);
+        let mut column = scratch.take_any(r);
+        let mut sub = scratch.take_any(r);
         for m in 0..m_len {
             for (d, c) in column.iter_mut().enumerate() {
                 *c = input[m_len * d + m];
             }
-            let sub = self.base_dft(&column, stride * m_len, direction);
+            self.base_dft_into(&column, &mut sub, stride * m_len, direction);
             for (ka, &v) in sub.iter().enumerate() {
                 g[ka * m_len + m] = v;
             }
         }
+        scratch.put(column);
+        scratch.put(sub);
 
         // Twiddle + recurse on each row.
-        let mut out = vec![Fp::ZERO; len];
+        let mut row_out = scratch.take_any(m_len);
         for ka in 0..r {
             let row = &mut g[ka * m_len..(ka + 1) * m_len];
             if ka > 0 {
@@ -186,29 +240,38 @@ impl MixedRadixPlan {
                     *v *= self.tw(stride, ka * m, direction);
                 }
             }
-            let sub = self.transform_rec(row, stride * r, &radices[1..], direction);
-            for (kb, &v) in sub.iter().enumerate() {
+            self.transform_rec(
+                row,
+                &mut row_out,
+                stride * r,
+                &radices[1..],
+                direction,
+                scratch,
+            );
+            for (kb, &v) in row_out.iter().enumerate() {
                 out[ka + r * kb] = v;
             }
         }
-        out
+        scratch.put(row_out);
+        scratch.put(g);
     }
 
-    /// Base-case DFT with root `ω^stride`; uses the shift-only kernel when
-    /// the root matches the canonical power-of-two root.
-    fn base_dft(&self, input: &[Fp], stride: usize, direction: Direction) -> Vec<Fp> {
+    /// Base-case DFT with root `ω^stride` into `out`; uses the shift-only
+    /// kernel when the root matches the canonical power-of-two root.
+    fn base_dft_into(&self, input: &[Fp], out: &mut [Fp], stride: usize, direction: Direction) {
         let r = input.len();
         let omega_base = self.tw(stride, 1, Direction::Forward);
         if kernels::supports(r) {
             let canonical = roots::root_of_unity(r as u64).expect("r divides 192");
             if omega_base == canonical {
-                return kernels::ntt_small(input, direction).expect("size checked");
+                kernels::ntt_small_into(input, out, direction).expect("size checked");
+                return;
             }
         }
         match direction {
-            Direction::Forward => naive::dft(input, omega_base),
+            Direction::Forward => naive::dft_into(input, out, omega_base),
             Direction::Inverse => {
-                naive::dft(input, omega_base.inverse().expect("root is nonzero"))
+                naive::dft_into(input, out, omega_base.inverse().expect("root is nonzero"))
             }
         }
     }
@@ -219,7 +282,9 @@ mod tests {
     use super::*;
 
     fn ramp(n: usize) -> Vec<Fp> {
-        (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect()
+        (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect()
     }
 
     #[test]
@@ -237,7 +302,11 @@ mod tests {
         for r in [8usize, 16, 32, 64] {
             let plan = MixedRadixPlan::new(&[r]).unwrap();
             let input = ramp(r);
-            assert_eq!(plan.forward(&input), naive::dft(&input, plan.omega()), "r = {r}");
+            assert_eq!(
+                plan.forward(&input),
+                naive::dft(&input, plan.omega()),
+                "r = {r}"
+            );
         }
     }
 
@@ -259,7 +328,11 @@ mod tests {
         for radices in [[8usize, 8, 8], [16, 8, 8], [32, 16, 8]] {
             let plan = MixedRadixPlan::new(&radices).unwrap();
             let input = ramp(plan.len());
-            assert_eq!(plan.inverse(&plan.forward(&input)), input, "radices = {radices:?}");
+            assert_eq!(
+                plan.inverse(&plan.forward(&input)),
+                input,
+                "radices = {radices:?}"
+            );
         }
     }
 
@@ -270,6 +343,23 @@ mod tests {
         let input = ramp(15);
         assert_eq!(plan.forward(&input), naive::dft(&input, plan.omega()));
         assert_eq!(plan.inverse(&plan.forward(&input)), input);
+    }
+
+    #[test]
+    fn into_matches_allocating_including_naive_base_cases() {
+        let mut scratch = NttScratch::new();
+        for radices in [vec![8usize, 8], vec![64, 16], vec![3, 5], vec![8, 8, 8]] {
+            let plan = MixedRadixPlan::new(&radices).unwrap();
+            let input = ramp(plan.len());
+            let expected = plan.forward(&input);
+            let mut data = input.clone();
+            for _ in 0..2 {
+                plan.forward_into(&mut data, &mut scratch);
+                assert_eq!(data, expected, "radices = {radices:?}");
+                plan.inverse_into(&mut data, &mut scratch);
+                assert_eq!(data, input, "radices = {radices:?}");
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,28 @@ pub fn dft(input: &[Fp], omega: Fp) -> Vec<Fp> {
         .collect()
 }
 
+/// [`dft`] into a caller-provided buffer, allocation-free (twiddle powers
+/// are accumulated incrementally instead of tabulated). Used by the
+/// in-place mixed-radix path for base cases without a shift-only kernel.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ.
+pub fn dft_into(input: &[Fp], out: &mut [Fp], omega: Fp) {
+    assert_eq!(input.len(), out.len(), "output length must match the input");
+    let mut wk = Fp::ONE; // ω^k
+    for slot in out.iter_mut() {
+        let mut acc = Fp::ZERO;
+        let mut wik = Fp::ONE; // ω^{i·k}
+        for &a in input {
+            acc += a * wik;
+            wik *= wk;
+        }
+        *slot = acc;
+        wk *= omega;
+    }
+}
+
 /// Computes the inverse DFT (including the `1/n` scaling).
 ///
 /// # Panics
@@ -41,7 +63,10 @@ pub fn idft(input: &[Fp], omega: Fp) -> Vec<Fp> {
     let n = input.len();
     let omega_inv = omega.inverse().expect("omega is a root of unity");
     let n_inv = Fp::new(n as u64).inverse().expect("n invertible");
-    dft(input, omega_inv).into_iter().map(|x| x * n_inv).collect()
+    dft(input, omega_inv)
+        .into_iter()
+        .map(|x| x * n_inv)
+        .collect()
 }
 
 /// Cyclic convolution by the definition `c[k] = Σ_{i+j ≡ k (mod n)} a[i]·b[j]`.
@@ -50,7 +75,11 @@ pub fn idft(input: &[Fp], omega: Fp) -> Vec<Fp> {
 ///
 /// Panics if the inputs have different lengths.
 pub fn cyclic_convolve(a: &[Fp], b: &[Fp]) -> Vec<Fp> {
-    assert_eq!(a.len(), b.len(), "convolution operands must match in length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "convolution operands must match in length"
+    );
     let n = a.len();
     let mut out = vec![Fp::ZERO; n];
     for (i, &ai) in a.iter().enumerate() {

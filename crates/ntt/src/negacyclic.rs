@@ -20,6 +20,7 @@ use he_field::{roots, Fp};
 
 use crate::error::NttError;
 use crate::radix2::Radix2Plan;
+use crate::scratch::NttScratch;
 
 /// A planned negacyclic transformer for length-`n` polynomials
 /// (`n` a power of two, `2n ≤ 2^32`).
@@ -91,44 +92,94 @@ impl NegacyclicPlan {
 
     /// Forward negacyclic transform: twist then cyclic NTT.
     ///
+    /// Thin allocating wrapper over [`NegacyclicPlan::forward_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the plan length.
     pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
-        assert_eq!(input.len(), self.n, "input length must equal plan length");
-        let twisted: Vec<Fp> = input
-            .iter()
-            .zip(&self.psi)
-            .map(|(&a, &psi)| a * psi)
-            .collect();
-        self.plan.forward(&twisted)
+        let mut data = input.to_vec();
+        self.forward_into(&mut data);
+        data
     }
 
     /// Inverse negacyclic transform: cyclic inverse NTT then untwist.
+    ///
+    /// Thin allocating wrapper over [`NegacyclicPlan::inverse_into`].
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the plan length.
     pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
-        assert_eq!(input.len(), self.n, "input length must equal plan length");
+        let mut data = input.to_vec();
+        self.inverse_into(&mut data);
+        data
+    }
+
+    /// In-place forward negacyclic transform (the ψ-twist and the cyclic
+    /// pass both operate where the data lives; no scratch is needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward_into(&self, data: &mut [Fp]) {
+        assert_eq!(data.len(), self.n, "input length must equal plan length");
+        for (a, &psi) in data.iter_mut().zip(&self.psi) {
+            *a *= psi;
+        }
         self.plan
-            .inverse(input)
-            .into_iter()
-            .zip(&self.psi_inv)
-            .map(|(a, &psi_inv)| a * psi_inv)
-            .collect()
+            .forward_in_place(data)
+            .expect("length checked above");
+    }
+
+    /// In-place inverse negacyclic transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse_into(&self, data: &mut [Fp]) {
+        assert_eq!(data.len(), self.n, "input length must equal plan length");
+        self.plan
+            .inverse_in_place(data)
+            .expect("length checked above");
+        for (a, &psi_inv) in data.iter_mut().zip(&self.psi_inv) {
+            *a *= psi_inv;
+        }
     }
 
     /// Multiplies two polynomials modulo `X^n + 1`.
+    ///
+    /// Thin allocating wrapper over [`NegacyclicPlan::multiply_into`].
     ///
     /// # Panics
     ///
     /// Panics if either operand's length differs from the plan length.
     pub fn multiply(&self, a: &[Fp], b: &[Fp]) -> Vec<Fp> {
-        let fa = self.forward(a);
-        let fb = self.forward(b);
-        let fc: Vec<Fp> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
-        self.inverse(&fc)
+        let mut out = vec![Fp::ZERO; self.n];
+        self.multiply_into(a, b, &mut out, &mut NttScratch::new());
+        out
+    }
+
+    /// Multiplies two polynomials modulo `X^n + 1` into `out`, staging the
+    /// two spectra in `scratch` — allocation-free once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer's length differs from the plan length.
+    pub fn multiply_into(&self, a: &[Fp], b: &[Fp], out: &mut [Fp], scratch: &mut NttScratch) {
+        assert_eq!(out.len(), self.n, "output length must equal plan length");
+        assert_eq!(a.len(), self.n, "input length must equal plan length");
+        assert_eq!(b.len(), self.n, "input length must equal plan length");
+        out.copy_from_slice(a);
+        self.forward_into(out);
+        let mut fb = scratch.take_any(self.n);
+        fb.copy_from_slice(b);
+        self.forward_into(&mut fb);
+        for (x, &y) in out.iter_mut().zip(fb.iter()) {
+            *x *= y;
+        }
+        scratch.put(fb);
+        self.inverse_into(out);
     }
 }
 
@@ -157,7 +208,9 @@ mod tests {
     use super::*;
 
     fn poly(n: usize, seed: u64) -> Vec<Fp> {
-        (0..n as u64).map(|i| Fp::new(i.wrapping_mul(seed) ^ 0x5a5a)).collect()
+        (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(seed) ^ 0x5a5a))
+            .collect()
     }
 
     #[test]

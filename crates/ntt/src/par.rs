@@ -1,0 +1,176 @@
+//! Multi-core execution of independent sub-transforms.
+//!
+//! The paper's central observation is that each stage of the 64K
+//! decomposition consists of 1024 (or 4096) *independent* sub-transforms —
+//! that is what the four-PE hypercube exploits in hardware. This module is
+//! the software counterpart: [`for_each_chunk`] runs a closure over every
+//! fixed-size chunk of a buffer, spreading contiguous runs of chunks across
+//! scoped OS threads.
+//!
+//! The implementation uses `std::thread::scope` rather than rayon because
+//! this workspace builds without a crates.io registry; the chunked
+//! fan-out/join pattern is the same work shape a rayon `par_chunks_mut`
+//! would produce. With the `parallel` feature disabled (or
+//! `HE_NTT_THREADS=1`) everything runs inline on the caller's thread, which
+//! also keeps the hot path allocation-free — thread spawning is the one
+//! part of the parallel path that touches the heap.
+
+#[cfg(feature = "parallel")]
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for this process (`0` clears the
+/// override). Benchmarks use this to measure single-thread vs multi-core
+/// scaling without re-launching; it takes precedence over the
+/// `HE_NTT_THREADS` environment variable.
+pub fn set_threads(n: usize) {
+    #[cfg(feature = "parallel")]
+    THREAD_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "parallel"))]
+    let _ = n;
+}
+
+/// Upper bound on worker threads (including the caller's).
+///
+/// Precedence: [`set_threads`] override, then `HE_NTT_THREADS` (read once
+/// per process — the lookup allocates, and this runs on the
+/// allocation-free hot path), then the machine's available parallelism.
+/// Always at least 1. With the `parallel` feature disabled this is
+/// constantly 1.
+pub fn thread_count() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let forced = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+        if forced > 0 {
+            return forced;
+        }
+        static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("HE_NTT_THREADS") {
+            Ok(v) => v.parse::<usize>().map(|n| n.max(1)).unwrap_or(1),
+            Err(_) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        })
+    }
+}
+
+/// Minimum number of chunks per worker before fan-out is worth the spawn
+/// cost; below this everything runs inline.
+const MIN_CHUNKS_PER_THREAD: usize = 8;
+
+/// Applies `f(chunk_index, chunk)` to every `chunk_len`-sized chunk of
+/// `data`, in parallel when the workload is large enough.
+///
+/// `data.len()` must be a multiple of `chunk_len`. Chunks are disjoint
+/// `&mut` sub-slices, so the closure may freely write; reads of shared
+/// inputs are captured by `&` reference.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `chunk_len`, and propagates
+/// panics from `f`.
+pub fn for_each_chunk<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "buffer length {} is not a multiple of the chunk length {}",
+        data.len(),
+        chunk_len
+    );
+    let chunks = data.len() / chunk_len;
+    let workers = thread_count()
+        .min(chunks / MIN_CHUNKS_PER_THREAD.max(1))
+        .max(1);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_exact_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+
+    // Split the buffer into `workers` contiguous runs of whole chunks.
+    // The caller's thread counts as a worker: it takes the final run
+    // itself, so `workers` runs need only `workers - 1` spawns.
+    let per = chunks.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        let f = &f;
+        while rest.len() > per * chunk_len {
+            let (head, tail) = rest.split_at_mut(per * chunk_len);
+            let base = start;
+            scope.spawn(move || {
+                for (i, chunk) in head.chunks_exact_mut(chunk_len).enumerate() {
+                    f(base + i, chunk);
+                }
+            });
+            start += per;
+            rest = tail;
+        }
+        for (i, chunk) in rest.chunks_exact_mut(chunk_len).enumerate() {
+            f(start + i, chunk);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let mut data = vec![0u64; 64 * 100];
+        for_each_chunk(&mut data, 64, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u64;
+            }
+        });
+        for (i, chunk) in data.chunks_exact(64).enumerate() {
+            assert!(chunk.iter().all(|&x| x == 1 + i as u64), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn forced_fan_out_covers_every_chunk_exactly_once() {
+        // 1-core CI hosts never take the spawning branch by default;
+        // force it. (Results are scheduling-independent, so the global
+        // override racing other tests is harmless.)
+        set_threads(4);
+        let mut data = vec![0u64; 16 * 64];
+        for_each_chunk(&mut data, 16, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u64;
+            }
+        });
+        set_threads(0);
+        for (i, chunk) in data.chunks_exact(16).enumerate() {
+            assert!(chunk.iter().all(|&x| x == 1 + i as u64), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn small_workloads_run_inline() {
+        let mut data = vec![0u8; 12];
+        for_each_chunk(&mut data, 4, |i, chunk| chunk.fill(i as u8 + 1));
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_chunks() {
+        let mut data = vec![0u8; 10];
+        for_each_chunk(&mut data, 4, |_, _| {});
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

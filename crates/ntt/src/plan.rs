@@ -7,11 +7,19 @@ use crate::error::NttError;
 use crate::mixed::MixedRadixPlan;
 use crate::plan64k::{Ntt64k, N64K};
 use crate::radix2::Radix2Plan;
+use crate::scratch::NttScratch;
+use crate::sixstep::SixStepPlan;
 
 /// A planned transform of fixed length with forward and inverse passes.
 ///
-/// Implemented by [`Radix2Plan`], [`MixedRadixPlan`] and [`Ntt64k`], so
-/// callers can switch strategies (or accept any via `Box<dyn Transform>`).
+/// Implemented by [`Radix2Plan`], [`MixedRadixPlan`], [`SixStepPlan`] and
+/// [`Ntt64k`], so callers can switch strategies (or accept any via
+/// `Box<dyn Transform>`).
+///
+/// The `*_into` methods are the in-place, scratch-staged forms; every
+/// implementation overrides the defaults with its allocation-free path, so
+/// trait-object callers (like the SSA multiplier's engine) keep the
+/// zero-allocation property.
 pub trait Transform {
     /// The transform length.
     fn len(&self) -> usize;
@@ -26,6 +34,29 @@ pub trait Transform {
 
     /// Inverse transform including the `1/n` scaling.
     fn inverse(&self, input: &[Fp]) -> Vec<Fp>;
+
+    /// In-place forward transform staging through `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        let _ = scratch;
+        let out = self.forward(data);
+        data.copy_from_slice(&out);
+    }
+
+    /// In-place inverse transform (with the `1/n` scaling) staging through
+    /// `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        let _ = scratch;
+        let out = self.inverse(data);
+        data.copy_from_slice(&out);
+    }
 }
 
 impl Transform for Radix2Plan {
@@ -39,6 +70,14 @@ impl Transform for Radix2Plan {
 
     fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
         Radix2Plan::inverse(self, input)
+    }
+
+    fn forward_into(&self, data: &mut [Fp], _scratch: &mut NttScratch) {
+        Radix2Plan::forward_in_place(self, data).expect("length checked by caller");
+    }
+
+    fn inverse_into(&self, data: &mut [Fp], _scratch: &mut NttScratch) {
+        Radix2Plan::inverse_in_place(self, data).expect("length checked by caller");
     }
 }
 
@@ -54,6 +93,14 @@ impl Transform for MixedRadixPlan {
     fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
         MixedRadixPlan::inverse(self, input)
     }
+
+    fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        MixedRadixPlan::forward_into(self, data, scratch);
+    }
+
+    fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        MixedRadixPlan::inverse_into(self, data, scratch);
+    }
 }
 
 impl Transform for Ntt64k {
@@ -67,6 +114,36 @@ impl Transform for Ntt64k {
 
     fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
         Ntt64k::inverse(self, input)
+    }
+
+    fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        Ntt64k::forward_into(self, data, scratch);
+    }
+
+    fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        Ntt64k::inverse_into(self, data, scratch);
+    }
+}
+
+impl Transform for SixStepPlan {
+    fn len(&self) -> usize {
+        SixStepPlan::len(self)
+    }
+
+    fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        SixStepPlan::forward(self, input)
+    }
+
+    fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        SixStepPlan::inverse(self, input)
+    }
+
+    fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        SixStepPlan::forward_into(self, data, scratch);
+    }
+
+    fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        SixStepPlan::inverse_into(self, data, scratch);
     }
 }
 
@@ -136,7 +213,10 @@ mod tests {
             let n = 1usize << k;
             let radices = high_radix_factorization(n).unwrap_or_else(|| panic!("k = {k}"));
             assert_eq!(radices.iter().product::<usize>(), n, "k = {k}");
-            assert!(radices.iter().all(|r| [8, 16, 32, 64].contains(r)), "k = {k}");
+            assert!(
+                radices.iter().all(|r| [8, 16, 32, 64].contains(r)),
+                "k = {k}"
+            );
         }
         assert_eq!(high_radix_factorization(4), None);
         assert_eq!(high_radix_factorization(12), None);

@@ -19,6 +19,8 @@ use he_field::{roots, Fp};
 
 use crate::error::NttError;
 use crate::kernels::{self, Direction};
+use crate::par;
+use crate::scratch::NttScratch;
 
 /// The transform length of the paper's plan: 64K points.
 pub const N64K: usize = 65_536;
@@ -83,25 +85,51 @@ impl Ntt64k {
 
     /// Forward 64K-point transform (natural order in and out).
     ///
+    /// Thin allocating wrapper over [`Ntt64k::forward_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != 65536`.
     pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
-        self.transform(input, Direction::Forward)
+        let mut data = input.to_vec();
+        self.forward_into(&mut data, &mut NttScratch::new());
+        data
     }
 
     /// Inverse 64K-point transform including the `1/n` scaling.
+    ///
+    /// Thin allocating wrapper over [`Ntt64k::inverse_into`].
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != 65536`.
     pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
-        let mut out = self.transform(input, Direction::Inverse);
-        // 1/65536 = 2^{-16} = 2^{176} (mod p): the scaling is a shift.
-        for x in out.iter_mut() {
-            *x = x.mul_by_pow2(176);
-        }
-        out
+        let mut data = input.to_vec();
+        self.inverse_into(&mut data, &mut NttScratch::new());
+        data
+    }
+
+    /// In-place forward transform staging through `scratch`.
+    ///
+    /// Reusing the same scratch across calls makes repeated transforms
+    /// allocation-free; with the `parallel` feature the independent
+    /// sub-transforms of each stage fan out over the available cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 65536`.
+    pub fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        self.transform_into(data, scratch, Direction::Forward);
+    }
+
+    /// In-place inverse transform (including the `1/n` scaling) staging
+    /// through `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 65536`.
+    pub fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        self.transform_into(data, scratch, Direction::Inverse);
     }
 
     /// Fallible forward transform.
@@ -119,56 +147,82 @@ impl Ntt64k {
         Ok(self.forward(input))
     }
 
-    fn transform(&self, input: &[Fp], dir: Direction) -> Vec<Fp> {
-        assert_eq!(input.len(), N64K, "Ntt64k operates on 65536 points");
+    /// The three stages, ping-ponging between `data` and one scratch
+    /// buffer. Each stage writes **chunk-contiguous** task outputs (one
+    /// chunk per independent sub-transform), which is both the cache-local
+    /// layout and what lets [`par::for_each_chunk`] hand every task a
+    /// disjoint `&mut` slice:
+    ///
+    /// * stage 1 (`data → t`): chunk `m` holds the 64-point DFT over `n3`,
+    ///   `t[m·64 + kA]`;
+    /// * stage 2 (`t → data`): chunk `c = kA·16 + n1` holds the twiddled
+    ///   64-point DFT over `n2`, `data[c·64 + kB]`;
+    /// * stage 3 (`data → t`): chunk `k2' = kA + 64·kB` holds the twiddled
+    ///   16-point DFT over `n1`, `t[k2'·16 + kC]`;
+    /// * the final pass permutes back to natural order
+    ///   `data[k2' + 4096·kC]`, folding in the inverse `1/n` shift.
+    fn transform_into(&self, data: &mut [Fp], scratch: &mut NttScratch, dir: Direction) {
+        assert_eq!(data.len(), N64K, "Ntt64k operates on 65536 points");
+        // Every element of the staging buffer is written by stage 1, so its
+        // previous contents don't matter.
+        let mut t = scratch.take_any(N64K);
 
-        // Stage 1: 64-point DFTs over n3 (stride 1024), for each
-        // m = 16·n2 + n1. Result s1[kA·1024 + m].
-        let mut s1 = vec![Fp::ZERO; N64K];
-        let mut column = [Fp::ZERO; 64];
-        for m in 0..1024 {
+        // Stage 1: 64-point DFTs over n3 (stride 1024), one per
+        // m = 16·n2 + n1.
+        let input: &[Fp] = data;
+        par::for_each_chunk(&mut t, 64, |m, chunk| {
+            let mut column = [Fp::ZERO; 64];
             for (d, c) in column.iter_mut().enumerate() {
                 *c = input[1024 * d + m];
             }
-            let sub = kernels::ntt_small(&column, dir).expect("64 is supported");
-            for (ka, &v) in sub.iter().enumerate() {
-                s1[ka * 1024 + m] = v;
-            }
-        }
+            kernels::ntt_small_into(&column, chunk, dir).expect("64 is supported");
+        });
 
         // Twiddle 2 + Stage 2: for each (kA, n1), 64-point DFT over n2.
-        // Input element (kA, n2, n1) sits at s1[kA·1024 + 16·n2 + n1] and is
+        // Input element (kA, n2, n1) sits at t[(16·n2 + n1)·64 + kA] and is
         // twiddled by ω_4096^{kA·n2} = ω^{16·kA·n2}.
-        // Result s2[(kA + 64·kB)·16 + n1].
-        let mut s2 = vec![Fp::ZERO; N64K];
-        for ka in 0..64 {
-            for n1 in 0..16 {
-                for (n2, c) in column.iter_mut().enumerate().take(64) {
-                    let v = s1[ka * 1024 + 16 * n2 + n1];
-                    *c = v * self.tw(16 * ka * n2, dir);
-                }
-                let sub = kernels::ntt_small(&column, dir).expect("64 is supported");
-                for (kb, &v) in sub.iter().enumerate() {
-                    s2[(ka + 64 * kb) * 16 + n1] = v;
-                }
+        let s1: &[Fp] = &t;
+        par::for_each_chunk(data, 64, |c, chunk| {
+            let (ka, n1) = (c / 16, c % 16);
+            let mut column = [Fp::ZERO; 64];
+            for (n2, slot) in column.iter_mut().enumerate() {
+                let v = s1[(16 * n2 + n1) * 64 + ka];
+                *slot = v * self.tw(16 * ka * n2, dir);
             }
-        }
+            kernels::ntt_small_into(&column, chunk, dir).expect("64 is supported");
+        });
 
         // Twiddle 3 + Stage 3: for each k2' = kA + 64·kB, 16-point DFT over
-        // n1 with twiddle ω^{n1·k2'}. Output k = k2' + 4096·kC.
-        let mut out = vec![Fp::ZERO; N64K];
-        let mut col16 = [Fp::ZERO; 16];
-        for k2p in 0..4096 {
-            for (n1, c) in col16.iter_mut().enumerate() {
-                let v = s2[k2p * 16 + n1];
-                *c = v * self.tw(n1 * k2p, dir);
+        // n1 with twiddle ω^{n1·k2'}.
+        let s2: &[Fp] = data;
+        par::for_each_chunk(&mut t, 16, |k2p, chunk| {
+            let (ka, kb) = (k2p % 64, k2p / 64);
+            let mut column = [Fp::ZERO; 16];
+            for (n1, slot) in column.iter_mut().enumerate() {
+                let v = s2[(ka * 16 + n1) * 64 + kb];
+                *slot = v * self.tw(n1 * k2p, dir);
             }
-            let sub = kernels::ntt_small(&col16, dir).expect("16 is supported");
-            for (kc, &v) in sub.iter().enumerate() {
-                out[k2p + 4096 * kc] = v;
+            kernels::ntt_small_into(&column, chunk, dir).expect("16 is supported");
+        });
+
+        // Permute t[k2'·16 + kC] to the natural order data[k2' + 4096·kC];
+        // the inverse 1/65536 = 2^{176} (mod p) scaling is a shift, folded
+        // into the same pass.
+        let spectrum: &[Fp] = &t;
+        par::for_each_chunk(data, 4096, |kc, chunk| match dir {
+            Direction::Forward => {
+                for (k2p, slot) in chunk.iter_mut().enumerate() {
+                    *slot = spectrum[k2p * 16 + kc];
+                }
             }
-        }
-        out
+            Direction::Inverse => {
+                for (k2p, slot) in chunk.iter_mut().enumerate() {
+                    *slot = spectrum[k2p * 16 + kc].mul_by_pow2(176);
+                }
+            }
+        });
+
+        scratch.put(t);
     }
 
     /// Operation census for one forward transform, used by the performance
@@ -227,6 +281,36 @@ mod tests {
     }
 
     #[test]
+    fn into_matches_allocating_and_reuses_scratch() {
+        let plan = Ntt64k::new();
+        let v = sparse_input();
+        let expected = plan.forward(&v);
+        let mut scratch = NttScratch::new();
+        let mut data = v.clone();
+        // Two roundtrips through the same scratch: values must bit-match
+        // the allocating API every time.
+        for _ in 0..2 {
+            plan.forward_into(&mut data, &mut scratch);
+            assert_eq!(data, expected);
+            plan.inverse_into(&mut data, &mut scratch);
+            assert_eq!(data, v);
+        }
+        assert_eq!(scratch.pooled(), 1, "the staging buffer is returned");
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        // The parallel fan-out must be a pure scheduling change.
+        let plan = Ntt64k::new();
+        let v = sparse_input();
+        let expected = plan.forward(&v);
+        crate::par::set_threads(1);
+        let sequential = plan.forward(&v);
+        crate::par::set_threads(0);
+        assert_eq!(sequential, expected);
+    }
+
+    #[test]
     fn matches_generic_mixed_radix() {
         let plan = Ntt64k::new();
         let generic = MixedRadixPlan::paper_64k();
@@ -242,7 +326,11 @@ mod tests {
         let plan = Ntt64k::new();
         let v = sparse_input();
         let reference = plan.forward(&v);
-        for radices in [vec![32usize, 32, 8, 8], vec![16, 64, 64], vec![8, 8, 8, 8, 16]] {
+        for radices in [
+            vec![32usize, 32, 8, 8],
+            vec![16, 64, 64],
+            vec![8, 8, 8, 8, 16],
+        ] {
             let alt = MixedRadixPlan::new(&radices).unwrap();
             assert_eq!(alt.len(), N64K);
             assert_eq!(alt.forward(&v), reference, "radices {radices:?}");
@@ -254,7 +342,10 @@ mod tests {
         let plan = Ntt64k::new();
         assert!(matches!(
             plan.try_forward(&[Fp::ZERO; 4]),
-            Err(NttError::LengthMismatch { expected: N64K, actual: 4 })
+            Err(NttError::LengthMismatch {
+                expected: N64K,
+                actual: 4
+            })
         ));
     }
 

@@ -114,7 +114,8 @@ impl Radix2Plan {
     /// Panics if `input.len()` differs from the plan length.
     pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
         let mut data = input.to_vec();
-        self.forward_in_place(&mut data).expect("length checked by caller");
+        self.forward_in_place(&mut data)
+            .expect("length checked by caller");
         data
     }
 
@@ -125,7 +126,8 @@ impl Radix2Plan {
     /// Panics if `input.len()` differs from the plan length.
     pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
         let mut data = input.to_vec();
-        self.inverse_in_place(&mut data).expect("length checked by caller");
+        self.inverse_in_place(&mut data)
+            .expect("length checked by caller");
         data
     }
 
@@ -203,10 +205,22 @@ mod tests {
 
     #[test]
     fn rejects_bad_sizes() {
-        assert!(matches!(Radix2Plan::new(0), Err(NttError::UnsupportedSize { .. })));
-        assert!(matches!(Radix2Plan::new(1), Err(NttError::UnsupportedSize { .. })));
-        assert!(matches!(Radix2Plan::new(3), Err(NttError::UnsupportedSize { .. })));
-        assert!(matches!(Radix2Plan::new(48), Err(NttError::UnsupportedSize { .. })));
+        assert!(matches!(
+            Radix2Plan::new(0),
+            Err(NttError::UnsupportedSize { .. })
+        ));
+        assert!(matches!(
+            Radix2Plan::new(1),
+            Err(NttError::UnsupportedSize { .. })
+        ));
+        assert!(matches!(
+            Radix2Plan::new(3),
+            Err(NttError::UnsupportedSize { .. })
+        ));
+        assert!(matches!(
+            Radix2Plan::new(48),
+            Err(NttError::UnsupportedSize { .. })
+        ));
     }
 
     #[test]
@@ -220,7 +234,13 @@ mod tests {
         let plan = Radix2Plan::new(8).unwrap();
         let mut data = vec![Fp::ZERO; 4];
         let err = plan.forward_in_place(&mut data).unwrap_err();
-        assert_eq!(err, NttError::LengthMismatch { expected: 8, actual: 4 });
+        assert_eq!(
+            err,
+            NttError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            }
+        );
         assert!(err.to_string().contains("does not match"));
     }
 
@@ -242,7 +262,9 @@ mod tests {
     fn roundtrip_large() {
         let n = 1 << 14;
         let plan = Radix2Plan::new(n).unwrap();
-        let input: Vec<Fp> = (0..n as u64).map(|i| Fp::new(i.wrapping_mul(0x9e3779b9))).collect();
+        let input: Vec<Fp> = (0..n as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x9e3779b9)))
+            .collect();
         assert_eq!(plan.inverse(&plan.forward(&input)), input);
     }
 

@@ -38,7 +38,9 @@
 use he_field::{roots, Fp};
 
 use crate::error::NttError;
+use crate::par;
 use crate::radix2::Radix2Plan;
+use crate::scratch::NttScratch;
 
 /// A planned `N = N1·N2` six-step transform.
 #[derive(Debug, Clone)]
@@ -114,85 +116,130 @@ impl SixStepPlan {
 
     /// Forward transform (natural order in, natural order out).
     ///
+    /// Thin allocating wrapper over [`SixStepPlan::forward_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != self.len()`.
     pub fn forward(&self, input: &[Fp]) -> Vec<Fp> {
-        assert_eq!(input.len(), self.len(), "input length must be N1*N2");
-        // Input matrix A[n1][n2] = f[N2·n1 + n2] is row-major as given.
-        // Step 1: transpose to N2 × N1 so columns become contiguous rows.
-        let t = transpose(input, self.n1, self.n2);
-        // Step 2: N2 length-N1 transforms (over n1, producing digit k1).
-        let mut g = Vec::with_capacity(self.len());
-        for row in t.chunks_exact(self.n1) {
-            g.extend(self.col_plan.forward(row));
-        }
-        // Step 3: twiddle G[n2][k1] by ω^{n2·k1}, row by row.
-        for (n2, row) in g.chunks_exact_mut(self.n1).enumerate() {
-            let step = self.omega.pow(n2 as u64);
-            let mut w = Fp::ONE;
-            for value in row.iter_mut() {
-                *value = *value * w;
-                w = w * step;
-            }
-        }
-        // Step 4: transpose back to N1 × N2 (rows indexed by k1).
-        let u = transpose(&g, self.n2, self.n1);
-        // Step 5: N1 length-N2 transforms (over n2, producing digit k2).
-        let mut h = Vec::with_capacity(self.len());
-        for row in u.chunks_exact(self.n2) {
-            h.extend(self.row_plan.forward(row));
-        }
-        // Step 6: transpose so F[N1·k2 + k1] — k1 is the fast output digit.
-        transpose(&h, self.n1, self.n2)
+        let mut data = input.to_vec();
+        self.forward_into(&mut data, &mut NttScratch::new());
+        data
     }
 
     /// Inverse transform (exact inverse of [`SixStepPlan::forward`],
     /// including the `1/N` scaling).
     ///
+    /// Thin allocating wrapper over [`SixStepPlan::inverse_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != self.len()`.
     pub fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
-        assert_eq!(input.len(), self.len(), "input length must be N1*N2");
+        let mut data = input.to_vec();
+        self.inverse_into(&mut data, &mut NttScratch::new());
+        data
+    }
+
+    /// In-place forward transform staging through `scratch`; the
+    /// independent row transforms of steps 2 and 5 run multi-core with the
+    /// `parallel` feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        assert_eq!(data.len(), self.len(), "input length must be N1*N2");
+        let mut t = scratch.take_any(self.len());
+        // Input matrix A[n1][n2] = f[N2·n1 + n2] is row-major as given.
+        // Step 1: transpose to N2 × N1 so columns become contiguous rows.
+        transpose_into(data, &mut t, self.n1, self.n2);
+        // Step 2: N2 length-N1 transforms (over n1, producing digit k1),
+        // one independent in-place transform per row.
+        // Step 3: twiddle G[n2][k1] by ω^{n2·k1}, row by row.
+        par::for_each_chunk(&mut t, self.n1, |n2, row| {
+            self.col_plan
+                .forward_in_place(row)
+                .expect("row length matches the column plan");
+            let step = self.omega.pow(n2 as u64);
+            let mut w = Fp::ONE;
+            for value in row.iter_mut() {
+                *value *= w;
+                w *= step;
+            }
+        });
+        // Step 4: transpose back to N1 × N2 (rows indexed by k1).
+        transpose_into(&t, data, self.n2, self.n1);
+        // Step 5: N1 length-N2 transforms (over n2, producing digit k2).
+        par::for_each_chunk(data, self.n2, |_, row| {
+            self.row_plan
+                .forward_in_place(row)
+                .expect("row length matches the row plan");
+        });
+        // Step 6: transpose so F[N1·k2 + k1] — k1 is the fast output digit.
+        transpose_into(data, &mut t, self.n1, self.n2);
+        data.copy_from_slice(&t);
+        scratch.put(t);
+    }
+
+    /// In-place inverse transform (including the `1/N` scaling) staging
+    /// through `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        assert_eq!(data.len(), self.len(), "input length must be N1*N2");
+        let mut t = scratch.take_any(self.len());
         // Undo step 6: back to H[k1][k2].
-        let h = transpose(input, self.n2, self.n1);
+        transpose_into(data, &mut t, self.n2, self.n1);
         // Undo step 5: inverse length-N2 transforms (scales by 1/N2).
-        let mut u = Vec::with_capacity(self.len());
-        for row in h.chunks_exact(self.n2) {
-            u.extend(self.row_plan.inverse(row));
-        }
+        par::for_each_chunk(&mut t, self.n2, |_, row| {
+            self.row_plan
+                .inverse_in_place(row)
+                .expect("row length matches the row plan");
+        });
         // Undo step 4: to G[n2][k1].
-        let mut g = transpose(&u, self.n1, self.n2);
+        transpose_into(&t, data, self.n1, self.n2);
         // Undo step 3: inverse twiddles ω^{-n2·k1}.
-        for (n2, row) in g.chunks_exact_mut(self.n1).enumerate() {
+        // Undo step 2: inverse length-N1 transforms (scales by 1/N1).
+        par::for_each_chunk(data, self.n1, |n2, row| {
             let step = self.omega_inv.pow(n2 as u64);
             let mut w = Fp::ONE;
             for value in row.iter_mut() {
-                *value = *value * w;
-                w = w * step;
+                *value *= w;
+                w *= step;
             }
-        }
-        // Undo step 2: inverse length-N1 transforms (scales by 1/N1).
-        let mut t = Vec::with_capacity(self.len());
-        for row in g.chunks_exact(self.n1) {
-            t.extend(self.col_plan.inverse(row));
-        }
+            self.col_plan
+                .inverse_in_place(row)
+                .expect("row length matches the column plan");
+        });
         // Undo step 1.
-        transpose(&t, self.n2, self.n1)
+        transpose_into(data, &mut t, self.n2, self.n1);
+        data.copy_from_slice(&t);
+        scratch.put(t);
     }
 }
 
-/// Transposes a row-major `rows × cols` matrix.
+/// Transposes a row-major `rows × cols` matrix (test reference; the
+/// transform paths use [`transpose_into`] with pooled buffers).
+#[cfg(test)]
 fn transpose(src: &[Fp], rows: usize, cols: usize) -> Vec<Fp> {
-    debug_assert_eq!(src.len(), rows * cols);
     let mut dst = vec![Fp::ZERO; src.len()];
+    transpose_into(src, &mut dst, rows, cols);
+    dst
+}
+
+/// Transposes a row-major `rows × cols` matrix into `dst` (column-major,
+/// i.e. a row-major `cols × rows` matrix).
+fn transpose_into(src: &[Fp], dst: &mut [Fp], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), src.len());
     for r in 0..rows {
         for c in 0..cols {
             dst[c * rows + r] = src[r * cols + c];
         }
     }
-    dst
 }
 
 #[cfg(test)]
@@ -224,7 +271,11 @@ mod tests {
             let six = SixStepPlan::new(n1, n2).unwrap();
             let reference = Radix2Plan::new(n).unwrap();
             let input = ramp(n);
-            assert_eq!(six.forward(&input), reference.forward(&input), "({n1}, {n2})");
+            assert_eq!(
+                six.forward(&input),
+                reference.forward(&input),
+                "({n1}, {n2})"
+            );
         }
     }
 
@@ -274,6 +325,24 @@ mod tests {
     #[should_panic(expected = "input length must be N1*N2")]
     fn forward_checks_length() {
         SixStepPlan::new(4, 4).unwrap().forward(&ramp(15));
+    }
+
+    #[test]
+    fn into_matches_allocating_across_shapes() {
+        let mut scratch = NttScratch::new();
+        for (n1, n2) in [(4usize, 8usize), (16, 16), (64, 16), (256, 256)] {
+            let plan = SixStepPlan::new(n1, n2).unwrap();
+            let input = ramp(n1 * n2);
+            let expected = plan.forward(&input);
+            let mut data = input.clone();
+            // Reuse one scratch across shapes and repeated calls.
+            for _ in 0..2 {
+                plan.forward_into(&mut data, &mut scratch);
+                assert_eq!(data, expected, "({n1}, {n2})");
+                plan.inverse_into(&mut data, &mut scratch);
+                assert_eq!(data, input, "({n1}, {n2})");
+            }
+        }
     }
 
     #[test]

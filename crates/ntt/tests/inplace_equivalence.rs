@@ -1,0 +1,116 @@
+//! Property tests: the in-place/scratch APIs bit-match the allocating
+//! APIs, for every plan type, across repeated calls on one reused scratch.
+//!
+//! The scratch pool hands back buffers with unspecified contents
+//! (`take_any`), so reuse across calls — and across *plans*, which share
+//! the pool in the SSA stack — is exactly where stale-data bugs would
+//! hide. Every property here therefore runs each `_into` call twice on the
+//! same scratch and compares both rounds.
+
+use he_field::Fp;
+use he_ntt::{MixedRadixPlan, NegacyclicPlan, NttScratch, Radix2Plan, SixStepPlan, Transform};
+use proptest::prelude::*;
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<Fp>> {
+    proptest::collection::vec(any::<u64>().prop_map(Fp::new), n..=n)
+}
+
+/// Checks one plan's `forward_into`/`inverse_into` against
+/// `forward`/`inverse` with a shared, reused scratch.
+fn check_roundtrips<T: Transform>(plan: &T, input: &[Fp], scratch: &mut NttScratch) {
+    let expected_f = plan.forward(input);
+    let expected_b = plan.inverse(&expected_f);
+    let mut data = input.to_vec();
+    for round in 0..2 {
+        plan.forward_into(&mut data, scratch);
+        assert_eq!(data, expected_f, "forward round {round}");
+        plan.inverse_into(&mut data, scratch);
+        assert_eq!(data, expected_b, "inverse round {round}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn radix2_into_matches(v in arb_vec(128)) {
+        let plan = Radix2Plan::new(128).unwrap();
+        check_roundtrips(&plan, &v, &mut NttScratch::new());
+    }
+
+    #[test]
+    fn mixed_radix_into_matches(v in arb_vec(1024)) {
+        let plan = MixedRadixPlan::new(&[64, 16]).unwrap();
+        check_roundtrips(&plan, &v, &mut NttScratch::new());
+    }
+
+    #[test]
+    fn mixed_radix_non_pow2_into_matches(v in arb_vec(15)) {
+        let plan = MixedRadixPlan::new(&[3, 5]).unwrap();
+        check_roundtrips(&plan, &v, &mut NttScratch::new());
+    }
+
+    #[test]
+    fn sixstep_into_matches(v in arb_vec(512)) {
+        let plan = SixStepPlan::new(32, 16).unwrap();
+        check_roundtrips(&plan, &v, &mut NttScratch::new());
+    }
+
+    #[test]
+    fn negacyclic_into_matches(a in arb_vec(64), b in arb_vec(64)) {
+        let plan = NegacyclicPlan::new(64).unwrap();
+        let mut scratch = NttScratch::new();
+        // forward/inverse in place.
+        let expected_f = plan.forward(&a);
+        let mut data = a.clone();
+        plan.forward_into(&mut data);
+        prop_assert_eq!(&data, &expected_f);
+        plan.inverse_into(&mut data);
+        prop_assert_eq!(&data, &a);
+        // multiply_into with scratch reuse.
+        let expected = plan.multiply(&a, &b);
+        let mut out = vec![Fp::ZERO; 64];
+        for _ in 0..2 {
+            plan.multiply_into(&a, &b, &mut out, &mut scratch);
+            prop_assert_eq!(&out, &expected);
+        }
+    }
+
+    #[test]
+    fn one_scratch_serves_many_plans(v in arb_vec(1024)) {
+        // The SSA stack shares one pool across plan types; interleave them.
+        let mut scratch = NttScratch::new();
+        let mixed = MixedRadixPlan::new(&[64, 16]).unwrap();
+        let six = SixStepPlan::new(32, 32).unwrap();
+        let radix2 = Radix2Plan::new(1024).unwrap();
+        for _ in 0..2 {
+            check_roundtrips(&mixed, &v, &mut scratch);
+            check_roundtrips(&six, &v, &mut scratch);
+            check_roundtrips(&radix2, &v, &mut scratch);
+        }
+        // All three agree on the spectrum too (same canonical root).
+        prop_assert_eq!(mixed.forward(&v), radix2.forward(&v));
+        prop_assert_eq!(six.forward(&v), radix2.forward(&v));
+    }
+}
+
+/// The 64K plan is too large for many proptest cases; cover it with a few
+/// deterministic patterns plus one pseudorandom vector.
+#[test]
+fn ntt64k_into_matches_allocating() {
+    use he_ntt::{Ntt64k, N64K};
+    let plan = Ntt64k::new();
+    let mut scratch = NttScratch::new();
+    let mut patterns: Vec<Vec<Fp>> = Vec::new();
+    let mut impulse = vec![Fp::ZERO; N64K];
+    impulse[1] = Fp::new(7);
+    patterns.push(impulse);
+    patterns.push(
+        (0..N64K as u64)
+            .map(|i| Fp::new(i.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0xbeef))
+            .collect(),
+    );
+    for v in patterns {
+        check_roundtrips(&plan, &v, &mut scratch);
+    }
+}

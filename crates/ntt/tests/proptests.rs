@@ -117,9 +117,9 @@ fn ntt64k_matches_radix2_on_same_root() {
     let plan = Ntt64k::new();
     let radix2 = Radix2Plan::with_omega(N64K, roots::omega_64k()).unwrap();
     let mut v = vec![Fp::ZERO; N64K];
-    for i in 0..N64K {
+    for (i, slot) in v.iter_mut().enumerate() {
         if i % 97 == 0 {
-            v[i] = Fp::new((i as u64).wrapping_mul(0xdead_beef));
+            *slot = Fp::new((i as u64).wrapping_mul(0xdead_beef));
         }
     }
     assert_eq!(plan.forward(&v), radix2.forward(&v));

@@ -165,11 +165,7 @@ impl Add<&Poly> for &Poly {
 
     fn add(self, rhs: &Poly) -> Poly {
         let n = self.coeffs.len().max(rhs.coeffs.len());
-        Poly::from_coeffs(
-            (0..n)
-                .map(|i| self.coeff(i) + rhs.coeff(i))
-                .collect(),
-        )
+        Poly::from_coeffs((0..n).map(|i| self.coeff(i) + rhs.coeff(i)).collect())
     }
 }
 
@@ -192,11 +188,7 @@ impl Sub<&Poly> for &Poly {
 
     fn sub(self, rhs: &Poly) -> Poly {
         let n = self.coeffs.len().max(rhs.coeffs.len());
-        Poly::from_coeffs(
-            (0..n)
-                .map(|i| self.coeff(i) - rhs.coeff(i))
-                .collect(),
-        )
+        Poly::from_coeffs((0..n).map(|i| self.coeff(i) - rhs.coeff(i)).collect())
     }
 }
 
@@ -322,7 +314,10 @@ mod tests {
     #[test]
     fn scalar_multiplication() {
         let p = Poly::from_coeffs(vec![Fp::ONE, Fp::new(2)]);
-        assert_eq!(&p * Fp::new(3), Poly::from_coeffs(vec![Fp::new(3), Fp::new(6)]));
+        assert_eq!(
+            &p * Fp::new(3),
+            Poly::from_coeffs(vec![Fp::new(3), Fp::new(6)])
+        );
         assert_eq!(&p * Fp::ZERO, Poly::zero());
     }
 

@@ -93,7 +93,7 @@ impl RingContext {
         let mut coeffs = vec![Fp::ZERO; self.n];
         for (i, &c) in poly.coeffs().iter().enumerate() {
             let slot = i % self.n;
-            if (i / self.n) % 2 == 0 {
+            if (i / self.n).is_multiple_of(2) {
                 coeffs[slot] += c;
             } else {
                 coeffs[slot] -= c;
@@ -165,7 +165,12 @@ impl Eq for RingElement {}
 
 impl fmt::Debug for RingElement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "RingElement(n={}, {:?})", self.ctx.n, &self.coeffs[..self.coeffs.len().min(4)])
+        write!(
+            f,
+            "RingElement(n={}, {:?})",
+            self.ctx.n,
+            &self.coeffs[..self.coeffs.len().min(4)]
+        )
     }
 }
 

@@ -38,7 +38,7 @@ use he_field::Fp;
 use crate::error::SsaError;
 use crate::multiplier::SsaMultiplier;
 use crate::params::SsaParams;
-use crate::recompose::{decompose, recompose};
+use crate::recompose::{decompose_into, recompose_into};
 
 /// A big integer held in the transform (spectral) domain of a specific
 /// [`SsaMultiplier`] plan.
@@ -100,9 +100,14 @@ impl SsaMultiplier {
                 max_bits: params.max_operand_bits(),
             });
         }
-        let av = decompose(a, params.coeff_bits(), n);
+        // The spectrum is owned by the returned operand (one unavoidable
+        // allocation); the transform itself stages in the pooled scratch.
+        let mut spectrum = vec![Fp::ZERO; n];
+        decompose_into(a, params.coeff_bits(), &mut spectrum);
+        let pool = &mut *self.pool();
+        self.forward_points_in_place(&mut spectrum, &mut pool.ntt);
         Ok(TransformedOperand {
-            spectrum: self.forward_points(&av),
+            spectrum,
             coeff_count: ca,
             params,
         })
@@ -122,20 +127,41 @@ impl SsaMultiplier {
         a: &TransformedOperand,
         b: &TransformedOperand,
     ) -> Result<UBig, SsaError> {
+        let mut out = UBig::zero();
+        self.multiply_transformed_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SsaMultiplier::multiply_transformed`] into a caller-owned result —
+    /// allocation-free once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsaMultiplier::multiply_transformed`]; on error
+    /// `out` is left unchanged.
+    pub fn multiply_transformed_into(
+        &self,
+        a: &TransformedOperand,
+        b: &TransformedOperand,
+        out: &mut UBig,
+    ) -> Result<(), SsaError> {
         self.check_compatible(a)?;
         self.check_compatible(b)?;
         if a.is_zero() || b.is_zero() {
-            return Ok(UBig::zero());
+            out.assign_from_limbs(&[]);
+            return Ok(());
         }
         self.check_capacity(a.coeff_count, b.coeff_count)?;
-        let pointwise: Vec<Fp> = a
-            .spectrum
-            .iter()
-            .zip(&b.spectrum)
-            .map(|(&x, &y)| x * y)
-            .collect();
-        let cv = self.inverse_points(&pointwise);
-        Ok(recompose(&cv, self.params().coeff_bits()))
+        let pool = &mut *self.pool();
+        let mut cv = pool.ntt.take_any(a.spectrum.len());
+        cv.copy_from_slice(&a.spectrum);
+        for (x, &y) in cv.iter_mut().zip(&b.spectrum) {
+            *x *= y;
+        }
+        self.inverse_points_in_place(&mut cv, &mut pool.ntt);
+        recompose_into(&cv, self.params().coeff_bits(), &mut pool.limbs, out);
+        pool.ntt.put(cv);
+        Ok(())
     }
 
     /// Multiplies a cached spectrum by a fresh integer: one forward + one
@@ -144,28 +170,44 @@ impl SsaMultiplier {
     /// # Errors
     ///
     /// Same conditions as [`SsaMultiplier::multiply_transformed`].
-    pub fn multiply_one_cached(
+    pub fn multiply_one_cached(&self, a: &TransformedOperand, b: &UBig) -> Result<UBig, SsaError> {
+        let mut out = UBig::zero();
+        self.multiply_one_cached_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SsaMultiplier::multiply_one_cached`] into a caller-owned result —
+    /// allocation-free once the pool is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsaMultiplier::multiply_one_cached`]; on error
+    /// `out` is left unchanged.
+    pub fn multiply_one_cached_into(
         &self,
         a: &TransformedOperand,
         b: &UBig,
-    ) -> Result<UBig, SsaError> {
+        out: &mut UBig,
+    ) -> Result<(), SsaError> {
         self.check_compatible(a)?;
         if a.is_zero() || b.is_zero() {
-            return Ok(UBig::zero());
+            out.assign_from_limbs(&[]);
+            return Ok(());
         }
         let params = self.params();
         let cb = params.coeff_count(b.bit_len());
         self.check_capacity(a.coeff_count, cb)?;
-        let bv = decompose(b, params.coeff_bits(), params.n_points());
-        let fb = self.forward_points(&bv);
-        let pointwise: Vec<Fp> = a
-            .spectrum
-            .iter()
-            .zip(&fb)
-            .map(|(&x, &y)| x * y)
-            .collect();
-        let cv = self.inverse_points(&pointwise);
-        Ok(recompose(&cv, params.coeff_bits()))
+        let pool = &mut *self.pool();
+        let mut cv = pool.ntt.take_any(params.n_points());
+        decompose_into(b, params.coeff_bits(), &mut cv);
+        self.forward_points_in_place(&mut cv, &mut pool.ntt);
+        for (x, &y) in cv.iter_mut().zip(&a.spectrum) {
+            *x *= y;
+        }
+        self.inverse_points_in_place(&mut cv, &mut pool.ntt);
+        recompose_into(&cv, params.coeff_bits(), &mut pool.limbs, out);
+        pool.ntt.put(cv);
+        Ok(())
     }
 
     /// Squares a cached spectrum: pointwise squaring + one inverse
@@ -239,7 +281,10 @@ mod tests {
         let tx = ssa.transform(&x).unwrap();
         assert_eq!(ssa.multiply_transformed(&tz, &tx).unwrap(), UBig::zero());
         assert_eq!(ssa.multiply_one_cached(&tz, &x).unwrap(), UBig::zero());
-        assert_eq!(ssa.multiply_one_cached(&tx, &UBig::zero()).unwrap(), UBig::zero());
+        assert_eq!(
+            ssa.multiply_one_cached(&tx, &UBig::zero()).unwrap(),
+            UBig::zero()
+        );
     }
 
     #[test]
@@ -304,7 +349,10 @@ mod tests {
         let ssa = small();
         let a = UBig::random_bits(&mut rng, 128);
         let ta = ssa.transform(&a).unwrap();
-        assert_eq!(ssa.square_transformed(&ta).unwrap(), ssa.square(&a).unwrap());
+        assert_eq!(
+            ssa.square_transformed(&ta).unwrap(),
+            ssa.square(&a).unwrap()
+        );
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The Schönhage–Strassen multiplier.
 
+use std::sync::{Mutex, MutexGuard};
+
 use he_bigint::UBig;
 use he_field::Fp;
-use he_ntt::{convolution, Ntt64k, Radix2Plan, N64K};
+use he_ntt::{convolution, Ntt64k, NttScratch, Radix2Plan, N64K};
 
 use crate::error::SsaError;
 use crate::params::SsaParams;
-use crate::recompose::{decompose, recompose};
+use crate::recompose::{decompose_into, recompose_into};
 
 /// A planned Schönhage–Strassen multiplier.
 ///
@@ -15,6 +17,14 @@ use crate::recompose::{decompose, recompose};
 /// product, an inverse NTT, and carry recovery — exactly the dataflow of the
 /// paper's accelerator (three transforms + dot product + carry recovery,
 /// Section V).
+///
+/// The multiplier owns a pool of scratch buffers (mirroring the
+/// accelerator's fixed on-chip memories), so repeated products on one
+/// instance reuse the same storage: after a warm-up call,
+/// [`SsaMultiplier::multiply_into`] performs **zero heap allocations** per
+/// product, and [`SsaMultiplier::multiply`] allocates only the returned
+/// integer. The pool sits behind a mutex, so a shared `&SsaMultiplier`
+/// stays usable from several threads (calls serialize on the pool).
 ///
 /// ```
 /// use he_bigint::UBig;
@@ -26,12 +36,39 @@ use crate::recompose::{decompose, recompose};
 /// let a = UBig::random_bits(&mut rng, 10_000);
 /// let b = UBig::random_bits(&mut rng, 10_000);
 /// assert_eq!(ssa.multiply(&a, &b)?, a.mul_karatsuba(&b));
+///
+/// // The allocation-free form writes into a caller-owned integer.
+/// let mut out = UBig::zero();
+/// ssa.multiply_into(&a, &b, &mut out)?;
+/// assert_eq!(out, a.mul_karatsuba(&b));
 /// # Ok::<(), he_ssa::SsaError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SsaMultiplier {
     params: SsaParams,
     engine: Engine,
+    pool: Mutex<SsaScratch>,
+}
+
+impl Clone for SsaMultiplier {
+    fn clone(&self) -> SsaMultiplier {
+        // The plan is shared state worth cloning; the scratch pool is
+        // per-instance working memory and starts empty.
+        SsaMultiplier {
+            params: self.params,
+            engine: self.engine.clone(),
+            pool: Mutex::new(SsaScratch::default()),
+        }
+    }
+}
+
+/// Reusable working memory of one multiplier instance.
+#[derive(Debug, Default)]
+pub(crate) struct SsaScratch {
+    /// Coefficient and transform staging buffers.
+    pub(crate) ntt: NttScratch,
+    /// Carry-recovery accumulator limbs.
+    pub(crate) limbs: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -42,6 +79,26 @@ enum Engine {
     Radix2(Box<Radix2Plan>),
 }
 
+impl Engine {
+    fn forward_in_place(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        match self {
+            Engine::Paper64k(plan) => plan.forward_into(data, scratch),
+            Engine::Radix2(plan) => plan
+                .forward_in_place(data)
+                .expect("buffer sized to the plan"),
+        }
+    }
+
+    fn inverse_in_place(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        match self {
+            Engine::Paper64k(plan) => plan.inverse_into(data, scratch),
+            Engine::Radix2(plan) => plan
+                .inverse_in_place(data)
+                .expect("buffer sized to the plan"),
+        }
+    }
+}
+
 impl SsaMultiplier {
     /// A multiplier with the paper's parameters (`m = 24`, `N = 64K`,
     /// operands up to 786,432 bits) on the three-stage transform.
@@ -49,6 +106,7 @@ impl SsaMultiplier {
         SsaMultiplier {
             params: SsaParams::paper(),
             engine: Engine::Paper64k(Box::new(Ntt64k::new())),
+            pool: Mutex::new(SsaScratch::default()),
         }
     }
 
@@ -67,7 +125,11 @@ impl SsaMultiplier {
         } else {
             Engine::Radix2(Box::new(Radix2Plan::new(params.n_points())?))
         };
-        Ok(SsaMultiplier { params, engine })
+        Ok(SsaMultiplier {
+            params,
+            engine,
+            pool: Mutex::new(SsaScratch::default()),
+        })
     }
 
     /// A multiplier sized automatically for operands of `bits` bits.
@@ -86,14 +148,36 @@ impl SsaMultiplier {
 
     /// Multiplies two integers.
     ///
+    /// Thin wrapper over [`SsaMultiplier::multiply_into`]; the only heap
+    /// allocation (after pool warm-up) is the returned integer.
+    ///
     /// # Errors
     ///
     /// Returns [`SsaError::OperandTooLarge`] if the acyclic product would
     /// wrap around the cyclic transform, i.e. if
     /// `coeffs(a) + coeffs(b) − 1 > N`.
     pub fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, SsaError> {
+        let mut out = UBig::zero();
+        self.multiply_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// Multiplies two integers into a caller-owned result.
+    ///
+    /// The full pipeline — decomposition, two forward NTTs, the pointwise
+    /// product, the inverse NTT and carry recovery — runs in pooled
+    /// buffers; once the pool and `out` have grown to the working size the
+    /// call performs **zero heap allocations** (verified by the
+    /// counting-allocator test in `tests/alloc_counting.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsaMultiplier::multiply`]; on error `out` is
+    /// left unchanged.
+    pub fn multiply_into(&self, a: &UBig, b: &UBig, out: &mut UBig) -> Result<(), SsaError> {
         if a.is_zero() || b.is_zero() {
-            return Ok(UBig::zero());
+            out.assign_from_limbs(&[]);
+            return Ok(());
         }
         let n = self.params.n_points();
         let ca = self.params.coeff_count(a.bit_len());
@@ -105,22 +189,47 @@ impl SsaMultiplier {
             });
         }
         let m = self.params.coeff_bits();
-        let av = decompose(a, m, n);
-        let bv = decompose(b, m, n);
-        let cv = self.convolve(&av, &bv);
-        Ok(recompose(&cv, m))
+        let pool = &mut *self.pool();
+        let mut av = pool.ntt.take_any(n);
+        let mut bv = pool.ntt.take_any(n);
+        decompose_into(a, m, &mut av);
+        decompose_into(b, m, &mut bv);
+        self.engine.forward_in_place(&mut av, &mut pool.ntt);
+        self.engine.forward_in_place(&mut bv, &mut pool.ntt);
+        convolution::pointwise_assign(&mut av, &bv);
+        self.engine.inverse_in_place(&mut av, &mut pool.ntt);
+        recompose_into(&av, m, &mut pool.limbs, out);
+        pool.ntt.put(av);
+        pool.ntt.put(bv);
+        Ok(())
     }
 
     /// Squares an integer with only **two** transforms (one forward, one
     /// inverse) instead of three — the forward spectrum is shared by both
     /// operands.
     ///
+    /// Thin wrapper over [`SsaMultiplier::square_into`].
+    ///
     /// # Errors
     ///
     /// Returns [`SsaError::OperandTooLarge`] like [`SsaMultiplier::multiply`].
     pub fn square(&self, a: &UBig) -> Result<UBig, SsaError> {
+        let mut out = UBig::zero();
+        self.square_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// Squares an integer into a caller-owned result; allocation-free once
+    /// the pool is warm, like [`SsaMultiplier::multiply_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsaMultiplier::square`]; on error `out` is
+    /// left unchanged.
+    pub fn square_into(&self, a: &UBig, out: &mut UBig) -> Result<(), SsaError> {
         if a.is_zero() {
-            return Ok(UBig::zero());
+            out.assign_from_limbs(&[]);
+            return Ok(());
         }
         let n = self.params.n_points();
         let ca = self.params.coeff_count(a.bit_len());
@@ -131,51 +240,61 @@ impl SsaMultiplier {
             });
         }
         let m = self.params.coeff_bits();
-        let av = decompose(a, m, n);
-        let cv = match &self.engine {
-            Engine::Paper64k(plan) => {
-                let fa = plan.forward(&av);
-                let squared: Vec<Fp> = fa.iter().map(|&x| x * x).collect();
-                plan.inverse(&squared)
-            }
-            Engine::Radix2(plan) => {
-                let fa = plan.forward(&av);
-                let squared: Vec<Fp> = fa.iter().map(|&x| x * x).collect();
-                plan.inverse(&squared)
-            }
-        };
-        Ok(recompose(&cv, m))
+        let pool = &mut *self.pool();
+        let mut av = pool.ntt.take_any(n);
+        decompose_into(a, m, &mut av);
+        self.engine.forward_in_place(&mut av, &mut pool.ntt);
+        for x in av.iter_mut() {
+            *x = *x * *x;
+        }
+        self.engine.inverse_in_place(&mut av, &mut pool.ntt);
+        recompose_into(&av, m, &mut pool.limbs, out);
+        pool.ntt.put(av);
+        Ok(())
     }
 
-    /// Forward transform of one coefficient vector (used by the
+    /// The multiplier's scratch pool (shared with [`crate::cached`]).
+    pub(crate) fn pool(&self) -> MutexGuard<'_, SsaScratch> {
+        self.pool.lock().expect("scratch pool poisoned")
+    }
+
+    /// In-place forward transform on the engine's plan (used by the
     /// transform-caching API in [`crate::cached`]).
-    pub(crate) fn forward_points(&self, a: &[Fp]) -> Vec<Fp> {
-        match &self.engine {
-            Engine::Paper64k(plan) => plan.forward(a),
-            Engine::Radix2(plan) => plan.forward(a),
-        }
+    pub(crate) fn forward_points_in_place(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        self.engine.forward_in_place(data, scratch);
     }
 
-    /// Inverse transform of one spectrum (used by the transform-caching API
-    /// in [`crate::cached`]).
-    pub(crate) fn inverse_points(&self, a: &[Fp]) -> Vec<Fp> {
-        match &self.engine {
-            Engine::Paper64k(plan) => plan.inverse(a),
-            Engine::Radix2(plan) => plan.inverse(a),
-        }
+    /// In-place inverse transform on the engine's plan (used by the
+    /// transform-caching API in [`crate::cached`]).
+    pub(crate) fn inverse_points_in_place(&self, data: &mut [Fp], scratch: &mut NttScratch) {
+        self.engine.inverse_in_place(data, scratch);
     }
 
     /// The three NTTs + pointwise product, exposed for the hardware
     /// simulator to cross-check stage by stage.
+    ///
+    /// Thin wrapper over [`SsaMultiplier::convolve_into`].
     pub fn convolve(&self, a: &[Fp], b: &[Fp]) -> Vec<Fp> {
-        match &self.engine {
-            Engine::Paper64k(plan) => convolution::cyclic_convolve_64k(plan, a, b),
-            Engine::Radix2(plan) => {
-                let fa = plan.forward(a);
-                let fb = plan.forward(b);
-                plan.inverse(&convolution::pointwise(&fa, &fb))
-            }
-        }
+        let mut out = a.to_vec();
+        self.convolve_into(&mut out, b);
+        out
+    }
+
+    /// Cyclic convolution `a ← a ⊛ b` in the engine's plan, staged in the
+    /// multiplier's pooled buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths differ from the plan length.
+    pub fn convolve_into(&self, a: &mut [Fp], b: &[Fp]) {
+        let pool = &mut *self.pool();
+        self.engine.forward_in_place(a, &mut pool.ntt);
+        let mut fb = pool.ntt.take_any(b.len());
+        fb.copy_from_slice(b);
+        self.engine.forward_in_place(&mut fb, &mut pool.ntt);
+        convolution::pointwise_assign(a, &fb);
+        pool.ntt.put(fb);
+        self.engine.inverse_in_place(a, &mut pool.ntt);
     }
 }
 
@@ -254,7 +373,11 @@ mod tests {
             let ssa = SsaMultiplier::for_operand_bits(bits).unwrap();
             let a = UBig::random_bits(&mut rng, bits);
             let b = UBig::random_bits(&mut rng, bits);
-            assert_eq!(ssa.multiply(&a, &b).unwrap(), a.mul_karatsuba(&b), "bits = {bits}");
+            assert_eq!(
+                ssa.multiply(&a, &b).unwrap(),
+                a.mul_karatsuba(&b),
+                "bits = {bits}"
+            );
         }
     }
 

@@ -31,7 +31,7 @@ impl SsaParams {
                 reason: format!("coefficient width {coeff_bits} outside 1..=30"),
             });
         }
-        if !n_points.is_power_of_two() || n_points < 4 || n_points > 1 << 26 {
+        if !n_points.is_power_of_two() || !(4..=1 << 26).contains(&n_points) {
             return Err(SsaError::InvalidParams {
                 reason: format!("transform length {n_points} must be a power of two in [4, 2^26]"),
             });
@@ -156,7 +156,10 @@ mod tests {
     fn auto_selection_covers_paper_size() {
         let p = SsaParams::for_operand_bits(PAPER_OPERAND_BITS).unwrap();
         assert!(p.max_operand_bits() >= PAPER_OPERAND_BITS);
-        assert!(p.n_points() <= 65_536, "should not need more than 64K points");
+        assert!(
+            p.n_points() <= 65_536,
+            "should not need more than 64K points"
+        );
     }
 
     #[test]

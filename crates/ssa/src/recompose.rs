@@ -17,18 +17,34 @@ use he_field::Fp;
 /// Panics if `x` needs more than `n_points` coefficients or if
 /// `m` is outside `1..=63`.
 pub fn decompose(x: &UBig, coeff_bits: u32, n_points: usize) -> Vec<Fp> {
+    let mut out = vec![Fp::ZERO; n_points];
+    decompose_into(x, coeff_bits, &mut out);
+    out
+}
+
+/// [`decompose`] into a caller-provided buffer of `n_points` elements
+/// (allocation-free; the buffer is fully overwritten).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`decompose`], with `out.len()`
+/// playing the role of `n_points`.
+pub fn decompose_into(x: &UBig, coeff_bits: u32, out: &mut [Fp]) {
     assert!((1..=63).contains(&coeff_bits));
     let m = coeff_bits as usize;
     let count = x.bit_len().div_ceil(m);
     assert!(
-        count <= n_points,
-        "operand needs {count} coefficients but the transform has {n_points} points"
+        count <= out.len(),
+        "operand needs {count} coefficients but the transform has {} points",
+        out.len()
     );
-    let mut out = vec![Fp::ZERO; n_points];
-    for (i, slot) in out.iter_mut().enumerate().take(count) {
-        *slot = Fp::new(x.bits_at(i * m, coeff_bits));
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = if i < count {
+            Fp::new(x.bits_at(i * m, coeff_bits))
+        } else {
+            Fp::ZERO
+        };
     }
-    out
 }
 
 /// Carry recovery: computes `Σ_i coeffs[i] · 2^{m·i}` over the integers.
@@ -38,19 +54,29 @@ pub fn decompose(x: &UBig, coeff_bits: u32, n_points: usize) -> Vec<Fp> {
 /// overlap and carries ripple — this is why the hardware needs a dedicated
 /// adder structure rather than simple concatenation.
 pub fn recompose(coeffs: &[Fp], coeff_bits: u32) -> UBig {
+    let mut out = UBig::zero();
+    recompose_into(coeffs, coeff_bits, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`recompose`] into a caller-provided result, staging the carry
+/// accumulator in `acc` — allocation-free once both the accumulator and
+/// the result's limb buffer have grown to the working size.
+pub fn recompose_into(coeffs: &[Fp], coeff_bits: u32, acc: &mut Vec<u64>, out: &mut UBig) {
     assert!((1..=63).contains(&coeff_bits));
     let m = coeff_bits as usize;
     let total_bits = coeffs.len() * m + 128;
-    let mut acc = vec![0u64; total_bits.div_ceil(64) + 1];
+    acc.clear();
+    acc.resize(total_bits.div_ceil(64) + 1, 0);
     for (i, &c) in coeffs.iter().enumerate() {
         let v = c.as_u64();
         if v == 0 {
             continue;
         }
         let bit_pos = i * m;
-        add_shifted(&mut acc, v, bit_pos);
+        add_shifted(acc, v, bit_pos);
     }
-    UBig::from_limbs(acc)
+    out.assign_from_limbs(acc);
 }
 
 /// Adds `value << bit_pos` into the little-endian accumulator with carry
@@ -87,7 +113,11 @@ mod tests {
     #[test]
     fn decompose_roundtrips_via_recompose() {
         let mut rng = StdRng::seed_from_u64(11);
-        for (bits, m, n) in [(100usize, 24u32, 8usize), (1000, 24, 64), (786_432, 24, 65_536)] {
+        for (bits, m, n) in [
+            (100usize, 24u32, 8usize),
+            (1000, 24, 64),
+            (786_432, 24, 65_536),
+        ] {
             let x = UBig::random_bits(&mut rng, bits);
             let coeffs = decompose(&x, m, n);
             assert_eq!(recompose(&coeffs, m), x, "bits={bits} m={m} n={n}");

@@ -31,7 +31,11 @@ fn powers_of_two() {
         for sb in [0usize, 24, 100, 999] {
             let a = UBig::pow2(sa);
             let b = UBig::pow2(sb);
-            assert_eq!(m.multiply(&a, &b).unwrap(), UBig::pow2(sa + sb), "{sa}+{sb}");
+            assert_eq!(
+                m.multiply(&a, &b).unwrap(),
+                UBig::pow2(sa + sb),
+                "{sa}+{sb}"
+            );
         }
     }
 }
@@ -43,8 +47,14 @@ fn power_of_two_neighbors() {
     for k in [24usize, 48, 96, 960] {
         let plus = &UBig::pow2(k) + &UBig::one();
         let minus = &UBig::pow2(k) - &UBig::one();
-        assert_eq!(m.multiply(&plus, &minus).unwrap(), &UBig::pow2(2 * k) - &UBig::one());
-        assert_eq!(m.multiply(&plus, &plus).unwrap(), plus.mul_schoolbook(&plus));
+        assert_eq!(
+            m.multiply(&plus, &minus).unwrap(),
+            &UBig::pow2(2 * k) - &UBig::one()
+        );
+        assert_eq!(
+            m.multiply(&plus, &plus).unwrap(),
+            plus.mul_schoolbook(&plus)
+        );
     }
 }
 
@@ -88,7 +98,7 @@ fn capacity_boundary_asymmetric() {
     let n = 4096;
     let a = &UBig::pow2(24 * (n - 1)) - &UBig::one(); // n−1 coefficients
     let b = &UBig::pow2(24) - &UBig::one(); // 1 coefficient
-    // (n−1) + 1 − 1 = n−1 ≤ n: fits.
+                                            // (n−1) + 1 − 1 = n−1 ≤ n: fits.
     assert_eq!(m.multiply(&a, &b).unwrap(), a.mul_karatsuba(&b));
     // Push a to n coefficients: n + 1 − 1 = n: still fits.
     let a = &UBig::pow2(24 * n) - &UBig::one();

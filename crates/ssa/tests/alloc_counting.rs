@@ -1,0 +1,149 @@
+//! Counting-allocator proof of the zero-allocation multiply path.
+//!
+//! The acceptance bar for the in-place pipeline: after warm-up,
+//! `SsaMultiplier::multiply_into` (and the cached `_into` forms) touch the
+//! heap **zero** times per product. A wrapping global allocator counts
+//! every `alloc`/`realloc`; the test pins the transforms to one thread
+//! (`he_ntt::par::set_threads(1)`) because the multi-core fan-out's thread
+//! spawns are the one part of the parallel path that allocates (the
+//! buffers never do).
+//!
+//! This file is its own integration-test binary so the allocator override
+//! and the env var cannot leak into other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use he_bigint::UBig;
+use he_ssa::{SsaMultiplier, SsaParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter has no
+// safety impact.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The counter is process-global, so tests must not overlap: each takes
+/// this lock for its whole body.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn multiply_into_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Sequential transforms: thread spawning is the only allocating part
+    // of the parallel path, and this test pins it off.
+    he_ntt::par::set_threads(1);
+
+    let mut rng = StdRng::seed_from_u64(0xA110C);
+    let ssa = SsaMultiplier::with_params(SsaParams::new(16, 1 << 10).unwrap()).unwrap();
+    let a = UBig::random_bits(&mut rng, 4000);
+    let b = UBig::random_bits(&mut rng, 4000);
+    let expected = a.mul_karatsuba(&b);
+
+    // Warm-up: grows the scratch pool and the result's limb buffer.
+    let mut out = UBig::zero();
+    ssa.multiply_into(&a, &b, &mut out).unwrap();
+    ssa.multiply_into(&a, &b, &mut out).unwrap();
+    assert_eq!(out, expected);
+
+    let before = allocations();
+    for _ in 0..5 {
+        ssa.multiply_into(&a, &b, &mut out).unwrap();
+    }
+    let delta = allocations() - before;
+    assert_eq!(out, expected);
+    assert_eq!(
+        delta, 0,
+        "multiply_into allocated {delta} times in 5 warm calls"
+    );
+}
+
+#[test]
+fn square_and_cached_paths_are_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    he_ntt::par::set_threads(1);
+
+    let mut rng = StdRng::seed_from_u64(0xA110D);
+    let ssa = SsaMultiplier::with_params(SsaParams::new(16, 1 << 10).unwrap()).unwrap();
+    let a = UBig::random_bits(&mut rng, 4000);
+    let b = UBig::random_bits(&mut rng, 4000);
+    let ta = ssa.transform(&a).unwrap();
+    let tb = ssa.transform(&b).unwrap();
+
+    let mut sq = UBig::zero();
+    let mut cached_both = UBig::zero();
+    let mut cached_one = UBig::zero();
+    // Warm-up.
+    ssa.square_into(&a, &mut sq).unwrap();
+    ssa.multiply_transformed_into(&ta, &tb, &mut cached_both)
+        .unwrap();
+    ssa.multiply_one_cached_into(&ta, &b, &mut cached_one)
+        .unwrap();
+
+    let before = allocations();
+    for _ in 0..3 {
+        ssa.square_into(&a, &mut sq).unwrap();
+        ssa.multiply_transformed_into(&ta, &tb, &mut cached_both)
+            .unwrap();
+        ssa.multiply_one_cached_into(&ta, &b, &mut cached_one)
+            .unwrap();
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "cached/square paths allocated {delta} times warm");
+
+    let expected = a.mul_karatsuba(&b);
+    assert_eq!(sq, a.mul_karatsuba(&a));
+    assert_eq!(cached_both, expected);
+    assert_eq!(cached_one, expected);
+}
+
+#[test]
+fn paper_plan_multiply_into_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The full three-stage 64K plan, exercised at a modest operand size so
+    // the test stays fast; the buffers are still full 64K-point vectors.
+    he_ntt::par::set_threads(1);
+
+    let mut rng = StdRng::seed_from_u64(0xA110E);
+    let ssa = SsaMultiplier::paper();
+    let a = UBig::random_bits(&mut rng, 100_000);
+    let b = UBig::random_bits(&mut rng, 100_000);
+
+    let mut out = UBig::zero();
+    ssa.multiply_into(&a, &b, &mut out).unwrap();
+    ssa.multiply_into(&a, &b, &mut out).unwrap();
+
+    let before = allocations();
+    ssa.multiply_into(&a, &b, &mut out).unwrap();
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "64K-plan multiply_into allocated {delta} times warm"
+    );
+    assert_eq!(out, a.mul_karatsuba(&b));
+}

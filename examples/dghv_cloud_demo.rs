@@ -74,7 +74,10 @@ fn main() -> Result<(), DghvError> {
     let expected =
         (ballots[0] & ballots[1]) ^ (ballots[0] & ballots[2]) ^ (ballots[1] & ballots[2]);
     println!("key holder: decrypted majority = {result}");
-    assert_eq!(result, expected, "homomorphic tally disagrees with plaintext");
+    assert_eq!(
+        result, expected,
+        "homomorphic tally disagrees with plaintext"
+    );
     println!("matches the plaintext majority ({expected}) — the cloud never saw a vote.");
 
     // Part 2: a sealed-bid auction on 4-bit encrypted amounts.

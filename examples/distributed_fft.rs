@@ -40,10 +40,19 @@ fn main() -> Result<(), he_accel::hwsim::HwSimError> {
     println!("\nmeasured run:");
     for phase in &report.phases {
         match phase {
-            PhaseReport::Compute { label, radix, ffts_per_pe, cycles } => println!(
-                "  {label}: {ffts_per_pe} radix-{radix} FFTs per PE, {cycles} cycles"
-            ),
-            PhaseReport::Exchange { label, dimension, words_per_pe, cycles, overlapped } => {
+            PhaseReport::Compute {
+                label,
+                radix,
+                ffts_per_pe,
+                cycles,
+            } => println!("  {label}: {ffts_per_pe} radix-{radix} FFTs per PE, {cycles} cycles"),
+            PhaseReport::Exchange {
+                label,
+                dimension,
+                words_per_pe,
+                cycles,
+                overlapped,
+            } => {
                 println!(
                     "  {label}: dim-{dimension} exchange, {words_per_pe} words/PE, {cycles} cycles ({})",
                     if *overlapped { "fully overlapped" } else { "EXPOSED" }
@@ -59,7 +68,10 @@ fn main() -> Result<(), he_accel::hwsim::HwSimError> {
 
     // Cross-check against the single-node reference plan.
     let reference = Ntt64k::new().forward(&input);
-    assert_eq!(out, reference, "distributed result must match the reference");
+    assert_eq!(
+        out, reference,
+        "distributed result must match the reference"
+    );
     println!("\ndistributed result verified against the single-node 64K plan.");
 
     // And the threaded execution (real PEs exchanging over channels).

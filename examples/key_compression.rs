@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --release -p he-accel --example key_compression`
 
-use he_accel::dghv::{
-    CompressedKeyPair, DghvError, DghvParams, KaratsubaBackend, ModulusLadder,
-};
+use he_accel::dghv::{CompressedKeyPair, DghvError, DghvParams, KaratsubaBackend, ModulusLadder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,7 +64,10 @@ fn main() -> Result<(), DghvError> {
     for level in 0..ladder.num_rungs() {
         let small = ladder.compress(&result, level);
         assert!(keys.secret().decrypt(&small)); // 1 AND 1
-        println!("  rung {level}                 {:>8} bits (still decrypts)", small.bit_len());
+        println!(
+            "  rung {level}                 {:>8} bits (still decrypts)",
+            small.bit_len()
+        );
     }
 
     // At the paper's scale the ratio approaches gamma/eta ~ 500x.

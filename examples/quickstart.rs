@@ -34,7 +34,10 @@ fn main() -> Result<(), MultiplyError> {
 
     assert_eq!(karatsuba, toom, "toom-3 disagrees");
     assert_eq!(karatsuba, ssa_product, "SSA disagrees");
-    println!("all software backends agree ({} product bits)", karatsuba.bit_len());
+    println!(
+        "all software backends agree ({} product bits)",
+        karatsuba.bit_len()
+    );
 
     println!("\nsimulating the FPGA accelerator (4 PEs @ 200 MHz)…");
     let hw = HardwareSim::paper();

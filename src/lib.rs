@@ -1,0 +1,10 @@
+//! `he-repro` — the workspace-level integration package.
+//!
+//! This crate exists to host the end-to-end tests in `tests/` and the
+//! runnable walkthroughs in `examples/`; the actual implementation lives
+//! in the `crates/` members. It re-exports [`he_accel`] so the examples'
+//! imports also work from this package's documentation.
+
+#![forbid(unsafe_code)]
+
+pub use he_accel;

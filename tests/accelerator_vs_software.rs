@@ -71,7 +71,9 @@ fn dghv_homomorphic_and_on_the_accelerator() {
     struct AcceleratorBackend(HardwareSim);
     impl CiphertextMultiplier for AcceleratorBackend {
         fn multiply(&self, a: &UBig, b: &UBig) -> UBig {
-            self.0.multiply(a, b).expect("ciphertexts fit the accelerator")
+            self.0
+                .multiply(a, b)
+                .expect("ciphertexts fit the accelerator")
         }
         fn name(&self) -> &'static str {
             "accelerator-sim"

@@ -40,7 +40,7 @@ fn toy_params_with_ssa_backend() {
     let cb = keys.public().encrypt(true, &mut rng);
     assert!(ca.bit_len() <= params.gamma as usize);
     let product = keys.public().mul(&backend, &ca, &cb).unwrap();
-    assert_eq!(keys.secret().decrypt(&product), true);
+    assert!(keys.secret().decrypt(&product));
     let (_, actual_noise) = keys.secret().decrypt_with_noise(&product);
     assert!(actual_noise <= product.noise_bits());
 }
@@ -63,7 +63,7 @@ fn paper_scale_symmetric_ciphertexts() {
     let ca = sk.encrypt_symmetric(true, &mut rng);
     let cb = sk.encrypt_symmetric(true, &mut rng);
     let product = keys.public().mul(&backend, &ca, &cb).unwrap();
-    assert_eq!(sk.decrypt(&product), true);
+    assert!(sk.decrypt(&product));
 }
 
 #[test]
@@ -82,7 +82,10 @@ fn noise_estimates_remain_sound_through_a_deep_circuit() {
         plain &= true;
         let (decrypted, actual) = keys.secret().decrypt_with_noise(&acc);
         assert_eq!(decrypted, plain, "round {round}");
-        assert!(actual <= acc.noise_bits(), "round {round}: estimate unsound");
+        assert!(
+            actual <= acc.noise_bits(),
+            "round {round}: estimate unsound"
+        );
     }
 }
 

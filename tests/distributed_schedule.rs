@@ -73,7 +73,10 @@ fn exchanges_move_exactly_half_the_local_points() {
 fn paper_link_width_fully_overlaps_communication() {
     let (_, phases) = run_report(4);
     for phase in &phases {
-        if let PhaseReport::Exchange { overlapped, cycles, .. } = phase {
+        if let PhaseReport::Exchange {
+            overlapped, cycles, ..
+        } = phase
+        {
             assert!(*overlapped);
             assert_eq!(*cycles, 1024); // 8192 words at 8 words/cycle
         }
@@ -89,7 +92,10 @@ fn narrow_links_are_detected_as_exposed() {
     let input = vec![Fp::ONE; N64K];
     let (_, report) = dist.forward(&input);
     for phase in &report.phases {
-        if let PhaseReport::Exchange { overlapped, cycles, .. } = phase {
+        if let PhaseReport::Exchange {
+            overlapped, cycles, ..
+        } = phase
+        {
             // 8192 words at 2 words/cycle = 4096 cycles > 2048 compute.
             assert_eq!(*cycles, 4096);
             assert!(!*overlapped);
@@ -106,15 +112,31 @@ fn planned_schedule_matches_measured_schedule() {
     for (p, m) in planned.iter().zip(&measured) {
         match (p, m) {
             (
-                SchedulePhase::Compute { radix: pr, ffts_per_pe: pf, .. },
-                PhaseReport::Compute { radix: mr, ffts_per_pe: mf, .. },
+                SchedulePhase::Compute {
+                    radix: pr,
+                    ffts_per_pe: pf,
+                    ..
+                },
+                PhaseReport::Compute {
+                    radix: mr,
+                    ffts_per_pe: mf,
+                    ..
+                },
             ) => {
                 assert_eq!(pr, mr);
                 assert_eq!(pf, mf);
             }
             (
-                SchedulePhase::Exchange { dimension: pd, words_per_pe: pw, .. },
-                PhaseReport::Exchange { dimension: md, words_per_pe: mw, .. },
+                SchedulePhase::Exchange {
+                    dimension: pd,
+                    words_per_pe: pw,
+                    ..
+                },
+                PhaseReport::Exchange {
+                    dimension: md,
+                    words_per_pe: mw,
+                    ..
+                },
             ) => {
                 assert_eq!(pd, md);
                 assert_eq!(pw, mw);
@@ -146,7 +168,10 @@ fn cyclone_prototype_exposes_communication() {
     let (_, paper_report) = paper.forward(&input);
     let proto_us = report.total_cycles() as f64 * proto.clock_period_ns() / 1000.0;
     assert!(report.total_cycles() > paper_report.total_cycles());
-    assert!(proto_us > 4.0 * 30.72, "prototype should be several times slower");
+    assert!(
+        proto_us > 4.0 * 30.72,
+        "prototype should be several times slower"
+    );
 }
 
 #[test]

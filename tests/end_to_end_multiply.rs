@@ -14,7 +14,11 @@ fn paper_scale_all_software_backends_agree() {
     let b = UBig::random_bits(&mut rng, bits);
 
     let reference = Karatsuba.multiply(&a, &b).unwrap();
-    assert_eq!(reference.bit_len(), 2 * bits, "product of two top-bit-set operands");
+    assert_eq!(
+        reference.bit_len(),
+        2 * bits,
+        "product of two top-bit-set operands"
+    );
     assert_eq!(Toom3.multiply(&a, &b).unwrap(), reference);
     assert_eq!(SsaSoftware::paper().multiply(&a, &b).unwrap(), reference);
 }

@@ -45,7 +45,10 @@ fn caching_model_matches_software_transform_counts() {
     // one T_FFT from the model — mirroring the software API, which removes
     // exactly one forward transform.
     let model = PerfModel::new(AcceleratorConfig::paper());
-    assert_eq!(model.cached_multiplication_cycles(2), model.multiplication_cycles());
+    assert_eq!(
+        model.cached_multiplication_cycles(2),
+        model.multiplication_cycles()
+    );
     for fresh in [0u64, 1] {
         assert_eq!(
             model.multiplication_cycles() - model.cached_multiplication_cycles(fresh),

@@ -34,7 +34,10 @@ fn t_mult_total() {
     // 3 FFTs + dot product + ~20 µs carry recovery ≈ 122 µs.
     let model = PerfModel::new(AcceleratorConfig::paper());
     assert!((model.multiplication_us() - 122.4).abs() < 1e-9);
-    assert!((model.multiplication_us() - 122.0).abs() < 1.0, "paper rounds to 122");
+    assert!(
+        (model.multiplication_us() - 122.0).abs() < 1.0,
+        "paper rounds to 122"
+    );
 }
 
 // --- Table II ----------------------------------------------------------------
@@ -43,7 +46,10 @@ fn t_mult_total() {
 fn table2_speedups_reproduce() {
     let table = Table2::from_model(AcceleratorConfig::paper());
     let s28 = table.multiplication_speedup(&WANG_HUANG_FPGA_28).unwrap();
-    assert!((s28 - 3.32).abs() < 0.02, "paper: [28] is 3.32X slower; got {s28:.3}");
+    assert!(
+        (s28 - 3.32).abs() < 0.02,
+        "paper: [28] is 3.32X slower; got {s28:.3}"
+    );
     assert!(
         table.min_multiplication_speedup() >= 1.65,
         "paper: all others at least 1.69X slower (with its own rounding)"
@@ -64,7 +70,11 @@ fn table1_reproduces_within_tolerance() {
     let t = Table1::from_model(&AcceleratorConfig::paper());
     let close = |got: u64, paper: u64, tol: f64, what: &str| {
         let rel = (got as f64 - paper as f64).abs() / paper as f64;
-        assert!(rel <= tol, "{what}: model {got} vs paper {paper} ({:.1}% off)", rel * 100.0);
+        assert!(
+            rel <= tol,
+            "{what}: model {got} vs paper {paper} ({:.1}% off)",
+            rel * 100.0
+        );
     };
     close(t.proposed.alms, 104_000, 0.15, "proposed ALMs");
     close(t.proposed.registers, 116_000, 0.15, "proposed registers");
@@ -79,7 +89,10 @@ fn table1_reproduces_within_tolerance() {
 fn table1_saving_claim() {
     let t = Table1::from_model(&AcceleratorConfig::paper());
     let saving = t.average_saving_pct();
-    assert!((50.0..=70.0).contains(&saving), "~60% claimed, got {saving:.1}%");
+    assert!(
+        (50.0..=70.0).contains(&saving),
+        "~60% claimed, got {saving:.1}%"
+    );
 }
 
 // --- Figs. 3/4: the unit-level optimization --------------------------------
@@ -136,7 +149,10 @@ fn streaming_throughput_is_fft_bound() {
         report.steady_interval_cycles(),
         Some(model.pipelined_multiplication_cycles())
     );
-    assert_eq!(model.pipelined_multiplication_cycles(), 3 * model.fft_cycles());
+    assert_eq!(
+        model.pipelined_multiplication_cycles(),
+        3 * model.fft_cycles()
+    );
 }
 
 // --- PE-count scaling (Series B) --------------------------------------------

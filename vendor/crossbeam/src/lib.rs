@@ -1,0 +1,226 @@
+//! Minimal, API-compatible subset of the `crossbeam` crate.
+//!
+//! The workspace uses crossbeam for two things: MPMC channels
+//! (`crossbeam::channel::unbounded`) and scoped threads
+//! (`crossbeam::thread::scope`). Both are implemented here on the standard
+//! library — a `Mutex<VecDeque>` + `Condvar` channel whose `Sender` and
+//! `Receiver` are both `Send + Sync + Clone`, and a scope that defers to
+//! `std::thread::scope` while keeping crossbeam's closure and `Result`
+//! signatures so call sites compile unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! An unbounded MPMC channel.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (messages go to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned when all receivers are gone (never in this subset —
+    /// kept for API compatibility) or a poisoned lock is encountered.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by `recv` when the channel is empty and all senders
+    /// are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            inner.senders += 1;
+            drop(inner);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, waking one waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            inner.items.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors when the channel is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = inner.items.pop_front() {
+                    return Ok(item);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .expect("channel lock")
+                .items
+                .pop_front()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's signatures.
+
+    use std::any::Any;
+
+    /// The scope handle passed to spawned closures (crossbeam spawns take
+    /// a `&Scope` argument; this subset accepts and ignores it).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread, returning its result (or its panic
+        /// payload as `Err`, like crossbeam).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (unused
+        /// by this subset, present for signature compatibility).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handoff = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&handoff)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// always `Ok` (std scopes propagate panics by unwinding).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_communicate() {
+        let data = [1u64, 2, 3, 4];
+        let channels: Vec<_> = (0..2).map(|_| super::channel::unbounded::<u64>()).collect();
+        let senders: Vec<_> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let mut results = Vec::new();
+        super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, (_, rx)) in channels.iter().enumerate() {
+                let senders = senders.clone();
+                let data = &data;
+                handles.push(scope.spawn(move |_| {
+                    senders[1 - i].send(data[i]).unwrap();
+                    rx.recv().unwrap()
+                }));
+            }
+            results = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>();
+        })
+        .unwrap();
+        results.sort();
+        assert_eq!(results, vec![1, 2]);
+    }
+}

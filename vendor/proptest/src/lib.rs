@@ -1,0 +1,472 @@
+//! Minimal, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace's property tests use a small slice of proptest:
+//! `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, y: u64) }`,
+//! `any::<T>()`, integer-range strategies, tuple strategies,
+//! `collection::vec`, `prop_map`, `prop_filter`, and the
+//! `prop_assert*`/`prop_assume!` macros. This crate implements exactly that
+//! surface on a deterministic RNG so the tests run without a registry.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports its seed instead;
+//! * deterministic seeds derived from the test body's case index, so runs
+//!   are reproducible without a persistence file;
+//! * `prop_assert*` panics (there is no shrink phase to feed an `Err` to).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying (bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// Strategy for "any value of `T`" (the `Arbitrary` of the real crate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Types with a canonical [`Any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_rand {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_rand!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each test body runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod prelude {
+    //! The glob-imported surface: `use proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Derives a per-test deterministic seed from the test's module path and
+/// name, so distinct tests explore distinct streams.
+pub fn seed_for(test_id: &str, case: u64) -> u64 {
+    // FNV-1a over the id, mixed with the case counter.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Marker returned by a rejected case (via `prop_assume!`).
+#[derive(Debug, Clone, Copy)]
+pub struct CaseRejected;
+
+/// Outcome of one generated case.
+pub type CaseResult = Result<(), CaseRejected>;
+
+#[doc(hidden)]
+pub fn __run_cases<F: FnMut(&mut TestRng) -> CaseResult>(test_id: &str, cases: u32, mut body: F) {
+    let mut executed = 0u32;
+    let mut drawn = 0u64;
+    // Allow a bounded surplus of draws for prop_assume! rejections.
+    let max_draws = cases as u64 * 20 + 100;
+    while executed < cases {
+        assert!(
+            drawn < max_draws,
+            "{test_id}: prop_assume! rejected too many cases ({drawn} draws for {executed}/{cases})"
+        );
+        let seed = seed_for(test_id, drawn);
+        let mut rng = TestRng::seed_from_u64(seed);
+        drawn += 1;
+        if body(&mut rng).is_ok() {
+            executed += 1;
+        }
+    }
+}
+
+/// The body macro: declares `#[test]` functions whose arguments are drawn
+/// from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |__proptest_rng: &mut $crate::TestRng| -> $crate::CaseResult {
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $id:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $id: $ty = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&$strat, $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// `assert!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Rejects the current case (the runner draws a replacement, bounded).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseRejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        any::<u64>().prop_map(|x| x & !1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn map_and_filter(x in arb_even(), y in any::<u64>().prop_filter("odd", |v| v % 2 == 1)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_eq!(y % 2, 1);
+        }
+
+        #[test]
+        fn typed_args_and_ranges(seed: u64, n in 1usize..10, m in 3u32..=5) {
+            let _ = seed;
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((3..=5).contains(&m), "m = {m}");
+        }
+
+        #[test]
+        fn vec_and_tuple(v in crate::collection::vec(any::<u8>(), 2..=4), t in (any::<bool>(), 0u64..9)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assume!(t.1 != 0);
+            prop_assert!(t.1 < 9);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_tests() {
+        assert_ne!(super::seed_for("a", 0), super::seed_for("b", 0));
+        assert_ne!(super::seed_for("a", 0), super::seed_for("a", 1));
+    }
+}
