@@ -1,0 +1,207 @@
+//! Perf-trajectory point 2: batch multiplication over cached operands.
+//!
+//! Emits `BENCH_batch.json` with products/sec for batch sizes 1/8/64 at
+//! the paper's 786,432-bit operand size, for the three caching levels
+//! (uncached, one-cached, both-cached) at 1 thread and all cores, plus the
+//! headline ratio the acceptance bar asks for: a both-cached batch of 64
+//! versus 64 independent `multiply` calls.
+//!
+//! Run with `cargo run --release -p he-bench --bin bench_batch`.
+//! `--quick` (the CI smoke mode) shrinks the plan to a 1024-point
+//! transform and tiny batches so the binary finishes in seconds while
+//! still exercising every code path.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use he_bench::operand;
+use he_bigint::UBig;
+use he_ntt::par;
+use he_ssa::{SsaJob, SsaMultiplier, SsaParams, TransformedOperand, PAPER_OPERAND_BITS};
+
+struct Run {
+    batch: usize,
+    mode: &'static str,
+    threads: usize,
+    elapsed_ms: f64,
+    products_per_sec: f64,
+}
+
+/// Times one batch execution (including any in-loop preparation) and
+/// checks the results against the expected products.
+fn run_batch(
+    ssa: &SsaMultiplier,
+    jobs: &[SsaJob<'_>],
+    expected: &[UBig],
+    mode: &'static str,
+    threads: usize,
+) -> Run {
+    let start = Instant::now();
+    let products = ssa.multiply_batch(jobs).expect("jobs sized to the plan");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(products, expected, "batch results must be bit-exact");
+    Run {
+        batch: jobs.len(),
+        mode,
+        threads,
+        elapsed_ms: elapsed * 1e3,
+        products_per_sec: jobs.len() as f64 / elapsed,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (ssa, bits, batches): (SsaMultiplier, usize, Vec<usize>) = if quick {
+        (
+            SsaMultiplier::with_params(SsaParams::new(16, 1 << 10).unwrap()).unwrap(),
+            4_000,
+            vec![1, 4, 8],
+        )
+    } else {
+        (SsaMultiplier::paper(), PAPER_OPERAND_BITS, vec![1, 8, 64])
+    };
+    let max_batch = *batches.last().unwrap();
+
+    he_bench::section(&format!(
+        "batch multiplication, {bits}-bit operands{}",
+        if quick { " (quick)" } else { "" }
+    ));
+    let fixed = operand(bits, 100);
+    let stream: Vec<UBig> = (0..max_batch)
+        .map(|i| operand(bits, 200 + i as u64))
+        .collect();
+
+    // Reference products (and warm-up for the scratch pool).
+    let expected: Vec<UBig> = stream
+        .iter()
+        .map(|b| ssa.multiply(&fixed, b).expect("operands fit"))
+        .collect();
+    // Spectra for the both-cached runs are assumed resident (they model
+    // operands that already live in the transform domain).
+    let fixed_spectrum = ssa.transform(&fixed).expect("operand fits");
+    let stream_spectra: Vec<TransformedOperand> = stream
+        .iter()
+        .map(|b| ssa.transform(b).expect("operand fits"))
+        .collect();
+
+    let mut runs: Vec<Run> = Vec::new();
+    let mut sequential_baseline_ms = f64::NAN;
+    let mut both_cached_batchmax_ms = f64::NAN;
+    let thread_settings: Vec<usize> = if host_threads > 1 {
+        vec![1, host_threads]
+    } else {
+        vec![1]
+    };
+    for &threads in &thread_settings {
+        par::set_threads(threads);
+        for &batch in &batches {
+            let expected = &expected[..batch];
+
+            // Baseline: N independent one-shot multiply calls.
+            let start = Instant::now();
+            let mut out = UBig::zero();
+            for b in &stream[..batch] {
+                ssa.multiply_into(&fixed, b, &mut out).expect("fits");
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if batch == max_batch && threads == 1 {
+                sequential_baseline_ms = elapsed * 1e3;
+            }
+            runs.push(Run {
+                batch,
+                mode: "sequential_multiply",
+                threads,
+                elapsed_ms: elapsed * 1e3,
+                products_per_sec: batch as f64 / elapsed,
+            });
+
+            let jobs: Vec<SsaJob> = stream[..batch]
+                .iter()
+                .map(|b| SsaJob::Uncached(&fixed, b))
+                .collect();
+            runs.push(run_batch(&ssa, &jobs, expected, "batch_uncached", threads));
+
+            // One-cached pays the recurring operand's transform inside the
+            // timed region: it is amortized over the batch, as a server
+            // would amortize it over a stream.
+            let start = Instant::now();
+            let spectrum = ssa.transform(&fixed).expect("operand fits");
+            let jobs: Vec<SsaJob> = stream[..batch]
+                .iter()
+                .map(|b| SsaJob::OneCached(&spectrum, b))
+                .collect();
+            let products = ssa.multiply_batch(&jobs).expect("jobs fit");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(products, expected);
+            runs.push(Run {
+                batch,
+                mode: "batch_one_cached",
+                threads,
+                elapsed_ms: elapsed * 1e3,
+                products_per_sec: batch as f64 / elapsed,
+            });
+
+            let jobs: Vec<SsaJob> = stream_spectra[..batch]
+                .iter()
+                .map(|tb| SsaJob::BothCached(&fixed_spectrum, tb))
+                .collect();
+            let run = run_batch(&ssa, &jobs, expected, "batch_both_cached", threads);
+            if batch == max_batch && threads == 1 {
+                both_cached_batchmax_ms = run.elapsed_ms;
+            }
+            runs.push(run);
+        }
+    }
+    par::set_threads(0);
+
+    println!(
+        "{:>6}  {:<20} {:>8}  {:>12}  {:>14}",
+        "batch", "mode", "threads", "elapsed ms", "products/s"
+    );
+    for run in &runs {
+        println!(
+            "{:>6}  {:<20} {:>8}  {:>12.1}  {:>14.2}",
+            run.batch, run.mode, run.threads, run.elapsed_ms, run.products_per_sec
+        );
+    }
+    let speedup = sequential_baseline_ms / both_cached_batchmax_ms;
+    println!(
+        "\nboth-cached batch of {max_batch} vs {max_batch} independent multiplies (1 thread): {speedup:.2}x"
+    );
+
+    // Hand-rolled JSON (the workspace builds without a registry, so no
+    // serde); keys stay stable for downstream tooling.
+    let mut entries = String::new();
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(
+            entries,
+            "    {{\"batch\": {}, \"mode\": \"{}\", \"threads\": {}, \"elapsed_ms\": {:.2}, \"products_per_sec\": {:.3}}}{}",
+            run.batch,
+            run.mode,
+            run.threads,
+            run.elapsed_ms,
+            run.products_per_sec,
+            if i + 1 == runs.len() { "" } else { "," }
+        );
+    }
+    let json = format!(
+        "{{\n  \
+         \"host_threads\": {host_threads},\n  \
+         \"operand_bits\": {bits},\n  \
+         \"quick\": {quick},\n  \
+         \"speedup_both_cached_batch{max_batch}_vs_sequential_1thread\": {speedup:.3},\n  \
+         \"runs\": [\n{entries}  ]\n}}\n"
+    );
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("wrote BENCH_batch.json");
+    // The quick (CI smoke) timed regions are sub-millisecond, where a
+    // noisy-neighbor stall can flip the ratio; only the full-size run
+    // enforces the acceptance bar on wall clock.
+    assert!(
+        quick || speedup > 1.0,
+        "a both-cached batch must beat independent multiplies (got {speedup:.3}x)"
+    );
+}

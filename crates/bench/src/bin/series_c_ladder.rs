@@ -1,7 +1,7 @@
 //! Series C (supplementary): the accelerator re-sized across the DGHV
 //! operand ladder with flexible transform orders (the paper's radix-8/16/32
 //! adaptability claim, Section IV-b), plus the transform-caching ladder of
-//! reference [25].
+//! reference \[25\].
 //!
 //! Run with: `cargo run --release -p he-bench --bin series_c_ladder`
 

@@ -14,7 +14,7 @@
 //!   is compared against;
 //! * long division ([`UBig::div_rem`], Knuth's Algorithm D) and
 //!   [`BarrettReducer`] for repeated reduction by a fixed modulus (the
-//!   technique the related work [32] pairs with FFT multiplication);
+//!   technique the related work \[32\] pairs with FFT multiplication);
 //! * [`IBig`] — a thin signed wrapper used by Toom-3 interpolation and by
 //!   DGHV's centered remainders.
 //!

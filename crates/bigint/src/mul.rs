@@ -53,7 +53,7 @@ impl UBig {
     }
 
     /// Karatsuba `O(n^log2(3))` multiplication (falls back to schoolbook
-    /// below [`KARATSUBA_THRESHOLD`] limbs).
+    /// below `KARATSUBA_THRESHOLD` limbs).
     pub fn mul_karatsuba(&self, other: &UBig) -> UBig {
         let n = self.as_limbs().len().max(other.as_limbs().len());
         if n < KARATSUBA_THRESHOLD {
@@ -72,7 +72,7 @@ impl UBig {
     }
 
     /// Toom-3 `O(n^log3(5))` multiplication (falls back to Karatsuba below
-    /// [`TOOM3_THRESHOLD`] limbs).
+    /// `TOOM3_THRESHOLD` limbs).
     ///
     /// Evaluation points `{0, 1, −1, 2, ∞}`; interpolation uses exact signed
     /// arithmetic ([`IBig`]) with exact divisions by 2 and 3.

@@ -36,6 +36,29 @@
 //! assert_eq!(hardware.multiply(&a, &b)?, expected);
 //! # Ok::<(), he_accel::MultiplyError>(())
 //! ```
+//!
+//! For throughput, the unit of work is a **batch over cached operands**
+//! rather than a one-shot call: [`Multiplier::prepare`] captures a
+//! recurring operand's forward spectrum behind an [`OperandHandle`], and
+//! the [`EvalEngine`] shards a slice of [`ProductJob`]s across worker
+//! threads — the cached-transform optimization the paper's related work
+//! adopts (3 transforms per product drop to 2/1/0 as operands recur),
+//! fused with product-level parallelism:
+//!
+//! ```
+//! use he_accel::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let fixed = UBig::random_bits(&mut rng, 50_000);
+//! let stream: Vec<UBig> = (0..4).map(|_| UBig::random_bits(&mut rng, 50_000)).collect();
+//!
+//! let engine = EvalEngine::new(SsaSoftware::paper());
+//! let handle = engine.prepare(&fixed)?; // forward NTT paid once
+//! let products = engine.run_stream(&handle, &stream)?;
+//! assert_eq!(products[0], Karatsuba.multiply(&fixed, &stream[0])?);
+//! # Ok::<(), he_accel::MultiplyError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,9 +71,11 @@ pub use he_ntt as ntt;
 pub use he_poly as poly;
 pub use he_ssa as ssa;
 
+pub mod engine;
 mod multiplier;
 mod selfcheck;
 
+pub use engine::{EvalEngine, OperandHandle, ProductJob};
 pub use multiplier::{
     HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
 };
@@ -58,6 +83,7 @@ pub use selfcheck::{self_check, SelfCheckReport};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
+    pub use crate::engine::{EvalEngine, OperandHandle, ProductJob};
     pub use crate::multiplier::{
         HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
     };
@@ -65,7 +91,8 @@ pub mod prelude {
     pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};
     pub use he_field::Fp;
     pub use he_hwsim::accel::AcceleratorSim;
+    pub use he_hwsim::batch::{BatchReport, HwJob, PreparedOperand};
     pub use he_hwsim::flexplan::{FlexPerfModel, FlexPlan};
     pub use he_hwsim::AcceleratorConfig;
-    pub use he_ssa::{SsaMultiplier, SsaParams, TransformedOperand};
+    pub use he_ssa::{SsaJob, SsaMultiplier, SsaParams, TransformedOperand};
 }

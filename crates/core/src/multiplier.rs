@@ -4,8 +4,11 @@ use core::fmt;
 
 use he_bigint::UBig;
 use he_hwsim::accel::{AcceleratorSim, MultiplyReport};
+use he_hwsim::batch::{BatchReport, HwJob};
 use he_hwsim::HwSimError;
-use he_ssa::{SsaError, SsaMultiplier};
+use he_ssa::{SsaError, SsaJob, SsaMultiplier};
+
+use crate::engine::{HandleRepr, OperandHandle, ProductJob};
 
 /// Error from a multiplication backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,6 +17,14 @@ pub enum MultiplyError {
     Ssa(SsaError),
     /// Hardware-simulation error.
     HwSim(HwSimError),
+    /// An [`OperandHandle`] was used with a backend other than the one
+    /// that prepared it.
+    HandleMismatch {
+        /// The backend the handle was used with.
+        expected: &'static str,
+        /// The backend that prepared the handle.
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for MultiplyError {
@@ -21,6 +32,10 @@ impl fmt::Display for MultiplyError {
         match self {
             MultiplyError::Ssa(e) => write!(f, "{e}"),
             MultiplyError::HwSim(e) => write!(f, "{e}"),
+            MultiplyError::HandleMismatch { expected, found } => write!(
+                f,
+                "operand handle was prepared by backend `{found}` but used with `{expected}`"
+            ),
         }
     }
 }
@@ -30,6 +45,7 @@ impl std::error::Error for MultiplyError {
         match self {
             MultiplyError::Ssa(e) => Some(e),
             MultiplyError::HwSim(e) => Some(e),
+            MultiplyError::HandleMismatch { .. } => None,
         }
     }
 }
@@ -51,6 +67,13 @@ impl From<HwSimError> for MultiplyError {
 /// Implementations: [`Schoolbook`], [`Karatsuba`], [`Toom3`] (classical
 /// baselines), [`SsaSoftware`] (the paper's algorithm in software), and
 /// [`HardwareSim`] (the paper's accelerator, simulated).
+///
+/// Beyond the one-shot [`Multiplier::multiply`], every backend speaks the
+/// *session model* of the batch engine ([`crate::engine`]): capture a
+/// recurring operand once with [`Multiplier::prepare`], then multiply
+/// through the handle — caching backends (SSA, the hardware simulation)
+/// skip the cached operand's forward transform on every product, and
+/// [`Multiplier::multiply_batch`] runs whole job slices at once.
 pub trait Multiplier {
     /// Multiplies two nonnegative integers.
     ///
@@ -62,6 +85,112 @@ pub trait Multiplier {
 
     /// Backend name for reports.
     fn name(&self) -> &'static str;
+
+    /// Captures an operand for reuse across many products.
+    ///
+    /// Caching backends store the operand's forward spectrum; the default
+    /// stores the raw integer so every backend supports the session API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError`] if the operand alone exceeds the
+    /// backend's transform capacity.
+    fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
+        Ok(OperandHandle::new(self.name(), HandleRepr::Raw(a.clone())))
+    }
+
+    /// Multiplies two prepared operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError::HandleMismatch`] if either handle was
+    /// prepared by a different backend, plus the backend's usual capacity
+    /// conditions.
+    fn multiply_prepared(
+        &self,
+        a: &OperandHandle,
+        b: &OperandHandle,
+    ) -> Result<UBig, MultiplyError> {
+        self.multiply(a.raw_checked(self.name())?, b.raw_checked(self.name())?)
+    }
+
+    /// Multiplies a prepared operand by a raw integer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Multiplier::multiply_prepared`].
+    fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
+        self.multiply(a.raw_checked(self.name())?, b)
+    }
+
+    /// Runs one batch job (dispatch over the three job kinds).
+    ///
+    /// # Errors
+    ///
+    /// The job kind's conditions (see [`Multiplier::multiply_prepared`]).
+    fn multiply_job(&self, job: &ProductJob<'_>) -> Result<UBig, MultiplyError> {
+        match job {
+            ProductJob::Prepared(a, b) => self.multiply_prepared(a, b),
+            ProductJob::OnePrepared(a, b) => self.multiply_one_prepared(a, b),
+            ProductJob::Raw(a, b) => self.multiply(a, b),
+        }
+    }
+
+    /// Multiplies a batch of jobs, returning products in job order.
+    ///
+    /// The default runs sequentially; backends with native batch support
+    /// (the SSA multiplier's sharded scheduler, the accelerator's
+    /// pipelined instruction stream) override it. For backend-agnostic
+    /// sharded execution use [`crate::engine::EvalEngine`].
+    ///
+    /// # Errors
+    ///
+    /// The lowest-index failing job's error, with one deliberate
+    /// exception: backends with native batch support validate handle
+    /// provenance for the *whole* batch before executing anything, so a
+    /// [`MultiplyError::HandleMismatch`] at any index is reported before
+    /// an earlier job's execution error — no work starts on a batch with
+    /// foreign handles.
+    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+        jobs.iter().map(|job| self.multiply_job(job)).collect()
+    }
+}
+
+// Full delegation (not just the required methods), so backend overrides —
+// cached preparation, native batch scheduling — survive borrowing, e.g.
+// `EvalEngine::new(&backend)`.
+impl<M: Multiplier + ?Sized> Multiplier for &M {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        (**self).multiply(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
+        (**self).prepare(a)
+    }
+
+    fn multiply_prepared(
+        &self,
+        a: &OperandHandle,
+        b: &OperandHandle,
+    ) -> Result<UBig, MultiplyError> {
+        (**self).multiply_prepared(a, b)
+    }
+
+    fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
+        (**self).multiply_one_prepared(a, b)
+    }
+
+    fn multiply_job(&self, job: &ProductJob<'_>) -> Result<UBig, MultiplyError> {
+        (**self).multiply_job(job)
+    }
+
+    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+        (**self).multiply_batch(jobs)
+    }
 }
 
 /// Schoolbook `O(n²)` multiplication.
@@ -137,6 +266,26 @@ impl SsaSoftware {
     }
 }
 
+impl SsaSoftware {
+    /// Lowers engine-level jobs to native [`SsaJob`]s, verifying handle
+    /// provenance.
+    fn lower_jobs<'a>(&self, jobs: &'a [ProductJob<'_>]) -> Result<Vec<SsaJob<'a>>, MultiplyError> {
+        jobs.iter()
+            .map(|job| {
+                Ok(match job {
+                    ProductJob::Prepared(a, b) => {
+                        SsaJob::BothCached(a.ssa_checked(self.name())?, b.ssa_checked(self.name())?)
+                    }
+                    ProductJob::OnePrepared(a, b) => {
+                        SsaJob::OneCached(a.ssa_checked(self.name())?, b)
+                    }
+                    ProductJob::Raw(a, b) => SsaJob::Uncached(a, b),
+                })
+            })
+            .collect()
+    }
+}
+
 impl Multiplier for SsaSoftware {
     fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
         Ok(self.inner.multiply(a, b)?)
@@ -144,6 +293,35 @@ impl Multiplier for SsaSoftware {
 
     fn name(&self) -> &'static str {
         "ssa-software"
+    }
+
+    fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
+        Ok(OperandHandle::new(
+            self.name(),
+            HandleRepr::Ssa(self.inner.transform(a)?),
+        ))
+    }
+
+    fn multiply_prepared(
+        &self,
+        a: &OperandHandle,
+        b: &OperandHandle,
+    ) -> Result<UBig, MultiplyError> {
+        Ok(self
+            .inner
+            .multiply_transformed(a.ssa_checked(self.name())?, b.ssa_checked(self.name())?)?)
+    }
+
+    fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(self
+            .inner
+            .multiply_one_cached(a.ssa_checked(self.name())?, b)?)
+    }
+
+    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+        // Native sharded batch: workers check private scratch units out of
+        // the multiplier's pool.
+        Ok(self.inner.multiply_batch(&self.lower_jobs(jobs)?)?)
     }
 }
 
@@ -185,6 +363,40 @@ impl HardwareSim {
     ) -> Result<(UBig, MultiplyReport), MultiplyError> {
         Ok(self.inner.multiply(a, b)?)
     }
+
+    /// Runs a batch as a pipelined instruction stream on the simulated
+    /// accelerator and returns the cycle-level schedule alongside the
+    /// products — the hardware-model counterpart of
+    /// [`Multiplier::multiply_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MultiplyError::HandleMismatch`] for foreign handles and
+    /// [`MultiplyError::HwSim`] for capacity violations.
+    pub fn multiply_batch_with_report(
+        &self,
+        jobs: &[ProductJob<'_>],
+    ) -> Result<(Vec<UBig>, BatchReport), MultiplyError> {
+        Ok(self.inner.multiply_batch(&self.lower_jobs(jobs)?)?)
+    }
+
+    /// Lowers engine-level jobs to native [`HwJob`]s, verifying handle
+    /// provenance.
+    fn lower_jobs<'a>(&self, jobs: &'a [ProductJob<'_>]) -> Result<Vec<HwJob<'a>>, MultiplyError> {
+        jobs.iter()
+            .map(|job| {
+                Ok(match job {
+                    ProductJob::Prepared(a, b) => {
+                        HwJob::BothPrepared(a.hw_checked(self.name())?, b.hw_checked(self.name())?)
+                    }
+                    ProductJob::OnePrepared(a, b) => {
+                        HwJob::OnePrepared(a.hw_checked(self.name())?, b)
+                    }
+                    ProductJob::Raw(a, b) => HwJob::Raw(a, b),
+                })
+            })
+            .collect()
+    }
 }
 
 impl Multiplier for HardwareSim {
@@ -194,6 +406,33 @@ impl Multiplier for HardwareSim {
 
     fn name(&self) -> &'static str {
         "accelerator-sim"
+    }
+
+    fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
+        let (prepared, _) = self.inner.prepare(a)?;
+        Ok(OperandHandle::new(self.name(), HandleRepr::Hw(prepared)))
+    }
+
+    fn multiply_prepared(
+        &self,
+        a: &OperandHandle,
+        b: &OperandHandle,
+    ) -> Result<UBig, MultiplyError> {
+        Ok(self
+            .inner
+            .multiply_prepared(a.hw_checked(self.name())?, b.hw_checked(self.name())?)?
+            .0)
+    }
+
+    fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
+        Ok(self
+            .inner
+            .multiply_one_prepared(a.hw_checked(self.name())?, b)?
+            .0)
+    }
+
+    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+        Ok(self.multiply_batch_with_report(jobs)?.0)
     }
 }
 

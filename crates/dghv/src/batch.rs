@@ -223,6 +223,50 @@ impl BatchSecretKey {
             noise_bits: would_be,
         })
     }
+
+    /// Slot-wise AND of one SIMD ciphertext against a whole batch — the
+    /// server shape the accelerator targets: `slots × others.len()`
+    /// plaintext ANDs ride on `others.len()` big-integer products, and the
+    /// recurring operand's forward transform is paid **once** for the
+    /// batch ([`CiphertextMultiplier::prepare`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::NoiseBudgetExhausted`] if any pairing would
+    /// reach a slot's noise ceiling; checked for the whole batch before
+    /// any product runs.
+    pub fn mul_many<M: CiphertextMultiplier>(
+        &self,
+        backend: &M,
+        a: &BatchCiphertext,
+        others: &[BatchCiphertext],
+    ) -> Result<Vec<BatchCiphertext>, DghvError> {
+        if others.is_empty() {
+            // Don't pay the preparation transform for zero products.
+            return Ok(Vec::new());
+        }
+        for b in others {
+            let would_be = a.noise_bits + b.noise_bits + 1;
+            if would_be >= self.params.base.noise_ceiling_bits() {
+                return Err(DghvError::NoiseBudgetExhausted {
+                    would_be_bits: would_be,
+                    ceiling_bits: self.params.base.noise_ceiling_bits(),
+                });
+            }
+        }
+        let prepared = backend.prepare(a.value());
+        Ok(others
+            .iter()
+            .map(|b| {
+                let mut value = UBig::zero();
+                backend.multiply_prepared_into(&prepared, b.value(), &mut value);
+                BatchCiphertext {
+                    value,
+                    noise_bits: a.noise_bits + b.noise_bits + 1,
+                }
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +341,59 @@ mod tests {
         let out = key.add(&ab, &cc);
         let expected: Vec<bool> = (0..4).map(|i| (a[i] & b[i]) ^ c[i]).collect();
         assert_eq!(key.decrypt(&out), expected);
+    }
+
+    #[test]
+    fn mul_many_matches_individual_products() {
+        let (key, mut rng) = setup(7);
+        let mask = [true, false, true, true];
+        let cmask = key.encrypt(&mask, &mut rng);
+        let inputs: Vec<[bool; 4]> = vec![
+            [true, true, false, false],
+            [false, true, true, true],
+            [true, false, false, true],
+        ];
+        let cts: Vec<BatchCiphertext> = inputs.iter().map(|v| key.encrypt(v, &mut rng)).collect();
+        let batch = key.mul_many(&KaratsubaBackend, &cmask, &cts).unwrap();
+        assert_eq!(batch.len(), cts.len());
+        for ((product, ct), bits) in batch.iter().zip(&cts).zip(&inputs) {
+            let single = key.mul(&KaratsubaBackend, &cmask, ct).unwrap();
+            assert_eq!(product.value(), single.value());
+            assert_eq!(product.noise_bits(), single.noise_bits());
+            let expected: Vec<bool> = mask.iter().zip(bits).map(|(m, b)| m & b).collect();
+            assert_eq!(key.decrypt(product), expected);
+        }
+    }
+
+    #[test]
+    fn mul_many_uses_the_cached_spectrum_on_ssa() {
+        let (key, mut rng) = setup(8);
+        let gamma = key.params().base.gamma;
+        let backend = crate::multiplier::SsaBackend::for_gamma(gamma);
+        let a = key.encrypt(&[true, true, false, true], &mut rng);
+        let bs: Vec<BatchCiphertext> = (0..3).map(|_| key.encrypt(&[true; 4], &mut rng)).collect();
+        let cached = key.mul_many(&backend, &a, &bs).unwrap();
+        let plain = key.mul_many(&KaratsubaBackend, &a, &bs).unwrap();
+        assert_eq!(cached, plain, "cached batch must be bit-exact");
+    }
+
+    #[test]
+    fn mul_many_rejects_doomed_batches_up_front() {
+        let (key, mut rng) = setup(9);
+        let mut noisy = key.encrypt(&[true; 4], &mut rng);
+        let fresh = key.encrypt(&[true; 4], &mut rng);
+        while let Ok(next) = key.mul(&KaratsubaBackend, &noisy, &fresh) {
+            noisy = next;
+        }
+        let err = key
+            .mul_many(&KaratsubaBackend, &noisy, std::slice::from_ref(&fresh))
+            .unwrap_err();
+        assert!(matches!(err, DghvError::NoiseBudgetExhausted { .. }));
+        // An empty batch is trivially fine.
+        assert!(key
+            .mul_many(&KaratsubaBackend, &fresh, &[])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

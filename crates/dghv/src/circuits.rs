@@ -48,6 +48,23 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
         self.public_key.mul(self.backend, a, b)
     }
 
+    /// AND of one ciphertext against many (`a ∧ bᵢ` for every `i`): the
+    /// recurring operand is prepared once, so on caching backends each
+    /// product costs two transforms instead of three
+    /// (see [`crate::PublicKey::mul_many`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::NoiseBudgetExhausted`] if any product would
+    /// exceed the noise ceiling (checked before any product runs).
+    pub fn and_many(
+        &self,
+        a: &Ciphertext,
+        others: &[Ciphertext],
+    ) -> Result<Vec<Ciphertext>, DghvError> {
+        self.public_key.mul_many(self.backend, a, others)
+    }
+
     /// NOT: `a ⊕ Enc(1)` with a fresh encryption of one.
     pub fn not<R: Rng + ?Sized>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
         let one = self.public_key.encrypt(true, rng);
@@ -117,6 +134,36 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
     ) -> Result<Ciphertext, DghvError> {
         let diff = self.xor(a, b);
         Ok(self.xor(b, &self.and(sel, &diff)?))
+    }
+
+    /// Multiplexes whole bit-vectors with one shared select bit:
+    /// `out_i = sel ? a_i : b_i`. The select bit recurs in every per-bit
+    /// product, so it is prepared once for the vector
+    /// ([`CircuitEvaluator::and_many`]) — the batch counterpart of
+    /// [`CircuitEvaluator::mux`], and the hot pattern of encrypted
+    /// `max`/sorting workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::NoiseBudgetExhausted`] if any per-bit product
+    /// would exceed the noise ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    pub fn mux_many(
+        &self,
+        sel: &Ciphertext,
+        a: &[Ciphertext],
+        b: &[Ciphertext],
+    ) -> Result<Vec<Ciphertext>, DghvError> {
+        assert_eq!(a.len(), b.len(), "operand widths must match");
+        let diffs: Vec<Ciphertext> = a.iter().zip(b).map(|(ai, bi)| self.xor(ai, bi)).collect();
+        let selected = self.and_many(sel, &diffs)?;
+        Ok(b.iter()
+            .zip(&selected)
+            .map(|(bi, si)| self.xor(bi, si))
+            .collect())
     }
 
     /// Equality of two encrypted bit-vectors: an AND-tree over per-bit
@@ -343,6 +390,50 @@ mod tests {
                         if sel { a } else { b },
                         "mux({sel}, {a}, {b})"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn and_many_matches_single_ands() {
+        let (keys, mut rng) = setup(61);
+        let backend = KaratsubaBackend;
+        let eval = CircuitEvaluator::new(keys.public(), &backend);
+        for a in [false, true] {
+            let ca = keys.public().encrypt(a, &mut rng);
+            let bits = [true, false, true, true];
+            let cts: Vec<Ciphertext> = bits
+                .iter()
+                .map(|&b| keys.public().encrypt(b, &mut rng))
+                .collect();
+            let products = eval.and_many(&ca, &cts).unwrap();
+            for (product, &b) in products.iter().zip(&bits) {
+                assert_eq!(keys.secret().decrypt(product), a & b, "{a} AND {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_many_selects_whole_vectors() {
+        let (keys, mut rng) = setup(62);
+        let backend = KaratsubaBackend;
+        let eval = CircuitEvaluator::new(keys.public(), &backend);
+        for (x, y) in [(5u64, 10u64), (0, 7), (3, 3)] {
+            let ex = encrypt_number(keys.public(), x, 4, &mut rng);
+            let ey = encrypt_number(keys.public(), y, 4, &mut rng);
+            for sel in [false, true] {
+                let cs = keys.public().encrypt(sel, &mut rng);
+                let out = eval.mux_many(&cs, &ex, &ey).unwrap();
+                assert_eq!(
+                    decrypt_number(keys.secret(), &out),
+                    if sel { x } else { y },
+                    "mux_many({sel}, {x}, {y})"
+                );
+                // Bit-for-bit agreement with the scalar mux.
+                for (i, bit) in out.iter().enumerate() {
+                    let scalar = eval.mux(&cs, &ex[i], &ey[i]).unwrap();
+                    assert_eq!(keys.secret().decrypt(bit), keys.secret().decrypt(&scalar));
                 }
             }
         }

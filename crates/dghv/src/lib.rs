@@ -56,5 +56,7 @@ pub use compress::{CompressedKeyPair, CompressedPublicKey};
 pub use error::DghvError;
 pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use ladder::ModulusLadder;
-pub use multiplier::{CiphertextMultiplier, KaratsubaBackend, SchoolbookBackend, SsaBackend};
+pub use multiplier::{
+    CiphertextMultiplier, KaratsubaBackend, PreparedFactor, SchoolbookBackend, SsaBackend,
+};
 pub use params::DghvParams;

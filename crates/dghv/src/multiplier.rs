@@ -8,7 +8,34 @@
 //! (via `he-accel`) the simulated hardware.
 
 use he_bigint::UBig;
-use he_ssa::{SsaMultiplier, SsaParams};
+use he_ssa::{SsaMultiplier, SsaParams, TransformedOperand};
+
+/// A ciphertext factor captured for reuse across many homomorphic ANDs.
+///
+/// Produced by [`CiphertextMultiplier::prepare`]. Backends with a
+/// transform domain (the SSA backend) cache the operand's forward
+/// spectrum, so every product against the prepared factor pays two
+/// transforms instead of three; the raw value is retained as the
+/// universal fallback, which keeps every backend — and every
+/// backend *mix* — correct.
+#[derive(Debug, Clone)]
+pub struct PreparedFactor {
+    raw: UBig,
+    spectrum: Option<TransformedOperand>,
+}
+
+impl PreparedFactor {
+    /// The raw ciphertext value.
+    pub fn raw(&self) -> &UBig {
+        &self.raw
+    }
+
+    /// Whether a cached spectrum rides along (forward transforms will be
+    /// skipped on products against this factor).
+    pub fn is_cached(&self) -> bool {
+        self.spectrum.is_some()
+    }
+}
 
 /// A big-integer multiplication backend.
 pub trait CiphertextMultiplier {
@@ -21,6 +48,25 @@ pub trait CiphertextMultiplier {
     /// [`CiphertextMultiplier::multiply`].
     fn multiply_into(&self, a: &UBig, b: &UBig, out: &mut UBig) {
         *out = self.multiply(a, b);
+    }
+
+    /// Captures a recurring factor — a SIMD mask, a fixed key element, an
+    /// accumulator ANDed against a whole batch — once, so its forward
+    /// transform is amortized over every following product. The default
+    /// keeps only the raw value (classical backends have nothing to
+    /// cache).
+    fn prepare(&self, a: &UBig) -> PreparedFactor {
+        PreparedFactor {
+            raw: a.clone(),
+            spectrum: None,
+        }
+    }
+
+    /// Multiplies a prepared factor by a fresh integer into a caller-owned
+    /// result. The default falls back to the raw value, so prepared
+    /// factors are valid with any backend.
+    fn multiply_prepared_into(&self, a: &PreparedFactor, b: &UBig, out: &mut UBig) {
+        self.multiply_into(&a.raw, b, out);
     }
 
     /// Backend name for reports.
@@ -96,6 +142,29 @@ impl CiphertextMultiplier for SsaBackend {
             .expect("backend sized for ciphertext width");
     }
 
+    fn prepare(&self, a: &UBig) -> PreparedFactor {
+        PreparedFactor {
+            raw: a.clone(),
+            // transform() fails only for operands beyond the plan's
+            // single-operand bound — operands this backend is not sized
+            // for, where any later nonzero product panics with the same
+            // "sized for ciphertext width" contract as plain multiply.
+            // Keeping prepare total (raw fallback) preserves that
+            // contract and keeps zero-cofactor products valid.
+            spectrum: self.inner.transform(a).ok(),
+        }
+    }
+
+    fn multiply_prepared_into(&self, a: &PreparedFactor, b: &UBig, out: &mut UBig) {
+        match &a.spectrum {
+            Some(spectrum) => self
+                .inner
+                .multiply_one_cached_into(spectrum, b, out)
+                .expect("backend sized for ciphertext width"),
+            None => self.multiply_into(&a.raw, b, out),
+        }
+    }
+
     fn name(&self) -> &'static str {
         "schonhage-strassen"
     }
@@ -116,6 +185,31 @@ mod tests {
         assert_eq!(SchoolbookBackend.multiply(&a, &b), expected);
         assert_eq!(KaratsubaBackend.multiply(&a, &b), expected);
         assert_eq!(SsaBackend::for_gamma(3000).multiply(&a, &b), expected);
+    }
+
+    #[test]
+    fn prepared_products_match_plain_products() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let fixed = UBig::random_bits(&mut rng, 2500);
+        let stream: Vec<UBig> = (0..4).map(|_| UBig::random_bits(&mut rng, 2000)).collect();
+        let ssa = SsaBackend::for_gamma(3000);
+        let karatsuba = KaratsubaBackend;
+        let cached = ssa.prepare(&fixed);
+        assert!(cached.is_cached());
+        assert_eq!(cached.raw(), &fixed);
+        let raw_only = karatsuba.prepare(&fixed);
+        assert!(!raw_only.is_cached());
+        let mut got = UBig::zero();
+        for b in &stream {
+            let expected = fixed.mul_schoolbook(b);
+            ssa.multiply_prepared_into(&cached, b, &mut got);
+            assert_eq!(got, expected);
+            karatsuba.multiply_prepared_into(&raw_only, b, &mut got);
+            assert_eq!(got, expected);
+            // A raw-only factor is valid with any backend (fallback path).
+            ssa.multiply_prepared_into(&raw_only, b, &mut got);
+            assert_eq!(got, expected);
+        }
     }
 
     #[test]

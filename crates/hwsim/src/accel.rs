@@ -9,9 +9,11 @@
 //! simulated datapath while cycles are accounted per the architecture.
 
 use he_bigint::UBig;
+use he_field::Fp;
 use he_ntt::N64K;
 use he_ssa::{decompose, SsaParams};
 
+use crate::batch::{schedule_batch, BatchReport, HwJob, PreparedOperand};
 use crate::carry::CarryRecoveryUnit;
 use crate::config::AcceleratorConfig;
 use crate::distributed::{DistributedNtt, NttRunReport};
@@ -187,6 +189,137 @@ impl AcceleratorSim {
         Ok((product, report))
     }
 
+    /// Pushes an operand through a forward 64K transform on the PE array
+    /// and returns the resident spectrum, ready for reuse across many
+    /// products (the cached-transform optimization the paper's
+    /// related-work section adopts from its reference \[25\]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::Ssa`] if the operand alone exceeds the
+    /// transform length; products additionally enforce the wrap-around
+    /// bound at multiplication time.
+    pub fn prepare(&self, a: &UBig) -> Result<(PreparedOperand, NttRunReport), HwSimError> {
+        let n = self.params.n_points();
+        // bit_len() is 0 for the zero operand, so coeff_count covers it.
+        let ca = self.params.coeff_count(a.bit_len());
+        if ca > n {
+            return Err(HwSimError::Ssa(he_ssa::SsaError::OperandTooLarge {
+                bits: a.bit_len(),
+                // A lone operand may fill all N coefficients (twice the
+                // per-operand product bound); report the limit actually
+                // enforced here.
+                max_bits: n * self.params.coeff_bits() as usize,
+            }));
+        }
+        let av = decompose(a, self.params.coeff_bits(), n);
+        let (spectrum, report) = self.dist.forward(&av);
+        Ok((
+            PreparedOperand {
+                spectrum,
+                coeff_count: ca,
+            },
+            report,
+        ))
+    }
+
+    /// Multiplies two resident spectra: dot product + one inverse
+    /// transform — zero fresh forward transforms. Returns the product and
+    /// the modeled cycles ([`PerfModel::cached_multiplication_cycles`]
+    /// with `fresh = 0`, ≈ 61 µs at the paper's design point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::Ssa`] if the acyclic product would wrap the
+    /// cyclic transform.
+    pub fn multiply_prepared(
+        &self,
+        a: &PreparedOperand,
+        b: &PreparedOperand,
+    ) -> Result<(UBig, u64), HwSimError> {
+        self.check_prepared_capacity(a.coeff_count, b.coeff_count)?;
+        let product = self.dot_inverse_recover(&a.spectrum, &b.spectrum);
+        let cycles = PerfModel::new(self.config.clone()).cached_multiplication_cycles(0);
+        Ok((product, cycles))
+    }
+
+    /// Multiplies a resident spectrum by a fresh integer: one forward
+    /// transform, dot product, inverse transform. Returns the product and
+    /// the modeled cycles (`fresh = 1` — the squaring dataflow's count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::Ssa`] if the acyclic product would wrap the
+    /// cyclic transform.
+    pub fn multiply_one_prepared(
+        &self,
+        a: &PreparedOperand,
+        b: &UBig,
+    ) -> Result<(UBig, u64), HwSimError> {
+        let cb = self.params.coeff_count(b.bit_len());
+        self.check_prepared_capacity(a.coeff_count, cb)?;
+        let bv = decompose(b, self.params.coeff_bits(), self.params.n_points());
+        let (fb, _) = self.dist.forward(&bv);
+        let product = self.dot_inverse_recover(&a.spectrum, &fb);
+        let cycles = PerfModel::new(self.config.clone()).cached_multiplication_cycles(1);
+        Ok((product, cycles))
+    }
+
+    /// Runs a batch of multiplications as a pipelined instruction stream.
+    ///
+    /// Products are computed bit-exactly on the simulated datapath and
+    /// returned in job order; the [`BatchReport`] schedules the jobs over
+    /// the FFT array, dot-product multipliers and carry-recovery adder
+    /// with per-job transform counts from the cached-multiplication
+    /// accounting, so recurring operands shorten both the makespan and
+    /// the per-product cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwSimError::Ssa`] from the first failing job (capacity
+    /// violations).
+    pub fn multiply_batch(
+        &self,
+        jobs: &[HwJob<'_>],
+    ) -> Result<(Vec<UBig>, BatchReport), HwSimError> {
+        let mut products = Vec::with_capacity(jobs.len());
+        let mut fresh = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let product = match job {
+                HwJob::BothPrepared(a, b) => self.multiply_prepared(a, b)?.0,
+                HwJob::OnePrepared(a, b) => self.multiply_one_prepared(a, b)?.0,
+                HwJob::Raw(a, b) => self.multiply(a, b)?.0,
+            };
+            products.push(product);
+            fresh.push(job.fresh_transforms());
+        }
+        Ok((products, schedule_batch(&self.config, &fresh)))
+    }
+
+    /// The shared tail of every product: component-wise multiplication on
+    /// the DSP modular multipliers, the inverse transform on the PE array,
+    /// and carry recovery on the modeled adder.
+    fn dot_inverse_recover(&self, fa: &[Fp], fb: &[Fp]) -> UBig {
+        let fc: Vec<_> = fa
+            .iter()
+            .zip(fb)
+            .map(|(&x, &y)| self.modmul.multiply(x, y))
+            .collect();
+        let (cv, _) = self.dist.inverse(&fc);
+        self.carry_unit.recover(&cv)
+    }
+
+    fn check_prepared_capacity(&self, ca: usize, cb: usize) -> Result<(), HwSimError> {
+        let n = self.params.n_points();
+        if ca + cb.max(1) - 1 > n || ca.max(cb) > n {
+            return Err(HwSimError::Ssa(he_ssa::SsaError::OperandTooLarge {
+                bits: (ca + cb) * self.params.coeff_bits() as usize,
+                max_bits: 2 * self.params.max_operand_bits(),
+            }));
+        }
+        Ok(())
+    }
+
     /// Squares an integer on the simulated hardware with only two
     /// transforms: the forward spectrum is reused for both operands
     /// (see [`PerfModel::squaring_cycles`]).
@@ -303,6 +436,80 @@ mod tests {
             (structural_us - budget_us).abs() / budget_us < 0.05,
             "structural {structural_us} vs budget {budget_us}"
         );
+    }
+
+    #[test]
+    fn prepared_products_are_bit_exact_and_cheaper() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let sim = AcceleratorSim::paper();
+        let a = UBig::random_bits(&mut rng, 120_000);
+        let b = UBig::random_bits(&mut rng, 90_000);
+        let expected = a.mul_karatsuba(&b);
+        let (pa, fwd_report) = sim.prepare(&a).unwrap();
+        let (pb, _) = sim.prepare(&b).unwrap();
+        assert!(fwd_report.total_cycles() > 0);
+        let (both, both_cycles) = sim.multiply_prepared(&pa, &pb).unwrap();
+        let (one, one_cycles) = sim.multiply_one_prepared(&pa, &b).unwrap();
+        assert_eq!(both, expected);
+        assert_eq!(one, expected);
+        let model = PerfModel::new(AcceleratorConfig::paper());
+        assert_eq!(both_cycles, model.cached_multiplication_cycles(0));
+        assert_eq!(one_cycles, model.cached_multiplication_cycles(1));
+        assert!(both_cycles < one_cycles);
+        assert!(one_cycles < model.multiplication_cycles());
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_pipelines() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let sim = AcceleratorSim::paper();
+        let fixed = UBig::random_bits(&mut rng, 50_000);
+        let (pf, _) = sim.prepare(&fixed).unwrap();
+        let xs: Vec<UBig> = (0..3)
+            .map(|_| UBig::random_bits(&mut rng, 40_000))
+            .collect();
+        let (px, _) = sim.prepare(&xs[0]).unwrap();
+        let jobs = [
+            crate::batch::HwJob::BothPrepared(&pf, &px),
+            crate::batch::HwJob::OnePrepared(&pf, &xs[1]),
+            crate::batch::HwJob::Raw(&fixed, &xs[2]),
+        ];
+        let (products, report) = sim.multiply_batch(&jobs).unwrap();
+        for (product, x) in products.iter().zip(&xs) {
+            assert_eq!(*product, fixed.mul_karatsuba(x));
+        }
+        assert_eq!(report.entries.len(), 3);
+        assert!(report.makespan_cycles() < report.serial_cycles);
+        assert!(report.speedup_vs_serial() > 1.0);
+    }
+
+    #[test]
+    fn prepared_zero_operand() {
+        let sim = AcceleratorSim::paper();
+        let (pz, _) = sim.prepare(&UBig::zero()).unwrap();
+        assert!(pz.is_zero());
+        let (px, _) = sim.prepare(&UBig::from(9u64)).unwrap();
+        let (product, _) = sim.multiply_prepared(&pz, &px).unwrap();
+        assert!(product.is_zero());
+        let (product, _) = sim.multiply_one_prepared(&px, &UBig::zero()).unwrap();
+        assert!(product.is_zero());
+    }
+
+    #[test]
+    fn prepare_rejects_oversized_operands() {
+        let sim = AcceleratorSim::paper();
+        // A single operand may occupy up to N coefficients (1,572,864
+        // bits); beyond that even preparation fails.
+        let too_big = UBig::pow2(1_600_000);
+        assert!(matches!(sim.prepare(&too_big), Err(HwSimError::Ssa(_))));
+        // An operand past the 786,432-bit product capacity still prepares,
+        // but squaring it would wrap the cyclic transform.
+        let a = UBig::pow2(800_000);
+        let (pa, _) = sim.prepare(&a).unwrap();
+        assert!(matches!(
+            sim.multiply_prepared(&pa, &pa),
+            Err(HwSimError::Ssa(_))
+        ));
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! and every transfer is a single hypercube hop.
 //!
 //! Every sub-transform runs on the bit-exact
-//! [`OptimizedFft64`](crate::fft_unit::OptimizedFft64) hardware unit model,
+//! [`OptimizedFft64`] hardware unit model,
 //! and every inter-stage twiddle multiplication goes through the
-//! [`DspModMul`](crate::modmul::DspModMul) DSP datapath — the simulation
+//! [`DspModMul`] DSP datapath — the simulation
 //! exercises the same arithmetic the FPGA would.
 
 use std::sync::Mutex;

@@ -18,6 +18,7 @@
 //! | Table II execution-time comparison | [`comparators`], [`accel`] |
 //! | PE control FSM as burst-level micro-ops | [`program`] |
 //! | Back-to-back multiplication throughput | [`stream`] |
+//! | Batched products over cached operand spectra | [`batch`] |
 //! | Cycle-stamped timelines (overlap made visible) | [`trace`] |
 //! | Scheme-primitive costs on the accelerator | [`primitive`] |
 //! | Energy extension (the FPGA-vs-GPU power argument) | [`power`] |
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod accel;
+pub mod batch;
 pub mod carry;
 pub mod comparators;
 pub mod config;

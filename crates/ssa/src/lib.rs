@@ -32,12 +32,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cached;
 mod error;
 mod multiplier;
 mod params;
+mod pool;
 mod recompose;
 
+pub use batch::SsaJob;
 pub use cached::TransformedOperand;
 pub use error::SsaError;
 pub use multiplier::SsaMultiplier;

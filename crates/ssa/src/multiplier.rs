@@ -1,13 +1,12 @@
 //! The Schönhage–Strassen multiplier.
 
-use std::sync::{Mutex, MutexGuard};
-
 use he_bigint::UBig;
 use he_field::Fp;
 use he_ntt::{convolution, Ntt64k, NttScratch, Radix2Plan, N64K};
 
 use crate::error::SsaError;
 use crate::params::SsaParams;
+use crate::pool::{ScratchGuard, ScratchPool};
 use crate::recompose::{decompose_into, recompose_into};
 
 /// A planned Schönhage–Strassen multiplier.
@@ -18,13 +17,16 @@ use crate::recompose::{decompose_into, recompose_into};
 /// paper's accelerator (three transforms + dot product + carry recovery,
 /// Section V).
 ///
-/// The multiplier owns a pool of scratch buffers (mirroring the
+/// The multiplier owns a pool of scratch units (mirroring the
 /// accelerator's fixed on-chip memories), so repeated products on one
 /// instance reuse the same storage: after a warm-up call,
 /// [`SsaMultiplier::multiply_into`] performs **zero heap allocations** per
 /// product, and [`SsaMultiplier::multiply`] allocates only the returned
-/// integer. The pool sits behind a mutex, so a shared `&SsaMultiplier`
-/// stays usable from several threads (calls serialize on the pool).
+/// integer. The pool is a checkout stack, so a shared `&SsaMultiplier`
+/// stays usable from several threads: each in-flight product owns a whole
+/// scratch unit and the lock is held only for the checkout/return, never
+/// across a transform (see [`SsaMultiplier::multiply_batch`] for the
+/// sharded batch entry point built on this).
 ///
 /// ```
 /// use he_bigint::UBig;
@@ -47,7 +49,7 @@ use crate::recompose::{decompose_into, recompose_into};
 pub struct SsaMultiplier {
     params: SsaParams,
     engine: Engine,
-    pool: Mutex<SsaScratch>,
+    pool: ScratchPool,
 }
 
 impl Clone for SsaMultiplier {
@@ -57,18 +59,9 @@ impl Clone for SsaMultiplier {
         SsaMultiplier {
             params: self.params,
             engine: self.engine.clone(),
-            pool: Mutex::new(SsaScratch::default()),
+            pool: ScratchPool::new(),
         }
     }
-}
-
-/// Reusable working memory of one multiplier instance.
-#[derive(Debug, Default)]
-pub(crate) struct SsaScratch {
-    /// Coefficient and transform staging buffers.
-    pub(crate) ntt: NttScratch,
-    /// Carry-recovery accumulator limbs.
-    pub(crate) limbs: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -106,7 +99,7 @@ impl SsaMultiplier {
         SsaMultiplier {
             params: SsaParams::paper(),
             engine: Engine::Paper64k(Box::new(Ntt64k::new())),
-            pool: Mutex::new(SsaScratch::default()),
+            pool: ScratchPool::new(),
         }
     }
 
@@ -128,7 +121,7 @@ impl SsaMultiplier {
         Ok(SsaMultiplier {
             params,
             engine,
-            pool: Mutex::new(SsaScratch::default()),
+            pool: ScratchPool::new(),
         })
     }
 
@@ -253,9 +246,10 @@ impl SsaMultiplier {
         Ok(())
     }
 
-    /// The multiplier's scratch pool (shared with [`crate::cached`]).
-    pub(crate) fn pool(&self) -> MutexGuard<'_, SsaScratch> {
-        self.pool.lock().expect("scratch pool poisoned")
+    /// Checks out a scratch unit from the multiplier's pool (shared by the
+    /// plain, cached and batch product paths).
+    pub(crate) fn pool(&self) -> ScratchGuard<'_> {
+        self.pool.checkout()
     }
 
     /// In-place forward transform on the engine's plan (used by the

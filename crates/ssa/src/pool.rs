@@ -1,0 +1,148 @@
+//! Per-worker scratch checkout for concurrent products.
+//!
+//! PR 1 gave the multiplier a single `Mutex<SsaScratch>` pool: correct, but
+//! a *contention point* — two threads multiplying through one shared
+//! [`SsaMultiplier`](crate::SsaMultiplier) serialized on the lock for the
+//! entire product. The batch engine shards independent products across
+//! worker threads, so the pool is now a **stack of scratch units**:
+//! [`ScratchPool::checkout`] pops a whole unit (or creates one on first
+//! use) and hands it to the caller behind a guard; the lock is held only
+//! for the pop and the push-back, never across a transform. `k` concurrent
+//! workers settle on `k` resident units and then run lock-free for the
+//! duration of every product.
+//!
+//! The single-thread discipline is unchanged: checkout pops the same unit
+//! it pushed last time, so the warm path still performs **zero heap
+//! allocations** per product (the counting-allocator test in
+//! `tests/alloc_counting.rs` keeps this honest).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+use he_ntt::NttScratch;
+
+/// Reusable working memory for one in-flight product.
+#[derive(Debug, Default)]
+pub(crate) struct SsaScratch {
+    /// Coefficient and transform staging buffers.
+    pub(crate) ntt: NttScratch,
+    /// Carry-recovery accumulator limbs.
+    pub(crate) limbs: Vec<u64>,
+}
+
+/// A stack of idle [`SsaScratch`] units shared by one multiplier instance.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    idle: Mutex<Vec<SsaScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool; units are created on first checkout.
+    pub(crate) fn new() -> ScratchPool {
+        ScratchPool::default()
+    }
+
+    /// Checks out a scratch unit for exclusive use until the guard drops.
+    ///
+    /// Pops an idle unit when one exists (no allocation); otherwise builds
+    /// a fresh empty unit — that happens once per level of concurrency and
+    /// the unit is retained afterwards.
+    pub(crate) fn checkout(&self) -> ScratchGuard<'_> {
+        let unit = self
+            .idle
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        ScratchGuard {
+            pool: self,
+            unit: Some(unit),
+        }
+    }
+
+    /// Number of idle units currently pooled (diagnostic).
+    #[cfg(test)]
+    pub(crate) fn idle_units(&self) -> usize {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Exclusive ownership of one scratch unit; returns it to the pool on drop.
+#[derive(Debug)]
+pub(crate) struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    unit: Option<SsaScratch>,
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = SsaScratch;
+
+    fn deref(&self) -> &SsaScratch {
+        self.unit.as_ref().expect("unit present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut SsaScratch {
+        self.unit.as_mut().expect("unit present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(unit) = self.unit.take() {
+            self.pool
+                .idle
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(unit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_the_same_unit_single_threaded() {
+        let pool = ScratchPool::new();
+        let ptr = {
+            let mut guard = pool.checkout();
+            guard.limbs.push(7);
+            guard.limbs.as_ptr()
+        };
+        assert_eq!(pool.idle_units(), 1);
+        let guard = pool.checkout();
+        assert_eq!(guard.limbs.as_ptr(), ptr, "warm checkout must reuse");
+        assert_eq!(pool.idle_units(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_units() {
+        let pool = ScratchPool::new();
+        let a = pool.checkout();
+        let b = pool.checkout();
+        assert_ne!(
+            &*a as *const SsaScratch, &*b as *const SsaScratch,
+            "overlapping checkouts must not share a unit"
+        );
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle_units(), 2);
+    }
+
+    #[test]
+    fn buffers_survive_a_checkout_cycle() {
+        let pool = ScratchPool::new();
+        {
+            let mut guard = pool.checkout();
+            let buf = guard.ntt.take(64);
+            guard.ntt.put(buf);
+            guard.limbs.resize(32, 0);
+        }
+        let guard = pool.checkout();
+        assert!(guard.ntt.pooled_capacity() >= 64);
+        assert!(guard.limbs.capacity() >= 32);
+    }
+}

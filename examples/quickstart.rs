@@ -1,6 +1,9 @@
 //! Quickstart: multiply two 786,432-bit integers — the paper's workload —
 //! with the classical algorithms, the Schönhage–Strassen multiplier, and
-//! the simulated accelerator, and check they agree.
+//! the simulated accelerator, and check they agree. Ends with the
+//! batch-first session API: prepare a recurring operand once through
+//! [`EvalEngine`] and stream products against the cached spectrum (see
+//! `examples/transform_caching.rs` for the deep dive).
 //!
 //! Run with: `cargo run --release -p he-accel --example quickstart`
 
@@ -50,6 +53,26 @@ fn main() -> Result<(), MultiplyError> {
     println!(
         "the paper reports ~122 us for this multiplication; the model gives {:.1} us",
         report.total_us()
+    );
+
+    // Server-style traffic: one recurring operand times a stream. Prepare
+    // `a` once — its forward transform is cached behind the handle — and
+    // run the whole batch through the engine.
+    println!("\nbatch engine: 4 products against a prepared operand…");
+    let engine = EvalEngine::new(SsaSoftware::paper());
+    let handle = engine.prepare(&a)?;
+    let stream: Vec<UBig> = (0..4)
+        .map(|_| UBig::random_bits(&mut rng, bits / 2))
+        .collect();
+    let start = Instant::now();
+    let products = engine.run_stream(&handle, &stream)?;
+    let elapsed = start.elapsed();
+    for (product, b) in products.iter().zip(&stream) {
+        assert_eq!(product, &Karatsuba.multiply(&a, b)?);
+    }
+    println!(
+        "{} cached-operand products in {elapsed:.2?}, bit-exact against karatsuba",
+        products.len()
     );
     Ok(())
 }

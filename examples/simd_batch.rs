@@ -1,12 +1,14 @@
-//! SIMD over encrypted bits: the batched DGHV variant (the paper's
-//! reference \[22\], Coron–Lepoint–Tibouchi) — many plaintext slots per
-//! ciphertext via the CRT, with slot-wise homomorphic operations riding on
-//! the same big-integer multiplication the accelerator provides.
+//! SIMD over encrypted bits, batch-first: the batched DGHV variant (the
+//! paper's reference \[22\], Coron–Lepoint–Tibouchi) with many plaintext
+//! slots per ciphertext, driven through the batch evaluation API — the
+//! recurring operand of a slot-wise AND sweep is prepared **once** and its
+//! forward transform amortized over the whole batch, exactly the traffic
+//! shape the accelerator targets.
 //!
 //! Run with: `cargo run --release -p he-accel --example simd_batch`
 
-use he_accel::dghv::batch::{BatchParams, BatchSecretKey};
-use he_accel::dghv::KaratsubaBackend;
+use he_accel::dghv::batch::{BatchCiphertext, BatchParams, BatchSecretKey};
+use he_accel::dghv::{KaratsubaBackend, SsaBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,27 +22,54 @@ fn main() -> Result<(), he_accel::dghv::DghvError> {
     let mut rng = StdRng::seed_from_u64(99);
     let key = BatchSecretKey::generate(params, &mut rng)?;
 
-    // Two bit-vectors, element-wise (a AND b) XOR (a XOR b) = a OR b.
-    let a = [true, false, true, false];
-    let b = [true, true, false, false];
-    println!("encrypting a = {a:?}");
-    println!("encrypting b = {b:?}");
-    let ca = key.encrypt(&a, &mut rng);
-    let cb = key.encrypt(&b, &mut rng);
+    // A server-side sweep: one encrypted mask ANDed against a batch of
+    // encrypted records — slots × batch plaintext ANDs on batch ciphertext
+    // products, with the mask's transform paid once.
+    let mask = [true, false, true, true];
+    let records = [
+        [true, true, false, false],
+        [false, true, true, false],
+        [true, true, true, true],
+    ];
+    println!("encrypting mask    = {mask:?}");
+    let cmask = key.encrypt(&mask, &mut rng);
+    let cts: Vec<BatchCiphertext> = records
+        .iter()
+        .map(|bits| {
+            println!("encrypting record  = {bits:?}");
+            key.encrypt(bits, &mut rng)
+        })
+        .collect();
 
-    println!("evaluating slot-wise OR with one ciphertext product + two additions…");
-    let and = key.mul(&KaratsubaBackend, &ca, &cb)?;
-    let xor = key.add(&ca, &cb);
-    let or = key.add(&and, &xor);
-
-    let decrypted = key.decrypt(&or);
-    let expected: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
-    println!("decrypted  a OR b = {decrypted:?}");
-    assert_eq!(decrypted, expected);
     println!(
-        "all {} slots correct — {} plaintext bits processed per ciphertext multiplication",
-        key.slots(),
+        "\nANDing the mask against {} records ({} plaintext bits per ciphertext product)…",
+        cts.len(),
         key.slots()
+    );
+    // The SSA backend caches the mask's forward spectrum across the batch;
+    // the classical backend cross-checks the results bit-for-bit.
+    let ssa = SsaBackend::for_gamma(params.base.gamma);
+    let products = key.mul_many(&ssa, &cmask, &cts)?;
+    let reference = key.mul_many(&KaratsubaBackend, &cmask, &cts)?;
+    assert_eq!(products, reference, "cached batch must be bit-exact");
+
+    for (product, bits) in products.iter().zip(&records) {
+        let decrypted = key.decrypt(product);
+        let expected: Vec<bool> = mask.iter().zip(bits).map(|(m, b)| m & b).collect();
+        println!("decrypted mask AND {bits:?} = {decrypted:?}");
+        assert_eq!(decrypted, expected);
+    }
+
+    // Slot-wise OR still composes from the batch results:
+    // a OR b = (a AND b) XOR a XOR b.
+    let or = key.add(&key.add(&products[0], &cmask), &cts[0]);
+    let expected: Vec<bool> = mask.iter().zip(&records[0]).map(|(m, b)| m | b).collect();
+    assert_eq!(key.decrypt(&or), expected);
+    println!(
+        "\nall {} slots correct across the batch — {} plaintext ANDs on {} ciphertext products",
+        key.slots(),
+        key.slots() * products.len(),
+        products.len()
     );
     Ok(())
 }
