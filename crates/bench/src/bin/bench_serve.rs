@@ -1,0 +1,243 @@
+//! Perf-trajectory point 3: the resident serving front.
+//!
+//! Emits `BENCH_serve.json` with products/sec for a micro-batched
+//! [`ProductServer`] at the paper's 786,432-bit operand size, against the
+//! inline one-cached batch rate at the same batch size (the acceptance
+//! bar: served throughput ≥ 80% of the one-cached batch rate at batch
+//! 64). Each timed round streams **fresh** right-hand operands, so the
+//! server's digest cache helps only with the recurring fixed operand —
+//! the honest comparison with `BENCH_batch.json`'s `batch_one_cached`
+//! mode, which also pays one fresh forward transform per product.
+//!
+//! Run with `cargo run --release -p he-bench --bin bench_serve`.
+//! `--quick` (the CI smoke mode) shrinks the plan to a 1024-point
+//! transform and a small batch so the binary finishes in seconds while
+//! still exercising submission, micro-batching, caching, deadline expiry
+//! and shutdown.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use he_accel::prelude::*;
+use he_bench::operand;
+use he_ssa::{SsaJob, PAPER_OPERAND_BITS};
+
+struct Round {
+    round: usize,
+    elapsed_ms: f64,
+    products_per_sec: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (bits, batch, rounds): (usize, usize, usize) = if quick {
+        (4_000, 8, 3)
+    } else {
+        (PAPER_OPERAND_BITS, 64, 3)
+    };
+    let backend = if quick {
+        SsaSoftware::for_operand_bits(bits).expect("quick plan fits")
+    } else {
+        SsaSoftware::paper()
+    };
+
+    he_bench::section(&format!(
+        "resident serving front, {bits}-bit operands, batch {batch}{}",
+        if quick { " (quick)" } else { "" }
+    ));
+
+    let fixed = operand(bits, 300);
+    // Fresh right-hand operands for every round: recurring traffic is the
+    // fixed operand only, as in a serving deployment.
+    let streams: Vec<Vec<UBig>> = (0..rounds)
+        .map(|r| {
+            (0..batch)
+                .map(|i| operand(bits, 400 + (r * batch + i) as u64))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<UBig>> = streams
+        .iter()
+        .map(|stream| {
+            stream
+                .iter()
+                .map(|b| backend.multiply(&fixed, b).expect("operands fit"))
+                .collect()
+        })
+        .collect();
+
+    // Inline baseline: the one-cached batch rate (the recurring operand's
+    // transform paid inside the timed region, amortized over the batch) —
+    // the same accounting as bench_batch's `batch_one_cached` mode.
+    let ssa = backend.inner();
+    let start = Instant::now();
+    let spectrum = ssa.transform(&fixed).expect("operand fits");
+    let jobs: Vec<SsaJob> = streams[0]
+        .iter()
+        .map(|b| SsaJob::OneCached(&spectrum, b))
+        .collect();
+    let products = ssa.multiply_batch(&jobs).expect("jobs fit");
+    let one_cached_elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(products, expected[0], "baseline must be bit-exact");
+    let one_cached_pps = batch as f64 / one_cached_elapsed;
+    println!(
+        "inline one-cached batch {batch:>4}: {:>10.1} ms  {:>10.2} products/s",
+        one_cached_elapsed * 1e3,
+        one_cached_pps
+    );
+
+    // The served path: a resident engine behind the micro-batching queue.
+    let server = ProductServer::spawn(
+        EvalEngine::new(backend.clone()),
+        ServeConfig {
+            queue_capacity: 2 * batch,
+            max_batch: batch,
+            max_delay: Duration::from_millis(50),
+            cache_capacity: 2 * batch,
+            ..ServeConfig::default()
+        },
+    );
+    // Warm-up round: caches the fixed operand's spectrum and grows the
+    // scratch pool, as a long-lived server would have long since done.
+    // Its stream operands are disjoint from every timed round, so no
+    // timed product gets an accidental both-cached head start.
+    let warm_stream: Vec<UBig> = (0..batch)
+        .map(|i| operand(bits, 900_000 + i as u64))
+        .collect();
+    let warm: Vec<ProductTicket> = warm_stream
+        .iter()
+        .map(|b| {
+            server
+                .submit(ProductRequest::new(fixed.clone(), b.clone()))
+                .expect("server alive")
+        })
+        .collect();
+    for (ticket, b) in warm.into_iter().zip(&warm_stream) {
+        assert_eq!(
+            ticket.wait().expect("served"),
+            backend.multiply(&fixed, b).expect("operands fit")
+        );
+    }
+
+    let mut round_runs: Vec<Round> = Vec::new();
+    for (round, (stream, want)) in streams.iter().zip(&expected).enumerate() {
+        let start = Instant::now();
+        let tickets: Vec<ProductTicket> = stream
+            .iter()
+            .map(|b| {
+                server
+                    .submit(ProductRequest::new(fixed.clone(), b.clone()))
+                    .expect("server alive")
+            })
+            .collect();
+        let results: Vec<UBig> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("served"))
+            .collect();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(&results, want, "served round {round} must be bit-exact");
+        round_runs.push(Round {
+            round,
+            elapsed_ms: elapsed * 1e3,
+            products_per_sec: batch as f64 / elapsed,
+        });
+    }
+    let stats = server.shutdown();
+
+    println!("{:>6}  {:>12}  {:>14}", "round", "elapsed ms", "products/s");
+    for run in &round_runs {
+        println!(
+            "{:>6}  {:>12.1}  {:>14.2}",
+            run.round, run.elapsed_ms, run.products_per_sec
+        );
+    }
+    // Median round, not best-of: a lucky round must not carry the
+    // acceptance gate.
+    let mut sorted_pps: Vec<f64> = round_runs.iter().map(|r| r.products_per_sec).collect();
+    sorted_pps.sort_by(f64::total_cmp);
+    let served_pps = sorted_pps[sorted_pps.len() / 2];
+    let ratio = served_pps / one_cached_pps;
+    println!(
+        "\nserved (median round) vs inline one-cached batch {batch}: {ratio:.2}x \
+         ({served_pps:.2} vs {one_cached_pps:.2} products/s)"
+    );
+    println!(
+        "server stats: {} flushes (largest {}), {} completed, {} cache hits / {} misses",
+        stats.flushes, stats.largest_flush, stats.completed, stats.cache_hits, stats.cache_misses
+    );
+
+    // Hand-rolled JSON (the workspace builds without a registry, so no
+    // serde); keys stay stable for downstream tooling.
+    let mut entries = String::new();
+    for (i, run) in round_runs.iter().enumerate() {
+        let _ = writeln!(
+            entries,
+            "    {{\"round\": {}, \"elapsed_ms\": {:.2}, \"products_per_sec\": {:.3}}}{}",
+            run.round,
+            run.elapsed_ms,
+            run.products_per_sec,
+            if i + 1 == round_runs.len() { "" } else { "," }
+        );
+    }
+    let json = format!(
+        "{{\n  \
+         \"operand_bits\": {bits},\n  \
+         \"batch\": {batch},\n  \
+         \"quick\": {quick},\n  \
+         \"one_cached_products_per_sec\": {one_cached_pps:.3},\n  \
+         \"served_products_per_sec\": {served_pps:.3},\n  \
+         \"served_vs_one_cached_ratio\": {ratio:.3},\n  \
+         \"flushes\": {},\n  \
+         \"largest_flush\": {},\n  \
+         \"cache_hits\": {},\n  \
+         \"cache_misses\": {},\n  \
+         \"rounds\": [\n{entries}  ]\n}}\n",
+        stats.flushes, stats.largest_flush, stats.cache_hits, stats.cache_misses
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    // The quick (CI smoke) timed regions are tiny and shared runners are
+    // noisy, so the ratio gate applies to the full run only; quick mode
+    // still exercises expiry and backpressure end to end.
+    let expired = server_expiry_smoke(&backend);
+    assert!(expired, "deadline-expiry path must answer with Expired");
+    if !quick {
+        assert!(
+            ratio >= 0.8,
+            "served throughput fell below 80% of the one-cached batch rate ({ratio:.3})"
+        );
+    }
+}
+
+/// Exercises the deadline-expiry and backpressure answers end to end;
+/// returns whether the expired job was answered with the typed error.
+fn server_expiry_smoke(backend: &SsaSoftware) -> bool {
+    let server = ProductServer::spawn(
+        EvalEngine::new(backend.clone()),
+        ServeConfig {
+            queue_capacity: 1,
+            max_batch: 4,
+            max_delay: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+    );
+    let doomed = server
+        .submit(
+            ProductRequest::new(UBig::from(3u64), UBig::from(5u64)).with_deadline(Duration::ZERO),
+        )
+        .expect("server alive");
+    let expired = matches!(doomed.wait(), Err(ServeError::Expired { .. }));
+    // try_submit either succeeds or sheds with the request handed back —
+    // both are valid under load; exercise the call path.
+    match server.try_submit(ProductRequest::new(UBig::from(2u64), UBig::from(9u64))) {
+        Ok(ticket) => {
+            let _ = ticket.wait();
+        }
+        Err(err) => {
+            let _ = err.into_request();
+        }
+    }
+    server.shutdown();
+    expired
+}

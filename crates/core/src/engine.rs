@@ -43,9 +43,69 @@
 
 use he_bigint::UBig;
 use he_hwsim::batch::PreparedOperand;
-use he_ssa::TransformedOperand;
+use he_ssa::{SsaParams, TransformedOperand};
 
 use crate::multiplier::{Multiplier, MultiplyError};
+
+/// Identity of the backend *instance* that prepared an [`OperandHandle`]:
+/// the backend name plus the transform geometry the cached spectrum was
+/// computed in.
+///
+/// The name alone is not enough — two differently-configured instances of
+/// the same backend (say `SsaSoftware::for_operand_bits(2_000)` and
+/// `::for_operand_bits(500_000)`) share a name but produce spectra of
+/// different lengths, and mixing them would yield a wrong product or a
+/// panic deep in the transform. Geometry-stamped handles turn that misuse
+/// into a typed [`MultiplyError::HandleMismatch`] before any work starts.
+/// Backends without a transform domain carry a zero geometry, so their
+/// handles stay valid across instances (unit-struct backends have no
+/// instance state to disagree on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandleProvenance {
+    backend: &'static str,
+    coeff_bits: u32,
+    n_points: usize,
+}
+
+impl HandleProvenance {
+    /// Provenance of a raw (transform-less) handle.
+    pub(crate) fn raw(backend: &'static str) -> HandleProvenance {
+        HandleProvenance {
+            backend,
+            coeff_bits: 0,
+            n_points: 0,
+        }
+    }
+
+    /// Provenance of a handle cached under an SSA transform plan.
+    pub(crate) fn transform(backend: &'static str, params: SsaParams) -> HandleProvenance {
+        HandleProvenance {
+            backend,
+            coeff_bits: params.coeff_bits(),
+            n_points: params.n_points(),
+        }
+    }
+
+    /// Name of the preparing backend.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// The preparing instance's transform geometry as
+    /// `(coefficient bits, transform points)`, or `None` for raw handles.
+    pub fn geometry(&self) -> Option<(u32, usize)> {
+        (self.n_points != 0).then_some((self.coeff_bits, self.n_points))
+    }
+}
+
+impl core::fmt::Display for HandleProvenance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.geometry() {
+            Some((m, n)) => write!(f, "{} (m={m}, N={n})", self.backend),
+            None => write!(f, "{} (raw)", self.backend),
+        }
+    }
+}
 
 /// An operand captured by [`Multiplier::prepare`] for reuse across many
 /// products.
@@ -54,11 +114,12 @@ use crate::multiplier::{Multiplier, MultiplyError};
 /// caches the operand's forward NTT spectrum, the hardware simulation
 /// caches the spectrum computed on the PE-array datapath, and the
 /// classical backends hold the raw integer. A handle is only valid with
-/// the backend that prepared it — using it elsewhere yields
+/// the backend **instance** that prepared it (same backend, same transform
+/// geometry — see [`HandleProvenance`]); using it elsewhere yields
 /// [`MultiplyError::HandleMismatch`].
 #[derive(Debug, Clone)]
 pub struct OperandHandle {
-    backend: &'static str,
+    provenance: HandleProvenance,
     repr: HandleRepr,
 }
 
@@ -73,13 +134,18 @@ pub(crate) enum HandleRepr {
 }
 
 impl OperandHandle {
-    pub(crate) fn new(backend: &'static str, repr: HandleRepr) -> OperandHandle {
-        OperandHandle { backend, repr }
+    pub(crate) fn new(provenance: HandleProvenance, repr: HandleRepr) -> OperandHandle {
+        OperandHandle { provenance, repr }
     }
 
     /// Name of the backend that prepared this handle.
     pub fn backend(&self) -> &'static str {
-        self.backend
+        self.provenance.backend
+    }
+
+    /// Full identity of the preparing backend instance.
+    pub fn provenance(&self) -> HandleProvenance {
+        self.provenance
     }
 
     /// Whether the handle holds a cached spectrum (saving forward
@@ -88,37 +154,37 @@ impl OperandHandle {
         !matches!(self.repr, HandleRepr::Raw(_))
     }
 
-    pub(crate) fn raw_checked(&self, backend: &'static str) -> Result<&UBig, MultiplyError> {
+    pub(crate) fn raw_checked(&self, expected: HandleProvenance) -> Result<&UBig, MultiplyError> {
         match &self.repr {
-            HandleRepr::Raw(raw) if self.backend == backend => Ok(raw),
-            _ => Err(self.mismatch(backend)),
+            HandleRepr::Raw(raw) if self.provenance == expected => Ok(raw),
+            _ => Err(self.mismatch(expected)),
         }
     }
 
     pub(crate) fn ssa_checked(
         &self,
-        backend: &'static str,
+        expected: HandleProvenance,
     ) -> Result<&TransformedOperand, MultiplyError> {
         match &self.repr {
-            HandleRepr::Ssa(spectrum) if self.backend == backend => Ok(spectrum),
-            _ => Err(self.mismatch(backend)),
+            HandleRepr::Ssa(spectrum) if self.provenance == expected => Ok(spectrum),
+            _ => Err(self.mismatch(expected)),
         }
     }
 
     pub(crate) fn hw_checked(
         &self,
-        backend: &'static str,
+        expected: HandleProvenance,
     ) -> Result<&PreparedOperand, MultiplyError> {
         match &self.repr {
-            HandleRepr::Hw(spectrum) if self.backend == backend => Ok(spectrum),
-            _ => Err(self.mismatch(backend)),
+            HandleRepr::Hw(spectrum) if self.provenance == expected => Ok(spectrum),
+            _ => Err(self.mismatch(expected)),
         }
     }
 
-    fn mismatch(&self, expected: &'static str) -> MultiplyError {
+    fn mismatch(&self, expected: HandleProvenance) -> MultiplyError {
         MultiplyError::HandleMismatch {
             expected,
-            found: self.backend,
+            found: self.provenance,
         }
     }
 }
@@ -226,21 +292,43 @@ impl<M: Multiplier + Sync> EvalEngine<M> {
     /// regardless of scheduling; native batch paths pre-validate handle
     /// provenance, see [`Multiplier::multiply_batch`]).
     pub fn run(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+        // Write-once slots: `UBig::zero()` holds no limbs, so this is one
+        // allocation for the spine — never `len` limb buffers — and each
+        // slot is first touched by its own job's result.
+        let mut out: Vec<UBig> = Vec::new();
+        out.resize_with(jobs.len(), UBig::zero);
+        self.run_into(jobs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`EvalEngine::run`] into a caller-owned result slice.
+    ///
+    /// Slots are written once each, and backends with pooled buffers (the
+    /// SSA multiplier) recompose directly into them — a slice reused
+    /// across batches keeps its limb capacity, so a warm serving loop pays
+    /// no per-product result allocations (see
+    /// [`he_ssa::SsaMultiplier::multiply_batch_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EvalEngine::run`]; on error the contents of
+    /// `out` are unspecified (successful jobs may have written their
+    /// slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs.len() != out.len()`.
+    pub fn run_into(&self, jobs: &[ProductJob<'_>], out: &mut [UBig]) -> Result<(), MultiplyError> {
         if self.threads == 0 {
-            return self.backend.multiply_batch(jobs);
+            return self.backend.multiply_batch_into(jobs, out);
         }
-        let mut out: Vec<UBig> = std::iter::repeat_with(UBig::zero)
-            .take(jobs.len())
-            .collect();
         // The sharding (contiguous runs, fair per-shard transform-thread
         // budgets, lowest-index error) lives in he-ntt's par module,
         // shared with the SSA multiplier's native batch path.
-        he_ntt::par::run_sharded_into(jobs, &mut out, self.workers(jobs.len()), |_, job, slot| {
-            *slot = self.backend.multiply_job(job)?;
-            Ok::<(), MultiplyError>(())
+        he_ntt::par::run_sharded_into(jobs, out, self.workers(jobs.len()), |_, job, slot| {
+            self.backend.multiply_job_into(job, slot)
         })
-        .map_err(|(_, error)| error)?;
-        Ok(out)
+        .map_err(|(_, error)| error)
     }
 
     /// Convenience for the dominant traffic shape: one recurring prepared
@@ -347,6 +435,71 @@ mod tests {
             Schoolbook.multiply_prepared(&raw, &raw).unwrap(),
             UBig::from(49u64)
         );
+    }
+
+    #[test]
+    fn handles_do_not_cross_instances_of_the_same_backend() {
+        // The foregrounded provenance bug: two differently-configured
+        // instances of the SAME backend share a name, but their transform
+        // geometries differ — using one's handle with the other must be a
+        // typed HandleMismatch, not a wrong product or a panic.
+        let x = UBig::from(12_345u64);
+        let small = SsaSoftware::for_operand_bits(2_000).unwrap();
+        let large = SsaSoftware::for_operand_bits(500_000).unwrap();
+        assert_ne!(small.provenance(), large.provenance());
+        let handle = small.prepare(&x).unwrap();
+        for err in [
+            large.multiply_one_prepared(&handle, &x).unwrap_err(),
+            large.multiply_prepared(&handle, &handle).unwrap_err(),
+            large
+                .multiply_batch(&[ProductJob::OnePrepared(&handle, &x)])
+                .unwrap_err(),
+            EvalEngine::new(large.clone())
+                .with_threads(2)
+                .run(&[
+                    ProductJob::Raw(&x, &x),
+                    ProductJob::OnePrepared(&handle, &x),
+                ])
+                .unwrap_err(),
+        ] {
+            match err {
+                MultiplyError::HandleMismatch { expected, found } => {
+                    assert_eq!(found, small.provenance());
+                    assert_eq!(expected, large.provenance());
+                    assert_eq!(found.backend(), expected.backend());
+                    assert_ne!(found.geometry(), expected.geometry());
+                }
+                other => panic!("expected HandleMismatch, got {other:?}"),
+            }
+        }
+        // Same geometry, different instance: spectra are interchangeable
+        // (the plans are deterministic), so this stays accepted.
+        let twin = SsaSoftware::for_operand_bits(2_000).unwrap();
+        assert_eq!(
+            twin.multiply_one_prepared(&handle, &x).unwrap(),
+            x.mul_schoolbook(&x)
+        );
+    }
+
+    #[test]
+    fn run_into_reuses_caller_slots() {
+        let xs = operands(7, 5, 1_200);
+        let engine = EvalEngine::new(SsaSoftware::for_operand_bits(1_200).unwrap());
+        let fixed = engine.prepare(&xs[0]).unwrap();
+        let jobs: Vec<ProductJob<'_>> = xs[1..]
+            .iter()
+            .map(|b| ProductJob::OnePrepared(&fixed, b))
+            .collect();
+        let mut out: Vec<UBig> = Vec::new();
+        out.resize_with(jobs.len(), UBig::zero);
+        engine.run_into(&jobs, &mut out).unwrap();
+        for (product, b) in out.iter().zip(&xs[1..]) {
+            assert_eq!(*product, xs[0].mul_schoolbook(b));
+        }
+        // A second batch into the same (now warm) slots stays bit-exact.
+        let again = out.clone();
+        engine.run_into(&jobs, &mut out).unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]

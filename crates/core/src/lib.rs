@@ -74,18 +74,27 @@ pub use he_ssa as ssa;
 pub mod engine;
 mod multiplier;
 mod selfcheck;
+pub mod serve;
 
-pub use engine::{EvalEngine, OperandHandle, ProductJob};
+pub use engine::{EvalEngine, HandleProvenance, OperandHandle, ProductJob};
 pub use multiplier::{
     HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
 };
 pub use selfcheck::{self_check, SelfCheckReport};
+pub use serve::{
+    ProductRequest, ProductServer, ProductTicket, ServeConfig, ServeError, ServeStats,
+    ServedMultiplier, SubmitError,
+};
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::engine::{EvalEngine, OperandHandle, ProductJob};
+    pub use crate::engine::{EvalEngine, HandleProvenance, OperandHandle, ProductJob};
     pub use crate::multiplier::{
         HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
+    };
+    pub use crate::serve::{
+        ProductRequest, ProductServer, ProductTicket, ServeConfig, ServeError, ServeStats,
+        ServedMultiplier, SubmitError,
     };
     pub use he_bigint::UBig;
     pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};

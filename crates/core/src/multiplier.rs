@@ -8,7 +8,7 @@ use he_hwsim::batch::{BatchReport, HwJob};
 use he_hwsim::HwSimError;
 use he_ssa::{SsaError, SsaJob, SsaMultiplier};
 
-use crate::engine::{HandleRepr, OperandHandle, ProductJob};
+use crate::engine::{HandleProvenance, HandleRepr, OperandHandle, ProductJob};
 
 /// Error from a multiplication backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,13 +17,14 @@ pub enum MultiplyError {
     Ssa(SsaError),
     /// Hardware-simulation error.
     HwSim(HwSimError),
-    /// An [`OperandHandle`] was used with a backend other than the one
-    /// that prepared it.
+    /// An [`OperandHandle`] was used with a backend instance other than
+    /// the one that prepared it — a different backend entirely, or the
+    /// same backend configured with a different transform geometry.
     HandleMismatch {
-        /// The backend the handle was used with.
-        expected: &'static str,
-        /// The backend that prepared the handle.
-        found: &'static str,
+        /// The backend instance the handle was used with.
+        expected: HandleProvenance,
+        /// The backend instance that prepared the handle.
+        found: HandleProvenance,
     },
 }
 
@@ -34,7 +35,7 @@ impl fmt::Display for MultiplyError {
             MultiplyError::HwSim(e) => write!(f, "{e}"),
             MultiplyError::HandleMismatch { expected, found } => write!(
                 f,
-                "operand handle was prepared by backend `{found}` but used with `{expected}`"
+                "operand handle was prepared by `{found}` but used with `{expected}`"
             ),
         }
     }
@@ -86,6 +87,15 @@ pub trait Multiplier {
     /// Backend name for reports.
     fn name(&self) -> &'static str;
 
+    /// Identity of this backend instance for handle stamping: the name
+    /// plus the transform geometry, so handles prepared by a
+    /// differently-configured instance of the *same* backend are rejected
+    /// instead of silently misused. The default (raw provenance, no
+    /// geometry) fits backends without per-instance transform state.
+    fn provenance(&self) -> HandleProvenance {
+        HandleProvenance::raw(self.name())
+    }
+
     /// Captures an operand for reuse across many products.
     ///
     /// Caching backends store the operand's forward spectrum; the default
@@ -96,7 +106,10 @@ pub trait Multiplier {
     /// Returns [`MultiplyError`] if the operand alone exceeds the
     /// backend's transform capacity.
     fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
-        Ok(OperandHandle::new(self.name(), HandleRepr::Raw(a.clone())))
+        Ok(OperandHandle::new(
+            self.provenance(),
+            HandleRepr::Raw(a.clone()),
+        ))
     }
 
     /// Multiplies two prepared operands.
@@ -104,14 +117,17 @@ pub trait Multiplier {
     /// # Errors
     ///
     /// Returns [`MultiplyError::HandleMismatch`] if either handle was
-    /// prepared by a different backend, plus the backend's usual capacity
-    /// conditions.
+    /// prepared by a different backend instance (name or transform
+    /// geometry differs), plus the backend's usual capacity conditions.
     fn multiply_prepared(
         &self,
         a: &OperandHandle,
         b: &OperandHandle,
     ) -> Result<UBig, MultiplyError> {
-        self.multiply(a.raw_checked(self.name())?, b.raw_checked(self.name())?)
+        self.multiply(
+            a.raw_checked(self.provenance())?,
+            b.raw_checked(self.provenance())?,
+        )
     }
 
     /// Multiplies a prepared operand by a raw integer.
@@ -120,7 +136,7 @@ pub trait Multiplier {
     ///
     /// Same conditions as [`Multiplier::multiply_prepared`].
     fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
-        self.multiply(a.raw_checked(self.name())?, b)
+        self.multiply(a.raw_checked(self.provenance())?, b)
     }
 
     /// Runs one batch job (dispatch over the three job kinds).
@@ -136,12 +152,44 @@ pub trait Multiplier {
         }
     }
 
+    /// Runs one batch job into a caller-owned slot (write-once; backends
+    /// with pooled buffers recompose directly into a warm slot).
+    ///
+    /// # Errors
+    ///
+    /// The job kind's conditions (see [`Multiplier::multiply_prepared`]);
+    /// the default leaves `out` unchanged on error.
+    fn multiply_job_into(&self, job: &ProductJob<'_>, out: &mut UBig) -> Result<(), MultiplyError> {
+        *out = self.multiply_job(job)?;
+        Ok(())
+    }
+
     /// Multiplies a batch of jobs, returning products in job order.
+    ///
+    /// Thin wrapper over [`Multiplier::multiply_batch_into`] (the slots
+    /// are write-once, so the only cost beyond the batch itself is the
+    /// returned vector's spine).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Multiplier::multiply_batch_into`].
+    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+        let mut out: Vec<UBig> = Vec::new();
+        out.resize_with(jobs.len(), UBig::zero);
+        self.multiply_batch_into(jobs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Multiplies a batch of jobs into a caller-owned result slice, in job
+    /// order.
     ///
     /// The default runs sequentially; backends with native batch support
     /// (the SSA multiplier's sharded scheduler, the accelerator's
     /// pipelined instruction stream) override it. For backend-agnostic
-    /// sharded execution use [`crate::engine::EvalEngine`].
+    /// sharded execution use [`crate::engine::EvalEngine`]. A slice
+    /// reused across batches keeps each slot's limb capacity, so warm
+    /// serving loops pay no per-product result allocations on the SSA
+    /// backend.
     ///
     /// # Errors
     ///
@@ -150,10 +198,34 @@ pub trait Multiplier {
     /// provenance for the *whole* batch before executing anything, so a
     /// [`MultiplyError::HandleMismatch`] at any index is reported before
     /// an earlier job's execution error — no work starts on a batch with
-    /// foreign handles.
-    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
-        jobs.iter().map(|job| self.multiply_job(job)).collect()
+    /// foreign handles. On error the contents of `out` are unspecified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs.len() != out.len()`.
+    fn multiply_batch_into(
+        &self,
+        jobs: &[ProductJob<'_>],
+        out: &mut [UBig],
+    ) -> Result<(), MultiplyError> {
+        assert_eq!(
+            jobs.len(),
+            out.len(),
+            "one result slot per job ({} jobs, {} slots)",
+            jobs.len(),
+            out.len()
+        );
+        for (job, slot) in jobs.iter().zip(out.iter_mut()) {
+            self.multiply_job_into(job, slot)?;
+        }
+        Ok(())
     }
+
+    /// Releases idle working memory the backend retains between products
+    /// (scratch pools, staging buffers). The default is a no-op; the SSA
+    /// backend frees its idle scratch units. Long-lived servers call this
+    /// when traffic goes quiet — the next product re-grows what it needs.
+    fn trim_resources(&self) {}
 }
 
 // Full delegation (not just the required methods), so backend overrides —
@@ -166,6 +238,10 @@ impl<M: Multiplier + ?Sized> Multiplier for &M {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn provenance(&self) -> HandleProvenance {
+        (**self).provenance()
     }
 
     fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
@@ -188,8 +264,24 @@ impl<M: Multiplier + ?Sized> Multiplier for &M {
         (**self).multiply_job(job)
     }
 
+    fn multiply_job_into(&self, job: &ProductJob<'_>, out: &mut UBig) -> Result<(), MultiplyError> {
+        (**self).multiply_job_into(job, out)
+    }
+
     fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
         (**self).multiply_batch(jobs)
+    }
+
+    fn multiply_batch_into(
+        &self,
+        jobs: &[ProductJob<'_>],
+        out: &mut [UBig],
+    ) -> Result<(), MultiplyError> {
+        (**self).multiply_batch_into(jobs, out)
+    }
+
+    fn trim_resources(&self) {
+        (**self).trim_resources();
     }
 }
 
@@ -267,22 +359,22 @@ impl SsaSoftware {
 }
 
 impl SsaSoftware {
-    /// Lowers engine-level jobs to native [`SsaJob`]s, verifying handle
-    /// provenance.
+    /// Lowers one engine-level job to a native [`SsaJob`], verifying
+    /// handle provenance (backend *and* transform geometry).
+    fn lower_job<'a>(&self, job: ProductJob<'a>) -> Result<SsaJob<'a>, MultiplyError> {
+        let provenance = self.provenance();
+        Ok(match job {
+            ProductJob::Prepared(a, b) => {
+                SsaJob::BothCached(a.ssa_checked(provenance)?, b.ssa_checked(provenance)?)
+            }
+            ProductJob::OnePrepared(a, b) => SsaJob::OneCached(a.ssa_checked(provenance)?, b),
+            ProductJob::Raw(a, b) => SsaJob::Uncached(a, b),
+        })
+    }
+
+    /// [`SsaSoftware::lower_job`] over a whole batch.
     fn lower_jobs<'a>(&self, jobs: &'a [ProductJob<'_>]) -> Result<Vec<SsaJob<'a>>, MultiplyError> {
-        jobs.iter()
-            .map(|job| {
-                Ok(match job {
-                    ProductJob::Prepared(a, b) => {
-                        SsaJob::BothCached(a.ssa_checked(self.name())?, b.ssa_checked(self.name())?)
-                    }
-                    ProductJob::OnePrepared(a, b) => {
-                        SsaJob::OneCached(a.ssa_checked(self.name())?, b)
-                    }
-                    ProductJob::Raw(a, b) => SsaJob::Uncached(a, b),
-                })
-            })
-            .collect()
+        jobs.iter().map(|job| self.lower_job(*job)).collect()
     }
 }
 
@@ -295,9 +387,13 @@ impl Multiplier for SsaSoftware {
         "ssa-software"
     }
 
+    fn provenance(&self) -> HandleProvenance {
+        HandleProvenance::transform(self.name(), self.inner.params())
+    }
+
     fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
         Ok(OperandHandle::new(
-            self.name(),
+            self.provenance(),
             HandleRepr::Ssa(self.inner.transform(a)?),
         ))
     }
@@ -307,21 +403,36 @@ impl Multiplier for SsaSoftware {
         a: &OperandHandle,
         b: &OperandHandle,
     ) -> Result<UBig, MultiplyError> {
+        let provenance = self.provenance();
         Ok(self
             .inner
-            .multiply_transformed(a.ssa_checked(self.name())?, b.ssa_checked(self.name())?)?)
+            .multiply_transformed(a.ssa_checked(provenance)?, b.ssa_checked(provenance)?)?)
     }
 
     fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
         Ok(self
             .inner
-            .multiply_one_cached(a.ssa_checked(self.name())?, b)?)
+            .multiply_one_cached(a.ssa_checked(self.provenance())?, b)?)
     }
 
-    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
+    fn multiply_job_into(&self, job: &ProductJob<'_>, out: &mut UBig) -> Result<(), MultiplyError> {
+        Ok(self.inner.multiply_job_into(self.lower_job(*job)?, out)?)
+    }
+
+    fn multiply_batch_into(
+        &self,
+        jobs: &[ProductJob<'_>],
+        out: &mut [UBig],
+    ) -> Result<(), MultiplyError> {
         // Native sharded batch: workers check private scratch units out of
-        // the multiplier's pool.
-        Ok(self.inner.multiply_batch(&self.lower_jobs(jobs)?)?)
+        // the multiplier's pool and recompose into the caller's slots.
+        Ok(self
+            .inner
+            .multiply_batch_into(&self.lower_jobs(jobs)?, out)?)
+    }
+
+    fn trim_resources(&self) {
+        self.inner.trim_scratch();
     }
 }
 
@@ -381,16 +492,17 @@ impl HardwareSim {
     }
 
     /// Lowers engine-level jobs to native [`HwJob`]s, verifying handle
-    /// provenance.
+    /// provenance (backend *and* transform geometry).
     fn lower_jobs<'a>(&self, jobs: &'a [ProductJob<'_>]) -> Result<Vec<HwJob<'a>>, MultiplyError> {
+        let provenance = Multiplier::provenance(self);
         jobs.iter()
             .map(|job| {
                 Ok(match job {
                     ProductJob::Prepared(a, b) => {
-                        HwJob::BothPrepared(a.hw_checked(self.name())?, b.hw_checked(self.name())?)
+                        HwJob::BothPrepared(a.hw_checked(provenance)?, b.hw_checked(provenance)?)
                     }
                     ProductJob::OnePrepared(a, b) => {
-                        HwJob::OnePrepared(a.hw_checked(self.name())?, b)
+                        HwJob::OnePrepared(a.hw_checked(provenance)?, b)
                     }
                     ProductJob::Raw(a, b) => HwJob::Raw(a, b),
                 })
@@ -408,9 +520,16 @@ impl Multiplier for HardwareSim {
         "accelerator-sim"
     }
 
+    fn provenance(&self) -> HandleProvenance {
+        HandleProvenance::transform(self.name(), self.inner.params())
+    }
+
     fn prepare(&self, a: &UBig) -> Result<OperandHandle, MultiplyError> {
         let (prepared, _) = self.inner.prepare(a)?;
-        Ok(OperandHandle::new(self.name(), HandleRepr::Hw(prepared)))
+        Ok(OperandHandle::new(
+            Multiplier::provenance(self),
+            HandleRepr::Hw(prepared),
+        ))
     }
 
     fn multiply_prepared(
@@ -418,21 +537,39 @@ impl Multiplier for HardwareSim {
         a: &OperandHandle,
         b: &OperandHandle,
     ) -> Result<UBig, MultiplyError> {
+        let provenance = Multiplier::provenance(self);
         Ok(self
             .inner
-            .multiply_prepared(a.hw_checked(self.name())?, b.hw_checked(self.name())?)?
+            .multiply_prepared(a.hw_checked(provenance)?, b.hw_checked(provenance)?)?
             .0)
     }
 
     fn multiply_one_prepared(&self, a: &OperandHandle, b: &UBig) -> Result<UBig, MultiplyError> {
         Ok(self
             .inner
-            .multiply_one_prepared(a.hw_checked(self.name())?, b)?
+            .multiply_one_prepared(a.hw_checked(Multiplier::provenance(self))?, b)?
             .0)
     }
 
-    fn multiply_batch(&self, jobs: &[ProductJob<'_>]) -> Result<Vec<UBig>, MultiplyError> {
-        Ok(self.multiply_batch_with_report(jobs)?.0)
+    fn multiply_batch_into(
+        &self,
+        jobs: &[ProductJob<'_>],
+        out: &mut [UBig],
+    ) -> Result<(), MultiplyError> {
+        assert_eq!(
+            jobs.len(),
+            out.len(),
+            "one result slot per job ({} jobs, {} slots)",
+            jobs.len(),
+            out.len()
+        );
+        // Native pipelined batch: provenance is validated for the whole
+        // batch before the instruction stream starts.
+        let (products, _) = self.multiply_batch_with_report(jobs)?;
+        for (slot, product) in out.iter_mut().zip(products) {
+            *slot = product;
+        }
+        Ok(())
     }
 }
 

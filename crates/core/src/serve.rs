@@ -1,0 +1,1013 @@
+//! The resident serving front: a job queue feeding one long-lived
+//! [`EvalEngine`].
+//!
+//! The paper's accelerator pays off when it sits *resident* — a fixed
+//! device fed a stream of 786,432-bit products — not when it is driven as
+//! a one-shot function. This module is the host-side shape of that
+//! deployment: a [`ProductServer`] owns an engine on a dedicated worker
+//! thread and accepts [`ProductRequest`]s through a **bounded** submission
+//! queue:
+//!
+//! * [`ProductServer::submit`] blocks while the queue is full (natural
+//!   backpressure for cooperating producers);
+//! * [`ProductServer::try_submit`] returns [`SubmitError::Full`]
+//!   immediately, handing the request back for load shedding;
+//! * pending jobs are **micro-batched**: a flush runs when
+//!   [`ServeConfig::max_batch`] jobs are waiting or the oldest has waited
+//!   [`ServeConfig::max_delay`], whichever comes first, and the whole
+//!   flush goes through [`EvalEngine::run`] as one batch;
+//! * each job's result comes back through its [`ProductTicket`] in
+//!   submission order, and a job whose deadline passed before execution is
+//!   answered with [`ServeError::Expired`] instead of being run.
+//!
+//! On top of the queue sits a **prepared-handle cache** (LRU, keyed by the
+//! operand's digest): every operand of a flushed job is pushed through
+//! [`Multiplier::prepare`] once and the handle retained, so a recurring
+//! operand — a running accumulator, a fixed key element, a SIMD mask —
+//! automatically lands on the one-cached/both-cached rungs of the batch
+//! ladder without the caller managing handles at all. Preparing on first
+//! sight is free in transform count: `prepare(a) + prepare(b) +
+//! pointwise + inverse` is the same three transforms as an uncached
+//! product, and every recurrence afterwards saves its forward pass.
+//!
+//! [`ServedMultiplier`] closes the loop with the DGHV layer: it implements
+//! [`he_dghv::CiphertextMultiplier`] by submitting to a server, so circuit
+//! evaluation (`CircuitEvaluator::and_tree`, comparator sweeps) schedules
+//! whole levels as one micro-batch through the resident engine.
+//!
+//! # Example
+//!
+//! ```
+//! use he_accel::prelude::*;
+//!
+//! let engine = EvalEngine::new(SsaSoftware::for_operand_bits(256)?);
+//! let server = ProductServer::spawn(engine, ServeConfig::default());
+//! let a = UBig::from(123_456_789u64);
+//! let tickets: Vec<ProductTicket> = (1..=4u64)
+//!     .map(|k| {
+//!         server
+//!             .submit(ProductRequest::new(a.clone(), UBig::from(k)))
+//!             .expect("server alive")
+//!     })
+//!     .collect();
+//! for (k, ticket) in (1..=4u64).zip(tickets) {
+//!     assert_eq!(ticket.wait().expect("served"), &a * &UBig::from(k));
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 4);
+//! # Ok::<(), he_accel::MultiplyError>(())
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use he_bigint::UBig;
+use he_dghv::{CiphertextMultiplier, PreparedFactor};
+
+use crate::engine::{EvalEngine, OperandHandle, ProductJob};
+use crate::multiplier::{Multiplier, MultiplyError};
+
+/// Tuning knobs of a [`ProductServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded submission-queue depth: [`ProductServer::submit`] blocks
+    /// and [`ProductServer::try_submit`] sheds once this many jobs wait
+    /// beyond the worker's current micro-batch (minimum 1).
+    pub queue_capacity: usize,
+    /// Flush a micro-batch when this many jobs are pending (minimum 1).
+    pub max_batch: usize,
+    /// Flush a micro-batch when the oldest pending job has waited this
+    /// long, even if the batch is not full — bounds added latency under
+    /// light traffic.
+    pub max_delay: Duration,
+    /// Prepared-handle cache entries retained (LRU); `0` disables caching
+    /// and every job runs as a raw three-transform product. Each entry
+    /// holds the operand plus its full cached spectrum (at the paper's
+    /// 64K-point plan roughly 0.6 MB), so this knob bounds the server's
+    /// resident memory. Backends whose handles cache nothing (the
+    /// classical algorithms) disable the cache automatically.
+    pub cache_capacity: usize,
+    /// After this long with no traffic the worker releases the backend's
+    /// idle working memory ([`Multiplier::trim_resources`]) **and** the
+    /// prepared-handle cache — a resident server must not pin a burst's
+    /// worth of multi-MB scratch and spectra forever. The next burst
+    /// re-prepares the operands it actually reuses.
+    pub idle_trim_after: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch: 64,
+            max_delay: Duration::from_millis(5),
+            cache_capacity: 128,
+            idle_trim_after: Duration::from_millis(250),
+        }
+    }
+}
+
+/// One product job: two owned operands and an optional deadline.
+#[derive(Debug, Clone)]
+pub struct ProductRequest {
+    a: UBig,
+    b: UBig,
+    deadline: Option<Instant>,
+}
+
+impl ProductRequest {
+    /// A request to multiply `a · b` with no deadline.
+    pub fn new(a: UBig, b: UBig) -> ProductRequest {
+        ProductRequest {
+            a,
+            b,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a deadline `timeout` from now: if the job has not
+    /// *started executing* by then, it is answered with
+    /// [`ServeError::Expired`] instead of occupying the engine. A
+    /// deadline inside the micro-batch window pulls its flush earlier
+    /// (scheduled a small margin before the deadline so execution starts
+    /// in time); deadlines tighter than that scheduling margin (~0.5 ms)
+    /// are best-effort even on an idle server.
+    pub fn with_deadline(mut self, timeout: Duration) -> ProductRequest {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// The operands.
+    pub fn operands(&self) -> (&UBig, &UBig) {
+        (&self.a, &self.b)
+    }
+}
+
+/// Why a served product failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The job's deadline had already passed when the worker dequeued it
+    /// (a deadline still ahead at dequeue is honored — the flush is
+    /// pulled to start before it).
+    Expired {
+        /// How far past the deadline the worker's dequeue found the job.
+        missed_by: Duration,
+    },
+    /// The backend rejected the product (capacity, parameters).
+    Multiply(MultiplyError),
+    /// The server shut down before delivering a result.
+    Closed,
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Expired { missed_by } => {
+                write!(f, "job deadline expired {missed_by:?} before execution")
+            }
+            ServeError::Multiply(e) => write!(f, "{e}"),
+            ServeError::Closed => write!(f, "product server closed before delivering a result"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Multiply(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MultiplyError> for ServeError {
+    fn from(e: MultiplyError) -> ServeError {
+        ServeError::Multiply(e)
+    }
+}
+
+/// Why a submission was not accepted; the request is handed back so the
+/// caller can retry, reroute or shed it.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is full (only [`ProductServer::try_submit`]
+    /// reports this; [`ProductServer::submit`] blocks instead).
+    Full(ProductRequest),
+    /// The server's worker is gone.
+    Closed(ProductRequest),
+}
+
+impl SubmitError {
+    /// Recovers the rejected request.
+    pub fn into_request(self) -> ProductRequest {
+        match self {
+            SubmitError::Full(request) | SubmitError::Closed(request) => request,
+        }
+    }
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::Full(_) => write!(f, "submission queue is full"),
+            SubmitError::Closed(_) => write!(f, "product server is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Claim on one submitted job's result.
+#[derive(Debug)]
+pub struct ProductTicket {
+    rx: mpsc::Receiver<Result<UBig, ServeError>>,
+}
+
+impl ProductTicket {
+    /// Blocks until the job's micro-batch is flushed and returns the
+    /// product (or the job's typed failure).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Expired`] when the deadline passed before execution,
+    /// [`ServeError::Multiply`] when the backend rejected the product, and
+    /// [`ServeError::Closed`] when the server shut down first.
+    pub fn wait(self) -> Result<UBig, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// Lifetime counters of a server, returned by [`ProductServer::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Micro-batches flushed.
+    pub flushes: u64,
+    /// Jobs answered with a product.
+    pub completed: u64,
+    /// Jobs answered with a backend error.
+    pub failed: u64,
+    /// Jobs answered with [`ServeError::Expired`].
+    pub expired: u64,
+    /// Operand lookups that hit a cached prepared handle.
+    pub cache_hits: u64,
+    /// Operand lookups that paid a fresh preparation.
+    pub cache_misses: u64,
+    /// Largest single flush, in jobs.
+    pub largest_flush: usize,
+    /// Idle-trim passes (backend scratch released after a quiet period).
+    pub idle_trims: u64,
+}
+
+/// How far before a job's deadline its flush is scheduled, covering the
+/// worker's wakeup-and-dispatch latency: a flush fired *at* the deadline
+/// would start execution just past it and expire the very job the early
+/// flush was meant to save.
+const DEADLINE_SCHEDULING_MARGIN: Duration = Duration::from_micros(500);
+
+struct Submitted {
+    request: ProductRequest,
+    enqueued: Instant,
+    /// When the worker dequeued the job (stamped on pop; equals
+    /// `enqueued` until then). Deadline expiry compares against this: a
+    /// deadline already past at dequeue is hopeless, while one still
+    /// ahead is honored by pulling the flush to start before it — so
+    /// expiry is decided by the ordering of two events, not by how fast
+    /// the worker happens to wake.
+    seen: Instant,
+    reply: mpsc::Sender<Result<UBig, ServeError>>,
+}
+
+/// Stamps a freshly dequeued job with the worker-side pickup instant.
+fn dequeued(mut job: Submitted) -> Submitted {
+    job.seen = Instant::now();
+    job
+}
+
+/// A resident serving front: one worker thread owning an [`EvalEngine`],
+/// fed by a bounded queue of [`ProductRequest`]s (see the
+/// [module docs](crate::serve) for the full contract).
+pub struct ProductServer {
+    tx: Option<mpsc::SyncSender<Submitted>>,
+    worker: Option<JoinHandle<ServeStats>>,
+}
+
+impl core::fmt::Debug for ProductServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProductServer")
+            .field("open", &self.tx.is_some())
+            .finish()
+    }
+}
+
+impl ProductServer {
+    /// Spawns the worker thread; the engine moves in and stays resident
+    /// until [`ProductServer::shutdown`] (or drop).
+    pub fn spawn<M>(engine: EvalEngine<M>, config: ServeConfig) -> ProductServer
+    where
+        M: Multiplier + Send + Sync + 'static,
+    {
+        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
+        let worker = std::thread::Builder::new()
+            .name("he-product-server".into())
+            .spawn(move || Worker::new(engine, config).run(rx))
+            .expect("spawn product-server worker");
+        ProductServer {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    fn sender(&self) -> &mpsc::SyncSender<Submitted> {
+        self.tx.as_ref().expect("sender present until shutdown")
+    }
+
+    /// Submits a job, **blocking** while the bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] (with the request handed back) if the
+    /// worker is gone.
+    pub fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        match self.sender().send(Submitted {
+            request,
+            enqueued,
+            seen: enqueued,
+            reply,
+        }) {
+            Ok(()) => Ok(ProductTicket { rx }),
+            Err(mpsc::SendError(submitted)) => Err(SubmitError::Closed(submitted.request)),
+        }
+    }
+
+    /// Submits a job without blocking: a full queue returns
+    /// [`SubmitError::Full`] with the request handed back — the
+    /// backpressure signal for load-shedding producers.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] if the worker is gone.
+    pub fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        match self.sender().try_send(Submitted {
+            request,
+            enqueued,
+            seen: enqueued,
+            reply,
+        }) {
+            Ok(()) => Ok(ProductTicket { rx }),
+            Err(mpsc::TrySendError::Full(submitted)) => Err(SubmitError::Full(submitted.request)),
+            Err(mpsc::TrySendError::Disconnected(submitted)) => {
+                Err(SubmitError::Closed(submitted.request))
+            }
+        }
+    }
+
+    /// Closes the queue, drains every already-accepted job, joins the
+    /// worker and returns its lifetime counters.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker-thread panic (tickets of undelivered jobs
+    /// report [`ServeError::Closed`]).
+    pub fn shutdown(mut self) -> ServeStats {
+        drop(self.tx.take());
+        self.worker
+            .take()
+            .map(|w| w.join().expect("product-server worker panicked"))
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for ProductServer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            // Drain-and-join; a worker panic surfaces through tickets as
+            // `Closed`, not through drop.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker-side state: engine, cache, counters.
+struct Worker<M> {
+    engine: EvalEngine<M>,
+    config: ServeConfig,
+    cache: HandleCache,
+    stats: ServeStats,
+}
+
+impl<M: Multiplier + Sync> Worker<M> {
+    fn new(engine: EvalEngine<M>, config: ServeConfig) -> Worker<M> {
+        Worker {
+            engine,
+            config,
+            cache: HandleCache::new(config.cache_capacity),
+            stats: ServeStats::default(),
+        }
+    }
+
+    fn run(mut self, rx: mpsc::Receiver<Submitted>) -> ServeStats {
+        let mut pending: Vec<Submitted> = Vec::new();
+        'serve: loop {
+            if pending.is_empty() {
+                // Quiet queue: wait one idle window, release the
+                // backend's scratch, then block until traffic returns.
+                match rx.recv_timeout(self.config.idle_trim_after) {
+                    Ok(job) => pending.push(dequeued(job)),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Release what residency costs when traffic is
+                        // quiet: the backend's scratch units and the
+                        // cached spectra (both multi-MB at paper scale);
+                        // the next burst re-prepares what it reuses.
+                        self.engine.backend().trim_resources();
+                        self.cache.clear();
+                        self.stats.idle_trims += 1;
+                        match rx.recv() {
+                            Ok(job) => pending.push(dequeued(job)),
+                            Err(_) => break 'serve,
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break 'serve,
+                }
+            }
+            // Fill the micro-batch until it is full or the flush deadline
+            // (oldest job's age bound, pulled earlier by job deadlines)
+            // arrives.
+            while pending.len() < self.config.max_batch.max(1) {
+                let flush_at = self.flush_deadline(&pending);
+                let now = Instant::now();
+                if now >= flush_at {
+                    break;
+                }
+                match rx.recv_timeout(flush_at - now) {
+                    Ok(job) => pending.push(dequeued(job)),
+                    Err(mpsc::RecvTimeoutError::Timeout) => break,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            // The batch ships now, but jobs already sitting in the queue
+            // ride along for free (no waiting). Without this, a backlog —
+            // jobs older than `max_delay` the moment they are popped —
+            // would degrade every flush to a single job exactly when
+            // batching matters most.
+            while pending.len() < self.config.max_batch.max(1) {
+                match rx.try_recv() {
+                    Ok(job) => pending.push(dequeued(job)),
+                    Err(_) => break,
+                }
+            }
+            self.flush(&mut pending);
+        }
+        // The queue is closed and `recv` drained every accepted job.
+        self.stats
+    }
+
+    /// When the batch currently forming must flush: the oldest job's age
+    /// bound, pulled earlier by any job deadline (running a job *before*
+    /// its deadline beats expiring it at the full batch window). The
+    /// deadline pull is scheduled [`DEADLINE_SCHEDULING_MARGIN`] *before*
+    /// the deadline itself, so the job has started executing — not just
+    /// been scheduled — by the instant it promised; a flush fired exactly
+    /// at the deadline would always find the job microseconds expired.
+    fn flush_deadline(&self, pending: &[Submitted]) -> Instant {
+        let oldest = pending
+            .iter()
+            .map(|j| j.enqueued)
+            .min()
+            .expect("flush_deadline on non-empty batch");
+        pending
+            .iter()
+            .filter_map(|j| j.request.deadline)
+            .map(|d| d.checked_sub(DEADLINE_SCHEDULING_MARGIN).unwrap_or(d))
+            .fold(oldest + self.config.max_delay, Instant::min)
+    }
+
+    fn flush(&mut self, pending: &mut Vec<Submitted>) {
+        if pending.is_empty() {
+            return;
+        }
+        self.stats.flushes += 1;
+        self.stats.largest_flush = self.stats.largest_flush.max(pending.len());
+        // Expire jobs whose deadline had already passed when the worker
+        // dequeued them — they were hopeless before the server could act,
+        // and cost the engine nothing. A deadline still ahead at dequeue
+        // is honored: the fill loop pulled this flush to start before it,
+        // so the decision is the ordering of two recorded events, not a
+        // race against the worker's wakeup latency.
+        let mut live: Vec<Submitted> = Vec::with_capacity(pending.len());
+        for job in pending.drain(..) {
+            match job.request.deadline {
+                Some(deadline) if deadline < job.seen => {
+                    self.stats.expired += 1;
+                    let _ = job.reply.send(Err(ServeError::Expired {
+                        missed_by: job.seen.saturating_duration_since(deadline),
+                    }));
+                }
+                _ => live.push(job),
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        // Phase 1 (cache writes): make sure every operand has a prepared
+        // handle, paying each digest's forward transform at most once. An
+        // operand the backend cannot prepare simply stays uncached — the
+        // job then runs raw and surfaces the backend's own error.
+        for job in &live {
+            for operand in [&job.request.a, &job.request.b] {
+                match self.cache.ensure(&self.engine, operand) {
+                    CacheOutcome::Hit => self.stats.cache_hits += 1,
+                    CacheOutcome::Miss => self.stats.cache_misses += 1,
+                    CacheOutcome::Disabled | CacheOutcome::Unpreparable => {}
+                }
+            }
+        }
+        // Phase 2 (cache reads only): assemble the batch on the cached
+        // handles and run it as one unit.
+        let cache = &self.cache;
+        let engine = &self.engine;
+        let jobs: Vec<ProductJob<'_>> = live
+            .iter()
+            .map(|job| {
+                let (a, b) = (&job.request.a, &job.request.b);
+                match (cache.get(a), cache.get(b)) {
+                    (Some(ha), Some(hb)) => ProductJob::Prepared(ha, hb),
+                    (Some(ha), None) => ProductJob::OnePrepared(ha, b),
+                    // Multiplication commutes, so a lone cached `b` still
+                    // saves its forward transform.
+                    (None, Some(hb)) => ProductJob::OnePrepared(hb, a),
+                    (None, None) => ProductJob::Raw(a, b),
+                }
+            })
+            .collect();
+        let outcomes: Vec<Result<UBig, ServeError>> = match engine.run(&jobs) {
+            Ok(products) => products.into_iter().map(Ok).collect(),
+            // A batch reports only its lowest-index error; rerun each job
+            // alone so one oversized product does not poison its
+            // batch-mates.
+            Err(_) => jobs
+                .iter()
+                .map(|job| {
+                    engine
+                        .run(std::slice::from_ref(job))
+                        .map(|mut v| v.pop().expect("one product per job"))
+                        .map_err(ServeError::Multiply)
+                })
+                .collect(),
+        };
+        drop(jobs);
+        for (job, outcome) in live.into_iter().zip(outcomes) {
+            match &outcome {
+                Ok(_) => self.stats.completed += 1,
+                Err(_) => self.stats.failed += 1,
+            }
+            // A dropped ticket is a caller that stopped listening — fine.
+            let _ = job.reply.send(outcome);
+        }
+        // Evict only after the batch ran: every handle it borrowed was
+        // live, so the cache may transiently exceed its capacity within a
+        // single flush.
+        self.cache.evict_to_capacity();
+    }
+}
+
+/// Outcome of a cache lookup-or-prepare.
+enum CacheOutcome {
+    Hit,
+    Miss,
+    /// Caching is off (`cache_capacity == 0`).
+    Disabled,
+    /// The backend could not prepare the operand (e.g. it exceeds the
+    /// transform's single-operand capacity); the job runs raw.
+    Unpreparable,
+}
+
+struct CacheSlot {
+    operand: UBig,
+    handle: OperandHandle,
+    last_used: u64,
+}
+
+/// LRU cache of prepared operand handles, keyed by the operand's 64-bit
+/// digest (collisions are verified against the stored operand, so a
+/// digest clash can never serve the wrong spectrum).
+struct HandleCache {
+    capacity: usize,
+    tick: u64,
+    len: usize,
+    entries: HashMap<u64, Vec<CacheSlot>>,
+}
+
+fn digest(operand: &UBig) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    operand.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl HandleCache {
+    fn new(capacity: usize) -> HandleCache {
+        HandleCache {
+            capacity,
+            tick: 0,
+            len: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks the operand up, preparing and inserting it on a miss.
+    fn ensure<M: Multiplier>(&mut self, engine: &EvalEngine<M>, operand: &UBig) -> CacheOutcome {
+        if self.capacity == 0 {
+            return CacheOutcome::Disabled;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let key = digest(operand);
+        if let Some(slot) = self
+            .entries
+            .get_mut(&key)
+            .and_then(|chain| chain.iter_mut().find(|s| s.operand == *operand))
+        {
+            slot.last_used = tick;
+            return CacheOutcome::Hit;
+        }
+        // Only a successful, spectrum-bearing preparation touches the
+        // map: inserting the chain speculatively would leak one empty
+        // entry per distinct unpreparable operand for the server's
+        // lifetime.
+        match engine.prepare(operand) {
+            Ok(handle) if handle.is_cached() => {
+                self.entries.entry(key).or_default().push(CacheSlot {
+                    operand: operand.clone(),
+                    handle,
+                    last_used: tick,
+                });
+                self.len += 1;
+                CacheOutcome::Miss
+            }
+            // A raw-fallback backend caches no spectrum, so retaining
+            // handles would only clone operands into resident memory for
+            // zero transform savings — turn the cache off for good.
+            Ok(_) => {
+                self.capacity = 0;
+                self.clear();
+                CacheOutcome::Disabled
+            }
+            Err(_) => CacheOutcome::Unpreparable,
+        }
+    }
+
+    /// Drops every cached handle (capacity and auto-disable state are
+    /// kept); the next flush re-prepares what it needs.
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.len = 0;
+    }
+
+    /// Read-only lookup (no recency update; phase 2 of a flush).
+    fn get(&self, operand: &UBig) -> Option<&OperandHandle> {
+        self.entries
+            .get(&digest(operand))?
+            .iter()
+            .find(|s| s.operand == *operand)
+            .map(|s| &s.handle)
+    }
+
+    /// Evicts least-recently-used entries until the capacity holds.
+    fn evict_to_capacity(&mut self) {
+        while self.len > self.capacity {
+            let Some((&key, oldest_tick)) = self
+                .entries
+                .iter()
+                .filter_map(|(key, chain)| {
+                    chain.iter().map(|s| s.last_used).min().map(|t| (key, t))
+                })
+                .min_by_key(|&(_, tick)| tick)
+            else {
+                return;
+            };
+            let chain = self.entries.get_mut(&key).expect("chain just found");
+            chain.retain(|s| s.last_used != oldest_tick);
+            if chain.is_empty() {
+                self.entries.remove(&key);
+            }
+            self.len = self.entries.values().map(Vec::len).sum();
+        }
+    }
+}
+
+/// A [`CiphertextMultiplier`] that routes every homomorphic product
+/// through a [`ProductServer`], so DGHV circuit evaluation — AND-trees,
+/// comparator sweeps, SIMD mask products — schedules whole levels as one
+/// micro-batch on the resident engine (see
+/// `he_dghv::CircuitEvaluator::and_tree`).
+///
+/// The server's handle cache makes the recurring operands of those
+/// circuits (masks, accumulators) hit the cached-transform rungs without
+/// any preparation calls on this side; `prepare`d factors therefore keep
+/// only the raw value.
+///
+/// # Panics
+///
+/// Like the other sized backends (`SsaBackend`), products that exceed the
+/// engine's capacity panic — the DGHV layer guarantees ciphertexts fit
+/// the backend it was built for. Server shutdown mid-product also panics.
+#[derive(Debug)]
+pub struct ServedMultiplier<'a> {
+    server: &'a ProductServer,
+}
+
+impl<'a> ServedMultiplier<'a> {
+    /// A DGHV backend view over `server`.
+    pub fn new(server: &'a ProductServer) -> ServedMultiplier<'a> {
+        ServedMultiplier { server }
+    }
+}
+
+impl CiphertextMultiplier for ServedMultiplier<'_> {
+    fn multiply(&self, a: &UBig, b: &UBig) -> UBig {
+        self.server
+            .submit(ProductRequest::new(a.clone(), b.clone()))
+            .expect("product server closed")
+            .wait()
+            .expect("served product failed")
+    }
+
+    fn multiply_pairs(&self, pairs: &[(&UBig, &UBig)]) -> Vec<UBig> {
+        // Submit the whole level, then collect: the server micro-batches
+        // the stream, so independent gates of one circuit level share
+        // flushes (and the cached transforms of recurring operands).
+        let tickets: Vec<ProductTicket> = pairs
+            .iter()
+            .map(|(a, b)| {
+                self.server
+                    .submit(ProductRequest::new((*a).clone(), (*b).clone()))
+                    .expect("product server closed")
+            })
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().expect("served product failed"))
+            .collect()
+    }
+
+    fn multiply_prepared_many(&self, a: &PreparedFactor, bs: &[&UBig]) -> Vec<UBig> {
+        // The server's own digest cache is the preparation layer here;
+        // submitting raw pairs lets it reuse the recurring factor's
+        // spectrum across the whole sweep.
+        let pairs: Vec<(&UBig, &UBig)> = bs.iter().map(|b| (a.raw(), *b)).collect();
+        self.multiply_pairs(&pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "served-engine"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::{Karatsuba, SsaSoftware};
+
+    fn small_server(config: ServeConfig) -> ProductServer {
+        ProductServer::spawn(
+            EvalEngine::new(SsaSoftware::for_operand_bits(2_000).unwrap()),
+            config,
+        )
+    }
+
+    #[test]
+    fn serves_products_in_submission_order() {
+        let server = small_server(ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<ProductTicket> = (1..=10u64)
+            .map(|k| {
+                server
+                    .submit(ProductRequest::new(UBig::from(k), UBig::from(1_000_003u64)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (1..=10u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(k * 1_000_003));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 10);
+        assert_eq!(stats.failed + stats.expired, 0);
+        // The recurring right-hand operand hit the cache after its first
+        // preparation.
+        assert!(stats.cache_hits >= 9, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn recurring_operands_hit_the_handle_cache() {
+        let server = small_server(ServeConfig::default());
+        let fixed = UBig::from(0xdead_beefu64);
+        let tickets: Vec<ProductTicket> = (0..8u64)
+            .map(|k| {
+                server
+                    .submit(ProductRequest::new(fixed.clone(), UBig::from(k + 2)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (0..8u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), &fixed * &UBig::from(k + 2));
+        }
+        let stats = server.shutdown();
+        // 16 operand lookups; `fixed` misses once, each stream element
+        // misses once → at least 7 hits from the recurring operand.
+        assert!(stats.cache_hits >= 7, "stats: {stats:?}");
+        assert!(stats.cache_misses <= 9, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_and_spares_batch_mates() {
+        let server = small_server(ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(20),
+            ..ServeConfig::default()
+        });
+        let doomed = server
+            .submit(
+                ProductRequest::new(UBig::from(3u64), UBig::from(5u64))
+                    .with_deadline(Duration::ZERO),
+            )
+            .unwrap();
+        let fine = server
+            .submit(ProductRequest::new(UBig::from(7u64), UBig::from(11u64)))
+            .unwrap();
+        assert!(matches!(doomed.wait(), Err(ServeError::Expired { .. })));
+        assert_eq!(fine.wait().unwrap(), UBig::from(77u64));
+        let stats = server.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn deadline_inside_the_batch_window_runs_instead_of_expiring() {
+        // The deadline pulls the flush earlier than max_delay — and the
+        // flush must start *before* the deadline, so the job runs. (A
+        // flush scheduled exactly at the deadline would always find the
+        // job microseconds expired.)
+        let server = small_server(ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_millis(500),
+            ..ServeConfig::default()
+        });
+        let ticket = server
+            .submit(
+                ProductRequest::new(UBig::from(21u64), UBig::from(2u64))
+                    .with_deadline(Duration::from_millis(50)),
+            )
+            .unwrap();
+        assert_eq!(
+            ticket
+                .wait()
+                .expect("deadline comfortably ahead of the flush"),
+            UBig::from(42u64)
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn oversized_job_fails_alone() {
+        let server = small_server(ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(10),
+            // Cache off so the oversized operands reach the multiply path
+            // (prepare would already reject them) — exercising the
+            // per-job isolation fallback.
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        });
+        let too_big = UBig::pow2(100_000);
+        let bad = server
+            .submit(ProductRequest::new(too_big.clone(), too_big))
+            .unwrap();
+        let good = server
+            .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
+            .unwrap();
+        assert!(matches!(bad.wait(), Err(ServeError::Multiply(_))));
+        assert_eq!(good.wait().unwrap(), UBig::from(42u64));
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let server = small_server(ServeConfig {
+            max_batch: 64,
+            max_delay: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<ProductTicket> = (2..7u64)
+            .map(|k| {
+                server
+                    .submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        // Shutdown closes the queue; the long max_delay must not stall
+        // the drain.
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 5);
+        for (k, ticket) in (2..7u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(k * k));
+        }
+    }
+
+    #[test]
+    fn idle_trim_releases_the_handle_cache() {
+        let server = small_server(ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            idle_trim_after: Duration::from_millis(20),
+            ..ServeConfig::default()
+        });
+        let fixed = UBig::from(0xfeedu64);
+        let first = server
+            .submit(ProductRequest::new(fixed.clone(), UBig::from(3u64)))
+            .unwrap();
+        assert_eq!(first.wait().unwrap(), &fixed * &UBig::from(3u64));
+        // Let the worker go quiet long enough to trim scratch AND spectra.
+        std::thread::sleep(Duration::from_millis(200));
+        let second = server
+            .submit(ProductRequest::new(fixed.clone(), UBig::from(5u64)))
+            .unwrap();
+        assert_eq!(second.wait().unwrap(), &fixed * &UBig::from(5u64));
+        let stats = server.shutdown();
+        assert!(stats.idle_trims >= 1, "stats: {stats:?}");
+        // The recurring operand was re-prepared after the trim — every
+        // lookup of this run was a miss, nothing survived the idle pass.
+        assert_eq!(stats.cache_hits, 0, "stats: {stats:?}");
+        assert_eq!(stats.cache_misses, 4, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn unpreparable_operands_leave_no_cache_residue() {
+        let engine = EvalEngine::new(SsaSoftware::for_operand_bits(128).unwrap());
+        let mut cache = HandleCache::new(4);
+        for k in 0..5u32 {
+            let oversized = UBig::pow2(100_000 + k as usize);
+            assert!(matches!(
+                cache.ensure(&engine, &oversized),
+                CacheOutcome::Unpreparable
+            ));
+        }
+        assert_eq!(cache.len, 0);
+        assert!(
+            cache.entries.is_empty(),
+            "unpreparable operands must not leak digest chains"
+        );
+    }
+
+    #[test]
+    fn cache_evicts_to_capacity_lru() {
+        let engine = EvalEngine::new(SsaSoftware::for_operand_bits(128).unwrap());
+        let mut cache = HandleCache::new(2);
+        let ops: Vec<UBig> = (1..=3u64).map(UBig::from).collect();
+        for op in &ops {
+            assert!(matches!(cache.ensure(&engine, op), CacheOutcome::Miss));
+        }
+        // Touch op[1] so op[0] is the LRU entry.
+        assert!(matches!(cache.ensure(&engine, &ops[1]), CacheOutcome::Hit));
+        cache.evict_to_capacity();
+        assert_eq!(cache.len, 2);
+        assert!(cache.get(&ops[0]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&ops[1]).is_some());
+        assert!(cache.get(&ops[2]).is_some());
+    }
+
+    #[test]
+    fn raw_backends_serve_with_the_cache_auto_disabled() {
+        let server = ProductServer::spawn(EvalEngine::new(Karatsuba), ServeConfig::default());
+        let tickets: Vec<ProductTicket> = (0..3)
+            .map(|_| {
+                server
+                    .submit(ProductRequest::new(UBig::from(9u64), UBig::from(9u64)))
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(81u64));
+        }
+        let stats = server.shutdown();
+        // Raw handles cache no spectrum, so the server stops digesting
+        // and cloning operands after the first sighting.
+        assert_eq!(stats.cache_hits, 0, "stats: {stats:?}");
+        assert_eq!(stats.cache_misses, 0, "stats: {stats:?}");
+    }
+}

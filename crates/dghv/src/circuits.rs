@@ -65,6 +65,53 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
         self.public_key.mul_many(self.backend, a, others)
     }
 
+    /// AND of many independent pairs, scheduled as **one batch** through
+    /// the backend (see [`crate::PublicKey::mul_pairs`]): a whole circuit
+    /// level in one call, so batch-capable backends shard or micro-batch
+    /// it instead of running gate by gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::NoiseBudgetExhausted`] if any product would
+    /// exceed the noise ceiling (checked before any product runs).
+    pub fn and_pairs(
+        &self,
+        pairs: &[(&Ciphertext, &Ciphertext)],
+    ) -> Result<Vec<Ciphertext>, DghvError> {
+        self.public_key.mul_pairs(self.backend, pairs)
+    }
+
+    /// AND of a whole bit-vector, reduced as a balanced tree whose levels
+    /// each run as **one batch** ([`CircuitEvaluator::and_pairs`]): depth
+    /// `⌈log2(len)⌉`, and every level's independent products share one
+    /// schedule — on a resident serving engine, one micro-batch per
+    /// level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::NoiseBudgetExhausted`] when the tree outruns
+    /// the noise budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn and_tree(&self, bits: &[Ciphertext]) -> Result<Ciphertext, DghvError> {
+        assert!(!bits.is_empty(), "and_tree of zero bits");
+        let mut layer: Vec<Ciphertext> = bits.to_vec();
+        while layer.len() > 1 {
+            let pairs: Vec<(&Ciphertext, &Ciphertext)> = layer
+                .chunks_exact(2)
+                .map(|pair| (&pair[0], &pair[1]))
+                .collect();
+            let mut next = self.and_pairs(&pairs)?;
+            if layer.len() % 2 == 1 {
+                next.push(layer.last().expect("non-empty layer").clone());
+            }
+            layer = next;
+        }
+        Ok(layer.pop().expect("non-empty reduction"))
+    }
+
     /// NOT: `a ⊕ Enc(1)` with a fresh encryption of one.
     pub fn not<R: Rng + ?Sized>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
         let one = self.public_key.encrypt(true, rng);
@@ -166,8 +213,10 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
             .collect())
     }
 
-    /// Equality of two encrypted bit-vectors: an AND-tree over per-bit
-    /// XNORs, so the multiplicative depth is `⌈log2(width)⌉`.
+    /// Equality of two encrypted bit-vectors: a level-batched
+    /// [`CircuitEvaluator::and_tree`] over per-bit XNORs, so the
+    /// multiplicative depth is `⌈log2(width)⌉` and each tree level runs
+    /// as one batch.
     ///
     /// # Errors
     ///
@@ -185,22 +234,12 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
     ) -> Result<Ciphertext, DghvError> {
         assert_eq!(a.len(), b.len(), "operand widths must match");
         assert!(!a.is_empty(), "operands must be non-empty");
-        let mut layer: Vec<Ciphertext> = a
+        let layer: Vec<Ciphertext> = a
             .iter()
             .zip(b)
             .map(|(ai, bi)| self.xnor(ai, bi, rng))
             .collect();
-        // Pairwise AND reduction keeps the depth logarithmic.
-        while layer.len() > 1 {
-            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
-            let mut iter = layer.chunks_exact(2);
-            for pair in &mut iter {
-                next.push(self.and(&pair[0], &pair[1])?);
-            }
-            next.extend(iter.remainder().iter().cloned());
-            layer = next;
-        }
-        Ok(layer.pop().expect("non-empty reduction"))
+        self.and_tree(&layer)
     }
 
     /// Unsigned comparison `a < b` of two little-endian encrypted
@@ -208,10 +247,13 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
     ///
     /// Scans from the least-significant bit, maintaining
     /// `lt ← (¬aᵢ ∧ bᵢ) ⊕ (aᵢ ≡ bᵢ) ∧ lt`: at the end `lt` is 1 exactly
-    /// when the most significant differing bit favours `b`. The noise
-    /// grows *additively* with width (each step multiplies the running
-    /// flag by one fresh-noise XNOR), so even shallow parameter sets
-    /// compare several bits.
+    /// when the most significant differing bit favours `b`. The
+    /// position-independent half of the sweep — `¬aᵢ ∧ bᵢ` for every
+    /// bit — runs upfront as **one batch**
+    /// ([`CircuitEvaluator::and_pairs`]), halving the sequential products
+    /// in the chain. The noise grows *additively* with width (each step
+    /// multiplies the running flag by one fresh-noise XNOR), so even
+    /// shallow parameter sets compare several bits.
     ///
     /// # Errors
     ///
@@ -229,11 +271,16 @@ impl<'a, M: CiphertextMultiplier> CircuitEvaluator<'a, M> {
     ) -> Result<Ciphertext, DghvError> {
         assert_eq!(a.len(), b.len(), "operand widths must match");
         assert!(!a.is_empty(), "operands must be non-empty");
+        // The comparator sweep: every position's `¬aᵢ ∧ bᵢ` is
+        // independent of the running flag, so the whole sweep is one
+        // batch.
+        let nots: Vec<Ciphertext> = a.iter().map(|ai| self.not(ai, rng)).collect();
+        let pairs: Vec<(&Ciphertext, &Ciphertext)> = nots.iter().zip(b).collect();
+        let wins = self.and_pairs(&pairs)?;
         let mut lt = self.public_key.encrypt(false, rng);
-        for (ai, bi) in a.iter().zip(b) {
-            let bi_wins = self.and(&self.not(ai, rng), bi)?;
+        for ((ai, bi), bi_wins) in a.iter().zip(b).zip(&wins) {
             let eq = self.xnor(ai, bi, rng);
-            lt = self.xor(&bi_wins, &self.and(&eq, &lt)?);
+            lt = self.xor(bi_wins, &self.and(&eq, &lt)?);
         }
         Ok(lt)
     }
@@ -436,6 +483,66 @@ mod tests {
                     assert_eq!(keys.secret().decrypt(bit), keys.secret().decrypt(&scalar));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn and_tree_matches_sequential_ands() {
+        let (keys, mut rng) = setup(63);
+        let backend = KaratsubaBackend;
+        let eval = CircuitEvaluator::new(keys.public(), &backend);
+        for value in 0u64..16 {
+            let bits: Vec<bool> = (0..4).map(|i| value >> i & 1 == 1).collect();
+            let cts: Vec<Ciphertext> = bits
+                .iter()
+                .map(|&b| keys.public().encrypt(b, &mut rng))
+                .collect();
+            let tree = eval.and_tree(&cts).unwrap();
+            assert_eq!(
+                keys.secret().decrypt(&tree),
+                bits.iter().all(|&b| b),
+                "AND over {bits:?}"
+            );
+        }
+        // Odd widths carry the trailing bit across levels.
+        let cts: Vec<Ciphertext> = [true, true, true]
+            .iter()
+            .map(|&b| keys.public().encrypt(b, &mut rng))
+            .collect();
+        assert!(keys.secret().decrypt(&eval.and_tree(&cts).unwrap()));
+        // Width 1 is the identity.
+        let single = keys.public().encrypt(true, &mut rng);
+        assert!(keys
+            .secret()
+            .decrypt(&eval.and_tree(std::slice::from_ref(&single)).unwrap()));
+    }
+
+    #[test]
+    fn and_pairs_matches_scalar_ands_on_batched_backends() {
+        let (keys, mut rng) = setup(64);
+        let karatsuba = KaratsubaBackend;
+        let ssa = crate::multiplier::SsaBackend::for_gamma(keys.public().params().gamma);
+        let bits = [(true, true), (true, false), (false, true), (false, false)];
+        let cts: Vec<(Ciphertext, Ciphertext)> = bits
+            .iter()
+            .map(|&(x, y)| {
+                (
+                    keys.public().encrypt(x, &mut rng),
+                    keys.public().encrypt(y, &mut rng),
+                )
+            })
+            .collect();
+        let pairs: Vec<(&Ciphertext, &Ciphertext)> = cts.iter().map(|(x, y)| (x, y)).collect();
+        let classical = CircuitEvaluator::new(keys.public(), &karatsuba)
+            .and_pairs(&pairs)
+            .unwrap();
+        let batched = CircuitEvaluator::new(keys.public(), &ssa)
+            .and_pairs(&pairs)
+            .unwrap();
+        for (((x, y), c), b) in bits.iter().zip(&classical).zip(&batched) {
+            assert_eq!(c.value(), b.value(), "SSA batch must be bit-exact");
+            assert_eq!(keys.secret().decrypt(c), x & y);
+            assert_eq!(c.noise_bits(), b.noise_bits());
         }
     }
 

@@ -257,11 +257,52 @@ impl PublicKey {
             }
         }
         let prepared = backend.prepare(a.value());
-        let mut product = UBig::zero();
+        let values: Vec<&UBig> = others.iter().map(Ciphertext::value).collect();
+        let products = backend.multiply_prepared_many(&prepared, &values);
         Ok(others
             .iter()
-            .map(|b| {
-                backend.multiply_prepared_into(&prepared, b.value(), &mut product);
+            .zip(products)
+            .map(|(b, product)| {
+                Ciphertext::new(
+                    self.reducer.reduce(&product),
+                    a.noise_bits() + b.noise_bits() + 1,
+                )
+            })
+            .collect())
+    }
+
+    /// Homomorphic AND of many independent pairs as **one batch**: the
+    /// whole slice goes through
+    /// [`CiphertextMultiplier::multiply_pairs`], so batch-capable
+    /// backends (the SSA sharded batch, a served engine) schedule a whole
+    /// circuit level at once instead of gate by gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DghvError::NoiseBudgetExhausted`] if any pairing would
+    /// reach the noise ceiling; the check runs for the whole batch before
+    /// any product is computed.
+    pub fn mul_pairs<M: CiphertextMultiplier>(
+        &self,
+        backend: &M,
+        pairs: &[(&Ciphertext, &Ciphertext)],
+    ) -> Result<Vec<Ciphertext>, DghvError> {
+        for (a, b) in pairs {
+            let would_be = a.noise_bits() + b.noise_bits() + 1;
+            if would_be >= self.noise_ceiling_bits() {
+                return Err(DghvError::NoiseBudgetExhausted {
+                    would_be_bits: would_be,
+                    ceiling_bits: self.noise_ceiling_bits(),
+                });
+            }
+        }
+        let values: Vec<(&UBig, &UBig)> =
+            pairs.iter().map(|(a, b)| (a.value(), b.value())).collect();
+        let products = backend.multiply_pairs(&values);
+        Ok(pairs
+            .iter()
+            .zip(products)
+            .map(|((a, b), product)| {
                 Ciphertext::new(
                     self.reducer.reduce(&product),
                     a.noise_bits() + b.noise_bits() + 1,

@@ -8,7 +8,7 @@
 //! (via `he-accel`) the simulated hardware.
 
 use he_bigint::UBig;
-use he_ssa::{SsaMultiplier, SsaParams, TransformedOperand};
+use he_ssa::{SsaJob, SsaMultiplier, SsaParams, TransformedOperand};
 
 /// A ciphertext factor captured for reuse across many homomorphic ANDs.
 ///
@@ -69,6 +69,31 @@ pub trait CiphertextMultiplier {
         self.multiply_into(&a.raw, b, out);
     }
 
+    /// Multiplies many independent pairs, returning products in pair
+    /// order — the hook batch-aware circuit evaluation rides on: a whole
+    /// AND level is one call. The default runs sequentially; backends
+    /// with a batch scheduler (the SSA backend's sharded batch, the
+    /// served engine) override it.
+    fn multiply_pairs(&self, pairs: &[(&UBig, &UBig)]) -> Vec<UBig> {
+        pairs.iter().map(|(a, b)| self.multiply(a, b)).collect()
+    }
+
+    /// Multiplies one prepared factor by many fresh integers, returning
+    /// products in order — the batched form of
+    /// [`CiphertextMultiplier::multiply_prepared_into`] behind
+    /// `PublicKey::mul_many` and SIMD mask sweeps. The default loops
+    /// sequentially (still reusing the factor's cached spectrum when the
+    /// backend has one).
+    fn multiply_prepared_many(&self, a: &PreparedFactor, bs: &[&UBig]) -> Vec<UBig> {
+        bs.iter()
+            .map(|b| {
+                let mut out = UBig::zero();
+                self.multiply_prepared_into(a, b, &mut out);
+                out
+            })
+            .collect()
+    }
+
     /// Backend name for reports.
     fn name(&self) -> &'static str;
 }
@@ -127,6 +152,18 @@ impl SsaBackend {
             inner: SsaMultiplier::paper(),
         }
     }
+
+    /// The factor's cached spectrum, but only when it was transformed
+    /// under **this instance's** plan. A `PreparedFactor` can outlive the
+    /// backend that prepared it (or cross to a differently-sized one);
+    /// feeding a foreign-geometry spectrum into the cached product path
+    /// used to panic deep in the transform — now it falls back to the
+    /// always-valid raw value instead.
+    fn compatible_spectrum<'a>(&self, a: &'a PreparedFactor) -> Option<&'a TransformedOperand> {
+        a.spectrum
+            .as_ref()
+            .filter(|s| s.params() == self.inner.params())
+    }
 }
 
 impl CiphertextMultiplier for SsaBackend {
@@ -156,12 +193,35 @@ impl CiphertextMultiplier for SsaBackend {
     }
 
     fn multiply_prepared_into(&self, a: &PreparedFactor, b: &UBig, out: &mut UBig) {
-        match &a.spectrum {
+        match self.compatible_spectrum(a) {
             Some(spectrum) => self
                 .inner
                 .multiply_one_cached_into(spectrum, b, out)
                 .expect("backend sized for ciphertext width"),
             None => self.multiply_into(&a.raw, b, out),
+        }
+    }
+
+    fn multiply_pairs(&self, pairs: &[(&UBig, &UBig)]) -> Vec<UBig> {
+        let jobs: Vec<SsaJob<'_>> = pairs.iter().map(|&(a, b)| SsaJob::Uncached(a, b)).collect();
+        self.inner
+            .multiply_batch(&jobs)
+            .expect("backend sized for ciphertext width")
+    }
+
+    fn multiply_prepared_many(&self, a: &PreparedFactor, bs: &[&UBig]) -> Vec<UBig> {
+        match self.compatible_spectrum(a) {
+            Some(spectrum) => {
+                let jobs: Vec<SsaJob<'_>> =
+                    bs.iter().map(|&b| SsaJob::OneCached(spectrum, b)).collect();
+                self.inner
+                    .multiply_batch(&jobs)
+                    .expect("backend sized for ciphertext width")
+            }
+            None => {
+                let pairs: Vec<(&UBig, &UBig)> = bs.iter().map(|&b| (&a.raw, b)).collect();
+                self.multiply_pairs(&pairs)
+            }
         }
     }
 
@@ -209,6 +269,50 @@ mod tests {
             // A raw-only factor is valid with any backend (fallback path).
             ssa.multiply_prepared_into(&raw_only, b, &mut got);
             assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn foreign_geometry_factor_falls_back_to_raw() {
+        // A factor prepared under one SSA plan used with a
+        // differently-sized instance used to panic inside the cached
+        // transform path; it now falls back to the always-valid raw
+        // value.
+        let mut rng = StdRng::seed_from_u64(11);
+        let fixed = UBig::random_bits(&mut rng, 900);
+        let b = UBig::random_bits(&mut rng, 900);
+        let small = SsaBackend::for_gamma(1_000);
+        let large = SsaBackend::for_gamma(300_000);
+        let factor = small.prepare(&fixed);
+        assert!(factor.is_cached());
+        let mut got = UBig::zero();
+        large.multiply_prepared_into(&factor, &b, &mut got);
+        assert_eq!(got, fixed.mul_schoolbook(&b));
+        assert_eq!(
+            large.multiply_prepared_many(&factor, &[&b]),
+            vec![fixed.mul_schoolbook(&b)]
+        );
+    }
+
+    #[test]
+    fn multiply_pairs_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let operands: Vec<(UBig, UBig)> = (0..5)
+            .map(|_| {
+                (
+                    UBig::random_bits(&mut rng, 1500),
+                    UBig::random_bits(&mut rng, 1400),
+                )
+            })
+            .collect();
+        let pairs: Vec<(&UBig, &UBig)> = operands.iter().map(|(a, b)| (a, b)).collect();
+        let ssa = SsaBackend::for_gamma(2_000);
+        let batched = ssa.multiply_pairs(&pairs);
+        let sequential = KaratsubaBackend.multiply_pairs(&pairs);
+        for (((a, b), x), y) in operands.iter().zip(&batched).zip(&sequential) {
+            let expected = a.mul_schoolbook(b);
+            assert_eq!(*x, expected);
+            assert_eq!(*y, expected);
         }
     }
 

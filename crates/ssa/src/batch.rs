@@ -124,6 +124,11 @@ impl SsaMultiplier {
         out: &mut [UBig],
     ) -> Result<(), SsaError> {
         let workers = he_ntt::par::thread_count();
+        // Let the scratch pool retain one idle unit per worker between
+        // batches (auto mode only): a thread budget above the core count
+        // would otherwise free and reallocate the excess units on every
+        // batch.
+        self.note_scratch_concurrency(workers.min(jobs.len()));
         he_ntt::par::run_sharded_into(jobs, out, workers, |_, job, slot| {
             self.multiply_job_into(*job, slot)
         })

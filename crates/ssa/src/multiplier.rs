@@ -55,11 +55,12 @@ pub struct SsaMultiplier {
 impl Clone for SsaMultiplier {
     fn clone(&self) -> SsaMultiplier {
         // The plan is shared state worth cloning; the scratch pool is
-        // per-instance working memory and starts empty.
+        // per-instance working memory and starts empty (the idle-cap
+        // setting carries over).
         SsaMultiplier {
             params: self.params,
             engine: self.engine.clone(),
-            pool: ScratchPool::new(),
+            pool: ScratchPool::with_cap(self.pool.cap_setting()),
         }
     }
 }
@@ -250,6 +251,39 @@ impl SsaMultiplier {
     /// plain, cached and batch product paths).
     pub(crate) fn pool(&self) -> ScratchGuard<'_> {
         self.pool.checkout()
+    }
+
+    /// Announces the batch scheduler's worker count to the pool, so auto
+    /// mode keeps one idle unit per worker between batches.
+    pub(crate) fn note_scratch_concurrency(&self, workers: usize) {
+        self.pool.note_concurrency(workers);
+    }
+
+    /// Caps how many idle scratch units the pool retains (`0` restores the
+    /// default: the machine's available parallelism).
+    ///
+    /// Each unit holds the working buffers of one in-flight product —
+    /// multiple megabytes at the paper's 64K-point plan — so a resident
+    /// process that saw a one-off concurrency burst would otherwise pin
+    /// the burst's worth of scratch forever. Units returning to a full
+    /// idle stack are freed instead of retained; already-idle excess is
+    /// freed by [`SsaMultiplier::trim_scratch`].
+    pub fn set_scratch_cap(&self, cap: usize) {
+        self.pool.set_cap(cap);
+    }
+
+    /// Frees every idle scratch unit (checked-out units are unaffected).
+    ///
+    /// The next product re-grows one unit on demand; call this when a
+    /// long-lived process goes idle. The warm path's zero-allocation
+    /// guarantee applies *between* trims, not across them.
+    pub fn trim_scratch(&self) {
+        self.pool.trim();
+    }
+
+    /// Number of idle scratch units currently retained (diagnostic).
+    pub fn idle_scratch_units(&self) -> usize {
+        self.pool.idle_units()
     }
 
     /// In-place forward transform on the engine's plan (used by the

@@ -1,0 +1,81 @@
+//! Scratch-pool retention under concurrency bursts (public-API level).
+//!
+//! A resident serving process must not pin a burst's worth of multi-MB
+//! scratch units forever: the idle stack is capped, excess burst units
+//! are freed on return, and `trim_scratch` releases the rest on demand —
+//! all without breaking correctness of concurrent batches.
+
+use he_bigint::UBig;
+use he_ssa::{SsaJob, SsaMultiplier, SsaParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn operands(seed: u64, n: usize, bits: usize) -> Vec<UBig> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| UBig::random_bits(&mut rng, bits)).collect()
+}
+
+/// `he_ntt::par::set_threads` is process-global, so the tests below must
+/// not overlap — a concurrent `set_threads(0)` would silently cancel a
+/// sibling's forced burst and make its retention assertions vacuous.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn concurrency_burst_does_not_pin_scratch_beyond_the_cap() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ssa = SsaMultiplier::with_params(SsaParams::new(16, 1 << 10).unwrap()).unwrap();
+    ssa.set_scratch_cap(2);
+    let xs = operands(71, 9, 4_000);
+    let jobs: Vec<SsaJob> = xs
+        .windows(2)
+        .map(|w| SsaJob::Uncached(&w[0], &w[1]))
+        .collect();
+    // Force a 4-worker burst over one shared multiplier.
+    he_ntt::par::set_threads(4);
+    let burst = ssa.multiply_batch(&jobs);
+    he_ntt::par::set_threads(0);
+    let burst = burst.unwrap();
+    for (product, w) in burst.iter().zip(xs.windows(2)) {
+        assert_eq!(*product, w[0].mul_karatsuba(&w[1]));
+    }
+    assert!(
+        ssa.idle_scratch_units() <= 2,
+        "burst retained {} idle units past the cap of 2",
+        ssa.idle_scratch_units()
+    );
+}
+
+#[test]
+fn trim_releases_idle_scratch_and_products_still_work() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ssa = SsaMultiplier::with_params(SsaParams::new(16, 1 << 10).unwrap()).unwrap();
+    let xs = operands(72, 2, 4_000);
+    let expected = xs[0].mul_karatsuba(&xs[1]);
+    assert_eq!(ssa.multiply(&xs[0], &xs[1]).unwrap(), expected);
+    assert!(ssa.idle_scratch_units() >= 1, "warm pool retains a unit");
+    ssa.trim_scratch();
+    assert_eq!(ssa.idle_scratch_units(), 0, "trim frees every idle unit");
+    // The next product re-grows a unit on demand and stays bit-exact.
+    assert_eq!(ssa.multiply(&xs[0], &xs[1]).unwrap(), expected);
+    assert_eq!(ssa.idle_scratch_units(), 1);
+}
+
+#[test]
+fn clone_inherits_the_cap_setting_with_an_empty_pool() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ssa = SsaMultiplier::with_params(SsaParams::new(16, 1 << 10).unwrap()).unwrap();
+    ssa.set_scratch_cap(1);
+    let xs = operands(73, 2, 3_000);
+    ssa.multiply(&xs[0], &xs[1]).unwrap();
+    let clone = ssa.clone();
+    assert_eq!(clone.idle_scratch_units(), 0, "clone starts cold");
+    // The clone's pool obeys the inherited cap: a 3-deep burst settles to 1.
+    he_ntt::par::set_threads(3);
+    let jobs: Vec<SsaJob> = (0..3).map(|_| SsaJob::Uncached(&xs[0], &xs[1])).collect();
+    let products = clone.multiply_batch(&jobs);
+    he_ntt::par::set_threads(0);
+    for product in products.unwrap() {
+        assert_eq!(product, xs[0].mul_karatsuba(&xs[1]));
+    }
+    assert!(clone.idle_scratch_units() <= 1);
+}

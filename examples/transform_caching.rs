@@ -4,7 +4,12 @@
 //! the batch-first evaluation engine and in the accelerator's timing and
 //! batch-schedule models.
 //!
-//! Run with: `cargo run --release -p he-accel --example transform_caching`
+//! This walkthrough manages handles and batches by hand to expose the
+//! mechanism; `examples/server_stream.rs` shows the production shape,
+//! where a resident [`ProductServer`] does the batching and handle
+//! caching behind a submit/await queue.
+//!
+//! Run with: `cargo run --release --example transform_caching`
 
 use std::time::Instant;
 

@@ -1,0 +1,279 @@
+//! End-to-end contract of the resident serving front (acceptance bar of
+//! the serving PR): micro-batched server results must bit-equal
+//! sequential `multiply`, deadlines expire as typed errors without
+//! poisoning batch-mates, `try_submit` sheds when the bounded queue is
+//! full, and DGHV circuit levels scheduled through [`ServedMultiplier`]
+//! decrypt identically to a classical backend.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use he_accel::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic operand of up to `max_bits` bits.
+fn arb_operand(max_bits: usize) -> impl Strategy<Value = UBig> {
+    proptest::collection::vec(any::<u8>(), 0..=max_bits / 8).prop_map(|b| UBig::from_le_bytes(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Whatever mix of operands (including repeats, which exercise the
+    /// digest cache, and zeros) streams through whatever micro-batch
+    /// shape, every ticket's product bit-equals the sequential multiply.
+    #[test]
+    fn served_products_bit_equal_sequential_multiply(
+        stream in proptest::collection::vec(arb_operand(1_500), 1..24),
+        fixed in arb_operand(1_500),
+        max_batch in 1usize..6,
+        reuse_fixed in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let backend = SsaSoftware::for_operand_bits(1_500).unwrap();
+        let server = ProductServer::spawn(
+            EvalEngine::new(backend.clone()),
+            ServeConfig {
+                max_batch,
+                max_delay: Duration::from_millis(1),
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<ProductTicket> = stream
+            .iter()
+            .zip(&reuse_fixed)
+            .map(|(b, &reuse)| {
+                let a = if reuse { fixed.clone() } else { b.clone() };
+                server.submit(ProductRequest::new(a, b.clone())).expect("server alive")
+            })
+            .collect();
+        for ((b, &reuse), ticket) in stream.iter().zip(&reuse_fixed).zip(tickets) {
+            let a = if reuse { &fixed } else { b };
+            let expected = backend.multiply(a, b).unwrap();
+            prop_assert_eq!(ticket.wait().expect("served"), expected);
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.completed as usize, stream.len());
+        prop_assert_eq!(stats.failed + stats.expired, 0);
+    }
+}
+
+#[test]
+fn deadline_expiry_is_typed_and_batch_mates_survive() {
+    let server = ProductServer::spawn(
+        EvalEngine::new(SsaSoftware::for_operand_bits(1_000).unwrap()),
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(20),
+            ..ServeConfig::default()
+        },
+    );
+    let doomed = server
+        .submit(
+            ProductRequest::new(UBig::from(11u64), UBig::from(13u64)).with_deadline(Duration::ZERO),
+        )
+        .unwrap();
+    let survivors: Vec<ProductTicket> = (2..6u64)
+        .map(|k| {
+            server
+                .submit(ProductRequest::new(UBig::from(k), UBig::from(k + 1)))
+                .unwrap()
+        })
+        .collect();
+    match doomed.wait() {
+        Err(ServeError::Expired { missed_by }) => assert!(missed_by > Duration::ZERO),
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    for (k, ticket) in (2..6u64).zip(survivors) {
+        assert_eq!(ticket.wait().unwrap(), UBig::from(k * (k + 1)));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 4);
+}
+
+/// A backend that blocks inside `multiply` until released, so tests can
+/// hold the worker mid-flush and observe queue backpressure
+/// deterministically.
+#[derive(Debug)]
+struct GatedBackend {
+    entered: Mutex<mpsc::Sender<()>>,
+    release: Mutex<mpsc::Receiver<()>>,
+}
+
+impl Multiplier for GatedBackend {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        let _ = self
+            .entered
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .send(());
+        let _ = self
+            .release
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .recv();
+        Ok(a.mul_schoolbook(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "gated-schoolbook"
+    }
+}
+
+#[test]
+fn try_submit_sheds_when_the_bounded_queue_is_full() {
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let backend = GatedBackend {
+        entered: Mutex::new(entered_tx),
+        release: Mutex::new(release_rx),
+    };
+    let server = ProductServer::spawn(
+        EvalEngine::new(backend),
+        ServeConfig {
+            queue_capacity: 2,
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let first = server
+        .submit(ProductRequest::new(UBig::from(2u64), UBig::from(3u64)))
+        .unwrap();
+    // The worker is now provably inside the first flush…
+    entered_rx.recv().expect("worker entered multiply");
+    // …so these two fill the bounded queue…
+    let queued: Vec<ProductTicket> = (4..6u64)
+        .map(|k| {
+            server
+                .submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                .unwrap()
+        })
+        .collect();
+    // …and the next non-blocking submission must shed, handing the
+    // request back.
+    let overflow = ProductRequest::new(UBig::from(9u64), UBig::from(9u64));
+    let rejected = match server.try_submit(overflow) {
+        Err(SubmitError::Full(request)) => request,
+        other => panic!("expected Full, got {other:?}"),
+    };
+    assert_eq!(rejected.operands(), (&UBig::from(9u64), &UBig::from(9u64)));
+    // Release the gate for every in-flight product and let it all drain.
+    for _ in 0..8 {
+        let _ = release_tx.send(());
+    }
+    assert_eq!(first.wait().unwrap(), UBig::from(6u64));
+    for (k, ticket) in (4..6u64).zip(queued) {
+        assert_eq!(ticket.wait().unwrap(), UBig::from(k * k));
+    }
+    // The shed request retries successfully once there is room again.
+    let _ = release_tx.send(());
+    let retried = server.try_submit(rejected).expect("queue drained");
+    assert_eq!(retried.wait().unwrap(), UBig::from(81u64));
+    server.shutdown();
+}
+
+#[test]
+fn backlogged_jobs_still_ride_full_micro_batches() {
+    // Once a flush outlasts max_delay, every queued job is "stale" the
+    // moment the worker pops it — the server must still drain the ready
+    // backlog into one flush instead of degrading to batches of one.
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let backend = GatedBackend {
+        entered: Mutex::new(entered_tx),
+        release: Mutex::new(release_rx),
+    };
+    let server = ProductServer::spawn(
+        EvalEngine::new(backend),
+        ServeConfig {
+            queue_capacity: 8,
+            max_batch: 8,
+            max_delay: Duration::ZERO,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let first = server
+        .submit(ProductRequest::new(UBig::from(2u64), UBig::from(3u64)))
+        .unwrap();
+    // Hold the worker inside the first flush while a backlog builds up.
+    entered_rx.recv().expect("worker entered multiply");
+    let backlog: Vec<ProductTicket> = (4..8u64)
+        .map(|k| {
+            server
+                .submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                .unwrap()
+        })
+        .collect();
+    for _ in 0..16 {
+        let _ = release_tx.send(());
+    }
+    assert_eq!(first.wait().unwrap(), UBig::from(6u64));
+    for (k, ticket) in (4..8u64).zip(backlog) {
+        assert_eq!(ticket.wait().unwrap(), UBig::from(k * k));
+    }
+    let stats = server.shutdown();
+    assert!(
+        stats.largest_flush >= 4,
+        "the 4-job backlog must flush together, got largest flush of {}",
+        stats.largest_flush
+    );
+}
+
+#[test]
+fn circuit_levels_through_the_server_match_a_classical_backend() {
+    use he_accel::dghv::circuits::encrypt_number;
+    use he_accel::dghv::{CircuitEvaluator, DghvParams, KaratsubaBackend};
+
+    let mut rng = StdRng::seed_from_u64(2016);
+    let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).unwrap();
+    let gamma = keys.public().params().gamma;
+    let server = ProductServer::spawn(
+        EvalEngine::new(SsaSoftware::for_operand_bits(gamma as usize).unwrap()),
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let served = ServedMultiplier::new(&server);
+    let eval = CircuitEvaluator::new(keys.public(), &served);
+    let classical = KaratsubaBackend;
+    let reference = CircuitEvaluator::new(keys.public(), &classical);
+
+    // AND-tree over a whole vector: each level is one micro-batch through
+    // the resident engine.
+    for value in [0b1111u64, 0b1011, 0b0000] {
+        let bits = encrypt_number(keys.public(), value, 4, &mut rng);
+        let served_tree = eval.and_tree(&bits).unwrap();
+        let reference_tree = reference.and_tree(&bits).unwrap();
+        assert_eq!(
+            keys.secret().decrypt(&served_tree),
+            value == 0b1111,
+            "AND-tree of {value:#06b}"
+        );
+        assert_eq!(served_tree.value(), reference_tree.value());
+    }
+
+    // Comparator sweep: the position-independent products run as one
+    // level batch through the server.
+    for (x, y) in [(3u64, 5u64), (5, 3), (4, 4)] {
+        let ex = encrypt_number(keys.public(), x, 3, &mut rng);
+        let ey = encrypt_number(keys.public(), y, 3, &mut rng);
+        let lt = eval.less_than(&ex, &ey, &mut rng).unwrap();
+        assert_eq!(keys.secret().decrypt(&lt), x < y, "{x} < {y}");
+    }
+    let stats = server.shutdown();
+    assert!(stats.completed > 0);
+    assert!(
+        stats.largest_flush > 1,
+        "circuit levels must micro-batch, got flushes of at most {}",
+        stats.largest_flush
+    );
+}
