@@ -274,6 +274,65 @@ impl<M: Multiplier> EvalEngine<M> {
 }
 
 impl<M: Multiplier + Sync> EvalEngine<M> {
+    /// Captures many operands at once, parallelizing the preparations at
+    /// the **product level**: each forward transform already fans out
+    /// across cores internally, but independent operands no longer wait
+    /// on each other — the serving front uses this so a flush's cache
+    /// misses prepare concurrently instead of one-at-a-time on the
+    /// worker.
+    ///
+    /// Results come back in operand order, one per operand; a failing
+    /// preparation (operand exceeds the transform capacity) fails only
+    /// its own slot. Worker width follows [`EvalEngine::with_threads`]
+    /// when set, otherwise [`he_ntt::par::thread_count`]; each shard runs
+    /// under a fair share of the transform-thread budget, exactly like a
+    /// product batch.
+    ///
+    /// ```
+    /// use he_accel::prelude::*;
+    ///
+    /// let engine = EvalEngine::new(SsaSoftware::for_operand_bits(256)?);
+    /// let operands = [UBig::from(3u64), UBig::from(5u64), UBig::from(7u64)];
+    /// let refs: Vec<&UBig> = operands.iter().collect();
+    /// let handles: Vec<OperandHandle> = engine
+    ///     .prepare_many(&refs)
+    ///     .into_iter()
+    ///     .collect::<Result<_, _>>()?;
+    /// let jobs = [
+    ///     ProductJob::Prepared(&handles[0], &handles[1]),
+    ///     ProductJob::Prepared(&handles[1], &handles[2]),
+    /// ];
+    /// let products = engine.run(&jobs)?;
+    /// assert_eq!(products[0], UBig::from(15u64));
+    /// assert_eq!(products[1], UBig::from(35u64));
+    /// # Ok::<(), he_accel::MultiplyError>(())
+    /// ```
+    pub fn prepare_many(&self, operands: &[&UBig]) -> Vec<Result<OperandHandle, MultiplyError>> {
+        let mut out: Vec<Option<Result<OperandHandle, MultiplyError>>> = Vec::new();
+        out.resize_with(operands.len(), || None);
+        let workers = if self.threads > 0 {
+            self.threads
+        } else {
+            he_ntt::par::thread_count()
+        };
+        // Per-slot results only — the closure is infallible, so the
+        // lowest-index-error machinery of the sharded runner never fires.
+        let sharded: Result<(), (usize, core::convert::Infallible)> =
+            he_ntt::par::run_sharded_into(operands, &mut out, workers, |_, operand, slot| {
+                *slot = Some(self.backend.prepare(operand));
+                Ok(())
+            });
+        match sharded {
+            Ok(()) => {}
+            Err((_, infallible)) => match infallible {},
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every slot written by its shard"))
+            .collect()
+    }
+}
+
+impl<M: Multiplier + Sync> EvalEngine<M> {
     /// Runs a batch of product jobs and returns the products in job order.
     ///
     /// Without an explicit [`EvalEngine::with_threads`] width the batch

@@ -17,6 +17,11 @@
 //!   (paper Sections IV–V, Tables I–II, Figs. 1–5);
 //! * [`dghv`] — the DGHV encryption scheme the accelerator serves.
 //!
+//! The repository-level `README.md` is the guided tour; `ARCHITECTURE.md`
+//! maps every paper component (FFT unit, dot unit, carry adder, host
+//! interface, …) to the module that models it, draws the serving data
+//! flow, and documents the `BENCH_*.json` trajectory files.
+//!
 //! The crate-level API is the [`Multiplier`] trait with one implementation
 //! per evaluated system, so workloads can switch between the software
 //! algorithms and the simulated hardware:
@@ -59,6 +64,10 @@
 //! assert_eq!(products[0], Karatsuba.multiply(&fixed, &stream[0])?);
 //! # Ok::<(), he_accel::MultiplyError>(())
 //! ```
+//!
+//! For the deployment shape — resident engines behind a bounded queue,
+//! deadline-aware micro-batching, one card or a whole fleet — see
+//! [`serve`] ([`ProductServer`] and [`ServerPool`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,8 +91,8 @@ pub use multiplier::{
 };
 pub use selfcheck::{self_check, SelfCheckReport};
 pub use serve::{
-    ProductRequest, ProductServer, ProductTicket, ServeConfig, ServeError, ServeStats,
-    ServedMultiplier, SubmitError,
+    FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, ServeConfig, ServeError,
+    ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
 };
 
 /// Convenience re-exports for downstream users.
@@ -93,8 +102,8 @@ pub mod prelude {
         HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
     };
     pub use crate::serve::{
-        ProductRequest, ProductServer, ProductTicket, ServeConfig, ServeError, ServeStats,
-        ServedMultiplier, SubmitError,
+        FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, ServeConfig,
+        ServeError, ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
     };
     pub use he_bigint::UBig;
     pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};

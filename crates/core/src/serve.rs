@@ -1,41 +1,68 @@
-//! The resident serving front: a job queue feeding one long-lived
-//! [`EvalEngine`].
+//! The resident serving fleet: a shared job queue feeding one or more
+//! long-lived [`EvalEngine`]s — one per accelerator card.
 //!
 //! The paper's accelerator pays off when it sits *resident* — a fixed
 //! device fed a stream of 786,432-bit products — not when it is driven as
 //! a one-shot function. This module is the host-side shape of that
-//! deployment: a [`ProductServer`] owns an engine on a dedicated worker
-//! thread and accepts [`ProductRequest`]s through a **bounded** submission
-//! queue:
+//! deployment, at two scales:
 //!
-//! * [`ProductServer::submit`] blocks while the queue is full (natural
+//! * [`ProductServer`] — one resident engine behind a bounded queue (the
+//!   single-card deployment);
+//! * [`ServerPool`] — a **fleet** of resident engines, each modeling one
+//!   accelerator card, pulling micro-batches from one shared bounded
+//!   queue (the multi-card deployment the paper's cloud scenario implies:
+//!   many clients, several PCIe cards, one dispatch queue).
+//!
+//! Both speak the same submission surface ([`Submitter`]):
+//!
+//! * [`Submitter::submit`] blocks while the queue is full (natural
 //!   backpressure for cooperating producers);
-//! * [`ProductServer::try_submit`] returns [`SubmitError::Full`]
-//!   immediately, handing the request back for load shedding;
-//! * pending jobs are **micro-batched**: a flush runs when
+//! * [`Submitter::try_submit`] returns [`SubmitError::Full`] immediately,
+//!   handing the request back for load shedding;
+//! * pending jobs are **micro-batched**: a card claims a flush when
 //!   [`ServeConfig::max_batch`] jobs are waiting or the oldest has waited
 //!   [`ServeConfig::max_delay`], whichever comes first, and the whole
 //!   flush goes through [`EvalEngine::run`] as one batch;
-//! * each job's result comes back through its [`ProductTicket`] in
-//!   submission order, and a job whose deadline passed before execution is
-//!   answered with [`ServeError::Expired`] instead of being run.
+//! * flush claims are **deadline-aware** ([`FlushPolicy`]): under
+//!   [`FlushPolicy::Edf`] (the default) a card picks the jobs with the
+//!   earliest deadlines first, and an urgent deadline pulls the flush
+//!   earlier than the batch window — under overload this expires strictly
+//!   fewer jobs than FIFO order (`bench_fleet` measures exactly that);
+//! * each job's result comes back through its [`ProductTicket`], and a
+//!   job whose deadline passes before execution is answered with
+//!   [`ServeError::Expired`] instead of being run —
+//!   [`ServeStats::expired_in_queue`] counts jobs that were already
+//!   hopeless when a card dequeued them (queueing pressure), while
+//!   [`ServeStats::expired_in_flush`] counts jobs overtaken during their
+//!   own flush's preparation phase (compute pressure).
 //!
-//! On top of the queue sits a **prepared-handle cache** (LRU, keyed by the
-//! operand's digest): every operand of a flushed job is pushed through
-//! [`Multiplier::prepare`] once and the handle retained, so a recurring
-//! operand — a running accumulator, a fixed key element, a SIMD mask —
-//! automatically lands on the one-cached/both-cached rungs of the batch
-//! ladder without the caller managing handles at all. Preparing on first
-//! sight is free in transform count: `prepare(a) + prepare(b) +
-//! pointwise + inverse` is the same three transforms as an uncached
-//! product, and every recurrence afterwards saves its forward pass.
+//! On top of the queue each card keeps a **prepared-handle cache** (LRU,
+//! keyed by the operand's digest): every operand of a flushed job is
+//! pushed through [`Multiplier::prepare`] once and the handle retained, so
+//! a recurring operand — a running accumulator, a fixed key element, a
+//! SIMD mask — automatically lands on the one-cached/both-cached rungs of
+//! the batch ladder without the caller managing handles at all. A flush's
+//! cache **misses** are prepared in parallel at the product level
+//! ([`EvalEngine::prepare_many`]): each missing forward transform already
+//! fans out across cores internally, but independent misses no longer wait
+//! on each other. Caches are per card — handles are provenance-stamped by
+//! the backend instance that prepared them, so cards never share spectra
+//! unless their transform geometry matches (see
+//! [`crate::engine::HandleProvenance`]).
+//!
+//! A pool can additionally run a **speculative preparer**
+//! ([`ServerPool::spawn_speculative`]): a background task that watches the
+//! digest LRU's hit statistics and prepares the *stream-side* operand of
+//! queued jobs — the fresh partner of a hot recurring operand — off the
+//! critical path, so the next flush finds both spectra resident and the
+//! product lands on the both-cached rung.
 //!
 //! [`ServedMultiplier`] closes the loop with the DGHV layer: it implements
-//! [`he_dghv::CiphertextMultiplier`] by submitting to a server, so circuit
+//! [`he_dghv::CiphertextMultiplier`] over any [`Submitter`], so circuit
 //! evaluation (`CircuitEvaluator::and_tree`, comparator sweeps) schedules
-//! whole levels as one micro-batch through the resident engine.
+//! whole levels as one micro-batch through the resident fleet.
 //!
-//! # Example
+//! # Example: one resident card
 //!
 //! ```
 //! use he_accel::prelude::*;
@@ -57,11 +84,40 @@
 //! assert_eq!(stats.completed, 4);
 //! # Ok::<(), he_accel::MultiplyError>(())
 //! ```
+//!
+//! # Example: a two-card fleet
+//!
+//! ```
+//! use he_accel::prelude::*;
+//!
+//! // Two resident engines (two simulated cards) share one queue.
+//! let cards = vec![
+//!     EvalEngine::new(SsaSoftware::for_operand_bits(256)?),
+//!     EvalEngine::new(SsaSoftware::for_operand_bits(256)?),
+//! ];
+//! let pool = ServerPool::spawn(cards, ServeConfig::default());
+//! assert_eq!(pool.workers(), 2);
+//! let a = UBig::from(1_000_003u64);
+//! let tickets: Vec<ProductTicket> = (1..=8u64)
+//!     .map(|k| {
+//!         pool.submit(ProductRequest::new(a.clone(), UBig::from(k)))
+//!             .expect("pool alive")
+//!     })
+//!     .collect();
+//! for (k, ticket) in (1..=8u64).zip(tickets) {
+//!     assert_eq!(ticket.wait().expect("served"), &a * &UBig::from(k));
+//! }
+//! let stats = pool.shutdown();
+//! assert_eq!(stats.total().completed, 8);
+//! assert_eq!(stats.per_worker.len(), 2);
+//! # Ok::<(), he_accel::MultiplyError>(())
+//! ```
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,12 +127,29 @@ use he_dghv::{CiphertextMultiplier, PreparedFactor};
 use crate::engine::{EvalEngine, OperandHandle, ProductJob};
 use crate::multiplier::{Multiplier, MultiplyError};
 
-/// Tuning knobs of a [`ProductServer`].
+/// How a card picks jobs out of the shared queue when it claims a flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Earliest-deadline-first: a flush takes the pending jobs with the
+    /// earliest deadlines (deadline-less jobs rank last, in arrival
+    /// order). Under overload this serves urgent jobs while they can
+    /// still make it, expiring strictly fewer jobs than arrival order;
+    /// with no deadlines in play it degenerates to FIFO exactly.
+    #[default]
+    Edf,
+    /// Strict arrival order, deadlines ignored for *selection* (expiry
+    /// and early-flush pulls still apply). The baseline `bench_fleet`
+    /// compares EDF against.
+    Fifo,
+}
+
+/// Tuning knobs of a [`ProductServer`] / [`ServerPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
-    /// Bounded submission-queue depth: [`ProductServer::submit`] blocks
-    /// and [`ProductServer::try_submit`] sheds once this many jobs wait
-    /// beyond the worker's current micro-batch (minimum 1).
+    /// Bounded submission-queue depth: [`Submitter::submit`] blocks and
+    /// [`Submitter::try_submit`] sheds once this many jobs are waiting
+    /// (minimum 1). Claimed micro-batches no longer count against the
+    /// bound.
     pub queue_capacity: usize,
     /// Flush a micro-batch when this many jobs are pending (minimum 1).
     pub max_batch: usize,
@@ -84,19 +157,31 @@ pub struct ServeConfig {
     /// long, even if the batch is not full — bounds added latency under
     /// light traffic.
     pub max_delay: Duration,
-    /// Prepared-handle cache entries retained (LRU); `0` disables caching
-    /// and every job runs as a raw three-transform product. Each entry
-    /// holds the operand plus its full cached spectrum (at the paper's
-    /// 64K-point plan roughly 0.6 MB), so this knob bounds the server's
-    /// resident memory. Backends whose handles cache nothing (the
-    /// classical algorithms) disable the cache automatically.
+    /// How a flush selects its jobs from the shared queue (see
+    /// [`FlushPolicy`]).
+    pub policy: FlushPolicy,
+    /// Prepared-handle cache entries retained **per card** (LRU); `0`
+    /// disables caching and every job runs as a raw three-transform
+    /// product. Each entry holds the operand plus its full cached
+    /// spectrum (at the paper's 64K-point plan roughly 0.6 MB), so this
+    /// knob bounds each card's resident memory. Backends whose handles
+    /// cache nothing (the classical algorithms) disable the cache
+    /// automatically.
     pub cache_capacity: usize,
-    /// After this long with no traffic the worker releases the backend's
-    /// idle working memory ([`Multiplier::trim_resources`]) **and** the
+    /// After this long with no traffic a card releases its backend's idle
+    /// working memory ([`Multiplier::trim_resources`]) **and** its
     /// prepared-handle cache — a resident server must not pin a burst's
     /// worth of multi-MB scratch and spectra forever. The next burst
     /// re-prepares the operands it actually reuses.
     pub idle_trim_after: Duration,
+    /// A recurring operand becomes *hot* — eligible to drive speculative
+    /// preparation of its fresh partners — once its digest has hit a
+    /// card's prepared-handle cache this many times (minimum 1; only
+    /// consulted when the pool runs a speculative preparer).
+    pub speculate_hot_after: u32,
+    /// Speculatively prepared handles retained in the pool-shared staging
+    /// store before cards claim them (oldest evicted first).
+    pub speculate_store_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -105,8 +190,11 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             max_batch: 64,
             max_delay: Duration::from_millis(5),
+            policy: FlushPolicy::Edf,
             cache_capacity: 128,
             idle_trim_after: Duration::from_millis(250),
+            speculate_hot_after: 2,
+            speculate_store_capacity: 32,
         }
     }
 }
@@ -131,11 +219,12 @@ impl ProductRequest {
 
     /// Attaches a deadline `timeout` from now: if the job has not
     /// *started executing* by then, it is answered with
-    /// [`ServeError::Expired`] instead of occupying the engine. A
-    /// deadline inside the micro-batch window pulls its flush earlier
-    /// (scheduled a small margin before the deadline so execution starts
-    /// in time); deadlines tighter than that scheduling margin (~0.5 ms)
-    /// are best-effort even on an idle server.
+    /// [`ServeError::Expired`] instead of occupying a card. A deadline
+    /// inside the micro-batch window pulls its flush earlier (scheduled a
+    /// small margin before the deadline so execution starts in time), and
+    /// under [`FlushPolicy::Edf`] an earlier deadline also wins a seat in
+    /// the next flush; deadlines tighter than that scheduling margin
+    /// (~0.5 ms) are best-effort even on an idle server.
     pub fn with_deadline(mut self, timeout: Duration) -> ProductRequest {
         self.deadline = Some(Instant::now() + timeout);
         self
@@ -145,16 +234,22 @@ impl ProductRequest {
     pub fn operands(&self) -> (&UBig, &UBig) {
         (&self.a, &self.b)
     }
+
+    /// The absolute deadline, if one was attached.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
 }
 
 /// Why a served product failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The job's deadline had already passed when the worker dequeued it
-    /// (a deadline still ahead at dequeue is honored — the flush is
-    /// pulled to start before it).
+    /// The job's deadline passed before execution — either while it
+    /// waited in the shared queue, or during its own flush's preparation
+    /// phase (the two cases are attributed separately in [`ServeStats`]).
     Expired {
-        /// How far past the deadline the worker's dequeue found the job.
+        /// How far past the deadline the job was when the server gave up
+        /// on it.
         missed_by: Duration,
     },
     /// The backend rejected the product (capacity, parameters).
@@ -194,10 +289,10 @@ impl From<MultiplyError> for ServeError {
 /// caller can retry, reroute or shed it.
 #[derive(Debug)]
 pub enum SubmitError {
-    /// The bounded queue is full (only [`ProductServer::try_submit`]
-    /// reports this; [`ProductServer::submit`] blocks instead).
+    /// The bounded queue is full (only [`Submitter::try_submit`] reports
+    /// this; [`Submitter::submit`] blocks instead).
     Full(ProductRequest),
-    /// The server's worker is gone.
+    /// Every worker is gone (shutdown, or the last card panicked).
     Closed(ProductRequest),
 }
 
@@ -241,7 +336,8 @@ impl ProductTicket {
     }
 }
 
-/// Lifetime counters of a server, returned by [`ProductServer::shutdown`].
+/// Lifetime counters of one serving worker (one card), returned by
+/// [`ProductServer::shutdown`] and, per card, by [`ServerPool::shutdown`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Micro-batches flushed.
@@ -250,16 +346,96 @@ pub struct ServeStats {
     pub completed: u64,
     /// Jobs answered with a backend error.
     pub failed: u64,
-    /// Jobs answered with [`ServeError::Expired`].
-    pub expired: u64,
-    /// Operand lookups that hit a cached prepared handle.
+    /// Jobs whose deadline had already passed when a card dequeued them —
+    /// they expired **in the queue**, so the miss is attributable to
+    /// queueing (arrival rate vs fleet capacity), not to the flush that
+    /// found them.
+    pub expired_in_queue: u64,
+    /// Jobs that were still live when their flush was claimed but whose
+    /// deadline passed during the flush's preparation phase — the miss is
+    /// attributable to **compute** (the flush itself ran too long), not
+    /// to queueing.
+    pub expired_in_flush: u64,
+    /// Operand lookups that hit the card's cached prepared handles.
     pub cache_hits: u64,
     /// Operand lookups that paid a fresh preparation.
     pub cache_misses: u64,
+    /// Operand lookups answered by the pool's speculative preparer — the
+    /// spectrum was ready before the flush started, off the critical
+    /// path.
+    pub speculative_hits: u64,
     /// Largest single flush, in jobs.
     pub largest_flush: usize,
     /// Idle-trim passes (backend scratch released after a quiet period).
     pub idle_trims: u64,
+}
+
+impl ServeStats {
+    /// Total jobs answered with [`ServeError::Expired`], wherever the
+    /// deadline was missed.
+    pub fn expired(&self) -> u64 {
+        self.expired_in_queue + self.expired_in_flush
+    }
+
+    /// Folds another worker's counters into this one (counter fields add;
+    /// `largest_flush` takes the maximum).
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.flushes += other.flushes;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.expired_in_queue += other.expired_in_queue;
+        self.expired_in_flush += other.expired_in_flush;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.speculative_hits += other.speculative_hits;
+        self.largest_flush = self.largest_flush.max(other.largest_flush);
+        self.idle_trims += other.idle_trims;
+    }
+}
+
+/// Counters of a whole fleet: one [`ServeStats`] per card plus the
+/// pool-level speculation counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Per-card lifetime counters, in card order.
+    pub per_worker: Vec<ServeStats>,
+    /// Operands the speculative preparer transformed off the critical
+    /// path (whether or not a card ended up claiming them).
+    pub speculative_prepares: u64,
+}
+
+impl PoolStats {
+    /// The fleet-wide roll-up of every card's counters.
+    pub fn total(&self) -> ServeStats {
+        let mut total = ServeStats::default();
+        for worker in &self.per_worker {
+            total.absorb(worker);
+        }
+        total
+    }
+}
+
+/// The submission surface shared by [`ProductServer`] and [`ServerPool`]
+/// — everything a client (or [`ServedMultiplier`]) needs to feed a
+/// resident serving front.
+pub trait Submitter {
+    /// Submits a job, **blocking** while the bounded queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] (with the request handed back) if every
+    /// worker is gone.
+    fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError>;
+
+    /// Submits a job without blocking: a full queue returns
+    /// [`SubmitError::Full`] with the request handed back — the
+    /// backpressure signal for load-shedding producers.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] if every worker is gone.
+    fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError>;
 }
 
 /// How far before a job's deadline its flush is scheduled, covering the
@@ -268,37 +444,175 @@ pub struct ServeStats {
 /// flush was meant to save.
 const DEADLINE_SCHEDULING_MARGIN: Duration = Duration::from_micros(500);
 
+/// One buffered answer: the job's reply channel and its outcome (flushes
+/// deliver these only after publishing their stats).
+type Reply = (
+    mpsc::Sender<Result<UBig, ServeError>>,
+    Result<UBig, ServeError>,
+);
+
 struct Submitted {
     request: ProductRequest,
     enqueued: Instant,
-    /// When the worker dequeued the job (stamped on pop; equals
-    /// `enqueued` until then). Deadline expiry compares against this: a
-    /// deadline already past at dequeue is hopeless, while one still
-    /// ahead is honored by pulling the flush to start before it — so
-    /// expiry is decided by the ordering of two events, not by how fast
-    /// the worker happens to wake.
+    /// Arrival order, the FIFO rank and the EDF tie-breaker.
+    seq: u64,
+    /// `(digest(a), digest(b))`, stamped at submission **outside** the
+    /// queue lock — only on speculative pools — so the speculative
+    /// preparer's queue scans never hash multi-hundred-KB operands while
+    /// holding the mutex every submitter and card contends on.
+    digests: Option<(u64, u64)>,
+    /// When a card dequeued the job (stamped on claim; equals `enqueued`
+    /// until then). In-queue expiry compares against this: a deadline
+    /// already past at dequeue is hopeless, while one still ahead is
+    /// honored by pulling the flush to start before it — so expiry is
+    /// decided by the ordering of two events, not by how fast a worker
+    /// happens to wake.
     seen: Instant,
     reply: mpsc::Sender<Result<UBig, ServeError>>,
 }
 
-/// Stamps a freshly dequeued job with the worker-side pickup instant.
-fn dequeued(mut job: Submitted) -> Submitted {
-    job.seen = Instant::now();
-    job
+/// The shared (backend-agnostic) half of a fleet: the bounded queue, the
+/// speculation rendezvous, and the live per-card stats slots.
+struct PoolShared {
+    config: ServeConfig,
+    state: Mutex<QueueState>,
+    /// Signaled on every push and on close; workers and the speculative
+    /// preparer wait here.
+    not_empty: Condvar,
+    /// Signaled on every claim and on close; blocking submitters wait
+    /// here.
+    not_full: Condvar,
+    seq: AtomicU64,
+    /// Cards still running; the last one to exit (panic included) closes
+    /// the queue so submitters cannot block on a dead fleet.
+    workers_alive: AtomicUsize,
+    /// Cards currently parked in their post-trim idle state. The
+    /// pool-shared speculative state (hot statistics, staged spectra) is
+    /// only cleared when **every** card is idle: one starved card timing
+    /// out while its siblings chew through a long burst is not fleet
+    /// idleness, and wiping the shared state then would defeat
+    /// speculation exactly under sustained load.
+    trimmed_cards: AtomicUsize,
+    /// Per-card stats snapshots, refreshed at every flush boundary so
+    /// [`ServerPool::stats`] can observe a live fleet.
+    live: Vec<Mutex<ServeStats>>,
+    /// Whether a speculative preparer is running (hot-digest tracking is
+    /// skipped entirely when not).
+    speculation: bool,
+    /// Digest → cache-hit count, aggregated across cards; the speculative
+    /// preparer reads it to find hot recurring operands.
+    hot: Mutex<HashMap<u64, u32>>,
+    /// Speculatively prepared handles staged for cards to claim.
+    spec_store: Mutex<SpecStore>,
+    spec_prepares: AtomicU64,
 }
 
-/// A resident serving front: one worker thread owning an [`EvalEngine`],
-/// fed by a bounded queue of [`ProductRequest`]s (see the
-/// [module docs](crate::serve) for the full contract).
+struct QueueState {
+    pending: VecDeque<Submitted>,
+    closed: bool,
+}
+
+impl PoolShared {
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        // A worker panic mid-flush never holds this lock (flushes run
+        // outside it), so poisoning can only come from a panicking
+        // submitter — the queue itself is still consistent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn digest(operand: &UBig) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    operand.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// The pool-shared staging area for speculatively prepared handles.
+///
+/// One entry per digest (a digest collision simply skips speculation for
+/// the colliding operand — cards verify the stored operand before
+/// claiming, so a clash can never serve the wrong spectrum); oldest
+/// entries are evicted first.
+#[derive(Default)]
+struct SpecStore {
+    capacity: usize,
+    order: VecDeque<u64>,
+    entries: HashMap<u64, (UBig, OperandHandle)>,
+}
+
+impl SpecStore {
+    fn new(capacity: usize) -> SpecStore {
+        SpecStore {
+            capacity,
+            order: VecDeque::new(),
+            entries: HashMap::new(),
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    fn insert(&mut self, key: u64, operand: UBig, handle: OperandHandle) {
+        if self.capacity == 0 || self.entries.contains_key(&key) {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.entries.insert(key, (operand, handle));
+        self.order.push_back(key);
+    }
+
+    /// Removes and returns the staged handle for `operand` if it is
+    /// present and was prepared by an instance interchangeable with
+    /// `provenance`.
+    fn take(
+        &mut self,
+        operand: &UBig,
+        provenance: crate::engine::HandleProvenance,
+    ) -> Option<OperandHandle> {
+        let key = digest(operand);
+        let matches = self
+            .entries
+            .get(&key)
+            .is_some_and(|(stored, handle)| stored == operand && handle.provenance() == provenance);
+        if !matches {
+            return None;
+        }
+        self.order.retain(|k| *k != key);
+        self.entries.remove(&key).map(|(_, handle)| handle)
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+        self.entries.clear();
+    }
+}
+
+/// A resident serving front over **one** card: one worker thread owning an
+/// [`EvalEngine`], fed by a bounded queue of [`ProductRequest`]s (see the
+/// [module docs](crate::serve) for the full contract). Internally this is
+/// a [`ServerPool`] of one.
 pub struct ProductServer {
-    tx: Option<mpsc::SyncSender<Submitted>>,
-    worker: Option<JoinHandle<ServeStats>>,
+    pool: ServerPool,
 }
 
 impl core::fmt::Debug for ProductServer {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("ProductServer")
-            .field("open", &self.tx.is_some())
+            .field("open", &self.pool.is_open())
             .finish()
     }
 }
@@ -310,64 +624,30 @@ impl ProductServer {
     where
         M: Multiplier + Send + Sync + 'static,
     {
-        let (tx, rx) = mpsc::sync_channel(config.queue_capacity.max(1));
-        let worker = std::thread::Builder::new()
-            .name("he-product-server".into())
-            .spawn(move || Worker::new(engine, config).run(rx))
-            .expect("spawn product-server worker");
         ProductServer {
-            tx: Some(tx),
-            worker: Some(worker),
+            pool: ServerPool::spawn(vec![engine], config),
         }
     }
 
-    fn sender(&self) -> &mpsc::SyncSender<Submitted> {
-        self.tx.as_ref().expect("sender present until shutdown")
-    }
-
-    /// Submits a job, **blocking** while the bounded queue is full.
+    /// Submits a job, **blocking** while the bounded queue is full (see
+    /// [`Submitter::submit`]).
     ///
     /// # Errors
     ///
     /// [`SubmitError::Closed`] (with the request handed back) if the
     /// worker is gone.
     pub fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
-        let (reply, rx) = mpsc::channel();
-        let enqueued = Instant::now();
-        match self.sender().send(Submitted {
-            request,
-            enqueued,
-            seen: enqueued,
-            reply,
-        }) {
-            Ok(()) => Ok(ProductTicket { rx }),
-            Err(mpsc::SendError(submitted)) => Err(SubmitError::Closed(submitted.request)),
-        }
+        self.pool.submit(request)
     }
 
-    /// Submits a job without blocking: a full queue returns
-    /// [`SubmitError::Full`] with the request handed back — the
-    /// backpressure signal for load-shedding producers.
+    /// Submits a job without blocking (see [`Submitter::try_submit`]).
     ///
     /// # Errors
     ///
     /// [`SubmitError::Full`] when the queue is at capacity,
     /// [`SubmitError::Closed`] if the worker is gone.
     pub fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
-        let (reply, rx) = mpsc::channel();
-        let enqueued = Instant::now();
-        match self.sender().try_send(Submitted {
-            request,
-            enqueued,
-            seen: enqueued,
-            reply,
-        }) {
-            Ok(()) => Ok(ProductTicket { rx }),
-            Err(mpsc::TrySendError::Full(submitted)) => Err(SubmitError::Full(submitted.request)),
-            Err(mpsc::TrySendError::Disconnected(submitted)) => {
-                Err(SubmitError::Closed(submitted.request))
-            }
-        }
+        self.pool.try_submit(request)
     }
 
     /// Closes the queue, drains every already-accepted job, joins the
@@ -377,218 +657,813 @@ impl ProductServer {
     ///
     /// Propagates a worker-thread panic (tickets of undelivered jobs
     /// report [`ServeError::Closed`]).
-    pub fn shutdown(mut self) -> ServeStats {
-        drop(self.tx.take());
-        self.worker
-            .take()
-            .map(|w| w.join().expect("product-server worker panicked"))
-            .unwrap_or_default()
+    pub fn shutdown(self) -> ServeStats {
+        self.pool.shutdown().total()
     }
 }
 
-impl Drop for ProductServer {
+impl Submitter for ProductServer {
+    fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        ProductServer::submit(self, request)
+    }
+
+    fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        ProductServer::try_submit(self, request)
+    }
+}
+
+/// A serving **fleet**: several resident [`EvalEngine`]s — one per
+/// simulated accelerator card — pulling deadline-aware micro-batches from
+/// one shared bounded queue (see the [module docs](crate::serve) for the
+/// full contract).
+///
+/// Every card keeps its own prepared-handle cache (handles are
+/// provenance-stamped per backend instance), runs its flushes
+/// independently, and reports its own [`ServeStats`]; the queue, the
+/// backpressure bound, and the optional speculative preparer are shared.
+pub struct ServerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<ServeStats>>,
+    speculator: Option<JoinHandle<()>>,
+}
+
+impl core::fmt::Debug for ServerPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServerPool")
+            .field("workers", &self.workers.len())
+            .field("open", &self.is_open())
+            .field("speculative", &self.shared.speculation)
+            .finish()
+    }
+}
+
+impl ServerPool {
+    /// Spawns one worker thread per engine; the engines move in and stay
+    /// resident until [`ServerPool::shutdown`] (or drop). Cards may be
+    /// heterogeneous (different transform geometries, even on the same
+    /// host) — each prepares its own operands, so jobs never depend on
+    /// cross-card handle compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    pub fn spawn<M>(engines: Vec<EvalEngine<M>>, config: ServeConfig) -> ServerPool
+    where
+        M: Multiplier + Send + Sync + 'static,
+    {
+        ServerPool::spawn_inner(engines, None, config)
+    }
+
+    /// Like [`ServerPool::spawn`], with one extra engine dedicated to
+    /// **speculative both-cached promotion**: a background task that
+    /// watches the fleet's digest-LRU hit statistics and pre-transforms
+    /// the fresh partners of hot recurring operands while they wait in
+    /// the queue, off the cards' critical path. Cards claim the staged
+    /// spectra at flush time ([`ServeStats::speculative_hits`]); spectra
+    /// are only interchangeable between instances of identical transform
+    /// geometry, so the speculator engine should match the cards it feeds
+    /// (a mismatched geometry is safe but useless — its handles are never
+    /// claimed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    pub fn spawn_speculative<M>(
+        engines: Vec<EvalEngine<M>>,
+        speculator: EvalEngine<M>,
+        config: ServeConfig,
+    ) -> ServerPool
+    where
+        M: Multiplier + Send + Sync + 'static,
+    {
+        ServerPool::spawn_inner(engines, Some(speculator), config)
+    }
+
+    fn spawn_inner<M>(
+        engines: Vec<EvalEngine<M>>,
+        speculator: Option<EvalEngine<M>>,
+        config: ServeConfig,
+    ) -> ServerPool
+    where
+        M: Multiplier + Send + Sync + 'static,
+    {
+        assert!(
+            !engines.is_empty(),
+            "a serving fleet needs at least one card"
+        );
+        let shared = Arc::new(PoolShared {
+            config,
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            seq: AtomicU64::new(0),
+            workers_alive: AtomicUsize::new(engines.len()),
+            trimmed_cards: AtomicUsize::new(0),
+            live: (0..engines.len())
+                .map(|_| Mutex::new(ServeStats::default()))
+                .collect(),
+            speculation: speculator.is_some(),
+            hot: Mutex::new(HashMap::new()),
+            spec_store: Mutex::new(SpecStore::new(config.speculate_store_capacity)),
+            spec_prepares: AtomicU64::new(0),
+        });
+        let workers = engines
+            .into_iter()
+            .enumerate()
+            .map(|(index, engine)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("he-serve-card-{index}"))
+                    .spawn(move || CardWorker::new(index, engine, shared).run())
+                    .expect("spawn serving-card worker")
+            })
+            .collect();
+        let speculator = speculator.map(|engine| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("he-serve-speculator".into())
+                .spawn(move || run_speculator(engine, shared))
+                .expect("spawn speculative preparer")
+        });
+        ServerPool {
+            shared,
+            workers,
+            speculator,
+        }
+    }
+
+    /// Number of cards serving this pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn is_open(&self) -> bool {
+        !self.shared.lock_state().closed
+    }
+
+    /// A live snapshot of the fleet's counters (refreshed at every flush
+    /// boundary), without stopping anything.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            per_worker: self
+                .shared
+                .live
+                .iter()
+                .map(|slot| *slot.lock().unwrap_or_else(|e| e.into_inner()))
+                .collect(),
+            speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue, drains every already-accepted job, joins every
+    /// card and returns the fleet's lifetime counters.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a card-thread panic (tickets of undelivered jobs report
+    /// [`ServeError::Closed`]).
+    pub fn shutdown(mut self) -> PoolStats {
+        self.shared.close();
+        let per_worker = self
+            .workers
+            .drain(..)
+            .map(|w| w.join().expect("serving-card worker panicked"))
+            .collect();
+        if let Some(speculator) = self.speculator.take() {
+            let _ = speculator.join();
+        }
+        // Jobs accepted after the cards drained and exited (a losing race
+        // with shutdown) answer `Closed` through their dropped senders.
+        self.shared.lock_state().pending.clear();
+        PoolStats {
+            per_worker,
+            speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ServerPool {
     fn drop(&mut self) {
-        drop(self.tx.take());
-        if let Some(worker) = self.worker.take() {
+        self.shared.close();
+        for worker in self.workers.drain(..) {
             // Drain-and-join; a worker panic surfaces through tickets as
             // `Closed`, not through drop.
             let _ = worker.join();
         }
+        if let Some(speculator) = self.speculator.take() {
+            let _ = speculator.join();
+        }
+        self.shared.lock_state().pending.clear();
     }
 }
 
-/// The worker-side state: engine, cache, counters.
-struct Worker<M> {
+impl Submitter for ServerPool {
+    fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        let digests = self.stamp_digests(&request);
+        let capacity = self.shared.config.queue_capacity.max(1);
+        let mut state = self.shared.lock_state();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed(request));
+            }
+            if state.pending.len() < capacity {
+                break;
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        Ok(self.push(state, request, digests))
+    }
+
+    fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        let digests = self.stamp_digests(&request);
+        let capacity = self.shared.config.queue_capacity.max(1);
+        let state = self.shared.lock_state();
+        if state.closed {
+            return Err(SubmitError::Closed(request));
+        }
+        if state.pending.len() >= capacity {
+            return Err(SubmitError::Full(request));
+        }
+        Ok(self.push(state, request, digests))
+    }
+}
+
+impl ServerPool {
+    /// On speculative pools, digests are paid once per submission — on
+    /// the submitter's thread, before any lock — so the speculative
+    /// preparer's queue scans are pure map lookups under the mutex.
+    fn stamp_digests(&self, request: &ProductRequest) -> Option<(u64, u64)> {
+        self.shared
+            .speculation
+            .then(|| (digest(&request.a), digest(&request.b)))
+    }
+
+    fn push(
+        &self,
+        mut state: MutexGuard<'_, QueueState>,
+        request: ProductRequest,
+        digests: Option<(u64, u64)>,
+    ) -> ProductTicket {
+        let (reply, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        state.pending.push_back(Submitted {
+            request,
+            enqueued,
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            digests,
+            seen: enqueued,
+            reply,
+        });
+        drop(state);
+        self.shared.not_empty.notify_all();
+        ProductTicket { rx }
+    }
+}
+
+/// What a card found when it went back to the queue.
+enum Claim {
+    Batch(Vec<Submitted>),
+    IdleTrim,
+    Closed,
+}
+
+/// One card of the fleet: an engine, its private handle cache, and its
+/// counters.
+struct CardWorker<M> {
+    index: usize,
     engine: EvalEngine<M>,
-    config: ServeConfig,
+    shared: Arc<PoolShared>,
     cache: HandleCache,
     stats: ServeStats,
+    /// Whether this card already trimmed during the current idle period
+    /// (one trim per quiet stretch, then park until traffic returns).
+    trimmed: bool,
 }
 
-impl<M: Multiplier + Sync> Worker<M> {
-    fn new(engine: EvalEngine<M>, config: ServeConfig) -> Worker<M> {
-        Worker {
+/// Closes the queue when the last card exits, however it exits — a fleet
+/// whose every worker panicked must refuse submissions instead of
+/// blocking them forever.
+struct AliveGuard<'a>(&'a PoolShared);
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        if self.0.workers_alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.0.close();
+        }
+    }
+}
+
+impl<M: Multiplier + Sync> CardWorker<M> {
+    fn new(index: usize, engine: EvalEngine<M>, shared: Arc<PoolShared>) -> CardWorker<M> {
+        let cache = HandleCache::new(shared.config.cache_capacity);
+        CardWorker {
+            index,
             engine,
-            config,
-            cache: HandleCache::new(config.cache_capacity),
+            shared,
+            cache,
             stats: ServeStats::default(),
+            trimmed: false,
         }
     }
 
-    fn run(mut self, rx: mpsc::Receiver<Submitted>) -> ServeStats {
-        let mut pending: Vec<Submitted> = Vec::new();
-        'serve: loop {
-            if pending.is_empty() {
-                // Quiet queue: wait one idle window, release the
-                // backend's scratch, then block until traffic returns.
-                match rx.recv_timeout(self.config.idle_trim_after) {
-                    Ok(job) => pending.push(dequeued(job)),
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        // Release what residency costs when traffic is
-                        // quiet: the backend's scratch units and the
-                        // cached spectra (both multi-MB at paper scale);
-                        // the next burst re-prepares what it reuses.
-                        self.engine.backend().trim_resources();
-                        self.cache.clear();
-                        self.stats.idle_trims += 1;
-                        match rx.recv() {
-                            Ok(job) => pending.push(dequeued(job)),
-                            Err(_) => break 'serve,
-                        }
+    fn run(mut self) -> ServeStats {
+        let shared = Arc::clone(&self.shared);
+        let _guard = AliveGuard(&shared);
+        loop {
+            match self.claim() {
+                Claim::Batch(batch) => {
+                    if self.trimmed {
+                        self.trimmed = false;
+                        self.shared.trimmed_cards.fetch_sub(1, Ordering::AcqRel);
                     }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break 'serve,
+                    self.flush(batch);
+                    self.publish();
                 }
+                Claim::IdleTrim => {
+                    // Release what residency costs when traffic is quiet:
+                    // this card's scratch units and cached spectra (both
+                    // multi-MB at paper scale); the next burst re-prepares
+                    // what it reuses.
+                    self.engine.backend().trim_resources();
+                    self.cache.clear();
+                    self.stats.idle_trims += 1;
+                    self.trimmed = true;
+                    let idle_now = self.shared.trimmed_cards.fetch_add(1, Ordering::AcqRel) + 1;
+                    // The *shared* speculative state empties only once the
+                    // whole fleet has gone quiet: hot statistics from a
+                    // past burst must not steer speculation for the next,
+                    // but one starved card timing out while its siblings
+                    // chew through a long burst is not fleet idleness —
+                    // wiping the staged spectra then would defeat
+                    // speculation exactly under sustained load.
+                    if self.shared.speculation && idle_now == self.shared.live.len() {
+                        self.shared
+                            .hot
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .clear();
+                        self.shared
+                            .spec_store
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .clear();
+                    }
+                    self.publish();
+                }
+                Claim::Closed => break,
             }
-            // Fill the micro-batch until it is full or the flush deadline
-            // (oldest job's age bound, pulled earlier by job deadlines)
-            // arrives.
-            while pending.len() < self.config.max_batch.max(1) {
-                let flush_at = self.flush_deadline(&pending);
-                let now = Instant::now();
-                if now >= flush_at {
-                    break;
-                }
-                match rx.recv_timeout(flush_at - now) {
-                    Ok(job) => pending.push(dequeued(job)),
-                    Err(mpsc::RecvTimeoutError::Timeout) => break,
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            // The batch ships now, but jobs already sitting in the queue
-            // ride along for free (no waiting). Without this, a backlog —
-            // jobs older than `max_delay` the moment they are popped —
-            // would degrade every flush to a single job exactly when
-            // batching matters most.
-            while pending.len() < self.config.max_batch.max(1) {
-                match rx.try_recv() {
-                    Ok(job) => pending.push(dequeued(job)),
-                    Err(_) => break,
-                }
-            }
-            self.flush(&mut pending);
         }
-        // The queue is closed and `recv` drained every accepted job.
         self.stats
     }
 
-    /// When the batch currently forming must flush: the oldest job's age
-    /// bound, pulled earlier by any job deadline (running a job *before*
-    /// its deadline beats expiring it at the full batch window). The
-    /// deadline pull is scheduled [`DEADLINE_SCHEDULING_MARGIN`] *before*
-    /// the deadline itself, so the job has started executing — not just
-    /// been scheduled — by the instant it promised; a flush fired exactly
-    /// at the deadline would always find the job microseconds expired.
-    fn flush_deadline(&self, pending: &[Submitted]) -> Instant {
-        let oldest = pending
-            .iter()
-            .map(|j| j.enqueued)
-            .min()
-            .expect("flush_deadline on non-empty batch");
-        pending
-            .iter()
-            .filter_map(|j| j.request.deadline)
-            .map(|d| d.checked_sub(DEADLINE_SCHEDULING_MARGIN).unwrap_or(d))
-            .fold(oldest + self.config.max_delay, Instant::min)
+    /// Refreshes this card's live stats slot (for [`ServerPool::stats`]).
+    fn publish(&self) {
+        *self.shared.live[self.index]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = self.stats;
     }
 
-    fn flush(&mut self, pending: &mut Vec<Submitted>) {
-        if pending.is_empty() {
+    /// Blocks until there is a micro-batch to run, the card should trim,
+    /// or the fleet is shut down.
+    fn claim(&self) -> Claim {
+        let config = &self.shared.config;
+        let max_batch = config.max_batch.max(1);
+        let mut state = self.shared.lock_state();
+        loop {
+            if state.pending.is_empty() {
+                if state.closed {
+                    return Claim::Closed;
+                }
+                if self.trimmed {
+                    // Already trimmed this idle period: park until
+                    // traffic (or shutdown) wakes the fleet.
+                    state = self
+                        .shared
+                        .not_empty
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                } else {
+                    let (next, timeout) = self
+                        .shared
+                        .not_empty
+                        .wait_timeout(state, config.idle_trim_after)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = next;
+                    if timeout.timed_out() && state.pending.is_empty() && !state.closed {
+                        return Claim::IdleTrim;
+                    }
+                }
+                continue;
+            }
+            let now = Instant::now();
+            let due = flush_due(&state.pending, config);
+            if state.closed || state.pending.len() >= max_batch || now >= due {
+                let batch = pop_batch(&mut state.pending, config);
+                drop(state);
+                // Capacity was freed; unblock waiting submitters.
+                self.shared.not_full.notify_all();
+                return Claim::Batch(batch);
+            }
+            // The batch is still filling: wait out the window, waking on
+            // every push to re-evaluate (a new job may complete the batch
+            // or pull the window earlier with its deadline).
+            let (next, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, due - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = next;
+        }
+    }
+
+    fn flush(&mut self, batch: Vec<Submitted>) {
+        if batch.is_empty() {
             return;
         }
         self.stats.flushes += 1;
-        self.stats.largest_flush = self.stats.largest_flush.max(pending.len());
-        // Expire jobs whose deadline had already passed when the worker
-        // dequeued them — they were hopeless before the server could act,
-        // and cost the engine nothing. A deadline still ahead at dequeue
-        // is honored: the fill loop pulled this flush to start before it,
-        // so the decision is the ordering of two recorded events, not a
-        // race against the worker's wakeup latency.
-        let mut live: Vec<Submitted> = Vec::with_capacity(pending.len());
-        for job in pending.drain(..) {
+        self.stats.largest_flush = self.stats.largest_flush.max(batch.len());
+        // Replies are buffered and sent only after this card's stats are
+        // published: a caller that just saw its ticket answered must find
+        // the completion already reflected in `ServerPool::stats`.
+        let mut replies: Vec<Reply> = Vec::with_capacity(batch.len());
+        // Expire jobs whose deadline had already passed when this card
+        // dequeued them — they were hopeless before any flush could act,
+        // and the miss belongs to queueing, not to this flush. A deadline
+        // still ahead at dequeue is honored below: the claim loop pulled
+        // this flush to start before it, so the decision is the ordering
+        // of two recorded events, not a race against the worker's wakeup
+        // latency.
+        let mut live: Vec<Submitted> = Vec::with_capacity(batch.len());
+        for job in batch {
             match job.request.deadline {
                 Some(deadline) if deadline < job.seen => {
-                    self.stats.expired += 1;
-                    let _ = job.reply.send(Err(ServeError::Expired {
-                        missed_by: job.seen.saturating_duration_since(deadline),
-                    }));
+                    self.stats.expired_in_queue += 1;
+                    replies.push((
+                        job.reply,
+                        Err(ServeError::Expired {
+                            missed_by: job.seen.saturating_duration_since(deadline),
+                        }),
+                    ));
                 }
                 _ => live.push(job),
             }
         }
         if live.is_empty() {
+            self.finish_flush(replies);
             return;
         }
         // Phase 1 (cache writes): make sure every operand has a prepared
-        // handle, paying each digest's forward transform at most once. An
-        // operand the backend cannot prepare simply stays uncached — the
-        // job then runs raw and surfaces the backend's own error.
-        for job in &live {
-            for operand in [&job.request.a, &job.request.b] {
-                match self.cache.ensure(&self.engine, operand) {
-                    CacheOutcome::Hit => self.stats.cache_hits += 1,
-                    CacheOutcome::Miss => self.stats.cache_misses += 1,
-                    CacheOutcome::Disabled | CacheOutcome::Unpreparable => {}
+        // handle, paying each digest's forward transform at most once —
+        // and paying independent misses concurrently. An operand the
+        // backend cannot prepare simply stays uncached — the job then
+        // runs raw and surfaces the backend's own error.
+        self.prepare_operands(&live);
+        // A job that was live at dequeue but whose deadline passed while
+        // this flush prepared its operands has been overtaken by compute,
+        // not by queueing: it cannot start in time, so it is dropped here
+        // and attributed to the flush.
+        let now = Instant::now();
+        let mut run: Vec<Submitted> = Vec::with_capacity(live.len());
+        for job in live {
+            match job.request.deadline {
+                Some(deadline) if deadline < now => {
+                    self.stats.expired_in_flush += 1;
+                    replies.push((
+                        job.reply,
+                        Err(ServeError::Expired {
+                            missed_by: now.saturating_duration_since(deadline),
+                        }),
+                    ));
                 }
+                _ => run.push(job),
             }
         }
-        // Phase 2 (cache reads only): assemble the batch on the cached
-        // handles and run it as one unit.
-        let cache = &self.cache;
-        let engine = &self.engine;
-        let jobs: Vec<ProductJob<'_>> = live
-            .iter()
-            .map(|job| {
-                let (a, b) = (&job.request.a, &job.request.b);
-                match (cache.get(a), cache.get(b)) {
-                    (Some(ha), Some(hb)) => ProductJob::Prepared(ha, hb),
-                    (Some(ha), None) => ProductJob::OnePrepared(ha, b),
-                    // Multiplication commutes, so a lone cached `b` still
-                    // saves its forward transform.
-                    (None, Some(hb)) => ProductJob::OnePrepared(hb, a),
-                    (None, None) => ProductJob::Raw(a, b),
-                }
-            })
-            .collect();
-        let outcomes: Vec<Result<UBig, ServeError>> = match engine.run(&jobs) {
-            Ok(products) => products.into_iter().map(Ok).collect(),
-            // A batch reports only its lowest-index error; rerun each job
-            // alone so one oversized product does not poison its
-            // batch-mates.
-            Err(_) => jobs
+        if !run.is_empty() {
+            // Phase 2 (cache reads only): assemble the batch on the
+            // cached handles and run it as one unit.
+            let cache = &self.cache;
+            let engine = &self.engine;
+            let jobs: Vec<ProductJob<'_>> = run
                 .iter()
                 .map(|job| {
-                    engine
-                        .run(std::slice::from_ref(job))
-                        .map(|mut v| v.pop().expect("one product per job"))
-                        .map_err(ServeError::Multiply)
+                    let (a, b) = (&job.request.a, &job.request.b);
+                    match (cache.get(a), cache.get(b)) {
+                        (Some(ha), Some(hb)) => ProductJob::Prepared(ha, hb),
+                        (Some(ha), None) => ProductJob::OnePrepared(ha, b),
+                        // Multiplication commutes, so a lone cached `b`
+                        // still saves its forward transform.
+                        (None, Some(hb)) => ProductJob::OnePrepared(hb, a),
+                        (None, None) => ProductJob::Raw(a, b),
+                    }
                 })
-                .collect(),
-        };
-        drop(jobs);
-        for (job, outcome) in live.into_iter().zip(outcomes) {
-            match &outcome {
-                Ok(_) => self.stats.completed += 1,
-                Err(_) => self.stats.failed += 1,
+                .collect();
+            let outcomes: Vec<Result<UBig, ServeError>> = match engine.run(&jobs) {
+                Ok(products) => products.into_iter().map(Ok).collect(),
+                // A batch reports only its lowest-index error; rerun each
+                // job alone so one oversized product does not poison its
+                // batch-mates.
+                Err(_) => jobs
+                    .iter()
+                    .map(|job| {
+                        engine
+                            .run(std::slice::from_ref(job))
+                            .map(|mut v| v.pop().expect("one product per job"))
+                            .map_err(ServeError::Multiply)
+                    })
+                    .collect(),
+            };
+            drop(jobs);
+            for (job, outcome) in run.into_iter().zip(outcomes) {
+                match &outcome {
+                    Ok(_) => self.stats.completed += 1,
+                    Err(_) => self.stats.failed += 1,
+                }
+                replies.push((job.reply, outcome));
             }
-            // A dropped ticket is a caller that stopped listening — fine.
-            let _ = job.reply.send(outcome);
         }
         // Evict only after the batch ran: every handle it borrowed was
         // live, so the cache may transiently exceed its capacity within a
         // single flush.
         self.cache.evict_to_capacity();
+        self.finish_flush(replies);
+    }
+
+    /// Publishes this flush's counters, then delivers the buffered
+    /// replies — in that order, so `ServerPool::stats` never lags a
+    /// ticket the caller has already collected.
+    fn finish_flush(&self, replies: Vec<Reply>) {
+        self.publish();
+        for (reply, outcome) in replies {
+            // A dropped ticket is a caller that stopped listening — fine.
+            let _ = reply.send(outcome);
+        }
+    }
+
+    /// Phase 1 of a flush: look every operand up in this card's cache,
+    /// claim speculatively staged spectra, and prepare the remaining
+    /// misses **in parallel** at the product level
+    /// ([`EvalEngine::prepare_many`]).
+    fn prepare_operands(&mut self, live: &[Submitted]) {
+        if self.cache.is_disabled() {
+            return;
+        }
+        let provenance = self.engine.backend().provenance();
+        let mut hot_hits: Vec<u64> = Vec::new();
+        // Unique operands this flush must prepare, in first-seen order,
+        // with the count of their repeat sightings inside the same flush:
+        // once the first sighting's preparation lands, every repeat is
+        // served from the cache in phase 2 — a hit, and evidence of
+        // recurrence, same as a cross-flush hit. Until then the repeats
+        // stay provisional (a raw or failed preparation caches nothing,
+        // so crediting them up front would invent hits).
+        let mut missing: Vec<&UBig> = Vec::new();
+        let mut repeats: HashMap<u64, u64> = HashMap::new();
+        let mut scheduled: HashSet<u64> = HashSet::new();
+        for job in live {
+            for operand in [&job.request.a, &job.request.b] {
+                let key = digest(operand);
+                if self.cache.touch(operand, key) {
+                    self.stats.cache_hits += 1;
+                    if self.shared.speculation {
+                        hot_hits.push(key);
+                    }
+                    continue;
+                }
+                if scheduled.contains(&key) {
+                    *repeats.entry(key).or_insert(0) += 1;
+                    continue;
+                }
+                if self.shared.speculation {
+                    let staged = self
+                        .shared
+                        .spec_store
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take(operand, provenance);
+                    if let Some(handle) = staged {
+                        self.cache.insert(operand.clone(), key, handle);
+                        self.stats.speculative_hits += 1;
+                        scheduled.insert(key);
+                        continue;
+                    }
+                }
+                scheduled.insert(key);
+                missing.push(operand);
+            }
+        }
+        // Only a successful, spectrum-bearing preparation touches the
+        // cache; a raw-fallback backend caches no spectrum, so retaining
+        // handles would only clone operands into resident memory for zero
+        // transform savings — turn the cache off for good.
+        let mut disabled = false;
+        if !missing.is_empty() {
+            for (operand, prepared) in missing.iter().zip(self.engine.prepare_many(&missing)) {
+                match prepared {
+                    Ok(handle) if handle.is_cached() => {
+                        let key = digest(operand);
+                        self.cache.insert((*operand).clone(), key, handle);
+                        self.stats.cache_misses += 1;
+                        // The repeats of a now-cached operand are hits.
+                        if let Some(count) = repeats.remove(&key) {
+                            self.stats.cache_hits += count;
+                            if self.shared.speculation {
+                                hot_hits.extend(std::iter::repeat_n(key, count as usize));
+                            }
+                        }
+                    }
+                    Ok(_) => {
+                        self.cache.disable();
+                        disabled = true;
+                        break;
+                    }
+                    // Unpreparable (e.g. the operand alone exceeds the
+                    // transform capacity): the job runs raw and surfaces
+                    // the backend's own error.
+                    Err(_) => {}
+                }
+            }
+        }
+        // Repeats of operands that hit the speculative store also resolve
+        // from the cache in phase 2.
+        if !disabled {
+            for (&key, &count) in &repeats {
+                if self.cache.contains_key(key) {
+                    self.stats.cache_hits += count;
+                    if self.shared.speculation {
+                        hot_hits.extend(std::iter::repeat_n(key, count as usize));
+                    }
+                }
+            }
+        }
+        if self.shared.speculation && !hot_hits.is_empty() {
+            let mut hot = self.shared.hot.lock().unwrap_or_else(|e| e.into_inner());
+            // Bound the statistics map: a pathological stream of distinct
+            // hot digests must not grow resident memory without limit.
+            if hot.len() > 4096 {
+                hot.clear();
+            }
+            for key in hot_hits {
+                *hot.entry(key).or_insert(0) += 1;
+            }
+        }
     }
 }
 
-/// Outcome of a cache lookup-or-prepare.
-enum CacheOutcome {
-    Hit,
-    Miss,
-    /// Caching is off (`cache_capacity == 0`).
-    Disabled,
-    /// The backend could not prepare the operand (e.g. it exceeds the
-    /// transform's single-operand capacity); the job runs raw.
-    Unpreparable,
+/// When the batch currently forming must flush: the oldest job's age
+/// bound, pulled earlier by any job deadline (running a job *before* its
+/// deadline beats expiring it at the full batch window). The deadline pull
+/// is scheduled [`DEADLINE_SCHEDULING_MARGIN`] *before* the deadline
+/// itself, so the job has started executing — not just been scheduled — by
+/// the instant it promised; a flush fired exactly at the deadline would
+/// always find the job microseconds expired.
+fn flush_due(pending: &VecDeque<Submitted>, config: &ServeConfig) -> Instant {
+    let oldest = pending
+        .iter()
+        .map(|j| j.enqueued)
+        .min()
+        .expect("flush_due on non-empty queue");
+    pending
+        .iter()
+        .filter_map(|j| j.request.deadline)
+        .map(|d| d.checked_sub(DEADLINE_SCHEDULING_MARGIN).unwrap_or(d))
+        .fold(oldest + config.max_delay, Instant::min)
+}
+
+/// Claims up to `max_batch` jobs from the queue under the configured
+/// [`FlushPolicy`] and stamps their dequeue instant.
+fn pop_batch(pending: &mut VecDeque<Submitted>, config: &ServeConfig) -> Vec<Submitted> {
+    let take = pending.len().min(config.max_batch.max(1));
+    let mut batch: Vec<Submitted> = if take == pending.len() {
+        pending.drain(..).collect()
+    } else {
+        match config.policy {
+            FlushPolicy::Fifo => pending.drain(..take).collect(),
+            FlushPolicy::Edf => {
+                // Rank every pending job: earliest deadline first,
+                // deadline-less jobs last, arrival order as tie-breaker.
+                let mut order: Vec<usize> = (0..pending.len()).collect();
+                order.sort_by(|&i, &j| {
+                    let (a, b) = (&pending[i], &pending[j]);
+                    match (a.request.deadline, b.request.deadline) {
+                        (Some(da), Some(db)) => da.cmp(&db).then(a.seq.cmp(&b.seq)),
+                        (Some(_), None) => core::cmp::Ordering::Less,
+                        (None, Some(_)) => core::cmp::Ordering::Greater,
+                        (None, None) => a.seq.cmp(&b.seq),
+                    }
+                });
+                let chosen: HashSet<usize> = order[..take].iter().copied().collect();
+                let mut batch = Vec::with_capacity(take);
+                let mut rest = VecDeque::with_capacity(pending.len() - take);
+                for (i, job) in pending.drain(..).enumerate() {
+                    if chosen.contains(&i) {
+                        batch.push(job);
+                    } else {
+                        rest.push_back(job);
+                    }
+                }
+                *pending = rest;
+                batch
+            }
+        }
+    };
+    let now = Instant::now();
+    for job in &mut batch {
+        job.seen = now;
+    }
+    batch
+}
+
+/// The speculative preparer: watches the queue and the fleet's hit
+/// statistics, and transforms the fresh partners of hot recurring
+/// operands into the shared staging store — off the cards' critical path.
+fn run_speculator<M: Multiplier + Sync>(engine: EvalEngine<M>, shared: Arc<PoolShared>) {
+    let config = &shared.config;
+    let hot_after = config.speculate_hot_after.max(1);
+    let per_pass = config.max_batch.max(1);
+    loop {
+        // Snapshot speculation candidates under the queue lock: pending
+        // jobs where one side's digest is hot (its spectrum is surely
+        // cached on some card) and the other side — the stream side — is
+        // neither hot nor already staged. Digests were stamped at
+        // submission (outside this lock), so the scan is map lookups
+        // plus at most `per_pass` bounded operand clones — it never
+        // hashes operand data while submitters and cards contend on the
+        // mutex.
+        let candidates: Vec<(u64, UBig)> = {
+            let mut state = shared.lock_state();
+            loop {
+                if state.closed {
+                    return;
+                }
+                if !state.pending.is_empty() {
+                    break;
+                }
+                state = shared
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            let hot = shared.hot.lock().unwrap_or_else(|e| e.into_inner());
+            let store = shared.spec_store.lock().unwrap_or_else(|e| e.into_inner());
+            let is_hot = |key: u64| hot.get(&key).copied().unwrap_or(0) >= hot_after;
+            let mut picked: Vec<(u64, UBig)> = Vec::new();
+            let mut picked_keys: HashSet<u64> = HashSet::new();
+            'scan: for job in state.pending.iter() {
+                let Some((key_a, key_b)) = job.digests else {
+                    continue;
+                };
+                let (a, b) = job.request.operands();
+                for (this, key, partner_key) in [(a, key_a, key_b), (b, key_b, key_a)] {
+                    if is_hot(partner_key)
+                        && !is_hot(key)
+                        && !store.contains(key)
+                        && !picked_keys.contains(&key)
+                    {
+                        picked_keys.insert(key);
+                        picked.push((key, this.clone()));
+                        if picked.len() >= per_pass {
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            picked
+        };
+        if candidates.is_empty() {
+            // Traffic is flowing but nothing is speculable right now
+            // (operands cold, or already staged); re-check after one
+            // batch window rather than spinning on the queue lock.
+            let state = shared.lock_state();
+            if state.closed {
+                return;
+            }
+            let wait = config.max_delay.max(Duration::from_millis(1));
+            drop(shared.not_empty.wait_timeout(state, wait));
+            continue;
+        }
+        for (key, operand) in candidates {
+            if shared.lock_state().closed {
+                return;
+            }
+            if let Ok(handle) = engine.prepare(&operand) {
+                if handle.is_cached() {
+                    shared
+                        .spec_store
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(key, operand, handle);
+                    shared.spec_prepares.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 struct CacheSlot {
@@ -597,20 +1472,14 @@ struct CacheSlot {
     last_used: u64,
 }
 
-/// LRU cache of prepared operand handles, keyed by the operand's 64-bit
-/// digest (collisions are verified against the stored operand, so a
+/// Per-card LRU cache of prepared operand handles, keyed by the operand's
+/// 64-bit digest (collisions are verified against the stored operand, so a
 /// digest clash can never serve the wrong spectrum).
 struct HandleCache {
     capacity: usize,
     tick: u64,
     len: usize,
     entries: HashMap<u64, Vec<CacheSlot>>,
-}
-
-fn digest(operand: &UBig) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    operand.hash(&mut hasher);
-    hasher.finish()
 }
 
 impl HandleCache {
@@ -623,46 +1492,51 @@ impl HandleCache {
         }
     }
 
-    /// Looks the operand up, preparing and inserting it on a miss.
-    fn ensure<M: Multiplier>(&mut self, engine: &EvalEngine<M>, operand: &UBig) -> CacheOutcome {
+    fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Turns the cache off for good (raw-fallback backends: retaining
+    /// handles would only clone operands into resident memory for zero
+    /// transform savings).
+    fn disable(&mut self) {
+        self.capacity = 0;
+        self.clear();
+    }
+
+    /// Looks the operand up, bumping its recency. Returns whether it was
+    /// cached.
+    fn touch(&mut self, operand: &UBig, key: u64) -> bool {
         if self.capacity == 0 {
-            return CacheOutcome::Disabled;
+            return false;
         }
         self.tick += 1;
         let tick = self.tick;
-        let key = digest(operand);
-        if let Some(slot) = self
+        match self
             .entries
             .get_mut(&key)
             .and_then(|chain| chain.iter_mut().find(|s| s.operand == *operand))
         {
-            slot.last_used = tick;
-            return CacheOutcome::Hit;
-        }
-        // Only a successful, spectrum-bearing preparation touches the
-        // map: inserting the chain speculatively would leak one empty
-        // entry per distinct unpreparable operand for the server's
-        // lifetime.
-        match engine.prepare(operand) {
-            Ok(handle) if handle.is_cached() => {
-                self.entries.entry(key).or_default().push(CacheSlot {
-                    operand: operand.clone(),
-                    handle,
-                    last_used: tick,
-                });
-                self.len += 1;
-                CacheOutcome::Miss
+            Some(slot) => {
+                slot.last_used = tick;
+                true
             }
-            // A raw-fallback backend caches no spectrum, so retaining
-            // handles would only clone operands into resident memory for
-            // zero transform savings — turn the cache off for good.
-            Ok(_) => {
-                self.capacity = 0;
-                self.clear();
-                CacheOutcome::Disabled
-            }
-            Err(_) => CacheOutcome::Unpreparable,
+            None => false,
         }
+    }
+
+    /// Inserts a freshly prepared handle.
+    fn insert(&mut self, operand: UBig, key: u64, handle: OperandHandle) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.entries.entry(key).or_default().push(CacheSlot {
+            operand,
+            handle,
+            last_used: self.tick,
+        });
+        self.len += 1;
     }
 
     /// Drops every cached handle (capacity and auto-disable state are
@@ -670,6 +1544,14 @@ impl HandleCache {
     fn clear(&mut self) {
         self.entries.clear();
         self.len = 0;
+    }
+
+    /// Whether any slot is cached under this digest (phase-1 repeat
+    /// accounting; the operand itself is verified on `get`).
+    fn contains_key(&self, key: u64) -> bool {
+        self.entries
+            .get(&key)
+            .is_some_and(|chain| !chain.is_empty())
     }
 
     /// Read-only lookup (no recency update; phase 2 of a flush).
@@ -705,34 +1587,34 @@ impl HandleCache {
 }
 
 /// A [`CiphertextMultiplier`] that routes every homomorphic product
-/// through a [`ProductServer`], so DGHV circuit evaluation — AND-trees,
-/// comparator sweeps, SIMD mask products — schedules whole levels as one
-/// micro-batch on the resident engine (see
-/// `he_dghv::CircuitEvaluator::and_tree`).
+/// through a serving front — a single [`ProductServer`] or a whole
+/// [`ServerPool`] — so DGHV circuit evaluation (AND-trees, comparator
+/// sweeps, SIMD mask products) schedules whole levels as one micro-batch
+/// on the resident fleet (see `he_dghv::CircuitEvaluator::and_tree`).
 ///
-/// The server's handle cache makes the recurring operands of those
-/// circuits (masks, accumulators) hit the cached-transform rungs without
-/// any preparation calls on this side; `prepare`d factors therefore keep
-/// only the raw value.
+/// The fleet's handle caches make the recurring operands of those circuits
+/// (masks, accumulators) hit the cached-transform rungs without any
+/// preparation calls on this side; `prepare`d factors therefore keep only
+/// the raw value.
 ///
 /// # Panics
 ///
 /// Like the other sized backends (`SsaBackend`), products that exceed the
-/// engine's capacity panic — the DGHV layer guarantees ciphertexts fit
-/// the backend it was built for. Server shutdown mid-product also panics.
+/// engine's capacity panic — the DGHV layer guarantees ciphertexts fit the
+/// backend it was built for. Server shutdown mid-product also panics.
 #[derive(Debug)]
-pub struct ServedMultiplier<'a> {
-    server: &'a ProductServer,
+pub struct ServedMultiplier<'a, S: Submitter = ProductServer> {
+    server: &'a S,
 }
 
-impl<'a> ServedMultiplier<'a> {
-    /// A DGHV backend view over `server`.
-    pub fn new(server: &'a ProductServer) -> ServedMultiplier<'a> {
+impl<'a, S: Submitter> ServedMultiplier<'a, S> {
+    /// A DGHV backend view over a serving front.
+    pub fn new(server: &'a S) -> ServedMultiplier<'a, S> {
         ServedMultiplier { server }
     }
 }
 
-impl CiphertextMultiplier for ServedMultiplier<'_> {
+impl<S: Submitter> CiphertextMultiplier for ServedMultiplier<'_, S> {
     fn multiply(&self, a: &UBig, b: &UBig) -> UBig {
         self.server
             .submit(ProductRequest::new(a.clone(), b.clone()))
@@ -742,7 +1624,7 @@ impl CiphertextMultiplier for ServedMultiplier<'_> {
     }
 
     fn multiply_pairs(&self, pairs: &[(&UBig, &UBig)]) -> Vec<UBig> {
-        // Submit the whole level, then collect: the server micro-batches
+        // Submit the whole level, then collect: the fleet micro-batches
         // the stream, so independent gates of one circuit level share
         // flushes (and the cached transforms of recurring operands).
         let tickets: Vec<ProductTicket> = pairs
@@ -760,7 +1642,7 @@ impl CiphertextMultiplier for ServedMultiplier<'_> {
     }
 
     fn multiply_prepared_many(&self, a: &PreparedFactor, bs: &[&UBig]) -> Vec<UBig> {
-        // The server's own digest cache is the preparation layer here;
+        // The fleet's own digest caches are the preparation layer here;
         // submitting raw pairs lets it reuse the recurring factor's
         // spectrum across the whole sweep.
         let pairs: Vec<(&UBig, &UBig)> = bs.iter().map(|b| (a.raw(), *b)).collect();
@@ -777,11 +1659,12 @@ mod tests {
     use super::*;
     use crate::multiplier::{Karatsuba, SsaSoftware};
 
+    fn small_engine(bits: usize) -> EvalEngine<SsaSoftware> {
+        EvalEngine::new(SsaSoftware::for_operand_bits(bits).unwrap())
+    }
+
     fn small_server(config: ServeConfig) -> ProductServer {
-        ProductServer::spawn(
-            EvalEngine::new(SsaSoftware::for_operand_bits(2_000).unwrap()),
-            config,
-        )
+        ProductServer::spawn(small_engine(2_000), config)
     }
 
     #[test]
@@ -803,7 +1686,7 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.completed, 10);
-        assert_eq!(stats.failed + stats.expired, 0);
+        assert_eq!(stats.failed + stats.expired(), 0);
         // The recurring right-hand operand hit the cache after its first
         // preparation.
         assert!(stats.cache_hits >= 9, "stats: {stats:?}");
@@ -849,7 +1732,10 @@ mod tests {
         assert!(matches!(doomed.wait(), Err(ServeError::Expired { .. })));
         assert_eq!(fine.wait().unwrap(), UBig::from(77u64));
         let stats = server.shutdown();
-        assert_eq!(stats.expired, 1);
+        // The zero deadline was already past at dequeue: an in-queue
+        // expiry, not a flush-attributed one.
+        assert_eq!(stats.expired_in_queue, 1);
+        assert_eq!(stats.expired_in_flush, 0);
         assert_eq!(stats.completed, 1);
     }
 
@@ -877,7 +1763,7 @@ mod tests {
             UBig::from(42u64)
         );
         let stats = server.shutdown();
-        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.expired(), 0);
         assert_eq!(stats.completed, 1);
     }
 
@@ -957,41 +1843,6 @@ mod tests {
     }
 
     #[test]
-    fn unpreparable_operands_leave_no_cache_residue() {
-        let engine = EvalEngine::new(SsaSoftware::for_operand_bits(128).unwrap());
-        let mut cache = HandleCache::new(4);
-        for k in 0..5u32 {
-            let oversized = UBig::pow2(100_000 + k as usize);
-            assert!(matches!(
-                cache.ensure(&engine, &oversized),
-                CacheOutcome::Unpreparable
-            ));
-        }
-        assert_eq!(cache.len, 0);
-        assert!(
-            cache.entries.is_empty(),
-            "unpreparable operands must not leak digest chains"
-        );
-    }
-
-    #[test]
-    fn cache_evicts_to_capacity_lru() {
-        let engine = EvalEngine::new(SsaSoftware::for_operand_bits(128).unwrap());
-        let mut cache = HandleCache::new(2);
-        let ops: Vec<UBig> = (1..=3u64).map(UBig::from).collect();
-        for op in &ops {
-            assert!(matches!(cache.ensure(&engine, op), CacheOutcome::Miss));
-        }
-        // Touch op[1] so op[0] is the LRU entry.
-        assert!(matches!(cache.ensure(&engine, &ops[1]), CacheOutcome::Hit));
-        cache.evict_to_capacity();
-        assert_eq!(cache.len, 2);
-        assert!(cache.get(&ops[0]).is_none(), "LRU entry evicted");
-        assert!(cache.get(&ops[1]).is_some());
-        assert!(cache.get(&ops[2]).is_some());
-    }
-
-    #[test]
     fn raw_backends_serve_with_the_cache_auto_disabled() {
         let server = ProductServer::spawn(EvalEngine::new(Karatsuba), ServeConfig::default());
         let tickets: Vec<ProductTicket> = (0..3)
@@ -1009,5 +1860,297 @@ mod tests {
         // and cloning operands after the first sighting.
         assert_eq!(stats.cache_hits, 0, "stats: {stats:?}");
         assert_eq!(stats.cache_misses, 0, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn pool_serves_across_all_cards() {
+        let pool = ServerPool::spawn(
+            vec![small_engine(2_000), small_engine(2_000)],
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(pool.workers(), 2);
+        let tickets: Vec<ProductTicket> = (1..=24u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(UBig::from(k), UBig::from(999_983u64)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (1..=24u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(k * 999_983));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.per_worker.len(), 2);
+        assert_eq!(stats.total().completed, 24);
+        assert_eq!(stats.total().failed + stats.total().expired(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_cards_each_prepare_their_own_operands() {
+        // Cards of different transform geometry share a queue: handles
+        // are provenance-stamped per instance, so each card caches its
+        // own spectra and every product stays bit-exact regardless of
+        // which card claims it.
+        let pool = ServerPool::spawn(
+            vec![small_engine(2_000), small_engine(4_000)],
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let fixed = UBig::from(0xabcdu64);
+        let tickets: Vec<ProductTicket> = (1..=16u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(fixed.clone(), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (1..=16u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), &fixed * &UBig::from(k));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.total().completed, 16);
+    }
+
+    #[test]
+    fn edf_claims_earliest_deadlines_first() {
+        let config = ServeConfig {
+            max_batch: 2,
+            policy: FlushPolicy::Edf,
+            ..ServeConfig::default()
+        };
+        let mut pending: VecDeque<Submitted> = VecDeque::new();
+        let base = Instant::now();
+        let (tx, _rx) = mpsc::channel();
+        for (seq, deadline_ms) in [
+            (0u64, None),
+            (1, Some(500u64)),
+            (2, Some(50)),
+            (3, Some(200)),
+        ] {
+            pending.push_back(Submitted {
+                request: ProductRequest {
+                    a: UBig::from(seq),
+                    b: UBig::from(seq),
+                    deadline: deadline_ms.map(|ms| base + Duration::from_millis(ms)),
+                },
+                enqueued: base,
+                seq,
+                digests: None,
+                seen: base,
+                reply: tx.clone(),
+            });
+        }
+        let batch = pop_batch(&mut pending, &config);
+        let seqs: Vec<u64> = batch.iter().map(|j| j.seq).collect();
+        // The 50 ms and 200 ms deadlines outrank the 500 ms one and the
+        // deadline-less job.
+        assert_eq!(seqs, vec![2, 3]);
+        assert_eq!(pending.len(), 2);
+        // FIFO takes arrival order regardless of deadlines.
+        let fifo = ServeConfig {
+            policy: FlushPolicy::Fifo,
+            ..config
+        };
+        let batch = pop_batch(&mut pending, &fifo);
+        let seqs: Vec<u64> = batch.iter().map(|j| j.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn edf_expires_fewer_than_fifo_under_overload() {
+        // Deterministic queue-order check (no live threads): 4 pending
+        // jobs, capacity for 2 per flush. The last two carry the tight
+        // deadlines; EDF runs them first, FIFO lets them expire.
+        let base = Instant::now();
+        let (tx, _rx) = mpsc::channel();
+        let build = |policy: FlushPolicy| {
+            let mut pending: VecDeque<Submitted> = VecDeque::new();
+            for (seq, deadline) in [(0u64, None), (1, None), (2, Some(1u64)), (3, Some(2))] {
+                pending.push_back(Submitted {
+                    request: ProductRequest {
+                        a: UBig::from(seq),
+                        b: UBig::from(seq),
+                        deadline: deadline.map(|ms| base + Duration::from_millis(ms)),
+                    },
+                    enqueued: base,
+                    seq,
+                    digests: None,
+                    seen: base,
+                    reply: tx.clone(),
+                });
+            }
+            let config = ServeConfig {
+                max_batch: 2,
+                policy,
+                ..ServeConfig::default()
+            };
+            pop_batch(&mut pending, &config)
+                .iter()
+                .map(|j| j.seq)
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(build(FlushPolicy::Edf), vec![2, 3]);
+        assert_eq!(build(FlushPolicy::Fifo), vec![0, 1]);
+    }
+
+    #[test]
+    fn speculative_preparer_stages_hot_partners() {
+        // A recurring `fixed` operand times a fresh stream: once `fixed`
+        // is hot, the speculator pre-transforms the stream side while the
+        // jobs wait, and the cards claim the staged spectra.
+        let pool = ServerPool::spawn_speculative(
+            vec![small_engine(2_000)],
+            small_engine(2_000),
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(5),
+                speculate_hot_after: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let fixed = UBig::from(0x5eedu64);
+        // Rounds of traffic: the first rounds heat `fixed` up, later
+        // rounds give the speculator queued jobs to work ahead of.
+        let mut served = 0u64;
+        for round in 0..6u64 {
+            let tickets: Vec<ProductTicket> = (0..8u64)
+                .map(|k| {
+                    let b = UBig::from(1 + round * 101 + k * 7919);
+                    pool.submit(ProductRequest::new(fixed.clone(), b)).unwrap()
+                })
+                .collect();
+            for (k, ticket) in (0..8u64).zip(tickets) {
+                let b = UBig::from(1 + round * 101 + k * 7919);
+                assert_eq!(ticket.wait().unwrap(), &fixed * &b);
+                served += 1;
+            }
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.total().completed, served);
+        // The speculator transformed at least one stream operand off the
+        // critical path. (Claims are racy — the card may beat the
+        // speculator to any given operand — but across 48 products some
+        // speculative work must have landed.)
+        assert!(
+            stats.speculative_prepares > 0,
+            "speculator never ran: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn spec_store_verifies_operand_and_provenance() {
+        let engine_small = small_engine(2_000);
+        let engine_large = small_engine(500_000);
+        let op = UBig::from(77u64);
+        let handle = engine_small.prepare(&op).unwrap();
+        let mut store = SpecStore::new(4);
+        store.insert(digest(&op), op.clone(), handle);
+        // A different geometry cannot claim the staged spectrum…
+        assert!(store
+            .take(&op, engine_large.backend().provenance())
+            .is_none());
+        // …a different operand cannot either…
+        assert!(store
+            .take(&UBig::from(78u64), engine_small.backend().provenance())
+            .is_none());
+        // …the matching instance takes it exactly once.
+        assert!(store
+            .take(&op, engine_small.backend().provenance())
+            .is_some());
+        assert!(store
+            .take(&op, engine_small.backend().provenance())
+            .is_none());
+    }
+
+    #[test]
+    fn spec_store_evicts_oldest_first() {
+        let engine = small_engine(2_000);
+        let provenance = engine.backend().provenance();
+        let mut store = SpecStore::new(2);
+        let ops: Vec<UBig> = (1..=3u64).map(UBig::from).collect();
+        for op in &ops {
+            let handle = engine.prepare(op).unwrap();
+            store.insert(digest(op), op.clone(), handle);
+        }
+        assert!(store.take(&ops[0], provenance).is_none(), "oldest evicted");
+        assert!(store.take(&ops[1], provenance).is_some());
+        assert!(store.take(&ops[2], provenance).is_some());
+    }
+
+    #[test]
+    fn live_stats_observe_a_running_pool() {
+        let pool = ServerPool::spawn(
+            vec![small_engine(2_000)],
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<ProductTicket> = (1..=6u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (1..=6u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(k * k));
+        }
+        // All tickets answered, so the flush-boundary snapshots must have
+        // caught up with every completion.
+        let live = pool.stats();
+        assert_eq!(live.total().completed, 6);
+        let stats = pool.shutdown();
+        assert_eq!(stats.total().completed, 6);
+    }
+
+    #[test]
+    fn cache_evicts_to_capacity_lru() {
+        let engine = EvalEngine::new(SsaSoftware::for_operand_bits(128).unwrap());
+        let mut cache = HandleCache::new(2);
+        let ops: Vec<UBig> = (1..=3u64).map(UBig::from).collect();
+        for op in &ops {
+            let key = digest(op);
+            assert!(!cache.touch(op, key));
+            cache.insert(op.clone(), key, engine.prepare(op).unwrap());
+        }
+        // Touch op[1] so op[0] is the LRU entry.
+        assert!(cache.touch(&ops[1], digest(&ops[1])));
+        cache.evict_to_capacity();
+        assert_eq!(cache.len, 2);
+        assert!(cache.get(&ops[0]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&ops[1]).is_some());
+        assert!(cache.get(&ops[2]).is_some());
+    }
+
+    #[test]
+    fn unpreparable_operands_leave_no_cache_residue() {
+        // Oversized operands fail preparation; the flush must not leak
+        // digest chains for them (phase 1 only inserts successes).
+        let server = small_server(ServeConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        let oversized = UBig::pow2(100_000);
+        let bad = server
+            .submit(ProductRequest::new(oversized.clone(), oversized))
+            .unwrap();
+        assert!(matches!(bad.wait(), Err(ServeError::Multiply(_))));
+        let good = server
+            .submit(ProductRequest::new(UBig::from(6u64), UBig::from(9u64)))
+            .unwrap();
+        assert_eq!(good.wait().unwrap(), UBig::from(54u64));
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        // The oversized operand never counted as a miss (it was never
+        // cached), the good pair paid two.
+        assert_eq!(stats.cache_misses, 2, "stats: {stats:?}");
     }
 }

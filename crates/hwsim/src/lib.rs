@@ -19,6 +19,7 @@
 //! | PE control FSM as burst-level micro-ops | [`program`] |
 //! | Back-to-back multiplication throughput | [`stream`] |
 //! | Batched products over cached operand spectra | [`batch`] |
+//! | Multi-card fleet behind one host queue (EDF/FIFO) | [`fleet`] |
 //! | Cycle-stamped timelines (overlap made visible) | [`trace`] |
 //! | Scheme-primitive costs on the accelerator | [`primitive`] |
 //! | Energy extension (the FPGA-vs-GPU power argument) | [`power`] |
@@ -56,6 +57,7 @@ pub mod config;
 pub mod device;
 pub mod distributed;
 pub mod fft_unit;
+pub mod fleet;
 pub mod flexplan;
 pub mod memory;
 pub mod modmul;

@@ -164,6 +164,32 @@ impl PerfModel {
         self.cycles_to_us(self.cached_multiplication_cycles(fresh))
     }
 
+    /// Steady-state initiation interval for back-to-back multiplications
+    /// whose operands are partially cached: `fresh + 1` transforms keep
+    /// the FFT units busy per product (see
+    /// [`PerfModel::cached_multiplication_cycles`]), while the dot
+    /// product and carry recovery run on their own resources under
+    /// double buffering — whichever is longer bounds the stream. With
+    /// `fresh = 2` this is exactly
+    /// [`PerfModel::pipelined_multiplication_cycles`]; the both-cached
+    /// rung (`fresh = 0`) is the first point where the dot/carry
+    /// resources, not the FFT units, can become the bottleneck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh > 2`.
+    pub fn pipelined_cached_multiplication_cycles(&self, fresh: u64) -> u64 {
+        assert!(fresh <= 2, "a product has at most two forward transforms");
+        ((fresh + 1) * self.fft_cycles())
+            .max(self.dot_product_cycles() + self.carry_recovery_cycles())
+    }
+
+    /// [`PerfModel::pipelined_cached_multiplication_cycles`] in
+    /// microseconds.
+    pub fn pipelined_cached_multiplication_us(&self, fresh: u64) -> f64 {
+        self.cycles_to_us(self.pipelined_cached_multiplication_cycles(fresh))
+    }
+
     /// Cycles for a squaring: one forward transform (shared by both
     /// operands), pointwise squaring, inverse transform, carry recovery.
     pub fn squaring_cycles(&self) -> u64 {
@@ -297,6 +323,23 @@ mod tests {
     #[should_panic(expected = "at most two forward transforms")]
     fn cached_transform_count_validated() {
         PerfModel::new(AcceleratorConfig::paper()).cached_multiplication_cycles(3);
+    }
+
+    #[test]
+    fn pipelined_cached_ladder() {
+        let m = PerfModel::new(AcceleratorConfig::paper());
+        // fresh = 2 reduces to the plain pipelined interval.
+        assert_eq!(
+            m.pipelined_cached_multiplication_cycles(2),
+            m.pipelined_multiplication_cycles()
+        );
+        // One-cached: 2 × 6144 = 12288 FFT cycles still beat
+        // 2048 + 4000 = 6048 dot/carry cycles.
+        assert_eq!(m.pipelined_cached_multiplication_cycles(1), 12_288);
+        // Both-cached: one inverse transform (6144) still bounds the
+        // paper design point, barely — the dot/carry chain is 6048.
+        assert_eq!(m.pipelined_cached_multiplication_cycles(0), 6_144);
+        assert!(m.pipelined_cached_multiplication_us(0) < m.pipelined_cached_multiplication_us(1));
     }
 
     #[test]

@@ -103,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.flushes,
         stats.largest_flush,
         stats.completed,
-        stats.expired,
+        stats.expired(),
         stats.cache_hits,
         stats.cache_misses
     );

@@ -4,6 +4,11 @@
 //! runnable walkthroughs in `examples/`; the actual implementation lives
 //! in the `crates/` members. It re-exports [`he_accel`] so the examples'
 //! imports also work from this package's documentation.
+//!
+//! Start with the repository-level `README.md` (quick start, crate map,
+//! benchmark how-to) and `ARCHITECTURE.md` (layering diagram, serving
+//! data flow, and the table mapping each component of the DATE 2016
+//! paper to the module that models it).
 
 #![forbid(unsafe_code)]
 

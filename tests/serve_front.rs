@@ -57,7 +57,7 @@ proptest! {
         }
         let stats = server.shutdown();
         prop_assert_eq!(stats.completed as usize, stream.len());
-        prop_assert_eq!(stats.failed + stats.expired, 0);
+        prop_assert_eq!(stats.failed + stats.expired(), 0);
     }
 }
 
@@ -91,7 +91,11 @@ fn deadline_expiry_is_typed_and_batch_mates_survive() {
         assert_eq!(ticket.wait().unwrap(), UBig::from(k * (k + 1)));
     }
     let stats = server.shutdown();
-    assert_eq!(stats.expired, 1);
+    assert_eq!(
+        stats.expired_in_queue, 1,
+        "a zero deadline expires in the queue"
+    );
+    assert_eq!(stats.expired_in_flush, 0);
     assert_eq!(stats.completed, 4);
 }
 
