@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use he_accel::prelude::*;
 use he_bench::operand;
+use he_bench::serving;
 use he_hwsim::fleet::{FleetJob, FleetModel, FleetPolicy};
 use he_ssa::PAPER_OPERAND_BITS;
 
@@ -69,13 +70,7 @@ fn main() {
     ));
 
     let fixed = operand(bits, 300);
-    let streams: Vec<Vec<UBig>> = (0..rounds)
-        .map(|r| {
-            (0..jobs)
-                .map(|i| operand(bits, 10_000 + (r * jobs + i) as u64))
-                .collect()
-        })
-        .collect();
+    let streams = serving::fresh_streams(bits, rounds, jobs, 10_000);
     // Bit-exactness is asserted on the first round of every rung (the
     // remaining rounds are timed only; correctness is covered in depth by
     // tests/fleet.rs).
@@ -296,8 +291,8 @@ fn measure_rung(
     let engines: Vec<EvalEngine<SsaSoftware>> = (0..workers)
         .map(|_| EvalEngine::new(backend.clone()))
         .collect();
-    let pool = ServerPool::spawn(engines, fleet_config(batch, streams[0].len()));
-    let pps = run_rounds(&pool, fixed, streams, expected0);
+    let pool = ServerPool::spawn(engines, serving::front_config(batch, streams[0].len()));
+    let pps = run_rounds(&pool, backend, fixed, streams, expected0);
     pool.shutdown();
     pps
 }
@@ -315,10 +310,10 @@ fn measure_speculative(
         EvalEngine::new(backend.clone()),
         ServeConfig {
             speculate_hot_after: 1,
-            ..fleet_config(batch, streams[0].len())
+            ..serving::front_config(batch, streams[0].len())
         },
     );
-    let pps = run_rounds(&pool, fixed, streams, expected0);
+    let pps = run_rounds(&pool, backend, fixed, streams, expected0);
     let stats = pool.shutdown();
     (pps, stats)
 }
@@ -347,57 +342,24 @@ fn probe_one_cached_secs_per_product(
     start.elapsed().as_secs_f64() / batch as f64
 }
 
-fn fleet_config(batch: usize, jobs: usize) -> ServeConfig {
-    ServeConfig {
-        queue_capacity: 2 * jobs,
-        max_batch: batch,
-        max_delay: Duration::from_millis(50),
-        cache_capacity: 2 * jobs,
-        ..ServeConfig::default()
-    }
-}
-
 /// Warm-up round plus timed rounds; returns the median round's
-/// products/sec (a lucky round must not carry the gate).
-fn run_rounds(pool: &ServerPool, fixed: &UBig, streams: &[Vec<UBig>], expected0: &[UBig]) -> f64 {
-    // Warm-up: caches the fixed operand's spectrum and grows the scratch
-    // pools, as a long-lived fleet would have long since done. Disjoint
-    // operands from every timed round.
-    let bits = fixed.bit_len();
-    let warm: Vec<ProductTicket> = (0..streams[0].len())
-        .map(|i| {
-            pool.submit(ProductRequest::new(
-                fixed.clone(),
-                operand(bits, 900_000 + i as u64),
-            ))
-            .expect("pool alive")
-        })
-        .collect();
-    for ticket in warm {
-        ticket.wait().expect("warm-up served");
-    }
-    let mut rates: Vec<f64> = Vec::new();
-    for (round, stream) in streams.iter().enumerate() {
-        let start = Instant::now();
-        let tickets: Vec<ProductTicket> = stream
-            .iter()
-            .map(|b| {
-                pool.submit(ProductRequest::new(fixed.clone(), b.clone()))
-                    .expect("pool alive")
-            })
-            .collect();
-        let results: Vec<UBig> = tickets
-            .into_iter()
-            .map(|t| t.wait().expect("served"))
-            .collect();
-        let elapsed = start.elapsed().as_secs_f64();
-        if round == 0 {
-            assert_eq!(results, expected0, "round 0 must be bit-exact");
-        }
-        rates.push(stream.len() as f64 / elapsed);
-    }
-    rates.sort_by(f64::total_cmp);
-    rates[rates.len() / 2]
+/// products/sec (a lucky round must not carry the gate). Round 0 is
+/// verified bit-exact; correctness in depth lives in tests/fleet.rs.
+fn run_rounds(
+    pool: &ServerPool,
+    backend: &SsaSoftware,
+    fixed: &UBig,
+    streams: &[Vec<UBig>],
+    expected0: &[UBig],
+) -> f64 {
+    serving::warm_up(pool, backend, fixed, streams[0].len());
+    let rounds = serving::timed_rounds(
+        pool,
+        fixed,
+        streams,
+        std::slice::from_ref(&expected0.to_vec()),
+    );
+    serving::median_rate(&rounds)
 }
 
 /// Submits an overload burst — the generous-deadline three quarters

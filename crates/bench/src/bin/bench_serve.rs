@@ -20,13 +20,8 @@ use std::time::{Duration, Instant};
 
 use he_accel::prelude::*;
 use he_bench::operand;
+use he_bench::serving::{self, RoundRate};
 use he_ssa::{SsaJob, PAPER_OPERAND_BITS};
-
-struct Round {
-    round: usize,
-    elapsed_ms: f64,
-    products_per_sec: f64,
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -49,13 +44,7 @@ fn main() {
     let fixed = operand(bits, 300);
     // Fresh right-hand operands for every round: recurring traffic is the
     // fixed operand only, as in a serving deployment.
-    let streams: Vec<Vec<UBig>> = (0..rounds)
-        .map(|r| {
-            (0..batch)
-                .map(|i| operand(bits, 400 + (r * batch + i) as u64))
-                .collect()
-        })
-        .collect();
+    let streams = serving::fresh_streams(bits, rounds, batch, 400);
     let expected: Vec<Vec<UBig>> = streams
         .iter()
         .map(|stream| {
@@ -86,62 +75,15 @@ fn main() {
         one_cached_pps
     );
 
-    // The served path: a resident engine behind the micro-batching queue.
+    // The served path: a resident engine behind the micro-batching
+    // queue, on the shared measurement protocol (warm-up, timed rounds,
+    // every round verified bit-exact).
     let server = ProductServer::spawn(
         EvalEngine::new(backend.clone()),
-        ServeConfig {
-            queue_capacity: 2 * batch,
-            max_batch: batch,
-            max_delay: Duration::from_millis(50),
-            cache_capacity: 2 * batch,
-            ..ServeConfig::default()
-        },
+        serving::front_config(batch, batch),
     );
-    // Warm-up round: caches the fixed operand's spectrum and grows the
-    // scratch pool, as a long-lived server would have long since done.
-    // Its stream operands are disjoint from every timed round, so no
-    // timed product gets an accidental both-cached head start.
-    let warm_stream: Vec<UBig> = (0..batch)
-        .map(|i| operand(bits, 900_000 + i as u64))
-        .collect();
-    let warm: Vec<ProductTicket> = warm_stream
-        .iter()
-        .map(|b| {
-            server
-                .submit(ProductRequest::new(fixed.clone(), b.clone()))
-                .expect("server alive")
-        })
-        .collect();
-    for (ticket, b) in warm.into_iter().zip(&warm_stream) {
-        assert_eq!(
-            ticket.wait().expect("served"),
-            backend.multiply(&fixed, b).expect("operands fit")
-        );
-    }
-
-    let mut round_runs: Vec<Round> = Vec::new();
-    for (round, (stream, want)) in streams.iter().zip(&expected).enumerate() {
-        let start = Instant::now();
-        let tickets: Vec<ProductTicket> = stream
-            .iter()
-            .map(|b| {
-                server
-                    .submit(ProductRequest::new(fixed.clone(), b.clone()))
-                    .expect("server alive")
-            })
-            .collect();
-        let results: Vec<UBig> = tickets
-            .into_iter()
-            .map(|t| t.wait().expect("served"))
-            .collect();
-        let elapsed = start.elapsed().as_secs_f64();
-        assert_eq!(&results, want, "served round {round} must be bit-exact");
-        round_runs.push(Round {
-            round,
-            elapsed_ms: elapsed * 1e3,
-            products_per_sec: batch as f64 / elapsed,
-        });
-    }
+    serving::warm_up(&server, &backend, &fixed, batch);
+    let round_runs: Vec<RoundRate> = serving::timed_rounds(&server, &fixed, &streams, &expected);
     let stats = server.shutdown();
 
     println!("{:>6}  {:>12}  {:>14}", "round", "elapsed ms", "products/s");
@@ -153,9 +95,7 @@ fn main() {
     }
     // Median round, not best-of: a lucky round must not carry the
     // acceptance gate.
-    let mut sorted_pps: Vec<f64> = round_runs.iter().map(|r| r.products_per_sec).collect();
-    sorted_pps.sort_by(f64::total_cmp);
-    let served_pps = sorted_pps[sorted_pps.len() / 2];
+    let served_pps = serving::median_rate(&round_runs);
     let ratio = served_pps / one_cached_pps;
     println!(
         "\nserved (median round) vs inline one-cached batch {batch}: {ratio:.2}x \

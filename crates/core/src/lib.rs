@@ -67,7 +67,11 @@
 //!
 //! For the deployment shape — resident engines behind a bounded queue,
 //! deadline-aware micro-batching, one card or a whole fleet — see
-//! [`serve`] ([`ProductServer`] and [`ServerPool`]).
+//! [`serve`] ([`ProductServer`] and [`ServerPool`]); clients stream
+//! against it without a thread per in-flight product via
+//! [`CompletionQueue`] (tagged, completion-ordered draining) and
+//! [`ClientSession`] (register a recurring operand once, pinned in every
+//! card's cache).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -91,8 +95,9 @@ pub use multiplier::{
 };
 pub use selfcheck::{self_check, SelfCheckReport};
 pub use serve::{
-    FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, ServeConfig, ServeError,
-    ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
+    ClientSession, Completion, CompletionQueue, CompletionSink, FlushPolicy, PoolStats,
+    ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig, ServeError, ServeStats,
+    ServedMultiplier, ServerPool, SubmitError, Submitter,
 };
 
 /// Convenience re-exports for downstream users.
@@ -102,8 +107,9 @@ pub mod prelude {
         HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
     };
     pub use crate::serve::{
-        FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, ServeConfig,
-        ServeError, ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
+        ClientSession, Completion, CompletionQueue, CompletionSink, FlushPolicy, PoolStats,
+        ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig, ServeError,
+        ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
     };
     pub use he_bigint::UBig;
     pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};

@@ -13,12 +13,14 @@
 //!   queue (the multi-card deployment the paper's cloud scenario implies:
 //!   many clients, several PCIe cards, one dispatch queue).
 //!
-//! Both speak the same submission surface ([`Submitter`]):
+//! Both speak the same submission surface ([`Submitter`]) — as does
+//! [`ClientSession`], the per-client handle layered on top:
 //!
 //! * [`Submitter::submit`] blocks while the queue is full (natural
 //!   backpressure for cooperating producers);
 //! * [`Submitter::try_submit`] returns [`SubmitError::Full`] immediately,
-//!   handing the request back for load shedding;
+//!   handing the request back for load shedding (sheds are counted in
+//!   [`ServeStats::shed`]);
 //! * pending jobs are **micro-batched**: a card claims a flush when
 //!   [`ServeConfig::max_batch`] jobs are waiting or the oldest has waited
 //!   [`ServeConfig::max_delay`], whichever comes first, and the whole
@@ -28,13 +30,32 @@
 //!   earliest deadlines first, and an urgent deadline pulls the flush
 //!   earlier than the batch window — under overload this expires strictly
 //!   fewer jobs than FIFO order (`bench_fleet` measures exactly that);
-//! * each job's result comes back through its [`ProductTicket`], and a
-//!   job whose deadline passes before execution is answered with
-//!   [`ServeError::Expired`] instead of being run —
-//!   [`ServeStats::expired_in_queue`] counts jobs that were already
-//!   hopeless when a card dequeued them (queueing pressure), while
-//!   [`ServeStats::expired_in_flush`] counts jobs overtaken during their
-//!   own flush's preparation phase (compute pressure).
+//! * each job's result comes back through its [`ProductTicket`] —
+//!   blocking [`ProductTicket::wait`], polling [`ProductTicket::try_wait`],
+//!   bounded [`ProductTicket::wait_timeout`], or not at all
+//!   ([`ProductTicket::cancel`] drops a queued job at claim time,
+//!   counted in [`ServeStats::cancelled`]) — and a job whose deadline
+//!   passes before execution is answered with [`ServeError::Expired`]
+//!   instead of being run — [`ServeStats::expired_in_queue`] counts jobs
+//!   that were already hopeless when a card dequeued them (queueing
+//!   pressure), while [`ServeStats::expired_in_flush`] counts jobs
+//!   overtaken during their own flush's preparation phase (compute
+//!   pressure);
+//! * a **reactor-style client** needs none of the ticket-per-thread
+//!   machinery: [`CompletionQueue`] multiplexes the completions of many
+//!   in-flight submissions onto one receiver with caller-supplied tags,
+//!   so a single thread overlaps submission with completion
+//!   ([`CompletionQueue::submit_tagged`] / [`CompletionQueue::recv`]);
+//! * recurring operands can be **registered once** on a
+//!   [`ClientSession`] ([`ClientSession::register`]): registered operands
+//!   are pinned in every card's cache by id — no per-submit digest
+//!   hashing, no digest-LRU pressure — and a stream submitted against them
+//!   ([`ClientSession::submit_with`]) rides the cached-transform rungs
+//!   from its first flush ([`ServeStats::pinned_hits`]);
+//! * on a heterogeneous fleet, [`RoutePolicy::BySize`] steers every job
+//!   to a card whose transform geometry fits its operands, so a small
+//!   card never claims (and fails) a job only its bigger sibling can
+//!   run.
 //!
 //! On top of the queue each card keeps a **prepared-handle cache** (LRU,
 //! keyed by the operand's digest): every operand of a flushed job is
@@ -116,7 +137,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -143,6 +164,48 @@ pub enum FlushPolicy {
     Fifo,
 }
 
+/// How jobs are matched to cards when a fleet's transform geometries
+/// differ.
+///
+/// ```
+/// use he_accel::prelude::*;
+/// use std::time::Duration;
+///
+/// // A small card and a big card behind one queue: by-size routing
+/// // sends each job to a card whose transform fits it.
+/// let pool = ServerPool::spawn(
+///     vec![
+///         EvalEngine::new(SsaSoftware::for_operand_bits(2_000)?),
+///         EvalEngine::new(SsaSoftware::for_operand_bits(100_000)?),
+///     ],
+///     ServeConfig {
+///         route: RoutePolicy::BySize,
+///         max_delay: Duration::from_millis(1),
+///         ..ServeConfig::default()
+///     },
+/// );
+/// let big = UBig::pow2(50_000); // only the 100k-bit card can run this
+/// let ticket = pool.submit(ProductRequest::new(big.clone(), UBig::from(3u64)))?;
+/// assert_eq!(ticket.wait().expect("routed to the big card"), &big * &UBig::from(3u64));
+/// assert_eq!(pool.shutdown().total().failed, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// One shared queue, any card claims any job — the right default for
+    /// homogeneous fleets (every card can run everything).
+    #[default]
+    Shared,
+    /// A card only claims jobs whose operands fit its transform geometry
+    /// ([`crate::Multiplier::operand_capacity_bits`]), so a heterogeneous
+    /// fleet — small fast cards next to big ones — serves mixed-size
+    /// traffic with zero capacity failures. A job too big for every
+    /// *live* card stays claimable by all of them (it fails fast with
+    /// the backend's own typed error instead of waiting forever — also
+    /// when the one card that fitted it has died).
+    BySize,
+}
+
 /// Tuning knobs of a [`ProductServer`] / [`ServerPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -160,6 +223,9 @@ pub struct ServeConfig {
     /// How a flush selects its jobs from the shared queue (see
     /// [`FlushPolicy`]).
     pub policy: FlushPolicy,
+    /// How jobs are matched to cards of differing transform geometry
+    /// (see [`RoutePolicy`]; irrelevant on homogeneous fleets).
+    pub route: RoutePolicy,
     /// Prepared-handle cache entries retained **per card** (LRU); `0`
     /// disables caching and every job runs as a raw three-transform
     /// product. Each entry holds the operand plus its full cached
@@ -191,6 +257,7 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_delay: Duration::from_millis(5),
             policy: FlushPolicy::Edf,
+            route: RoutePolicy::Shared,
             cache_capacity: 128,
             idle_trim_after: Duration::from_millis(250),
             speculate_hot_after: 2,
@@ -199,11 +266,29 @@ impl Default for ServeConfig {
     }
 }
 
+/// One side of a product request: an inline operand, or a reference to
+/// an operand a [`ClientSession`] registered (pinned in every card's
+/// cache by id — resolved without hashing the operand's data).
+#[derive(Debug, Clone)]
+enum Operand {
+    Inline(UBig),
+    Pinned { id: u64, value: Arc<UBig> },
+}
+
+impl Operand {
+    fn value(&self) -> &UBig {
+        match self {
+            Operand::Inline(value) => value,
+            Operand::Pinned { value, .. } => value,
+        }
+    }
+}
+
 /// One product job: two owned operands and an optional deadline.
 #[derive(Debug, Clone)]
 pub struct ProductRequest {
-    a: UBig,
-    b: UBig,
+    a: Operand,
+    b: Operand,
     deadline: Option<Instant>,
 }
 
@@ -211,8 +296,8 @@ impl ProductRequest {
     /// A request to multiply `a · b` with no deadline.
     pub fn new(a: UBig, b: UBig) -> ProductRequest {
         ProductRequest {
-            a,
-            b,
+            a: Operand::Inline(a),
+            b: Operand::Inline(b),
             deadline: None,
         }
     }
@@ -232,12 +317,18 @@ impl ProductRequest {
 
     /// The operands.
     pub fn operands(&self) -> (&UBig, &UBig) {
-        (&self.a, &self.b)
+        (self.a.value(), self.b.value())
     }
 
     /// The absolute deadline, if one was attached.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// The job's size for routing: the wider of its two operands, in
+    /// bits.
+    fn required_bits(&self) -> usize {
+        self.a.value().bit_len().max(self.b.value().bit_len())
     }
 }
 
@@ -317,9 +408,43 @@ impl core::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 /// Claim on one submitted job's result.
+///
+/// A ticket resolves exactly once — to the product, or to a typed
+/// [`ServeError`] — and never hangs: if the serving worker dies (panic
+/// included) or the job is dropped at shutdown, the ticket resolves to
+/// [`ServeError::Closed`]. Dropping a ticket is a fire-and-forget
+/// submission (the job still runs; its result is discarded);
+/// [`ProductTicket::cancel`] additionally asks the fleet to *not* run a
+/// still-queued job.
+///
+/// ```
+/// use he_accel::prelude::*;
+/// use std::time::Duration;
+///
+/// let server = ProductServer::spawn(
+///     EvalEngine::new(SsaSoftware::for_operand_bits(256)?),
+///     ServeConfig::default(),
+/// );
+/// let mut ticket = server.submit(ProductRequest::new(
+///     UBig::from(6u64),
+///     UBig::from(7u64),
+/// ))?;
+/// // Poll without blocking, bound the wait, or block — same ticket.
+/// let product = match ticket.try_wait() {
+///     Some(resolved) => resolved.expect("served"),
+///     None => match ticket.wait_timeout(Duration::from_secs(30)) {
+///         Some(resolved) => resolved.expect("served"),
+///         None => ticket.wait().expect("served"),
+///     },
+/// };
+/// assert_eq!(product, UBig::from(42u64));
+/// server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct ProductTicket {
     rx: mpsc::Receiver<Result<UBig, ServeError>>,
+    cancelled: Arc<AtomicBool>,
 }
 
 impl ProductTicket {
@@ -333,6 +458,39 @@ impl ProductTicket {
     /// [`ServeError::Closed`] when the server shut down first.
     pub fn wait(self) -> Result<UBig, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Polls the ticket without blocking: `None` while the job is still
+    /// queued or executing, `Some(outcome)` once it resolved. A ticket
+    /// resolves once; polling again after taking the outcome reports
+    /// [`ServeError::Closed`].
+    pub fn try_wait(&mut self) -> Option<Result<UBig, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+
+    /// Blocks for at most `timeout`: `None` if the job has not resolved
+    /// by then (the ticket stays valid — wait again, poll, or cancel),
+    /// `Some(outcome)` once it has. A dead fleet resolves the ticket to
+    /// [`ServeError::Closed`] rather than running out the timeout.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<UBig, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+
+    /// Withdraws the job: if it is still queued when a card claims its
+    /// flush, it is dropped without running (counted in
+    /// [`ServeStats::cancelled`]). Cancellation is best-effort — a job
+    /// already claimed into a flush runs to completion; its result is
+    /// discarded like any dropped ticket's.
+    pub fn cancel(self) {
+        self.cancelled.store(true, Ordering::Relaxed);
     }
 }
 
@@ -356,10 +514,22 @@ pub struct ServeStats {
     /// attributable to **compute** (the flush itself ran too long), not
     /// to queueing.
     pub expired_in_flush: u64,
+    /// Jobs withdrawn by [`ProductTicket::cancel`] and dropped at claim
+    /// time without running.
+    pub cancelled: u64,
+    /// Non-blocking submissions rejected with [`SubmitError::Full`] —
+    /// load the bounded queue shed instead of buffering. Counted at the
+    /// pool level (no card ever saw the job) and folded into the roll-up
+    /// by [`PoolStats::total`].
+    pub shed: u64,
     /// Operand lookups that hit the card's cached prepared handles.
     pub cache_hits: u64,
     /// Operand lookups that paid a fresh preparation.
     pub cache_misses: u64,
+    /// Operand lookups resolved from the card's **pinned** handles — the
+    /// operands a [`ClientSession::register`] call pinned by id, served
+    /// without hashing the operand's data at all.
+    pub pinned_hits: u64,
     /// Operand lookups answered by the pool's speculative preparer — the
     /// spectrum was ready before the flush started, off the critical
     /// path.
@@ -385,8 +555,11 @@ impl ServeStats {
         self.failed += other.failed;
         self.expired_in_queue += other.expired_in_queue;
         self.expired_in_flush += other.expired_in_flush;
+        self.cancelled += other.cancelled;
+        self.shed += other.shed;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.pinned_hits += other.pinned_hits;
         self.speculative_hits += other.speculative_hits;
         self.largest_flush = self.largest_flush.max(other.largest_flush);
         self.idle_trims += other.idle_trims;
@@ -402,15 +575,20 @@ pub struct PoolStats {
     /// Operands the speculative preparer transformed off the critical
     /// path (whether or not a card ended up claiming them).
     pub speculative_prepares: u64,
+    /// Non-blocking submissions the pool rejected with
+    /// [`SubmitError::Full`] — shed load that no card ever saw.
+    pub shed: u64,
 }
 
 impl PoolStats {
-    /// The fleet-wide roll-up of every card's counters.
+    /// The fleet-wide roll-up of every card's counters, with the
+    /// pool-level shed count folded into [`ServeStats::shed`].
     pub fn total(&self) -> ServeStats {
         let mut total = ServeStats::default();
         for worker in &self.per_worker {
             total.absorb(worker);
         }
+        total.shed += self.shed;
         total
     }
 }
@@ -429,13 +607,266 @@ pub trait Submitter {
 
     /// Submits a job without blocking: a full queue returns
     /// [`SubmitError::Full`] with the request handed back — the
-    /// backpressure signal for load-shedding producers.
+    /// backpressure signal for load-shedding producers (counted in
+    /// [`ServeStats::shed`]).
     ///
     /// # Errors
     ///
     /// [`SubmitError::Full`] when the queue is at capacity,
     /// [`SubmitError::Closed`] if every worker is gone.
     fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError>;
+
+    /// Submits a job whose completion is delivered through `sink` — onto
+    /// the [`CompletionQueue`] that minted it — instead of a per-job
+    /// ticket. Blocks while the queue is full, like [`Submitter::submit`].
+    /// Wrappers forward this to their inner submitter; clients use
+    /// [`CompletionQueue::submit_tagged`] rather than calling it
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] (with the request handed back) if every
+    /// worker is gone.
+    fn submit_into(&self, request: ProductRequest, sink: CompletionSink)
+        -> Result<(), SubmitError>;
+
+    /// Non-blocking [`Submitter::submit_into`]: a full queue returns
+    /// [`SubmitError::Full`] with the request handed back (counted in
+    /// [`ServeStats::shed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] if every worker is gone.
+    fn try_submit_into(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError>;
+}
+
+/// One job's slot on a [`CompletionQueue`]: carries the queue's shared
+/// sender and the job's tag id. Minted by [`CompletionQueue::submit_tagged`],
+/// consumed by the serving worker when it delivers the outcome — and
+/// guaranteed to deliver exactly once: a sink dropped without an outcome
+/// (worker panic, shutdown with the job still queued) reports
+/// [`ServeError::Closed`], so a reactor draining the queue never hangs
+/// on a job the fleet lost.
+#[derive(Debug)]
+pub struct CompletionSink {
+    tx: mpsc::Sender<(u64, Result<UBig, ServeError>)>,
+    tag: u64,
+    sent: bool,
+}
+
+impl CompletionSink {
+    /// Delivers the job's outcome to the owning [`CompletionQueue`].
+    /// Wrapper [`Submitter`]s that execute jobs themselves (rather than
+    /// forwarding to an inner fleet) complete their jobs through this.
+    pub fn complete(mut self, outcome: Result<UBig, ServeError>) {
+        self.sent = true;
+        // A dropped CompletionQueue is a caller that stopped listening.
+        let _ = self.tx.send((self.tag, outcome));
+    }
+}
+
+impl Drop for CompletionSink {
+    fn drop(&mut self) {
+        if !self.sent {
+            let _ = self.tx.send((self.tag, Err(ServeError::Closed)));
+        }
+    }
+}
+
+/// One resolved job from a [`CompletionQueue`]: the caller's tag and the
+/// job's outcome.
+#[derive(Debug)]
+pub struct Completion<T> {
+    /// The tag supplied at [`CompletionQueue::submit_tagged`].
+    pub tag: T,
+    /// The job's outcome — same contract as [`ProductTicket::wait`].
+    pub result: Result<UBig, ServeError>,
+}
+
+/// A single-receiver multiplexer over many in-flight submissions: the
+/// non-blocking, completion-driven alternative to holding one
+/// [`ProductTicket`] (and one blocked thread) per job.
+///
+/// Submissions carry a caller-supplied tag; completions come back **in
+/// completion order** — whichever flush finishes first — each carrying
+/// its tag, so one reactor thread keeps an arbitrary number of products
+/// in flight: submit until the window is full, [`CompletionQueue::recv`]
+/// one completion, submit the next. Works over any [`Submitter`]: a
+/// [`ProductServer`], a [`ServerPool`], or a [`ClientSession`] (tags
+/// then ride pinned-operand requests too).
+///
+/// ```
+/// use he_accel::prelude::*;
+///
+/// let server = ProductServer::spawn(
+///     EvalEngine::new(SsaSoftware::for_operand_bits(256)?),
+///     ServeConfig::default(),
+/// );
+/// let mut queue = CompletionQueue::new(&server);
+/// for k in 2..6u64 {
+///     queue
+///         .submit_tagged(ProductRequest::new(UBig::from(k), UBig::from(k)), k)
+///         .map_err(|(e, _)| e)?;
+/// }
+/// assert_eq!(queue.in_flight(), 4);
+/// // One thread drains all four, in whatever order the fleet finished.
+/// while let Some(done) = queue.recv() {
+///     assert_eq!(done.result.expect("served"), UBig::from(done.tag * done.tag));
+/// }
+/// assert_eq!(queue.in_flight(), 0);
+/// server.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CompletionQueue<'a, S: Submitter + ?Sized, T = u64> {
+    submitter: &'a S,
+    tx: mpsc::Sender<(u64, Result<UBig, ServeError>)>,
+    rx: mpsc::Receiver<(u64, Result<UBig, ServeError>)>,
+    /// Tag id → the caller's tag, for every job still in flight.
+    tags: HashMap<u64, T>,
+    next_id: u64,
+}
+
+impl<'a, S: Submitter + ?Sized, T> CompletionQueue<'a, S, T> {
+    /// A completion queue feeding `submitter`.
+    pub fn new(submitter: &'a S) -> CompletionQueue<'a, S, T> {
+        let (tx, rx) = mpsc::channel();
+        CompletionQueue {
+            submitter,
+            tx,
+            rx,
+            tags: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    fn sink(&mut self, tag: T) -> (u64, CompletionSink) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tags.insert(id, tag);
+        (
+            id,
+            CompletionSink {
+                tx: self.tx.clone(),
+                tag: id,
+                sent: false,
+            },
+        )
+    }
+
+    /// Submits a job under `tag`, **blocking** while the bounded queue is
+    /// full. The tag comes back with the job's completion.
+    ///
+    /// # Errors
+    ///
+    /// `(SubmitError::Closed, tag)` — request and tag both handed back —
+    /// if every worker is gone.
+    pub fn submit_tagged(
+        &mut self,
+        request: ProductRequest,
+        tag: T,
+    ) -> Result<(), (SubmitError, T)> {
+        let (id, sink) = self.sink(tag);
+        self.submitter.submit_into(request, sink).map_err(|error| {
+            (
+                error,
+                self.tags.remove(&id).expect("tag registered just now"),
+            )
+        })
+    }
+
+    /// Non-blocking [`CompletionQueue::submit_tagged`]: a full queue
+    /// hands request and tag back instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// `(SubmitError::Full, tag)` when the queue is at capacity,
+    /// `(SubmitError::Closed, tag)` if every worker is gone.
+    pub fn try_submit_tagged(
+        &mut self,
+        request: ProductRequest,
+        tag: T,
+    ) -> Result<(), (SubmitError, T)> {
+        let (id, sink) = self.sink(tag);
+        self.submitter
+            .try_submit_into(request, sink)
+            .map_err(|error| {
+                (
+                    error,
+                    self.tags.remove(&id).expect("tag registered just now"),
+                )
+            })
+    }
+
+    /// Jobs submitted through this queue that have not completed yet.
+    pub fn in_flight(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Blocks for the next completion, in completion order. Returns
+    /// `None` when nothing is in flight. Never hangs on a dead fleet:
+    /// every accepted job's sink reports [`ServeError::Closed`] when it
+    /// is dropped unanswered.
+    pub fn recv(&mut self) -> Option<Completion<T>> {
+        loop {
+            if self.tags.is_empty() {
+                return None;
+            }
+            // The queue holds its own sender, so the channel never
+            // disconnects. Ids no longer registered are skipped: a
+            // submission that failed after minting its sink delivers a
+            // spurious `Closed` for a tag already handed back.
+            let (id, result) = self.rx.recv().expect("queue holds a sender");
+            if let Some(tag) = self.tags.remove(&id) {
+                return Some(Completion { tag, result });
+            }
+        }
+    }
+
+    /// Non-blocking [`CompletionQueue::recv`]: `None` when no completion
+    /// is ready right now (or nothing is in flight).
+    pub fn try_recv(&mut self) -> Option<Completion<T>> {
+        loop {
+            if self.tags.is_empty() {
+                return None;
+            }
+            let (id, result) = self.rx.try_recv().ok()?;
+            if let Some(tag) = self.tags.remove(&id) {
+                return Some(Completion { tag, result });
+            }
+        }
+    }
+
+    /// Bounded [`CompletionQueue::recv`]: `None` if no completion arrives
+    /// within `timeout` (or nothing is in flight).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Completion<T>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.tags.is_empty() {
+                return None;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (id, result) = self.rx.recv_timeout(remaining).ok()?;
+            if let Some(tag) = self.tags.remove(&id) {
+                return Some(Completion { tag, result });
+            }
+        }
+    }
+
+    /// Blocks until every in-flight job has completed and returns the
+    /// completions in completion order.
+    pub fn drain(&mut self) -> Vec<Completion<T>> {
+        let mut done = Vec::with_capacity(self.tags.len());
+        while let Some(completion) = self.recv() {
+            done.push(completion);
+        }
+        done
+    }
 }
 
 /// How far before a job's deadline its flush is scheduled, covering the
@@ -444,12 +875,29 @@ pub trait Submitter {
 /// flush was meant to save.
 const DEADLINE_SCHEDULING_MARGIN: Duration = Duration::from_micros(500);
 
-/// One buffered answer: the job's reply channel and its outcome (flushes
+/// Where a job's outcome goes: a per-job ticket channel, or a tagged
+/// slot on a client's [`CompletionQueue`].
+#[derive(Debug)]
+enum ReplySink {
+    Ticket(mpsc::Sender<Result<UBig, ServeError>>),
+    Tagged(CompletionSink),
+}
+
+impl ReplySink {
+    fn send(self, outcome: Result<UBig, ServeError>) {
+        match self {
+            // A dropped ticket is a caller that stopped listening — fine.
+            ReplySink::Ticket(tx) => {
+                let _ = tx.send(outcome);
+            }
+            ReplySink::Tagged(sink) => sink.complete(outcome),
+        }
+    }
+}
+
+/// One buffered answer: the job's reply sink and its outcome (flushes
 /// deliver these only after publishing their stats).
-type Reply = (
-    mpsc::Sender<Result<UBig, ServeError>>,
-    Result<UBig, ServeError>,
-);
+type Reply = (ReplySink, Result<UBig, ServeError>);
 
 struct Submitted {
     request: ProductRequest,
@@ -457,10 +905,18 @@ struct Submitted {
     /// Arrival order, the FIFO rank and the EDF tie-breaker.
     seq: u64,
     /// `(digest(a), digest(b))`, stamped at submission **outside** the
-    /// queue lock — only on speculative pools — so the speculative
-    /// preparer's queue scans never hash multi-hundred-KB operands while
-    /// holding the mutex every submitter and card contends on.
+    /// queue lock — only on speculative pools, and only for fully inline
+    /// requests — so the speculative preparer's queue scans never hash
+    /// multi-hundred-KB operands while holding the mutex every submitter
+    /// and card contends on.
     digests: Option<(u64, u64)>,
+    /// The wider operand's bit length, stamped at submission so
+    /// [`RoutePolicy::BySize`] eligibility checks under the queue lock
+    /// are integer compares.
+    required_bits: usize,
+    /// Set by [`ProductTicket::cancel`]; a card claiming the job drops
+    /// it without running.
+    cancelled: Arc<AtomicBool>,
     /// When a card dequeued the job (stamped on claim; equals `enqueued`
     /// until then). In-queue expiry compares against this: a deadline
     /// already past at dequeue is hopeless, while one still ahead is
@@ -468,13 +924,22 @@ struct Submitted {
     /// decided by the ordering of two events, not by how fast a worker
     /// happens to wake.
     seen: Instant,
-    reply: mpsc::Sender<Result<UBig, ServeError>>,
+    reply: ReplySink,
 }
 
 /// The shared (backend-agnostic) half of a fleet: the bounded queue, the
 /// speculation rendezvous, and the live per-card stats slots.
 struct PoolShared {
     config: ServeConfig,
+    /// Per-card operand capacity in bits (`None` = unbounded), in card
+    /// order — what [`RoutePolicy::BySize`] routes against.
+    capacities: Vec<Option<usize>>,
+    /// Per-card liveness, in card order: a worker that exits (panic
+    /// included) marks its slot so [`RoutePolicy::BySize`] stops routing
+    /// to a card that will never claim again — a job only a dead card
+    /// fits becomes claimable by every survivor and fails fast with the
+    /// backend's typed error instead of hanging.
+    card_dead: Vec<AtomicBool>,
     state: Mutex<QueueState>,
     /// Signaled on every push and on close; workers and the speculative
     /// preparer wait here.
@@ -505,6 +970,13 @@ struct PoolShared {
     /// Speculatively prepared handles staged for cards to claim.
     spec_store: Mutex<SpecStore>,
     spec_prepares: AtomicU64,
+    /// Non-blocking submissions rejected because the queue was full.
+    shed: AtomicU64,
+    /// Id source for [`ClientSession::register`] pins — pool-global so
+    /// no two sessions (or re-registrations) ever share an id. The
+    /// operand itself travels with each request (an `Arc` clone), so
+    /// cards prepare pins lazily from the job in hand.
+    pin_seq: AtomicU64,
 }
 
 struct QueueState {
@@ -524,6 +996,105 @@ impl PoolShared {
         // outside it), so poisoning can only come from a panicking
         // submitter — the queue itself is still consistent.
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether any **live** card's geometry fits an operand of `bits`
+    /// bits (dead cards cannot claim, so they must not keep jobs routed
+    /// away from the survivors).
+    fn fits_any_live(&self, bits: usize) -> bool {
+        self.capacities
+            .iter()
+            .zip(&self.card_dead)
+            .any(|(cap, dead)| !dead.load(Ordering::Relaxed) && cap.is_none_or(|c| bits <= c))
+    }
+
+    /// On speculative pools, digests are paid once per submission — on
+    /// the submitter's thread, before any lock — so the speculative
+    /// preparer's queue scans are pure map lookups under the mutex.
+    /// Pinned operands never hash (that is the point of pinning); their
+    /// jobs simply opt out of speculation.
+    fn stamp_digests(&self, request: &ProductRequest) -> Option<(u64, u64)> {
+        if !self.speculation {
+            return None;
+        }
+        match (&request.a, &request.b) {
+            (Operand::Inline(a), Operand::Inline(b)) => Some((digest(a), digest(b))),
+            _ => None,
+        }
+    }
+
+    /// The one enqueue path every submission flavor funnels through:
+    /// blocking or shedding, ticket-bound or completion-queue-bound.
+    fn enqueue(
+        &self,
+        blocking: bool,
+        request: ProductRequest,
+        reply: ReplySink,
+        cancelled: Arc<AtomicBool>,
+    ) -> Result<(), SubmitError> {
+        let digests = self.stamp_digests(&request);
+        let required_bits = request.required_bits();
+        let capacity = self.config.queue_capacity.max(1);
+        let mut state = self.lock_state();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed(request));
+            }
+            if state.pending.len() < capacity {
+                break;
+            }
+            if !blocking {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Full(request));
+            }
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        let enqueued = Instant::now();
+        state.pending.push_back(Submitted {
+            request,
+            enqueued,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            digests,
+            required_bits,
+            cancelled,
+            seen: enqueued,
+            reply,
+        });
+        drop(state);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
+    /// [`PoolShared::enqueue`] for ticket-bound submissions.
+    fn enqueue_ticket(
+        &self,
+        blocking: bool,
+        request: ProductRequest,
+    ) -> Result<ProductTicket, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        self.enqueue(
+            blocking,
+            request,
+            ReplySink::Ticket(reply),
+            Arc::clone(&cancelled),
+        )?;
+        Ok(ProductTicket { rx, cancelled })
+    }
+
+    /// [`PoolShared::enqueue`] for completion-queue-bound submissions.
+    fn enqueue_sink(
+        &self,
+        blocking: bool,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.enqueue(
+            blocking,
+            request,
+            ReplySink::Tagged(sink),
+            Arc::new(AtomicBool::new(false)),
+        )
     }
 }
 
@@ -650,6 +1221,12 @@ impl ProductServer {
         self.pool.try_submit(request)
     }
 
+    /// A per-client [`ClientSession`] over this server (see
+    /// [`ServerPool::session`]).
+    pub fn session(&self) -> ClientSession {
+        self.pool.session()
+    }
+
     /// Closes the queue, drains every already-accepted job, joins the
     /// worker and returns its lifetime counters.
     ///
@@ -669,6 +1246,22 @@ impl Submitter for ProductServer {
 
     fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
         ProductServer::try_submit(self, request)
+    }
+
+    fn submit_into(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.pool.submit_into(request, sink)
+    }
+
+    fn try_submit_into(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.pool.try_submit_into(request, sink)
     }
 }
 
@@ -751,8 +1344,15 @@ impl ServerPool {
             !engines.is_empty(),
             "a serving fleet needs at least one card"
         );
+        let capacities: Vec<Option<usize>> = engines
+            .iter()
+            .map(EvalEngine::operand_capacity_bits)
+            .collect();
+        let card_dead = (0..engines.len()).map(|_| AtomicBool::new(false)).collect();
         let shared = Arc::new(PoolShared {
             config,
+            capacities,
+            card_dead,
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 closed: false,
@@ -769,6 +1369,8 @@ impl ServerPool {
             hot: Mutex::new(HashMap::new()),
             spec_store: Mutex::new(SpecStore::new(config.speculate_store_capacity)),
             spec_prepares: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            pin_seq: AtomicU64::new(0),
         });
         let workers = engines
             .into_iter()
@@ -804,6 +1406,15 @@ impl ServerPool {
         !self.shared.lock_state().closed
     }
 
+    /// A per-client session over this pool: register recurring operands
+    /// once, then stream products against them (see [`ClientSession`]).
+    pub fn session(&self) -> ClientSession {
+        ClientSession {
+            shared: Arc::clone(&self.shared),
+            names: HashMap::new(),
+        }
+    }
+
     /// A live snapshot of the fleet's counters (refreshed at every flush
     /// boundary), without stopping anything.
     pub fn stats(&self) -> PoolStats {
@@ -815,6 +1426,7 @@ impl ServerPool {
                 .map(|slot| *slot.lock().unwrap_or_else(|e| e.into_inner()))
                 .collect(),
             speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
         }
     }
 
@@ -841,6 +1453,7 @@ impl ServerPool {
         PoolStats {
             per_worker,
             speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -862,68 +1475,207 @@ impl Drop for ServerPool {
 
 impl Submitter for ServerPool {
     fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
-        let digests = self.stamp_digests(&request);
-        let capacity = self.shared.config.queue_capacity.max(1);
-        let mut state = self.shared.lock_state();
-        loop {
-            if state.closed {
-                return Err(SubmitError::Closed(request));
-            }
-            if state.pending.len() < capacity {
-                break;
-            }
-            state = self
-                .shared
-                .not_full
-                .wait(state)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        Ok(self.push(state, request, digests))
+        self.shared.enqueue_ticket(true, request)
     }
 
     fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
-        let digests = self.stamp_digests(&request);
-        let capacity = self.shared.config.queue_capacity.max(1);
-        let state = self.shared.lock_state();
-        if state.closed {
-            return Err(SubmitError::Closed(request));
-        }
-        if state.pending.len() >= capacity {
-            return Err(SubmitError::Full(request));
-        }
-        Ok(self.push(state, request, digests))
+        self.shared.enqueue_ticket(false, request)
+    }
+
+    fn submit_into(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.shared.enqueue_sink(true, request, sink)
+    }
+
+    fn try_submit_into(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.shared.enqueue_sink(false, request, sink)
     }
 }
 
-impl ServerPool {
-    /// On speculative pools, digests are paid once per submission — on
-    /// the submitter's thread, before any lock — so the speculative
-    /// preparer's queue scans are pure map lookups under the mutex.
-    fn stamp_digests(&self, request: &ProductRequest) -> Option<(u64, u64)> {
-        self.shared
-            .speculation
-            .then(|| (digest(&request.a), digest(&request.b)))
+/// A per-client handle over a serving fleet: register a recurring
+/// operand **once**, then stream products against it by name.
+///
+/// Registration pins the operand in every card's cache by id: no digest
+/// is ever computed for it (at paper scale that is hashing ~100 KB per
+/// submission), the pinned handle sits outside the digest cache's LRU
+/// (each card keeps up to `cache_capacity` pins of its own,
+/// least-recently-used evicted first, so register churn stays bounded),
+/// and a stream submitted with [`ClientSession::submit_with`] rides the
+/// cached-transform rungs from its first flush —
+/// [`ServeStats::pinned_hits`] counts exactly these hash-free
+/// resolutions. Products of two registered operands
+/// ([`ClientSession::submit_between`]) run both-cached with zero hashing
+/// on either side.
+///
+/// Sessions are cheap, `Clone + Send`, and independent per client:
+/// cloning carries the registrations made so far, and registrations are
+/// client-local names (two sessions may both call something `"mask"`).
+/// A session outlives its pool gracefully — submissions after shutdown
+/// return [`SubmitError::Closed`]. Being a [`Submitter`], a session also
+/// feeds a [`CompletionQueue`] or a [`ServedMultiplier`] directly.
+///
+/// ```
+/// use he_accel::prelude::*;
+///
+/// let server = ProductServer::spawn(
+///     EvalEngine::new(SsaSoftware::for_operand_bits(256)?),
+///     ServeConfig::default(),
+/// );
+/// let mut session = server.session();
+/// // The recurring accumulator is registered once…
+/// session.register("acc", UBig::from(1_000_003u64));
+/// // …and a stream of fresh operands runs against it by name.
+/// let tickets: Vec<ProductTicket> = (2..6u64)
+///     .map(|k| session.submit_with("acc", UBig::from(k)))
+///     .collect::<Result<_, _>>()?;
+/// for (k, ticket) in (2..6u64).zip(tickets) {
+///     assert_eq!(ticket.wait().expect("served"), UBig::from(k * 1_000_003));
+/// }
+/// let stats = server.shutdown();
+/// // The pinned operand resolved without hashing on every product.
+/// assert!(stats.pinned_hits >= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone)]
+pub struct ClientSession {
+    shared: Arc<PoolShared>,
+    /// Client-local name → (pin id, the registered operand).
+    names: HashMap<String, (u64, Arc<UBig>)>,
+}
+
+impl core::fmt::Debug for ClientSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ClientSession")
+            .field("registered", &self.names.len())
+            .finish()
+    }
+}
+
+impl ClientSession {
+    /// Registers a recurring operand under a client-local name. Every
+    /// card pins its prepared handle by id (prepared lazily at the
+    /// operand's first flush, re-prepared after an idle trim), outside
+    /// the digest cache and never digest-hashed; each card retains at
+    /// most `cache_capacity` pins (least-recently-used evicted first),
+    /// re-preparing an evicted live pin at its next use. Re-registering
+    /// a name replaces the operand (the old pin ages out of every
+    /// card's store).
+    pub fn register(&mut self, name: impl Into<String>, operand: UBig) {
+        let id = self.shared.pin_seq.fetch_add(1, Ordering::Relaxed);
+        self.names.insert(name.into(), (id, Arc::new(operand)));
     }
 
-    fn push(
+    /// Releases a registration. Cards drop the pinned handle at their
+    /// next idle trim; in-flight jobs referencing it still complete.
+    pub fn unregister(&mut self, name: &str) {
+        self.names.remove(name);
+    }
+
+    /// Names currently registered on this session.
+    pub fn registered(&self) -> usize {
+        self.names.len()
+    }
+
+    fn pinned(&self, name: &str) -> Operand {
+        let (id, value) = self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("operand {name:?} is not registered on this session"));
+        Operand::Pinned {
+            id: *id,
+            value: Arc::clone(value),
+        }
+    }
+
+    /// A request multiplying the registered operand `name` by a fresh
+    /// operand — submit it yourself (deadline attached, through a
+    /// [`CompletionQueue`], …) or use [`ClientSession::submit_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never registered on this session.
+    pub fn request_with(&self, name: &str, fresh: UBig) -> ProductRequest {
+        ProductRequest {
+            a: self.pinned(name),
+            b: Operand::Inline(fresh),
+            deadline: None,
+        }
+    }
+
+    /// A request multiplying two registered operands — the both-pinned
+    /// product: no hashing, no LRU traffic, both spectra resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name was never registered on this session.
+    pub fn request_between(&self, a: &str, b: &str) -> ProductRequest {
+        ProductRequest {
+            a: self.pinned(a),
+            b: self.pinned(b),
+            deadline: None,
+        }
+    }
+
+    /// Submits registered-operand × fresh, blocking while the queue is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] if every worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was never registered on this session.
+    pub fn submit_with(&self, name: &str, fresh: UBig) -> Result<ProductTicket, SubmitError> {
+        self.shared
+            .enqueue_ticket(true, self.request_with(name, fresh))
+    }
+
+    /// Submits the product of two registered operands, blocking while
+    /// the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] if every worker is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name was never registered on this session.
+    pub fn submit_between(&self, a: &str, b: &str) -> Result<ProductTicket, SubmitError> {
+        self.shared.enqueue_ticket(true, self.request_between(a, b))
+    }
+}
+
+impl Submitter for ClientSession {
+    fn submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        self.shared.enqueue_ticket(true, request)
+    }
+
+    fn try_submit(&self, request: ProductRequest) -> Result<ProductTicket, SubmitError> {
+        self.shared.enqueue_ticket(false, request)
+    }
+
+    fn submit_into(
         &self,
-        mut state: MutexGuard<'_, QueueState>,
         request: ProductRequest,
-        digests: Option<(u64, u64)>,
-    ) -> ProductTicket {
-        let (reply, rx) = mpsc::channel();
-        let enqueued = Instant::now();
-        state.pending.push_back(Submitted {
-            request,
-            enqueued,
-            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
-            digests,
-            seen: enqueued,
-            reply,
-        });
-        drop(state);
-        self.shared.not_empty.notify_all();
-        ProductTicket { rx }
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.shared.enqueue_sink(true, request, sink)
+    }
+
+    fn try_submit_into(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<(), SubmitError> {
+        self.shared.enqueue_sink(false, request, sink)
     }
 }
 
@@ -941,41 +1693,136 @@ struct CardWorker<M> {
     engine: EvalEngine<M>,
     shared: Arc<PoolShared>,
     cache: HandleCache,
+    /// Handles of session-registered operands, keyed by pin id: resolved
+    /// without hashing, exempt from the digest cache's LRU pressure,
+    /// rebuilt lazily after an idle trim. Bounded on its own terms (at
+    /// most `cache_capacity` pins, least-recently-used evicted first) so
+    /// register-churn — sessions re-registering names, clients coming
+    /// and going without `unregister` — cannot grow a card's resident
+    /// spectra without limit; an evicted live pin is simply re-prepared
+    /// at its next flush.
+    pinned: HashMap<u64, PinnedSlot>,
+    pin_tick: u64,
+    /// This card's transform capacity in bits (`None` = unbounded) — its
+    /// side of the [`RoutePolicy::BySize`] eligibility check.
+    capacity: Option<usize>,
     stats: ServeStats,
     /// Whether this card already trimmed during the current idle period
     /// (one trim per quiet stretch, then park until traffic returns).
     trimmed: bool,
 }
 
-/// Closes the queue when the last card exits, however it exits — a fleet
-/// whose every worker panicked must refuse submissions instead of
-/// blocking them forever.
-struct AliveGuard<'a>(&'a PoolShared);
+/// Runs when a card exits, however it exits. Marks the card dead (and
+/// wakes the fleet, so [`RoutePolicy::BySize`] survivors re-evaluate and
+/// claim the jobs only the dead card used to fit); the **last** card to
+/// go additionally closes the queue — a fleet whose every worker
+/// panicked must refuse submissions instead of blocking them forever —
+/// and drops the jobs nobody is left to run, so their tickets and
+/// completion sinks resolve to [`ServeError::Closed`] instead of
+/// hanging until the pool handle is torn down.
+struct AliveGuard<'a> {
+    shared: &'a PoolShared,
+    index: usize,
+}
 
 impl Drop for AliveGuard<'_> {
     fn drop(&mut self) {
-        if self.0.workers_alive.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.0.close();
+        self.shared.card_dead[self.index].store(true, Ordering::Relaxed);
+        if self.shared.workers_alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.close();
+            // `close` set the flag, so nothing can be pushed after this
+            // clear: every orphaned job's reply sink drops here, which
+            // is what resolves its caller.
+            self.shared.lock_state().pending.clear();
+        } else {
+            // Wake parked survivors: jobs this card alone fitted are now
+            // claimable by everyone.
+            self.shared.not_empty.notify_all();
         }
     }
+}
+
+/// One pinned prepared handle and its recency (for the pin store's own
+/// LRU bound).
+struct PinnedSlot {
+    handle: OperandHandle,
+    last_used: u64,
 }
 
 impl<M: Multiplier + Sync> CardWorker<M> {
     fn new(index: usize, engine: EvalEngine<M>, shared: Arc<PoolShared>) -> CardWorker<M> {
         let cache = HandleCache::new(shared.config.cache_capacity);
+        let capacity = shared.capacities[index];
         CardWorker {
             index,
             engine,
             shared,
             cache,
+            pinned: HashMap::new(),
+            pin_tick: 0,
+            capacity,
             stats: ServeStats::default(),
             trimmed: false,
         }
     }
 
+    /// Retains a freshly prepared pinned handle, evicting the
+    /// least-recently-used pin beyond the store's bound (the digest
+    /// cache's capacity knob doubles as the pin bound — both hold the
+    /// same kind of multi-hundred-KB spectra).
+    fn pin(&mut self, id: u64, handle: OperandHandle) {
+        let cap = self.shared.config.cache_capacity.max(1);
+        while self.pinned.len() >= cap {
+            let Some((&oldest, _)) = self.pinned.iter().min_by_key(|(_, slot)| slot.last_used)
+            else {
+                break;
+            };
+            self.pinned.remove(&oldest);
+        }
+        self.pin_tick += 1;
+        self.pinned.insert(
+            id,
+            PinnedSlot {
+                handle,
+                last_used: self.pin_tick,
+            },
+        );
+    }
+
+    /// Whether this card may claim `job` under the pool's
+    /// [`RoutePolicy`].
+    fn eligible(&self, job: &Submitted) -> bool {
+        match self.shared.config.route {
+            RoutePolicy::Shared => true,
+            RoutePolicy::BySize => match self.capacity {
+                None => true,
+                // A job no live card fits stays claimable by everyone:
+                // it fails fast with the backend's typed error instead
+                // of waiting on a card that does not exist (or died).
+                Some(cap) => {
+                    job.required_bits <= cap || !self.shared.fits_any_live(job.required_bits)
+                }
+            },
+        }
+    }
+
+    /// Queue positions of the jobs this card may claim (all of them
+    /// under [`RoutePolicy::Shared`]).
+    fn eligible_indices(&self, pending: &VecDeque<Submitted>) -> Vec<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| self.eligible(job))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     fn run(mut self) -> ServeStats {
         let shared = Arc::clone(&self.shared);
-        let _guard = AliveGuard(&shared);
+        let _guard = AliveGuard {
+            shared: &shared,
+            index: self.index,
+        };
         loop {
             match self.claim() {
                 Claim::Batch(batch) => {
@@ -993,6 +1840,12 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                     // what it reuses.
                     self.engine.backend().trim_resources();
                     self.cache.clear();
+                    // Pinned handles drop with the rest (and with them
+                    // any pins a session has since unregistered); the
+                    // next flush that references a live pin re-prepares
+                    // it from the job in hand (requests carry the
+                    // registered operand).
+                    self.pinned.clear();
                     self.stats.idle_trims += 1;
                     self.trimmed = true;
                     let idle_now = self.shared.trimmed_cards.fetch_add(1, Ordering::AcqRel) + 1;
@@ -1030,14 +1883,19 @@ impl<M: Multiplier + Sync> CardWorker<M> {
             .unwrap_or_else(|e| e.into_inner()) = self.stats;
     }
 
-    /// Blocks until there is a micro-batch to run, the card should trim,
-    /// or the fleet is shut down.
+    /// Blocks until there is a micro-batch **this card may run** (under
+    /// [`RoutePolicy::BySize`] only jobs that fit its geometry), the
+    /// card should trim, or the fleet is shut down.
     fn claim(&self) -> Claim {
         let config = &self.shared.config;
         let max_batch = config.max_batch.max(1);
         let mut state = self.shared.lock_state();
         loop {
-            if state.pending.is_empty() {
+            // Jobs pending for *other* cards are none of this card's
+            // business: an empty eligible set idles (and eventually
+            // trims) this card even while its siblings are loaded.
+            let eligible = self.eligible_indices(&state.pending);
+            if eligible.is_empty() {
                 if state.closed {
                     return Claim::Closed;
                 }
@@ -1056,16 +1914,19 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                         .wait_timeout(state, config.idle_trim_after)
                         .unwrap_or_else(|e| e.into_inner());
                     state = next;
-                    if timeout.timed_out() && state.pending.is_empty() && !state.closed {
+                    if timeout.timed_out()
+                        && !state.closed
+                        && self.eligible_indices(&state.pending).is_empty()
+                    {
                         return Claim::IdleTrim;
                     }
                 }
                 continue;
             }
             let now = Instant::now();
-            let due = flush_due(&state.pending, config);
-            if state.closed || state.pending.len() >= max_batch || now >= due {
-                let batch = pop_batch(&mut state.pending, config);
+            let due = flush_due(&state.pending, &eligible, config);
+            if state.closed || eligible.len() >= max_batch || now >= due {
+                let batch = pop_batch(&mut state.pending, &eligible, config);
                 drop(state);
                 // Capacity was freed; unblock waiting submitters.
                 self.shared.not_full.notify_all();
@@ -1093,15 +1954,21 @@ impl<M: Multiplier + Sync> CardWorker<M> {
         // published: a caller that just saw its ticket answered must find
         // the completion already reflected in `ServerPool::stats`.
         let mut replies: Vec<Reply> = Vec::with_capacity(batch.len());
-        // Expire jobs whose deadline had already passed when this card
-        // dequeued them — they were hopeless before any flush could act,
-        // and the miss belongs to queueing, not to this flush. A deadline
-        // still ahead at dequeue is honored below: the claim loop pulled
-        // this flush to start before it, so the decision is the ordering
-        // of two recorded events, not a race against the worker's wakeup
-        // latency.
+        // Cancelled jobs are dropped at claim time — no work, no reply
+        // (the ticket was consumed by `cancel`; its sink drop is inert).
+        // Then expire jobs whose deadline had already passed when this
+        // card dequeued them — they were hopeless before any flush could
+        // act, and the miss belongs to queueing, not to this flush. A
+        // deadline still ahead at dequeue is honored below: the claim
+        // loop pulled this flush to start before it, so the decision is
+        // the ordering of two recorded events, not a race against the
+        // worker's wakeup latency.
         let mut live: Vec<Submitted> = Vec::with_capacity(batch.len());
         for job in batch {
+            if job.cancelled.load(Ordering::Relaxed) {
+                self.stats.cancelled += 1;
+                continue;
+            }
             match job.request.deadline {
                 Some(deadline) if deadline < job.seen => {
                     self.stats.expired_in_queue += 1;
@@ -1147,20 +2014,28 @@ impl<M: Multiplier + Sync> CardWorker<M> {
         }
         if !run.is_empty() {
             // Phase 2 (cache reads only): assemble the batch on the
-            // cached handles and run it as one unit.
+            // cached handles — digest-keyed for inline operands, id-keyed
+            // for pinned ones — and run it as one unit.
             let cache = &self.cache;
+            let pinned = &self.pinned;
             let engine = &self.engine;
+            let lookup = |operand: &Operand| -> Option<&OperandHandle> {
+                match operand {
+                    Operand::Inline(value) => cache.get(value),
+                    Operand::Pinned { id, .. } => pinned.get(id).map(|slot| &slot.handle),
+                }
+            };
             let jobs: Vec<ProductJob<'_>> = run
                 .iter()
                 .map(|job| {
                     let (a, b) = (&job.request.a, &job.request.b);
-                    match (cache.get(a), cache.get(b)) {
+                    match (lookup(a), lookup(b)) {
                         (Some(ha), Some(hb)) => ProductJob::Prepared(ha, hb),
-                        (Some(ha), None) => ProductJob::OnePrepared(ha, b),
+                        (Some(ha), None) => ProductJob::OnePrepared(ha, b.value()),
                         // Multiplication commutes, so a lone cached `b`
                         // still saves its forward transform.
-                        (None, Some(hb)) => ProductJob::OnePrepared(hb, a),
-                        (None, None) => ProductJob::Raw(a, b),
+                        (None, Some(hb)) => ProductJob::OnePrepared(hb, a.value()),
+                        (None, None) => ProductJob::Raw(a.value(), b.value()),
                     }
                 })
                 .collect();
@@ -1201,14 +2076,14 @@ impl<M: Multiplier + Sync> CardWorker<M> {
     fn finish_flush(&self, replies: Vec<Reply>) {
         self.publish();
         for (reply, outcome) in replies {
-            // A dropped ticket is a caller that stopped listening — fine.
-            let _ = reply.send(outcome);
+            reply.send(outcome);
         }
     }
 
-    /// Phase 1 of a flush: look every operand up in this card's cache,
-    /// claim speculatively staged spectra, and prepare the remaining
-    /// misses **in parallel** at the product level
+    /// Phase 1 of a flush: resolve pinned operands by id (no hashing),
+    /// look every inline operand up in this card's digest cache, claim
+    /// speculatively staged spectra, and prepare the remaining misses
+    /// **in parallel** at the product level
     /// ([`EvalEngine::prepare_many`]).
     fn prepare_operands(&mut self, live: &[Submitted]) {
         if self.cache.is_disabled() {
@@ -1224,10 +2099,37 @@ impl<M: Multiplier + Sync> CardWorker<M> {
         // stay provisional (a raw or failed preparation caches nothing,
         // so crediting them up front would invent hits).
         let mut missing: Vec<&UBig> = Vec::new();
+        // Session-pinned operands this card has not prepared yet (first
+        // sighting, or the pin was dropped by an idle trim): prepared in
+        // the same parallel pass, retained by id.
+        let mut pinned_missing: Vec<(u64, &UBig)> = Vec::new();
         let mut repeats: HashMap<u64, u64> = HashMap::new();
         let mut scheduled: HashSet<u64> = HashSet::new();
+        let mut pinned_scheduled: HashSet<u64> = HashSet::new();
+        let mut pinned_repeats: HashMap<u64, u64> = HashMap::new();
         for job in live {
-            for operand in [&job.request.a, &job.request.b] {
+            for side in [&job.request.a, &job.request.b] {
+                let operand = match side {
+                    Operand::Pinned { id, value } => {
+                        // The whole point of pinning: resolution is an
+                        // integer map lookup, never a digest of the
+                        // operand's data, and the handle is exempt from
+                        // LRU pressure. Repeats behind a first sighting
+                        // in the same flush stay provisional until its
+                        // preparation lands, like digest-cache repeats.
+                        if let Some(slot) = self.pinned.get_mut(id) {
+                            self.pin_tick += 1;
+                            slot.last_used = self.pin_tick;
+                            self.stats.pinned_hits += 1;
+                        } else if !pinned_scheduled.insert(*id) {
+                            *pinned_repeats.entry(*id).or_insert(0) += 1;
+                        } else {
+                            pinned_missing.push((*id, value));
+                        }
+                        continue;
+                    }
+                    Operand::Inline(value) => value,
+                };
                 let key = digest(operand);
                 if self.cache.touch(operand, key) {
                     self.stats.cache_hits += 1;
@@ -1258,13 +2160,41 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                 missing.push(operand);
             }
         }
+        // ONE parallel preparation pass over pinned misses and digest
+        // misses together — a lone unpinned session operand overlaps the
+        // inline misses' transforms instead of serializing ahead of
+        // them. Pinned handles go into the id-keyed pin map; a
+        // preparation that fails (or caches nothing) leaves the pin
+        // unresolved — the job runs raw and surfaces the backend's own
+        // error.
+        let to_prepare: Vec<&UBig> = pinned_missing
+            .iter()
+            .map(|(_, value)| *value)
+            .chain(missing.iter().copied())
+            .collect();
+        let mut prepared_results = if to_prepare.is_empty() {
+            Vec::new()
+        } else {
+            self.engine.prepare_many(&to_prepare)
+        }
+        .into_iter();
+        for ((id, _), prepared) in pinned_missing.iter().zip(prepared_results.by_ref()) {
+            if let Ok(handle) = prepared {
+                if handle.is_cached() {
+                    self.pin(*id, handle);
+                    // The pin's repeats in this same flush resolve
+                    // from the map in phase 2 — hash-free hits.
+                    self.stats.pinned_hits += pinned_repeats.remove(id).unwrap_or(0);
+                }
+            }
+        }
         // Only a successful, spectrum-bearing preparation touches the
         // cache; a raw-fallback backend caches no spectrum, so retaining
         // handles would only clone operands into resident memory for zero
         // transform savings — turn the cache off for good.
         let mut disabled = false;
-        if !missing.is_empty() {
-            for (operand, prepared) in missing.iter().zip(self.engine.prepare_many(&missing)) {
+        {
+            for (operand, prepared) in missing.iter().zip(prepared_results) {
                 match prepared {
                     Ok(handle) if handle.is_cached() => {
                         let key = digest(operand);
@@ -1316,63 +2246,79 @@ impl<M: Multiplier + Sync> CardWorker<M> {
     }
 }
 
-/// When the batch currently forming must flush: the oldest job's age
-/// bound, pulled earlier by any job deadline (running a job *before* its
-/// deadline beats expiring it at the full batch window). The deadline pull
-/// is scheduled [`DEADLINE_SCHEDULING_MARGIN`] *before* the deadline
-/// itself, so the job has started executing — not just been scheduled — by
-/// the instant it promised; a flush fired exactly at the deadline would
-/// always find the job microseconds expired.
-fn flush_due(pending: &VecDeque<Submitted>, config: &ServeConfig) -> Instant {
-    let oldest = pending
+/// When the batch currently forming must flush: the oldest *eligible*
+/// job's age bound, pulled earlier by any eligible job's deadline
+/// (running a job *before* its deadline beats expiring it at the full
+/// batch window). The deadline pull is scheduled
+/// [`DEADLINE_SCHEDULING_MARGIN`] *before* the deadline itself, so the
+/// job has started executing — not just been scheduled — by the instant
+/// it promised; a flush fired exactly at the deadline would always find
+/// the job microseconds expired.
+fn flush_due(pending: &VecDeque<Submitted>, eligible: &[usize], config: &ServeConfig) -> Instant {
+    let oldest = eligible
         .iter()
-        .map(|j| j.enqueued)
+        .map(|&i| pending[i].enqueued)
         .min()
-        .expect("flush_due on non-empty queue");
-    pending
+        .expect("flush_due on a non-empty eligible set");
+    eligible
         .iter()
-        .filter_map(|j| j.request.deadline)
+        .filter_map(|&i| pending[i].request.deadline)
         .map(|d| d.checked_sub(DEADLINE_SCHEDULING_MARGIN).unwrap_or(d))
         .fold(oldest + config.max_delay, Instant::min)
 }
 
-/// Claims up to `max_batch` jobs from the queue under the configured
-/// [`FlushPolicy`] and stamps their dequeue instant.
-fn pop_batch(pending: &mut VecDeque<Submitted>, config: &ServeConfig) -> Vec<Submitted> {
-    let take = pending.len().min(config.max_batch.max(1));
-    let mut batch: Vec<Submitted> = if take == pending.len() {
-        pending.drain(..).collect()
-    } else {
-        match config.policy {
-            FlushPolicy::Fifo => pending.drain(..take).collect(),
-            FlushPolicy::Edf => {
-                // Rank every pending job: earliest deadline first,
-                // deadline-less jobs last, arrival order as tie-breaker.
-                let mut order: Vec<usize> = (0..pending.len()).collect();
-                order.sort_by(|&i, &j| {
-                    let (a, b) = (&pending[i], &pending[j]);
-                    match (a.request.deadline, b.request.deadline) {
-                        (Some(da), Some(db)) => da.cmp(&db).then(a.seq.cmp(&b.seq)),
-                        (Some(_), None) => core::cmp::Ordering::Less,
-                        (None, Some(_)) => core::cmp::Ordering::Greater,
-                        (None, None) => a.seq.cmp(&b.seq),
-                    }
-                });
-                let chosen: HashSet<usize> = order[..take].iter().copied().collect();
-                let mut batch = Vec::with_capacity(take);
-                let mut rest = VecDeque::with_capacity(pending.len() - take);
-                for (i, job) in pending.drain(..).enumerate() {
-                    if chosen.contains(&i) {
-                        batch.push(job);
-                    } else {
-                        rest.push_back(job);
-                    }
+/// Claims up to `max_batch` jobs from the claiming card's eligible set
+/// under the configured [`FlushPolicy`] and stamps their dequeue
+/// instant; ineligible jobs stay queued for the cards that fit them.
+fn pop_batch(
+    pending: &mut VecDeque<Submitted>,
+    eligible: &[usize],
+    config: &ServeConfig,
+) -> Vec<Submitted> {
+    let take = eligible.len().min(config.max_batch.max(1));
+    // Contiguous-prefix fast path: with every pending job eligible (the
+    // Shared default) FIFO is a straight O(take) front drain — no index
+    // set, no queue rebuild.
+    if matches!(config.policy, FlushPolicy::Fifo) && eligible.len() == pending.len() {
+        let mut batch: Vec<Submitted> = pending.drain(..take).collect();
+        let now = Instant::now();
+        for job in &mut batch {
+            job.seen = now;
+        }
+        return batch;
+    }
+    let chosen: HashSet<usize> = match config.policy {
+        FlushPolicy::Fifo => eligible[..take].iter().copied().collect(),
+        FlushPolicy::Edf => {
+            // Rank the eligible jobs: earliest deadline first,
+            // deadline-less jobs last, arrival order as tie-breaker.
+            let mut order: Vec<usize> = eligible.to_vec();
+            order.sort_by(|&i, &j| {
+                let (a, b) = (&pending[i], &pending[j]);
+                match (a.request.deadline, b.request.deadline) {
+                    (Some(da), Some(db)) => da.cmp(&db).then(a.seq.cmp(&b.seq)),
+                    (Some(_), None) => core::cmp::Ordering::Less,
+                    (None, Some(_)) => core::cmp::Ordering::Greater,
+                    (None, None) => a.seq.cmp(&b.seq),
                 }
-                *pending = rest;
-                batch
-            }
+            });
+            order[..take].iter().copied().collect()
         }
     };
+    let mut batch = Vec::with_capacity(take);
+    if chosen.len() == pending.len() {
+        batch.extend(pending.drain(..));
+    } else {
+        let mut rest = VecDeque::with_capacity(pending.len() - take);
+        for (i, job) in pending.drain(..).enumerate() {
+            if chosen.contains(&i) {
+                batch.push(job);
+            } else {
+                rest.push_back(job);
+            }
+        }
+        *pending = rest;
+    }
     let now = Instant::now();
     for job in &mut batch {
         job.seen = now;
@@ -1663,6 +2609,30 @@ mod tests {
         EvalEngine::new(SsaSoftware::for_operand_bits(bits).unwrap())
     }
 
+    /// A queue entry for the claim-order unit tests.
+    fn test_submitted(
+        seq: u64,
+        base: Instant,
+        deadline_ms: Option<u64>,
+        tx: &mpsc::Sender<Result<UBig, ServeError>>,
+    ) -> Submitted {
+        let request = ProductRequest {
+            a: Operand::Inline(UBig::from(seq)),
+            b: Operand::Inline(UBig::from(seq)),
+            deadline: deadline_ms.map(|ms| base + Duration::from_millis(ms)),
+        };
+        Submitted {
+            required_bits: request.required_bits(),
+            request,
+            enqueued: base,
+            seq,
+            digests: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            seen: base,
+            reply: ReplySink::Ticket(tx.clone()),
+        }
+    }
+
     fn small_server(config: ServeConfig) -> ProductServer {
         ProductServer::spawn(small_engine(2_000), config)
     }
@@ -1932,20 +2902,10 @@ mod tests {
             (2, Some(50)),
             (3, Some(200)),
         ] {
-            pending.push_back(Submitted {
-                request: ProductRequest {
-                    a: UBig::from(seq),
-                    b: UBig::from(seq),
-                    deadline: deadline_ms.map(|ms| base + Duration::from_millis(ms)),
-                },
-                enqueued: base,
-                seq,
-                digests: None,
-                seen: base,
-                reply: tx.clone(),
-            });
+            pending.push_back(test_submitted(seq, base, deadline_ms, &tx));
         }
-        let batch = pop_batch(&mut pending, &config);
+        let all: Vec<usize> = (0..pending.len()).collect();
+        let batch = pop_batch(&mut pending, &all, &config);
         let seqs: Vec<u64> = batch.iter().map(|j| j.seq).collect();
         // The 50 ms and 200 ms deadlines outrank the 500 ms one and the
         // deadline-less job.
@@ -1956,7 +2916,8 @@ mod tests {
             policy: FlushPolicy::Fifo,
             ..config
         };
-        let batch = pop_batch(&mut pending, &fifo);
+        let all: Vec<usize> = (0..pending.len()).collect();
+        let batch = pop_batch(&mut pending, &all, &fifo);
         let seqs: Vec<u64> = batch.iter().map(|j| j.seq).collect();
         assert_eq!(seqs, vec![0, 1]);
     }
@@ -1971,31 +2932,196 @@ mod tests {
         let build = |policy: FlushPolicy| {
             let mut pending: VecDeque<Submitted> = VecDeque::new();
             for (seq, deadline) in [(0u64, None), (1, None), (2, Some(1u64)), (3, Some(2))] {
-                pending.push_back(Submitted {
-                    request: ProductRequest {
-                        a: UBig::from(seq),
-                        b: UBig::from(seq),
-                        deadline: deadline.map(|ms| base + Duration::from_millis(ms)),
-                    },
-                    enqueued: base,
-                    seq,
-                    digests: None,
-                    seen: base,
-                    reply: tx.clone(),
-                });
+                pending.push_back(test_submitted(seq, base, deadline, &tx));
             }
             let config = ServeConfig {
                 max_batch: 2,
                 policy,
                 ..ServeConfig::default()
             };
-            pop_batch(&mut pending, &config)
+            let all: Vec<usize> = (0..pending.len()).collect();
+            pop_batch(&mut pending, &all, &config)
                 .iter()
                 .map(|j| j.seq)
                 .collect::<Vec<u64>>()
         };
         assert_eq!(build(FlushPolicy::Edf), vec![2, 3]);
         assert_eq!(build(FlushPolicy::Fifo), vec![0, 1]);
+    }
+
+    #[test]
+    fn cancelled_jobs_are_dropped_at_claim_and_counted() {
+        // A long batch window keeps the first job queued until the batch
+        // fills, so the cancel lands deterministically before the claim.
+        let server = small_server(ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(500),
+            ..ServeConfig::default()
+        });
+        let doomed = server
+            .submit(ProductRequest::new(UBig::from(3u64), UBig::from(5u64)))
+            .unwrap();
+        doomed.cancel();
+        let survivors: Vec<ProductTicket> = (2..5u64)
+            .map(|k| {
+                server
+                    .submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (2..5u64).zip(survivors) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(k * k));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.cancelled, 1, "stats: {stats:?}");
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.expired() + stats.failed, 0);
+    }
+
+    #[test]
+    fn pop_batch_leaves_ineligible_jobs_queued() {
+        // The BySize claim path: a card only pops its eligible subset;
+        // the rest stay in arrival order for the cards that fit them.
+        let config = ServeConfig {
+            max_batch: 8,
+            policy: FlushPolicy::Fifo,
+            ..ServeConfig::default()
+        };
+        let base = Instant::now();
+        let (tx, _rx) = mpsc::channel();
+        let mut pending: VecDeque<Submitted> = VecDeque::new();
+        for seq in 0..5u64 {
+            pending.push_back(test_submitted(seq, base, None, &tx));
+        }
+        let eligible = vec![1usize, 3];
+        let batch = pop_batch(&mut pending, &eligible, &config);
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            pending.iter().map(|j| j.seq).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+    }
+
+    #[test]
+    fn by_size_routing_keeps_oversized_jobs_off_small_cards() {
+        // A small and a large card under BySize: a job only the large
+        // card fits must never fail, however many times it is submitted.
+        let pool = ServerPool::spawn(
+            vec![small_engine(2_000), small_engine(50_000)],
+            ServeConfig {
+                max_batch: 2,
+                max_delay: Duration::from_millis(1),
+                route: RoutePolicy::BySize,
+                ..ServeConfig::default()
+            },
+        );
+        let big = UBig::pow2(20_000);
+        let tickets: Vec<ProductTicket> = (1..=6u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(big.clone(), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (1..=6u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), &big * &UBig::from(k));
+        }
+        // Small jobs still flow (either card may take them).
+        let small = pool
+            .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
+            .unwrap();
+        assert_eq!(small.wait().unwrap(), UBig::from(42u64));
+        let stats = pool.shutdown();
+        assert_eq!(stats.total().completed, 7);
+        assert_eq!(stats.total().failed, 0, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn session_pins_survive_lru_pressure() {
+        // Cache capacity of 1 would evict any digest-cached operand on
+        // every flush of fresh traffic; the pinned operand is exempt.
+        let server = small_server(ServeConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+            cache_capacity: 1,
+            ..ServeConfig::default()
+        });
+        let mut session = server.session();
+        let fixed = UBig::from(0xabcd_ef01u64);
+        session.register("acc", fixed.clone());
+        assert_eq!(session.registered(), 1);
+        let tickets: Vec<ProductTicket> = (2..10u64)
+            .map(|k| session.submit_with("acc", UBig::from(k)).unwrap())
+            .collect();
+        for (k, ticket) in (2..10u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), &fixed * &UBig::from(k));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 8);
+        // One lazy preparation, then every later sighting resolved from
+        // the pin map — hash-free, eviction-proof.
+        assert!(stats.pinned_hits >= 7, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn sessions_clone_and_unregister_independently() {
+        let server = small_server(ServeConfig::default());
+        let mut session = server.session();
+        session.register("a", UBig::from(11u64));
+        let mut sibling = session.clone();
+        sibling.register("b", UBig::from(13u64));
+        // The clone carries "a" and its own "b"; the original only "a".
+        assert_eq!(
+            sibling.submit_between("a", "b").unwrap().wait().unwrap(),
+            UBig::from(143u64)
+        );
+        assert_eq!(session.registered(), 1);
+        sibling.unregister("a");
+        assert_eq!(sibling.registered(), 1);
+        // The original's registration is untouched by the clone's
+        // unregister of the shared name.
+        assert_eq!(
+            session
+                .submit_with("a", UBig::from(2u64))
+                .unwrap()
+                .wait()
+                .unwrap(),
+            UBig::from(22u64)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn completion_queue_over_a_session_carries_tags() {
+        let server = small_server(ServeConfig {
+            max_batch: 2,
+            max_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        });
+        let mut session = server.session();
+        session.register("acc", UBig::from(1_000_003u64));
+        let requests: Vec<(ProductRequest, u64)> = (2..8u64)
+            .map(|k| (session.request_with("acc", UBig::from(k)), k))
+            .collect();
+        let mut queue: CompletionQueue<'_, ClientSession, u64> = CompletionQueue::new(&session);
+        for (request, tag) in requests {
+            queue
+                .submit_tagged(request, tag)
+                .map_err(|(e, _)| e)
+                .unwrap();
+        }
+        let mut seen = 0u64;
+        while let Some(done) = queue.recv() {
+            assert_eq!(
+                done.result.unwrap(),
+                UBig::from(done.tag) * UBig::from(1_000_003u64)
+            );
+            seen += 1;
+        }
+        assert_eq!(seen, 6);
+        assert_eq!(queue.in_flight(), 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 6);
+        assert!(stats.pinned_hits > 0, "stats: {stats:?}");
     }
 
     #[test]

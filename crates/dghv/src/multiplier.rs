@@ -5,7 +5,11 @@
 //! parameters a 786,432 × 786,432-bit product, the exact operation the
 //! accelerator implements. The backend trait lets the scheme run on the
 //! classical algorithms, the software Schönhage–Strassen multiplier, or
-//! (via `he-accel`) the simulated hardware.
+//! (via `he-accel`) the simulated hardware — including the resident
+//! serving fleet: `he_accel::serve::ServedMultiplier` implements this
+//! trait over any submission surface (a single server, a multi-card
+//! pool, or a per-client session with pinned recurring operands), so
+//! circuit levels ride deadline-aware micro-batches unchanged.
 
 use he_bigint::UBig;
 use he_ssa::{SsaJob, SsaMultiplier, SsaParams, TransformedOperand};

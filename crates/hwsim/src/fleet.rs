@@ -18,7 +18,16 @@
 //!   job was already late when a card claimed it) or to **compute** (its
 //!   own flush ran past the deadline) — the same split
 //!   `he_accel::serve::ServeStats` records for the software fleet, so
-//!   `bench_fleet` can print both side by side.
+//!   `bench_fleet` can print both side by side;
+//! * **host-dispatch accounting** — the same products cost very
+//!   different wall time depending on whether the *host* overlaps
+//!   submission with completion: [`FleetModel::serialized_host_cycles`]
+//!   models the blocking-ticket client (one product in flight, full
+//!   dispatch + latency each), [`FleetModel::streaming_host_cycles`] the
+//!   completion-driven client (back-to-back micro-batches, pipelined),
+//!   and [`FleetModel::host_overlap_speedup`] their ratio — the gap
+//!   `he_accel::serve::CompletionQueue` exists to close, measured in
+//!   software by `bench_session`.
 //!
 //! ```
 //! use he_hwsim::fleet::FleetModel;
@@ -185,6 +194,70 @@ impl FleetModel {
     pub fn products_per_second(&self, batch: usize, fresh: u64) -> f64 {
         let flush_us = self.per_card.cycles_to_us(self.flush_cycles(batch, fresh));
         self.cards as f64 * batch as f64 / (flush_us / 1e6)
+    }
+
+    /// Cycles one card takes to serve `n` products for a **serialized
+    /// host**: a client that submits one product, blocks on its
+    /// completion, and only then submits the next — the blocking-ticket
+    /// shape, one thread per in-flight product and exactly one product
+    /// in flight. Every product pays its own dispatch and the full
+    /// unpipelined latency; no batching, no overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh > 2`.
+    pub fn serialized_host_cycles(&self, n: usize, fresh: u64) -> u64 {
+        n as u64 * (self.dispatch_cycles + self.per_card.cached_multiplication_cycles(fresh))
+    }
+
+    /// Cycles one card takes to serve `n` products for a **streaming
+    /// host**: a client that overlaps submission with completion (the
+    /// `CompletionQueue` shape), keeping the queue full so the card runs
+    /// back-to-back micro-batches of `batch` products — one dispatch per
+    /// flush, every product after a flush's first riding the pipelined
+    /// initiation interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `batch` is zero, or `fresh > 2`.
+    pub fn streaming_host_cycles(&self, n: usize, batch: usize, fresh: u64) -> u64 {
+        assert!(n > 0, "a host trace holds at least one product");
+        let batch = batch.max(1);
+        let full = (n / batch) as u64 * self.flush_cycles(batch, fresh);
+        let rem = n % batch;
+        full + if rem > 0 {
+            self.flush_cycles(rem, fresh)
+        } else {
+            0
+        }
+    }
+
+    /// How much faster a completion-driven host serves the same `n`
+    /// products than a submit-and-block host on one card — the
+    /// host-interface gap the streaming client surface exists to close.
+    /// `1.0` when `batch == 1` (with nothing in flight to overlap, the
+    /// streaming host degenerates to the serialized one exactly);
+    /// approaches `multiplication latency / initiation interval` as the
+    /// batch grows.
+    ///
+    /// ```
+    /// use he_hwsim::fleet::FleetModel;
+    ///
+    /// let fleet = FleetModel::paper(1);
+    /// // One product in flight at a time: no gain from streaming.
+    /// assert!((fleet.host_overlap_speedup(64, 1, 1) - 1.0).abs() < 1e-9);
+    /// // Micro-batches of 16 one-cached products: submission/completion
+    /// // overlap pays for itself immediately (≈1.47× at the paper's
+    /// // design point, approaching 1.5× as batches deepen).
+    /// assert!(fleet.host_overlap_speedup(64, 16, 1) > 1.4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `batch` is zero, or `fresh > 2`.
+    pub fn host_overlap_speedup(&self, n: usize, batch: usize, fresh: u64) -> f64 {
+        self.serialized_host_cycles(n, fresh) as f64
+            / self.streaming_host_cycles(n, batch, fresh) as f64
     }
 
     /// This fleet's throughput over a single card of the same
@@ -361,6 +434,39 @@ mod tests {
             );
             last = report.makespan_cycles;
         }
+    }
+
+    #[test]
+    fn host_overlap_collapses_at_batch_one_and_grows_with_batching() {
+        let fleet = FleetModel::paper(1);
+        // With one product in flight the streaming host degenerates to
+        // the serialized one exactly, at every cache rung.
+        for fresh in [0u64, 1, 2] {
+            assert_eq!(
+                fleet.streaming_host_cycles(64, 1, fresh),
+                fleet.serialized_host_cycles(64, fresh)
+            );
+        }
+        // Deeper batches only widen the overlap win.
+        let mut last = 1.0;
+        for batch in [2usize, 4, 16, 64] {
+            let speedup = fleet.host_overlap_speedup(64, batch, 1);
+            assert!(
+                speedup > last,
+                "batch {batch}: speedup {speedup} did not grow past {last}"
+            );
+            last = speedup;
+        }
+    }
+
+    #[test]
+    fn streaming_host_charges_partial_flushes() {
+        let fleet = FleetModel::paper(1);
+        // 10 products in batches of 4: two full flushes plus one of 2.
+        assert_eq!(
+            fleet.streaming_host_cycles(10, 4, 1),
+            2 * fleet.flush_cycles(4, 1) + fleet.flush_cycles(2, 1)
+        );
     }
 
     #[test]

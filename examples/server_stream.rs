@@ -10,6 +10,11 @@
 //! forward spectrum automatically, late jobs expire as typed errors, and
 //! a full queue pushes back instead of buffering without bound.
 //!
+//! This is the *blocking* client shape — one awaited ticket per in-flight
+//! product. For the completion-driven alternative (one reactor thread,
+//! tagged completions, session-pinned operands) see
+//! `streaming_client.rs`.
+//!
 //! Run with: `cargo run --release --example server_stream`
 
 use std::time::{Duration, Instant};
@@ -97,13 +102,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("backpressure demo: {accepted} accepted, {shed} shed without blocking");
 
     let stats = server.shutdown();
+    assert_eq!(
+        stats.shed, shed as u64,
+        "every rejected try_submit is accounted in the stats"
+    );
     println!(
         "\nserver lifetime: {} flushes (largest {}), {} completed, {} expired, \
-         cache {} hits / {} misses",
+         {} shed, cache {} hits / {} misses",
         stats.flushes,
         stats.largest_flush,
         stats.completed,
         stats.expired(),
+        stats.shed,
         stats.cache_hits,
         stats.cache_misses
     );

@@ -74,6 +74,52 @@ proptest! {
         prop_assert_eq!(total.failed + total.expired(), 0);
     }
 
+    /// A two-geometry fleet under [`RoutePolicy::BySize`]: whatever mix
+    /// of small and oversized operands streams through, every job lands
+    /// on a card whose transform fits it — zero capacity failures, zero
+    /// `HandleMismatch` fallbacks, bit-exact results. (Under the Shared
+    /// default the small card could claim — and fail — a job only its
+    /// bigger sibling can run.)
+    #[test]
+    fn by_size_routing_serves_mixed_sizes_without_failures(
+        jobs in proptest::collection::vec((arb_operand(6_000), any::<bool>()), 1..20),
+        max_batch in 1usize..4,
+    ) {
+        let small = SsaSoftware::for_operand_bits(1_000).unwrap();
+        let large = SsaSoftware::for_operand_bits(8_000).unwrap();
+        let reference = large.clone();
+        let pool = ServerPool::spawn(
+            vec![EvalEngine::new(small), EvalEngine::new(large)],
+            ServeConfig {
+                max_batch,
+                max_delay: Duration::from_millis(1),
+                route: RoutePolicy::BySize,
+                cache_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        // `true` squares the (possibly multi-thousand-bit) operand;
+        // `false` keeps the job small enough for either card.
+        let tickets: Vec<ProductTicket> = jobs
+            .iter()
+            .map(|(b, big)| {
+                let a = if *big { b.clone() } else { UBig::from(3u64) };
+                pool.submit(ProductRequest::new(a, b.clone())).expect("pool alive")
+            })
+            .collect();
+        for ((b, big), ticket) in jobs.iter().zip(tickets) {
+            let a = if *big { b.clone() } else { UBig::from(3u64) };
+            let expected = reference.multiply(&a, b).unwrap();
+            prop_assert_eq!(ticket.wait().expect("routed to a fitting card"), expected);
+        }
+        let stats = pool.shutdown();
+        let total = stats.total();
+        prop_assert_eq!(total.completed as usize, jobs.len());
+        // The acceptance bar: by-size routing never hands a job to a
+        // card that cannot run it.
+        prop_assert_eq!(total.failed, 0);
+    }
+
     /// Same contract under EDF with deadlines generous enough that
     /// nothing expires: deadline-aware claiming must reorder *scheduling*
     /// only, never results.
@@ -204,6 +250,79 @@ fn heterogeneous_fleet_serves_without_sharing_handles() {
     let stats = pool.shutdown();
     assert_eq!(stats.total().completed, 24);
     assert_eq!(stats.total().failed, 0);
+}
+
+/// A test card with an advertised capacity that can be told to die on
+/// its first product — the dead-card routing harness.
+#[derive(Debug)]
+struct SizedCard {
+    cap: usize,
+    dies: bool,
+}
+
+impl he_accel::Multiplier for SizedCard {
+    fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+        assert!(!self.dies, "this card dies on its first product");
+        Ok(a.mul_schoolbook(b))
+    }
+
+    fn name(&self) -> &'static str {
+        "sized-card"
+    }
+
+    fn operand_capacity_bits(&self) -> Option<usize> {
+        Some(self.cap)
+    }
+}
+
+#[test]
+fn by_size_jobs_for_a_dead_card_fail_over_to_survivors() {
+    // Routing must track card *liveness*: once the only card that fits a
+    // big job dies, survivors — too small on paper — must claim it
+    // anyway so its ticket resolves (here the small card's schoolbook
+    // happily runs it; a real sized backend would fail it fast with its
+    // typed error). Without liveness tracking the job would sit
+    // unclaimable forever behind an open queue.
+    let pool = ServerPool::spawn(
+        vec![
+            EvalEngine::new(SizedCard {
+                cap: 1_000,
+                dies: false,
+            }),
+            EvalEngine::new(SizedCard {
+                cap: 1_000_000,
+                dies: true,
+            }),
+        ],
+        ServeConfig {
+            max_batch: 1,
+            max_delay: Duration::from_millis(1),
+            route: RoutePolicy::BySize,
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let big = UBig::pow2(5_000);
+    // Only the big card fits this; it dies claiming it.
+    let doomed = pool
+        .submit(ProductRequest::new(big.clone(), UBig::from(3u64)))
+        .unwrap();
+    assert!(matches!(doomed.wait(), Err(ServeError::Closed)));
+    // The next big job must fail over to the surviving small card and
+    // resolve — bounded, not hanging.
+    let mut failover = pool
+        .submit(ProductRequest::new(big.clone(), UBig::from(5u64)))
+        .unwrap();
+    match failover.wait_timeout(Duration::from_secs(30)) {
+        Some(Ok(product)) => assert_eq!(product, &big * &UBig::from(5u64)),
+        other => panic!("expected the survivor to serve the job, got {other:?}"),
+    }
+    // Small traffic is untouched throughout.
+    let small = pool
+        .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
+        .unwrap();
+    assert_eq!(small.wait().unwrap(), UBig::from(42u64));
+    drop(pool); // not shutdown(): that would propagate the card's panic
 }
 
 #[test]

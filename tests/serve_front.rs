@@ -179,7 +179,11 @@ fn try_submit_sheds_when_the_bounded_queue_is_full() {
     let _ = release_tx.send(());
     let retried = server.try_submit(rejected).expect("queue drained");
     assert_eq!(retried.wait().unwrap(), UBig::from(81u64));
-    server.shutdown();
+    let stats = server.shutdown();
+    // Shed load is accounted, not silently vanished: exactly the one
+    // rejected try_submit above.
+    assert_eq!(stats.shed, 1, "stats: {stats:?}");
+    assert_eq!(stats.completed, 4);
 }
 
 #[test]
