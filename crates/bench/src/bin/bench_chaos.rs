@@ -1,0 +1,292 @@
+//! Perf-trajectory point 6: the self-healing fleet under fault injection.
+//!
+//! Emits `BENCH_chaos.json` with three rungs over the same seeded
+//! traffic:
+//!
+//! 1. **fault-free** — a supervised 2-card pool with healthy cards (the
+//!    throughput baseline);
+//! 2. **supervised chaos** — the same pool where card 0 panics every 5th
+//!    flush and throws a transient device error every 7th
+//!    ([`FaultyMultiplier`], deterministic from the seed). The acceptance
+//!    gate: **100% of tickets resolve bit-exactly with zero `Closed`
+//!    errors while intake stays open**, at ≥ 0.5× the fault-free
+//!    throughput (the ratio gate applies to the full run; `--quick`'s
+//!    timed region is too small to be meaningful on shared runners);
+//! 3. **unsupervised baseline** — the same fault plan against a plain
+//!    `ServerPool::spawn` (no backend factory): the faulty card dies
+//!    permanently at its first panic and never restarts, which is
+//!    exactly the failure mode the supervision tentpole removes.
+//!
+//! The cycle-level counterpart rides along: a 2-card
+//! [`FleetModel::simulate_with_outages`] run where card 0 dies mid-flush
+//! and is repaired later, reporting the same completed/retried split.
+//!
+//! Run with `cargo run --release -p he-bench --bin bench_chaos`.
+//! `--quick` (the CI smoke mode) shrinks operands so the binary finishes
+//! in seconds while still exercising injected deaths, restart, retry,
+//! quarantine-free completion and the unsupervised contrast.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use he_accel::fault::{FaultPlan, FaultyMultiplier};
+use he_accel::prelude::*;
+use he_bench::operand;
+use he_hwsim::fleet::{FleetJob, FleetModel, FleetOutage, FleetPolicy};
+
+const SEED: u64 = 2016;
+
+/// Card 0's fault plan: periodic deaths plus transient device errors.
+fn faulty_plan() -> FaultPlan {
+    FaultPlan::new(SEED).panic_every(5).error_every(7)
+}
+
+fn engine(bits: usize, plan: FaultPlan) -> EvalEngine<FaultyMultiplier<SsaSoftware>> {
+    EvalEngine::new(FaultyMultiplier::new(
+        SsaSoftware::for_operand_bits(bits).expect("plan fits"),
+        plan,
+    ))
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        max_delay: Duration::from_millis(2),
+        retry_limit: 6,
+        // A generous cap: the bench's card 0 is *periodically* faulty by
+        // design, and the demonstration is that supervision keeps
+        // rebuilding it rather than retiring it.
+        restart_cap: 64,
+        restart_backoff: Duration::from_millis(2),
+        ..ServeConfig::default()
+    }
+}
+
+/// One traffic run: submit the whole stream, await every ticket, verify
+/// bit-exactness of completions and count resolutions by kind.
+struct RunOutcome {
+    elapsed: f64,
+    completed_ok: usize,
+    closed: usize,
+    other_errors: usize,
+    intake_open: bool,
+    stats: PoolStats,
+}
+
+fn run_traffic(pool: ServerPool, fixed: &UBig, stream: &[UBig], expected: &[UBig]) -> RunOutcome {
+    let start = Instant::now();
+    let tickets: Vec<ProductTicket> = stream
+        .iter()
+        .map(|b| {
+            pool.submit(ProductRequest::new(fixed.clone(), b.clone()))
+                .expect("intake must stay open under faults")
+        })
+        .collect();
+    let mut completed_ok = 0;
+    let mut closed = 0;
+    let mut other_errors = 0;
+    for (want, ticket) in expected.iter().zip(tickets) {
+        match ticket.wait() {
+            Ok(product) => {
+                assert_eq!(&product, want, "completions must stay bit-exact");
+                completed_ok += 1;
+            }
+            Err(ServeError::Closed) => closed += 1,
+            Err(_) => other_errors += 1,
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // The storm is over; a supervised fleet must still take work.
+    let intake_open = match pool.submit(ProductRequest::new(UBig::from(3u64), UBig::from(4u64))) {
+        Ok(ticket) => ticket.wait().is_ok(),
+        Err(_) => false,
+    };
+    let stats = pool.shutdown();
+    RunOutcome {
+        elapsed,
+        completed_ok,
+        closed,
+        other_errors,
+        intake_open,
+        stats,
+    }
+}
+
+fn health_json(health: &[CardHealth]) -> String {
+    let names: Vec<String> = health.iter().map(|h| format!("\"{h:?}\"")).collect();
+    format!("[{}]", names.join(", "))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (bits, products): (usize, usize) = if quick { (4_000, 16) } else { (100_000, 48) };
+
+    he_bench::section(&format!(
+        "self-healing fleet under injected faults, {bits}-bit operands, {products} products, \
+         seed {SEED}{}",
+        if quick { " (quick)" } else { "" }
+    ));
+    println!("(panic traces on stderr are the injected card deaths — supervision catches them)");
+
+    let fixed = operand(bits, 600);
+    let stream: Vec<UBig> = (0..products as u64)
+        .map(|k| operand(bits, 700 + k))
+        .collect();
+    let ground_truth = SsaSoftware::for_operand_bits(bits).expect("plan fits");
+    let expected: Vec<UBig> = stream
+        .iter()
+        .map(|b| ground_truth.multiply(&fixed, b).expect("operands fit"))
+        .collect();
+
+    // Rung 1: fault-free supervised baseline.
+    let clean_pool =
+        ServerPool::with_backend_factory(2, move |_| engine(bits, FaultPlan::new(SEED)), config());
+    let baseline = run_traffic(clean_pool, &fixed, &stream, &expected);
+    let baseline_pps = products as f64 / baseline.elapsed;
+    println!(
+        "fault-free supervised:   {:>8.1} ms  {:>9.2} products/s  ({}/{products} ok)",
+        baseline.elapsed * 1e3,
+        baseline_pps,
+        baseline.completed_ok
+    );
+
+    // Rung 2: the same traffic with card 0 on the fault plan.
+    let chaos_pool = ServerPool::with_backend_factory(
+        2,
+        move |card| {
+            let plan = if card == 0 {
+                faulty_plan()
+            } else {
+                FaultPlan::new(SEED)
+            };
+            engine(bits, plan)
+        },
+        config(),
+    );
+    let supervised = run_traffic(chaos_pool, &fixed, &stream, &expected);
+    let supervised_pps = products as f64 / supervised.elapsed;
+    let ratio = supervised_pps / baseline_pps;
+    let supervised_total = supervised.stats.total();
+    println!(
+        "supervised chaos:        {:>8.1} ms  {:>9.2} products/s  ({}/{products} ok, \
+         {} retried, {} restarts, ratio {ratio:.2}x)",
+        supervised.elapsed * 1e3,
+        supervised_pps,
+        supervised.completed_ok,
+        supervised_total.retried,
+        supervised_total.restarts,
+    );
+
+    // Rung 3: the same fault plan, no supervision — the faulty card's
+    // first death is permanent.
+    let bare_pool = ServerPool::spawn(
+        vec![
+            engine(bits, faulty_plan()),
+            engine(bits, FaultPlan::new(SEED)),
+        ],
+        config(),
+    );
+    let unsupervised = run_traffic(bare_pool, &fixed, &stream, &expected);
+    let unsupervised_total = unsupervised.stats.total();
+    let dead_cards = unsupervised
+        .stats
+        .health
+        .iter()
+        .filter(|&&h| h == CardHealth::Dead)
+        .count();
+    println!(
+        "unsupervised baseline:   {:>8.1} ms  {} cards lost permanently ({:?}, 0 restarts)",
+        unsupervised.elapsed * 1e3,
+        dead_cards,
+        unsupervised.stats.health,
+    );
+
+    // The cycle-level counterpart: a 2-card hardware-model fleet where
+    // card 0 dies mid-flush and is repaired after ten flush times.
+    let model = FleetModel::paper(2);
+    let flush = model.flush_cycles(4, 1);
+    let trace: Vec<FleetJob> = (0..64u64).map(|i| FleetJob::at(i * flush / 8)).collect();
+    let outage = FleetOutage::new(0, flush / 2, 10 * flush);
+    let degraded = model.simulate_with_outages(&trace, 4, 1, FleetPolicy::Edf, &[outage]);
+    let healthy = model.simulate(&trace, 4, 1, FleetPolicy::Edf);
+    println!(
+        "hw model (64 jobs, card 0 down for 10 flush times): completed {} (healthy {}), \
+         retried {}, makespan {:.2}x healthy",
+        degraded.completed,
+        healthy.completed,
+        degraded.retried,
+        degraded.makespan_cycles as f64 / healthy.makespan_cycles as f64,
+    );
+
+    // Hand-rolled JSON (the workspace builds without a registry, so no
+    // serde); keys stay stable for downstream tooling.
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \
+         \"operand_bits\": {bits},\n  \
+         \"products\": {products},\n  \
+         \"quick\": {quick},\n  \
+         \"seed\": {SEED},\n  \
+         \"fault_plan\": {{\"panic_every\": 5, \"error_every\": 7, \"faulty_card\": 0}},\n  \
+         \"fault_free\": {{\"products_per_sec\": {baseline_pps:.3}, \"completed\": {}}},\n  \
+         \"supervised\": {{\"products_per_sec\": {supervised_pps:.3}, \
+         \"ratio_vs_fault_free\": {ratio:.3}, \"completed\": {}, \"closed_errors\": {}, \
+         \"other_errors\": {}, \"intake_open\": {}, \"retried\": {}, \"reruns\": {}, \
+         \"restarts\": {}, \"poisoned\": {}, \"health\": {}}},\n  \
+         \"unsupervised\": {{\"completed\": {}, \"closed_errors\": {}, \"dead_cards\": {}, \
+         \"restarts\": {}, \"health\": {}}},\n  \
+         \"hw_model\": {{\"jobs\": 64, \"healthy_completed\": {}, \"degraded_completed\": {}, \
+         \"degraded_retried\": {}, \"makespan_ratio\": {:.3}}}\n}}\n",
+        baseline.completed_ok,
+        supervised.completed_ok,
+        supervised.closed,
+        supervised.other_errors,
+        supervised.intake_open,
+        supervised_total.retried,
+        supervised_total.reruns,
+        supervised_total.restarts,
+        supervised_total.poisoned,
+        health_json(&supervised.stats.health),
+        unsupervised.completed_ok,
+        unsupervised.closed,
+        dead_cards,
+        unsupervised_total.restarts,
+        health_json(&unsupervised.stats.health),
+        healthy.completed,
+        degraded.completed,
+        degraded.retried,
+        degraded.makespan_cycles as f64 / healthy.makespan_cycles as f64,
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+
+    // Acceptance gates. Functional gates hold in every mode; the
+    // throughput ratio applies to the full run only (quick timed regions
+    // are noise-dominated on shared runners).
+    assert_eq!(
+        supervised.completed_ok, products,
+        "supervised fleet must resolve 100% of tickets"
+    );
+    assert_eq!(supervised.closed, 0, "zero Closed errors under supervision");
+    assert!(
+        supervised.intake_open,
+        "intake must stay open after the storm"
+    );
+    assert!(
+        supervised_total.restarts >= 1,
+        "the fault plan must actually have killed card 0"
+    );
+    assert!(
+        dead_cards >= 1 && unsupervised_total.restarts == 0,
+        "the unsupervised baseline must lose its faulty card permanently"
+    );
+    assert_eq!(degraded.completed + degraded.expired(), 64);
+    if !quick {
+        assert!(
+            ratio >= 0.5,
+            "supervised chaos throughput fell below 0.5x fault-free ({ratio:.3})"
+        );
+    }
+}

@@ -85,31 +85,34 @@ pub use he_poly as poly;
 pub use he_ssa as ssa;
 
 pub mod engine;
+pub mod fault;
 mod multiplier;
 mod selfcheck;
 pub mod serve;
 
 pub use engine::{EvalEngine, HandleProvenance, OperandHandle, ProductJob};
+pub use fault::{FaultPlan, FaultyMultiplier};
 pub use multiplier::{
     HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
 };
 pub use selfcheck::{self_check, SelfCheckReport};
 pub use serve::{
-    ClientSession, Completion, CompletionQueue, CompletionSink, FlushPolicy, PoolStats,
-    ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig, ServeError, ServeStats,
-    ServedMultiplier, ServerPool, SubmitError, Submitter,
+    CardHealth, ClientSession, Completion, CompletionQueue, CompletionSink, DrainOutcome,
+    FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig,
+    ServeError, ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
 };
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
     pub use crate::engine::{EvalEngine, HandleProvenance, OperandHandle, ProductJob};
+    pub use crate::fault::{FaultPlan, FaultyMultiplier};
     pub use crate::multiplier::{
         HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
     };
     pub use crate::serve::{
-        ClientSession, Completion, CompletionQueue, CompletionSink, FlushPolicy, PoolStats,
-        ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig, ServeError,
-        ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
+        CardHealth, ClientSession, Completion, CompletionQueue, CompletionSink, DrainOutcome,
+        FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, RoutePolicy,
+        ServeConfig, ServeError, ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
     };
     pub use he_bigint::UBig;
     pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};

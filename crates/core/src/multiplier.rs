@@ -26,6 +26,14 @@ pub enum MultiplyError {
         /// The backend instance that prepared the handle.
         found: HandleProvenance,
     },
+    /// A device-level fault: the card rejected the work for reasons that
+    /// are not a property of the operands — a transient transfer error, a
+    /// device reset, an injected fault from
+    /// [`crate::fault::FaultyMultiplier`]. Unlike the capacity errors,
+    /// retrying the same job (possibly on another card) may succeed; the
+    /// serving fleet does exactly that up to
+    /// `crate::serve::ServeConfig::retry_limit`.
+    Device(String),
 }
 
 impl fmt::Display for MultiplyError {
@@ -37,6 +45,7 @@ impl fmt::Display for MultiplyError {
                 f,
                 "operand handle was prepared by `{found}` but used with `{expected}`"
             ),
+            MultiplyError::Device(reason) => write!(f, "device fault: {reason}"),
         }
     }
 }
@@ -46,7 +55,7 @@ impl std::error::Error for MultiplyError {
         match self {
             MultiplyError::Ssa(e) => Some(e),
             MultiplyError::HwSim(e) => Some(e),
-            MultiplyError::HandleMismatch { .. } => None,
+            MultiplyError::HandleMismatch { .. } | MultiplyError::Device(_) => None,
         }
     }
 }

@@ -55,7 +55,21 @@
 //! * on a heterogeneous fleet, [`RoutePolicy::BySize`] steers every job
 //!   to a card whose transform geometry fits its operands, so a small
 //!   card never claims (and fails) a job only its bigger sibling can
-//!   run.
+//!   run;
+//! * the fleet is **self-healing**: every flush runs under panic
+//!   containment, its jobs are re-queued to surviving cards (up to
+//!   [`ServeConfig::retry_limit`], within their deadline budget —
+//!   [`ServeStats::retried`]), transient [`MultiplyError::Device`]
+//!   faults are retried the same way, and a job that keeps killing
+//!   flushes is quarantined with [`ServeError::Poisoned`] instead of
+//!   taking the fleet down with it. On a supervised pool
+//!   ([`ServerPool::with_backend_factory`]) a panicked card is *rebuilt*
+//!   — exponential backoff, at most [`ServeConfig::restart_cap`]
+//!   attempts, session pins replayed — and per-card [`CardHealth`] shows
+//!   up in [`PoolStats::health`]; [`ServerPool::drain`] stops intake and
+//!   finishes queued work before joining. The deterministic
+//!   [`crate::fault::FaultyMultiplier`] harness drives all of it in
+//!   tests and `bench_chaos`.
 //!
 //! On top of the queue each card keeps a **prepared-handle cache** (LRU,
 //! keyed by the operand's digest): every operand of a flushed job is
@@ -137,7 +151,8 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -248,6 +263,23 @@ pub struct ServeConfig {
     /// Speculatively prepared handles retained in the pool-shared staging
     /// store before cards claim them (oldest evicted first).
     pub speculate_store_capacity: usize,
+    /// How many times a failed job is re-queued before the fleet gives
+    /// up on it. A job in a **panicked** flush is re-queued to the
+    /// surviving cards (and isolated: it runs alone until it proves
+    /// innocent) until it has taken down `retry_limit + 1` flushes — then
+    /// it is quarantined with [`ServeError::Poisoned`]. A job failing
+    /// with a *transient* device fault ([`MultiplyError::Device`]) is
+    /// re-queued the same number of times before its error is delivered.
+    /// Retries honor the job's deadline budget; `0` disables retrying.
+    pub retry_limit: u32,
+    /// On a factory-supervised pool ([`ServerPool::with_backend_factory`]),
+    /// how many **consecutive** restarts a card may attempt without
+    /// completing a single clean flush in between, before it is declared
+    /// [`CardHealth::Dead`]. A clean flush refills the budget.
+    pub restart_cap: u32,
+    /// Backoff before the first restart attempt of a panicked card;
+    /// doubles per consecutive attempt (capped at ~1 s).
+    pub restart_backoff: Duration,
 }
 
 impl Default for ServeConfig {
@@ -262,6 +294,9 @@ impl Default for ServeConfig {
             idle_trim_after: Duration::from_millis(250),
             speculate_hot_after: 2,
             speculate_store_capacity: 32,
+            retry_limit: 2,
+            restart_cap: 3,
+            restart_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -345,6 +380,18 @@ pub enum ServeError {
     },
     /// The backend rejected the product (capacity, parameters).
     Multiply(MultiplyError),
+    /// The job was **quarantined**: every flush that included it took its
+    /// card down (a panic in the backend — see the supervision story in
+    /// the module docs), and after `attempts` such strikes the fleet
+    /// answers the job with this error instead of letting it kill another
+    /// card. Batch-mates of a poisonous job are re-queued and served by
+    /// the surviving (or restarted) cards; only the job the failures
+    /// isolate is quarantined.
+    Poisoned {
+        /// Flushes this job took down before the fleet gave up on it
+        /// (`ServeConfig::retry_limit` + 1).
+        attempts: u32,
+    },
     /// The server shut down before delivering a result.
     Closed,
 }
@@ -356,6 +403,10 @@ impl core::fmt::Display for ServeError {
                 write!(f, "job deadline expired {missed_by:?} before execution")
             }
             ServeError::Multiply(e) => write!(f, "{e}"),
+            ServeError::Poisoned { attempts } => write!(
+                f,
+                "job quarantined after taking down {attempts} consecutive flushes"
+            ),
             ServeError::Closed => write!(f, "product server closed before delivering a result"),
         }
     }
@@ -538,6 +589,20 @@ pub struct ServeStats {
     pub largest_flush: usize,
     /// Idle-trim passes (backend scratch released after a quiet period).
     pub idle_trims: u64,
+    /// Jobs re-queued after a panicked or transiently-failing flush —
+    /// each re-queue counts once, on the card whose flush failed (see
+    /// [`ServeConfig::retry_limit`]).
+    pub retried: u64,
+    /// Solo re-runs of jobs from a batch that reported an error — the
+    /// per-job isolation pass that keeps one bad product from failing its
+    /// batch-mates.
+    pub reruns: u64,
+    /// Times this card's engine was rebuilt from the backend factory
+    /// after a panic ([`ServerPool::with_backend_factory`]).
+    pub restarts: u64,
+    /// Jobs quarantined with [`ServeError::Poisoned`] after exhausting
+    /// their retry budget on panicked flushes.
+    pub poisoned: u64,
 }
 
 impl ServeStats {
@@ -563,7 +628,29 @@ impl ServeStats {
         self.speculative_hits += other.speculative_hits;
         self.largest_flush = self.largest_flush.max(other.largest_flush);
         self.idle_trims += other.idle_trims;
+        self.retried += other.retried;
+        self.reruns += other.reruns;
+        self.restarts += other.restarts;
+        self.poisoned += other.poisoned;
     }
+}
+
+/// Supervision state of one card of a fleet (see [`PoolStats::health`]
+/// and the card-health state diagram in `ARCHITECTURE.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CardHealth {
+    /// Serving normally.
+    #[default]
+    Live,
+    /// The card's worker caught a backend panic and is rebuilding its
+    /// engine from the pool's backend factory (backoff, re-prepare,
+    /// pin replay). It claims no jobs while restarting.
+    Restarting,
+    /// The card is gone for good: it panicked on a pool with no backend
+    /// factory, or exhausted [`ServeConfig::restart_cap`] consecutive
+    /// restart attempts. [`RoutePolicy::BySize`] stops routing to it;
+    /// the fleet serves on with the survivors.
+    Dead,
 }
 
 /// Counters of a whole fleet: one [`ServeStats`] per card plus the
@@ -578,6 +665,11 @@ pub struct PoolStats {
     /// Non-blocking submissions the pool rejected with
     /// [`SubmitError::Full`] — shed load that no card ever saw.
     pub shed: u64,
+    /// Per-card supervision state, in card order (see [`CardHealth`]).
+    /// [`ServerPool::shutdown`] and [`ServerPool::drain`] snapshot this
+    /// *before* closing the queue, so a clean exit still reports the
+    /// fleet's serving-time health.
+    pub health: Vec<CardHealth>,
 }
 
 impl PoolStats {
@@ -924,6 +1016,13 @@ struct Submitted {
     /// decided by the ordering of two events, not by how fast a worker
     /// happens to wake.
     seen: Instant,
+    /// Times this job has been re-queued after a failed flush (panic or
+    /// transient device fault); [`ServeConfig::retry_limit`] bounds it.
+    retries: u32,
+    /// Set when the job was part of a **panicked** flush: until it proves
+    /// innocent, it is claimed alone — a poisonous job must not take
+    /// batch-mates down with it twice.
+    suspect: bool,
     reply: ReplySink,
 }
 
@@ -934,12 +1033,15 @@ struct PoolShared {
     /// Per-card operand capacity in bits (`None` = unbounded), in card
     /// order — what [`RoutePolicy::BySize`] routes against.
     capacities: Vec<Option<usize>>,
-    /// Per-card liveness, in card order: a worker that exits (panic
-    /// included) marks its slot so [`RoutePolicy::BySize`] stops routing
-    /// to a card that will never claim again — a job only a dead card
-    /// fits becomes claimable by every survivor and fails fast with the
-    /// backend's typed error instead of hanging.
-    card_dead: Vec<AtomicBool>,
+    /// Per-card supervision state ([`CardHealth`] encoded as a `u8`), in
+    /// card order. A worker that exits for good (panic on an unsupervised
+    /// pool, restart cap exhausted, shutdown) marks its slot `Dead` so
+    /// [`RoutePolicy::BySize`] stops routing to a card that will never
+    /// claim again — a job only a dead card fits becomes claimable by
+    /// every survivor and fails fast with the backend's typed error
+    /// instead of hanging. `Restarting` cards still count as routable:
+    /// they come back.
+    card_health: Vec<AtomicU8>,
     state: Mutex<QueueState>,
     /// Signaled on every push and on close; workers and the speculative
     /// preparer wait here.
@@ -977,11 +1079,52 @@ struct PoolShared {
     /// operand itself travels with each request (an `Arc` clone), so
     /// cards prepare pins lazily from the job in hand.
     pin_seq: AtomicU64,
+    /// Every live session registration `(pin id, operand)`, insertion
+    /// ordered and bounded like the per-card pin stores. A card reborn
+    /// from the backend factory replays this registry into its fresh
+    /// engine, so restarted cards keep serving pinned operands hash-free
+    /// without waiting for the next sighting of each pin.
+    pin_registry: Mutex<PinRegistry>,
 }
 
 struct QueueState {
     pending: VecDeque<Submitted>,
     closed: bool,
+}
+
+/// The pool-shared record of session registrations, replayed into reborn
+/// cards (see [`PoolShared::pin_registry`]). Bounded like the per-card pin
+/// stores: oldest registrations age out first.
+struct PinRegistry {
+    capacity: usize,
+    entries: Vec<(u64, Arc<UBig>)>,
+}
+
+impl PinRegistry {
+    fn new(capacity: usize) -> PinRegistry {
+        PinRegistry {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, id: u64, operand: Arc<UBig>) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((id, operand));
+    }
+
+    fn remove(&mut self, id: u64) {
+        self.entries.retain(|(pin, _)| *pin != id);
+    }
+
+    fn snapshot(&self) -> Vec<(u64, Arc<UBig>)> {
+        self.entries.clone()
+    }
 }
 
 impl PoolShared {
@@ -998,14 +1141,45 @@ impl PoolShared {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Whether any **live** card's geometry fits an operand of `bits`
+    fn set_health(&self, index: usize, health: CardHealth) {
+        self.card_health[index].store(health as u8, Ordering::Relaxed);
+    }
+
+    fn health(&self, index: usize) -> CardHealth {
+        match self.card_health[index].load(Ordering::Relaxed) {
+            0 => CardHealth::Live,
+            1 => CardHealth::Restarting,
+            _ => CardHealth::Dead,
+        }
+    }
+
+    fn health_snapshot(&self) -> Vec<CardHealth> {
+        (0..self.card_health.len())
+            .map(|i| self.health(i))
+            .collect()
+    }
+
+    /// Whether any **non-dead** card's geometry fits an operand of `bits`
     /// bits (dead cards cannot claim, so they must not keep jobs routed
-    /// away from the survivors).
+    /// away from the survivors; a restarting card still counts — it comes
+    /// back).
     fn fits_any_live(&self, bits: usize) -> bool {
         self.capacities
             .iter()
-            .zip(&self.card_dead)
-            .any(|(cap, dead)| !dead.load(Ordering::Relaxed) && cap.is_none_or(|c| bits <= c))
+            .enumerate()
+            .any(|(i, cap)| self.health(i) != CardHealth::Dead && cap.is_none_or(|c| bits <= c))
+    }
+
+    /// Puts a job from a failed flush back on the queue for the next
+    /// claim — surviving cards (or this one, once restarted) pick it up.
+    /// Bypasses the capacity bound (the job was already admitted once;
+    /// bouncing it against backpressure could deadlock a full queue) and
+    /// the closed flag (during a shutdown drain, retried jobs must still
+    /// reach a survivor; if every worker exits first, the exit path
+    /// clears the queue and the job resolves [`ServeError::Closed`]).
+    fn requeue(&self, job: Submitted) {
+        self.lock_state().pending.push_back(job);
+        self.not_empty.notify_all();
     }
 
     /// On speculative pools, digests are paid once per submission — on
@@ -1058,6 +1232,8 @@ impl PoolShared {
             required_bits,
             cancelled,
             seen: enqueued,
+            retries: 0,
+            suspect: false,
             reply,
         });
         drop(state);
@@ -1228,14 +1404,18 @@ impl ProductServer {
     }
 
     /// Closes the queue, drains every already-accepted job, joins the
-    /// worker and returns its lifetime counters.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a worker-thread panic (tickets of undelivered jobs
-    /// report [`ServeError::Closed`]).
+    /// worker and returns its lifetime counters. Never panics — a dead
+    /// worker's tickets already resolved [`ServeError::Closed`], and its
+    /// last published stats snapshot stands in for the final counters.
     pub fn shutdown(self) -> ServeStats {
         self.pool.shutdown().total()
+    }
+
+    /// Graceful shutdown with a deadline (see [`ServerPool::drain`]):
+    /// stops intake, finishes the accepted jobs for up to `timeout`,
+    /// joins the worker, and reports whether the drain beat the clock.
+    pub fn drain(self, timeout: Duration) -> DrainOutcome {
+        self.pool.drain(timeout)
     }
 }
 
@@ -1264,6 +1444,10 @@ impl Submitter for ProductServer {
         self.pool.try_submit_into(request, sink)
     }
 }
+
+/// The engine builder a supervised pool rebuilds panicked cards from
+/// (see [`ServerPool::with_backend_factory`]).
+type CardFactory<M> = Arc<dyn Fn(usize) -> EvalEngine<M> + Send + Sync>;
 
 /// A serving **fleet**: several resident [`EvalEngine`]s — one per
 /// simulated accelerator card — pulling deadline-aware micro-batches from
@@ -1304,7 +1488,48 @@ impl ServerPool {
     where
         M: Multiplier + Send + Sync + 'static,
     {
-        ServerPool::spawn_inner(engines, None, config)
+        ServerPool::spawn_inner(engines, None, None, config)
+    }
+
+    /// Spawns a **supervised** fleet of `cards` workers whose engines come
+    /// from `factory` (called once per card index up front) — and again
+    /// whenever a card's flush panics: the worker catches the unwind,
+    /// re-queues the flush's jobs to the surviving cards, rebuilds its
+    /// engine from the factory under exponential backoff (bounded by
+    /// [`ServeConfig::restart_cap`] consecutive attempts), replays the
+    /// session pin registry into the fresh engine, and resumes claiming.
+    /// [`PoolStats::health`] exposes each card's supervision state. On an
+    /// *unsupervised* pool ([`ServerPool::spawn`]) a panicking card is
+    /// simply lost for good.
+    ///
+    /// ```
+    /// use he_accel::prelude::*;
+    ///
+    /// let pool = ServerPool::with_backend_factory(
+    ///     2,
+    ///     |_card| EvalEngine::new(SsaSoftware::for_operand_bits(256).expect("fits")),
+    ///     ServeConfig::default(),
+    /// );
+    /// let ticket = pool.submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))?;
+    /// assert_eq!(ticket.wait().expect("served"), UBig::from(42u64));
+    /// let stats = pool.shutdown();
+    /// assert_eq!(stats.health, vec![CardHealth::Live; 2]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cards` is zero, or if the factory panics while building
+    /// the initial engines.
+    pub fn with_backend_factory<M, F>(cards: usize, factory: F, config: ServeConfig) -> ServerPool
+    where
+        M: Multiplier + Send + Sync + 'static,
+        F: Fn(usize) -> EvalEngine<M> + Send + Sync + 'static,
+    {
+        assert!(cards > 0, "a serving fleet needs at least one card");
+        let factory: CardFactory<M> = Arc::new(factory);
+        let engines = (0..cards).map(|index| factory(index)).collect();
+        ServerPool::spawn_inner(engines, None, Some(factory), config)
     }
 
     /// Like [`ServerPool::spawn`], with one extra engine dedicated to
@@ -1329,12 +1554,13 @@ impl ServerPool {
     where
         M: Multiplier + Send + Sync + 'static,
     {
-        ServerPool::spawn_inner(engines, Some(speculator), config)
+        ServerPool::spawn_inner(engines, Some(speculator), None, config)
     }
 
     fn spawn_inner<M>(
         engines: Vec<EvalEngine<M>>,
         speculator: Option<EvalEngine<M>>,
+        factory: Option<CardFactory<M>>,
         config: ServeConfig,
     ) -> ServerPool
     where
@@ -1348,11 +1574,13 @@ impl ServerPool {
             .iter()
             .map(EvalEngine::operand_capacity_bits)
             .collect();
-        let card_dead = (0..engines.len()).map(|_| AtomicBool::new(false)).collect();
+        let card_health = (0..engines.len())
+            .map(|_| AtomicU8::new(CardHealth::Live as u8))
+            .collect();
         let shared = Arc::new(PoolShared {
             config,
             capacities,
-            card_dead,
+            card_health,
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 closed: false,
@@ -1371,15 +1599,17 @@ impl ServerPool {
             spec_prepares: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             pin_seq: AtomicU64::new(0),
+            pin_registry: Mutex::new(PinRegistry::new(config.cache_capacity)),
         });
         let workers = engines
             .into_iter()
             .enumerate()
             .map(|(index, engine)| {
                 let shared = Arc::clone(&shared);
+                let factory = factory.clone();
                 std::thread::Builder::new()
                     .name(format!("he-serve-card-{index}"))
-                    .spawn(move || CardWorker::new(index, engine, shared).run())
+                    .spawn(move || CardWorker::new(index, engine, shared, factory).run())
                     .expect("spawn serving-card worker")
             })
             .collect();
@@ -1427,26 +1657,46 @@ impl ServerPool {
                 .collect(),
             speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
+            health: self.shared.health_snapshot(),
         }
     }
 
-    /// Closes the queue, drains every already-accepted job, joins every
-    /// card and returns the fleet's lifetime counters.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a card-thread panic (tickets of undelivered jobs report
-    /// [`ServeError::Closed`]).
-    pub fn shutdown(mut self) -> PoolStats {
-        self.shared.close();
+    /// Joins every worker, recovering stats even from a card whose
+    /// *thread* died (a panic outside the supervised flush path): the
+    /// card's last published live-slot snapshot stands in for the final
+    /// counters a clean exit would have returned. A dead worker must not
+    /// panic the caller mid-drain.
+    fn join_workers(&mut self) -> Vec<ServeStats> {
         let per_worker = self
             .workers
             .drain(..)
-            .map(|w| w.join().expect("serving-card worker panicked"))
+            .enumerate()
+            .map(|(index, w)| {
+                w.join().unwrap_or_else(|_| {
+                    *self.shared.live[index]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                })
+            })
             .collect();
         if let Some(speculator) = self.speculator.take() {
             let _ = speculator.join();
         }
+        per_worker
+    }
+
+    /// Closes the queue, drains every already-accepted job, joins every
+    /// card and returns the fleet's lifetime counters. Never panics: a
+    /// card whose worker thread died is reported through
+    /// [`PoolStats::health`] (its tickets resolved
+    /// [`ServeError::Closed`] when it went down), and its last published
+    /// stats snapshot stands in for the final counters.
+    pub fn shutdown(mut self) -> PoolStats {
+        // Health reflects the serving-time state: snapshot before the
+        // workers exit (every exit marks its card `Dead`).
+        let health = self.shared.health_snapshot();
+        self.shared.close();
+        let per_worker = self.join_workers();
         // Jobs accepted after the cards drained and exited (a losing race
         // with shutdown) answer `Closed` through their dropped senders.
         self.shared.lock_state().pending.clear();
@@ -1454,8 +1704,85 @@ impl ServerPool {
             per_worker,
             speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
+            health,
         }
     }
+
+    /// Graceful shutdown with a deadline: stops intake immediately, lets
+    /// the fleet finish every already-accepted job for up to `timeout`,
+    /// then joins the workers and reports whether the drain beat the
+    /// clock.
+    ///
+    /// If the timeout expires first, the jobs still queued are dropped
+    /// (their tickets and sinks resolve [`ServeError::Closed`]) and
+    /// [`DrainOutcome::clean`] is `false`; in-flight flushes still run to
+    /// completion — a running multiply cannot be preempted — so the call
+    /// may return somewhat after the deadline, but never hangs on queued
+    /// work.
+    ///
+    /// ```
+    /// use he_accel::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// let pool = ServerPool::spawn(
+    ///     vec![EvalEngine::new(SsaSoftware::for_operand_bits(256)?)],
+    ///     ServeConfig { max_delay: Duration::from_secs(10), ..ServeConfig::default() },
+    /// );
+    /// let ticket = pool.submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))?;
+    /// // Intake stops, the queued job still completes (the long batch
+    /// // window does not stall the drain), and the fleet joins.
+    /// let outcome = pool.drain(Duration::from_secs(30));
+    /// assert!(outcome.clean);
+    /// assert_eq!(outcome.stats.total().completed, 1);
+    /// assert_eq!(ticket.wait().expect("drained, not dropped"), UBig::from(42u64));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn drain(mut self, timeout: Duration) -> DrainOutcome {
+        let health = self.shared.health_snapshot();
+        self.shared.close();
+        let deadline = Instant::now() + timeout;
+        // Workers self-exit once the closed queue is drained, so "queue
+        // empty and everyone gone" is the drain-complete signal.
+        let mut clean = true;
+        while self.shared.workers_alive.load(Ordering::Acquire) > 0 {
+            if Instant::now() >= deadline {
+                clean = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if !clean {
+            // Give up on the still-queued jobs so the join below waits
+            // only for in-flight flushes, not the whole backlog; dropped
+            // reply sinks resolve their callers to `Closed`.
+            self.shared.lock_state().pending.clear();
+        }
+        let per_worker = self.join_workers();
+        self.shared.lock_state().pending.clear();
+        DrainOutcome {
+            stats: PoolStats {
+                per_worker,
+                speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
+                shed: self.shared.shed.load(Ordering::Relaxed),
+                health,
+            },
+            clean,
+        }
+    }
+}
+
+/// What [`ServerPool::drain`] / [`ProductServer::drain`] came back with:
+/// the fleet's final counters, and whether every accepted job finished
+/// inside the timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// The fleet's lifetime counters (same shape as
+    /// [`ServerPool::shutdown`]'s).
+    pub stats: PoolStats,
+    /// `true` when every accepted job was answered before the timeout;
+    /// `false` when the deadline expired with jobs still queued (those
+    /// resolved [`ServeError::Closed`]).
+    pub clean: bool,
 }
 
 impl Drop for ServerPool {
@@ -1569,13 +1896,30 @@ impl ClientSession {
     /// card's store).
     pub fn register(&mut self, name: impl Into<String>, operand: UBig) {
         let id = self.shared.pin_seq.fetch_add(1, Ordering::Relaxed);
-        self.names.insert(name.into(), (id, Arc::new(operand)));
+        let operand = Arc::new(operand);
+        let mut registry = self
+            .shared
+            .pin_registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // The registry backs pin *replay* on restarted cards; a replaced
+        // registration must not be replayed forever.
+        if let Some((old_id, _)) = self.names.insert(name.into(), (id, Arc::clone(&operand))) {
+            registry.remove(old_id);
+        }
+        registry.insert(id, operand);
     }
 
     /// Releases a registration. Cards drop the pinned handle at their
     /// next idle trim; in-flight jobs referencing it still complete.
     pub fn unregister(&mut self, name: &str) {
-        self.names.remove(name);
+        if let Some((id, _)) = self.names.remove(name) {
+            self.shared
+                .pin_registry
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(id);
+        }
     }
 
     /// Names currently registered on this session.
@@ -1710,12 +2054,19 @@ struct CardWorker<M> {
     /// Whether this card already trimmed during the current idle period
     /// (one trim per quiet stretch, then park until traffic returns).
     trimmed: bool,
+    /// The engine rebuilder on a supervised pool
+    /// ([`ServerPool::with_backend_factory`]); `None` = a panicking flush
+    /// kills this card for good.
+    factory: Option<CardFactory<M>>,
+    /// Restart attempts since the last clean flush; bounded by
+    /// [`ServeConfig::restart_cap`].
+    consecutive_restarts: u32,
 }
 
-/// Runs when a card exits, however it exits. Marks the card dead (and
-/// wakes the fleet, so [`RoutePolicy::BySize`] survivors re-evaluate and
-/// claim the jobs only the dead card used to fit); the **last** card to
-/// go additionally closes the queue — a fleet whose every worker
+/// Runs when a card exits, however it exits. Marks the card
+/// [`CardHealth::Dead`] (and wakes the fleet, so [`RoutePolicy::BySize`]
+/// survivors re-evaluate and claim the jobs only the dead card used to
+/// fit); the **last** card to go additionally closes the queue — a fleet whose every worker
 /// panicked must refuse submissions instead of blocking them forever —
 /// and drops the jobs nobody is left to run, so their tickets and
 /// completion sinks resolve to [`ServeError::Closed`] instead of
@@ -1727,7 +2078,7 @@ struct AliveGuard<'a> {
 
 impl Drop for AliveGuard<'_> {
     fn drop(&mut self) {
-        self.shared.card_dead[self.index].store(true, Ordering::Relaxed);
+        self.shared.set_health(self.index, CardHealth::Dead);
         if self.shared.workers_alive.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.shared.close();
             // `close` set the flag, so nothing can be pushed after this
@@ -1750,7 +2101,12 @@ struct PinnedSlot {
 }
 
 impl<M: Multiplier + Sync> CardWorker<M> {
-    fn new(index: usize, engine: EvalEngine<M>, shared: Arc<PoolShared>) -> CardWorker<M> {
+    fn new(
+        index: usize,
+        engine: EvalEngine<M>,
+        shared: Arc<PoolShared>,
+        factory: Option<CardFactory<M>>,
+    ) -> CardWorker<M> {
         let cache = HandleCache::new(shared.config.cache_capacity);
         let capacity = shared.capacities[index];
         CardWorker {
@@ -1763,6 +2119,8 @@ impl<M: Multiplier + Sync> CardWorker<M> {
             capacity,
             stats: ServeStats::default(),
             trimmed: false,
+            factory,
+            consecutive_restarts: 0,
         }
     }
 
@@ -1830,8 +2188,16 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                         self.trimmed = false;
                         self.shared.trimmed_cards.fetch_sub(1, Ordering::AcqRel);
                     }
-                    self.flush(batch);
+                    let survived = self.flush(batch);
                     self.publish();
+                    if survived {
+                        self.consecutive_restarts = 0;
+                    } else if !self.recover() {
+                        // Unsupervised, or the restart budget is spent:
+                        // this card is done; AliveGuard marks it Dead and
+                        // the survivors carry the fleet.
+                        break;
+                    }
                 }
                 Claim::IdleTrim => {
                     // Release what residency costs when traffic is quiet:
@@ -1923,6 +2289,17 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                 }
                 continue;
             }
+            // A suspect job (it rode a panicked flush) is claimed ALONE
+            // and immediately: if it is poisonous it takes down only this
+            // flush, and if it is an innocent batch-mate it completes
+            // without waiting out another batch window it already paid.
+            if let Some(&pos) = eligible.iter().find(|&&i| state.pending[i].suspect) {
+                let mut job = state.pending.remove(pos).expect("eligible index in range");
+                job.seen = Instant::now();
+                drop(state);
+                self.shared.not_full.notify_all();
+                return Claim::Batch(vec![job]);
+            }
             let now = Instant::now();
             let due = flush_due(&state.pending, &eligible, config);
             if state.closed || eligible.len() >= max_batch || now >= due {
@@ -1944,9 +2321,14 @@ impl<M: Multiplier + Sync> CardWorker<M> {
         }
     }
 
-    fn flush(&mut self, batch: Vec<Submitted>) {
+    /// Runs one claimed micro-batch end to end, with every engine call
+    /// supervised by `catch_unwind`. Returns `false` when the backend
+    /// panicked — the jobs that were in flight have been re-queued (or
+    /// quarantined: [`ServeError::Poisoned`]) and the caller must restart
+    /// or retire this card.
+    fn flush(&mut self, batch: Vec<Submitted>) -> bool {
         if batch.is_empty() {
-            return;
+            return true;
         }
         self.stats.flushes += 1;
         self.stats.largest_flush = self.stats.largest_flush.max(batch.len());
@@ -1982,92 +2364,296 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                 _ => live.push(job),
             }
         }
-        if live.is_empty() {
-            self.finish_flush(replies);
+        let mut survived = true;
+        if !live.is_empty() {
+            // Phase 1 (cache writes): make sure every operand has a
+            // prepared handle, paying each digest's forward transform at
+            // most once — and paying independent misses concurrently. An
+            // operand the backend cannot prepare simply stays uncached —
+            // the job then runs raw and surfaces the backend's own error.
+            // A *panicking* preparation (a poisonous operand, a dying
+            // card) is caught: the worker thread survives and the jobs go
+            // back to the queue.
+            let prepared = catch_unwind(AssertUnwindSafe(|| self.prepare_operands(&live)));
+            if prepared.is_err() {
+                survived = false;
+                for job in live {
+                    self.requeue_or_quarantine(job, &mut replies);
+                }
+                live = Vec::new();
+            }
+            // A job that was live at dequeue but whose deadline passed
+            // while this flush prepared its operands has been overtaken
+            // by compute, not by queueing: it cannot start in time, so it
+            // is dropped here and attributed to the flush.
+            let now = Instant::now();
+            let mut run: Vec<Submitted> = Vec::with_capacity(live.len());
+            for job in live {
+                match job.request.deadline {
+                    Some(deadline) if deadline < now => {
+                        self.stats.expired_in_flush += 1;
+                        replies.push((
+                            job.reply,
+                            Err(ServeError::Expired {
+                                missed_by: now.saturating_duration_since(deadline),
+                            }),
+                        ));
+                    }
+                    _ => run.push(job),
+                }
+            }
+            if !run.is_empty() {
+                survived = self.execute(run, &mut replies);
+            }
+        }
+        if survived {
+            // Evict only after the batch ran: every handle it borrowed
+            // was live, so the cache may transiently exceed its capacity
+            // within a single flush.
+            self.cache.evict_to_capacity();
+        } else {
+            // An unwind tore through the backend mid-operation: every
+            // handle it minted is suspect, so the reborn (or retired)
+            // card starts clean. Pins are replayed from the session
+            // registry on restart.
+            self.cache.clear();
+            self.pinned.clear();
+        }
+        self.finish_flush(replies);
+        survived
+    }
+
+    /// Phase 2 of a flush: assemble the batch on the cached handles —
+    /// digest-keyed for inline operands, id-keyed for pinned ones — and
+    /// run it as one unit, with panic containment and per-job error
+    /// isolation. Returns `false` when the engine panicked (the
+    /// unanswered jobs have been re-queued or quarantined).
+    fn execute(&mut self, run: Vec<Submitted>, replies: &mut Vec<Reply>) -> bool {
+        let cache = &self.cache;
+        let pinned = &self.pinned;
+        let engine = &self.engine;
+        let lookup = |operand: &Operand| -> Option<&OperandHandle> {
+            match operand {
+                Operand::Inline(value) => cache.get(value),
+                Operand::Pinned { id, .. } => pinned.get(id).map(|slot| &slot.handle),
+            }
+        };
+        let jobs: Vec<ProductJob<'_>> = run
+            .iter()
+            .map(|job| {
+                let (a, b) = (&job.request.a, &job.request.b);
+                match (lookup(a), lookup(b)) {
+                    (Some(ha), Some(hb)) => ProductJob::Prepared(ha, hb),
+                    (Some(ha), None) => ProductJob::OnePrepared(ha, b.value()),
+                    // Multiplication commutes, so a lone cached `b`
+                    // still saves its forward transform.
+                    (None, Some(hb)) => ProductJob::OnePrepared(hb, a.value()),
+                    (None, None) => ProductJob::Raw(a.value(), b.value()),
+                }
+            })
+            .collect();
+        // Per-job outcome; `None` = the job was in flight when the card
+        // died (requeue it), `Some` = the backend answered (deliver it).
+        let mut reruns = 0u64;
+        let outcomes: Vec<Option<Result<UBig, MultiplyError>>> =
+            match catch_unwind(AssertUnwindSafe(|| engine.run(&jobs))) {
+                Ok(Ok(products)) => products.into_iter().map(|p| Some(Ok(p))).collect(),
+                // A single-job batch's error is already exact.
+                Ok(Err(err)) if jobs.len() == 1 => vec![Some(Err(err))],
+                // A batch reports only its lowest-index error; rerun each
+                // job alone so one oversized product does not fail its
+                // batch-mates.
+                Ok(Err(_)) => {
+                    let mut solo: Vec<Option<Result<UBig, MultiplyError>>> =
+                        Vec::with_capacity(jobs.len());
+                    let mut died = false;
+                    for job in &jobs {
+                        // Once the card dies mid-rerun, the rest of the
+                        // batch goes straight back to the queue.
+                        if died {
+                            solo.push(None);
+                            continue;
+                        }
+                        reruns += 1;
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            engine.run(std::slice::from_ref(job))
+                        })) {
+                            Ok(Ok(mut v)) => {
+                                solo.push(Some(Ok(v.pop().expect("one product per job"))));
+                            }
+                            Ok(Err(e)) => solo.push(Some(Err(e))),
+                            Err(_) => {
+                                died = true;
+                                solo.push(None);
+                            }
+                        }
+                    }
+                    solo
+                }
+                Err(_) => run.iter().map(|_| None).collect(),
+            };
+        drop(jobs);
+        self.stats.reruns += reruns;
+        let mut survived = true;
+        for (job, outcome) in run.into_iter().zip(outcomes) {
+            match outcome {
+                Some(Ok(product)) => {
+                    self.stats.completed += 1;
+                    replies.push((job.reply, Ok(product)));
+                }
+                Some(Err(err)) => self.fail_or_retry(job, err, replies),
+                None => {
+                    survived = false;
+                    self.requeue_or_quarantine(job, replies);
+                }
+            }
+        }
+        survived
+    }
+
+    /// Delivers a backend error — or, for a *transient* device fault
+    /// ([`MultiplyError::Device`]) with retry budget and deadline left,
+    /// re-queues the job so another card (or this one, recovered) can
+    /// try again. Deterministic errors (capacity, parameters) are never
+    /// retried: they would fail identically everywhere.
+    fn fail_or_retry(&mut self, mut job: Submitted, err: MultiplyError, replies: &mut Vec<Reply>) {
+        let transient = matches!(err, MultiplyError::Device(_));
+        if !transient || job.retries >= self.shared.config.retry_limit {
+            self.stats.failed += 1;
+            replies.push((job.reply, Err(ServeError::Multiply(err))));
             return;
         }
-        // Phase 1 (cache writes): make sure every operand has a prepared
-        // handle, paying each digest's forward transform at most once —
-        // and paying independent misses concurrently. An operand the
-        // backend cannot prepare simply stays uncached — the job then
-        // runs raw and surfaces the backend's own error.
-        self.prepare_operands(&live);
-        // A job that was live at dequeue but whose deadline passed while
-        // this flush prepared its operands has been overtaken by compute,
-        // not by queueing: it cannot start in time, so it is dropped here
-        // and attributed to the flush.
         let now = Instant::now();
-        let mut run: Vec<Submitted> = Vec::with_capacity(live.len());
-        for job in live {
-            match job.request.deadline {
-                Some(deadline) if deadline < now => {
-                    self.stats.expired_in_flush += 1;
-                    replies.push((
-                        job.reply,
-                        Err(ServeError::Expired {
-                            missed_by: now.saturating_duration_since(deadline),
-                        }),
-                    ));
-                }
-                _ => run.push(job),
+        if let Some(deadline) = job.request.deadline {
+            if deadline < now {
+                self.stats.expired_in_flush += 1;
+                replies.push((
+                    job.reply,
+                    Err(ServeError::Expired {
+                        missed_by: now.saturating_duration_since(deadline),
+                    }),
+                ));
+                return;
             }
         }
-        if !run.is_empty() {
-            // Phase 2 (cache reads only): assemble the batch on the
-            // cached handles — digest-keyed for inline operands, id-keyed
-            // for pinned ones — and run it as one unit.
-            let cache = &self.cache;
-            let pinned = &self.pinned;
-            let engine = &self.engine;
-            let lookup = |operand: &Operand| -> Option<&OperandHandle> {
-                match operand {
-                    Operand::Inline(value) => cache.get(value),
-                    Operand::Pinned { id, .. } => pinned.get(id).map(|slot| &slot.handle),
-                }
-            };
-            let jobs: Vec<ProductJob<'_>> = run
-                .iter()
-                .map(|job| {
-                    let (a, b) = (&job.request.a, &job.request.b);
-                    match (lookup(a), lookup(b)) {
-                        (Some(ha), Some(hb)) => ProductJob::Prepared(ha, hb),
-                        (Some(ha), None) => ProductJob::OnePrepared(ha, b.value()),
-                        // Multiplication commutes, so a lone cached `b`
-                        // still saves its forward transform.
-                        (None, Some(hb)) => ProductJob::OnePrepared(hb, a.value()),
-                        (None, None) => ProductJob::Raw(a.value(), b.value()),
+        job.retries += 1;
+        self.stats.retried += 1;
+        self.shared.requeue(job);
+    }
+
+    /// A job whose flush panicked: back to the queue as a *suspect* (it
+    /// will be claimed alone, so a poisonous job cannot take batch-mates
+    /// down twice) — or, once it has taken down `retry_limit + 1`
+    /// flushes, quarantined with [`ServeError::Poisoned`] so it stops
+    /// killing cards.
+    fn requeue_or_quarantine(&mut self, mut job: Submitted, replies: &mut Vec<Reply>) {
+        if job.cancelled.load(Ordering::Relaxed) {
+            self.stats.cancelled += 1;
+            return;
+        }
+        if job.retries >= self.shared.config.retry_limit {
+            self.stats.poisoned += 1;
+            replies.push((
+                job.reply,
+                Err(ServeError::Poisoned {
+                    attempts: job.retries + 1,
+                }),
+            ));
+            return;
+        }
+        let now = Instant::now();
+        if let Some(deadline) = job.request.deadline {
+            if deadline < now {
+                self.stats.expired_in_flush += 1;
+                replies.push((
+                    job.reply,
+                    Err(ServeError::Expired {
+                        missed_by: now.saturating_duration_since(deadline),
+                    }),
+                ));
+                return;
+            }
+        }
+        job.retries += 1;
+        job.suspect = true;
+        self.stats.retried += 1;
+        self.shared.requeue(job);
+    }
+
+    /// After a failed flush on a supervised pool: rebuild this card's
+    /// engine from the factory — exponential backoff, at most
+    /// [`ServeConfig::restart_cap`] consecutive attempts without a clean
+    /// flush — and replay the session pin registry into the fresh
+    /// engine. Returns `false` when the card must retire instead.
+    fn recover(&mut self) -> bool {
+        let Some(factory) = self.factory.clone() else {
+            return false;
+        };
+        loop {
+            if self.consecutive_restarts >= self.shared.config.restart_cap {
+                return false;
+            }
+            self.consecutive_restarts += 1;
+            self.shared.set_health(self.index, CardHealth::Restarting);
+            // 1×, 2×, 4×, … the configured backoff, capped at a second:
+            // a flapping card must not hammer the factory, and must not
+            // stall its share of the queue for long either.
+            let shift = (self.consecutive_restarts - 1).min(10);
+            let backoff = self
+                .shared
+                .config
+                .restart_backoff
+                .saturating_mul(1u32 << shift)
+                .min(Duration::from_secs(1));
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+            // The factory itself may panic (the "device" is still sick):
+            // that is a failed attempt, not a dead worker.
+            let index = self.index;
+            match catch_unwind(AssertUnwindSafe(|| factory(index))) {
+                Err(_) => continue,
+                Ok(engine) => {
+                    self.engine = engine;
+                    self.capacity = self.engine.operand_capacity_bits();
+                    self.stats.restarts += 1;
+                    // Replay the session pins so the reborn card serves
+                    // registered operands hash-free from its first flush.
+                    // A panic during replay (a poisonous pin, the device
+                    // dying again) fails this attempt.
+                    if catch_unwind(AssertUnwindSafe(|| self.replay_pins())).is_err() {
+                        self.cache.clear();
+                        self.pinned.clear();
+                        continue;
                     }
-                })
-                .collect();
-            let outcomes: Vec<Result<UBig, ServeError>> = match engine.run(&jobs) {
-                Ok(products) => products.into_iter().map(Ok).collect(),
-                // A batch reports only its lowest-index error; rerun each
-                // job alone so one oversized product does not poison its
-                // batch-mates.
-                Err(_) => jobs
-                    .iter()
-                    .map(|job| {
-                        engine
-                            .run(std::slice::from_ref(job))
-                            .map(|mut v| v.pop().expect("one product per job"))
-                            .map_err(ServeError::Multiply)
-                    })
-                    .collect(),
-            };
-            drop(jobs);
-            for (job, outcome) in run.into_iter().zip(outcomes) {
-                match &outcome {
-                    Ok(_) => self.stats.completed += 1,
-                    Err(_) => self.stats.failed += 1,
+                    self.shared.set_health(self.index, CardHealth::Live);
+                    self.publish();
+                    return true;
                 }
-                replies.push((job.reply, outcome));
             }
         }
-        // Evict only after the batch ran: every handle it borrowed was
-        // live, so the cache may transiently exceed its capacity within a
-        // single flush.
-        self.cache.evict_to_capacity();
-        self.finish_flush(replies);
+    }
+
+    /// Re-prepares every registered session operand into the (fresh)
+    /// engine's pin store — the warm-up that lets a restarted card keep
+    /// its hash-free pinned serving.
+    fn replay_pins(&mut self) {
+        if self.cache.is_disabled() {
+            return;
+        }
+        let pins = self
+            .shared
+            .pin_registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .snapshot();
+        for (id, operand) in pins {
+            if let Ok(handle) = self.engine.prepare(&operand) {
+                if handle.is_cached() {
+                    self.pin(id, handle);
+                }
+            }
+        }
     }
 
     /// Publishes this flush's counters, then delivers the buffered
@@ -2603,7 +3189,9 @@ impl<S: Submitter> CiphertextMultiplier for ServedMultiplier<'_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultyMultiplier};
     use crate::multiplier::{Karatsuba, SsaSoftware};
+    use std::sync::atomic::AtomicU64;
 
     fn small_engine(bits: usize) -> EvalEngine<SsaSoftware> {
         EvalEngine::new(SsaSoftware::for_operand_bits(bits).unwrap())
@@ -2629,6 +3217,8 @@ mod tests {
             digests: None,
             cancelled: Arc::new(AtomicBool::new(false)),
             seen: base,
+            retries: 0,
+            suspect: false,
             reply: ReplySink::Ticket(tx.clone()),
         }
     }
@@ -3278,5 +3868,280 @@ mod tests {
         // The oversized operand never counted as a miss (it was never
         // cached), the good pair paid two.
         assert_eq!(stats.cache_misses, 2, "stats: {stats:?}");
+    }
+
+    /// A card whose first `fails` batch calls return a transient device
+    /// error, then heal — the deterministic retry harness.
+    #[derive(Debug)]
+    struct FlakyCard {
+        fails: AtomicU64,
+    }
+
+    impl Multiplier for FlakyCard {
+        fn multiply(&self, a: &UBig, b: &UBig) -> Result<UBig, MultiplyError> {
+            Ok(a.mul_schoolbook(b))
+        }
+
+        fn multiply_batch_into(
+            &self,
+            jobs: &[ProductJob<'_>],
+            out: &mut [UBig],
+        ) -> Result<(), MultiplyError> {
+            if self.fails.load(Ordering::Relaxed) > 0 {
+                self.fails.fetch_sub(1, Ordering::Relaxed);
+                return Err(MultiplyError::Device("transient DMA glitch".into()));
+            }
+            for (job, slot) in jobs.iter().zip(out) {
+                let (a, b) = match job {
+                    ProductJob::Raw(a, b) => (*a, *b),
+                    _ => unreachable!("cache disabled in this test"),
+                };
+                *slot = self.multiply(a, b)?;
+            }
+            Ok(())
+        }
+
+        fn name(&self) -> &'static str {
+            "flaky-card"
+        }
+    }
+
+    #[test]
+    fn transient_device_errors_retry_to_success() {
+        // Two transient faults, retry_limit 2: the job survives exactly at
+        // its retry budget and completes on the third attempt.
+        let pool = ServerPool::spawn(
+            vec![EvalEngine::new(FlakyCard {
+                fails: AtomicU64::new(2),
+            })],
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                cache_capacity: 0,
+                retry_limit: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let ticket = pool
+            .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
+            .unwrap();
+        assert_eq!(ticket.wait().unwrap(), UBig::from(42u64));
+        let stats = pool.shutdown().total();
+        assert_eq!(stats.retried, 2, "stats: {stats:?}");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.restarts, 0, "errors retry without a card rebuild");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_the_device_error() {
+        let pool = ServerPool::spawn(
+            vec![EvalEngine::new(FlakyCard {
+                fails: AtomicU64::new(100),
+            })],
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                cache_capacity: 0,
+                retry_limit: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let ticket = pool
+            .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
+            .unwrap();
+        assert!(matches!(
+            ticket.wait(),
+            Err(ServeError::Multiply(MultiplyError::Device(_)))
+        ));
+        let stats = pool.shutdown().total();
+        assert_eq!(stats.retried, 2, "stats: {stats:?}");
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn supervised_card_restarts_after_a_panic() {
+        // The factory's first build dies on every flush; rebuilds are
+        // clean — so the in-flight jobs must come back via retry and the
+        // card must finish Live.
+        let builds = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&builds);
+        let pool = ServerPool::with_backend_factory(
+            1,
+            move |_card| {
+                let plan = if counter.fetch_add(1, Ordering::Relaxed) == 0 {
+                    FaultPlan::new(11).panic_every(1)
+                } else {
+                    FaultPlan::new(11)
+                };
+                EvalEngine::new(FaultyMultiplier::new(
+                    SsaSoftware::for_operand_bits(2_000).unwrap(),
+                    plan,
+                ))
+            },
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                restart_backoff: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<ProductTicket> = (1..=3u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(UBig::from(k), UBig::from(10u64)))
+                    .unwrap()
+            })
+            .collect();
+        for (k, ticket) in (1..=3u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(10 * k));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.health, vec![CardHealth::Live]);
+        let total = stats.total();
+        assert_eq!(total.completed, 3);
+        assert!(total.restarts >= 1, "stats: {total:?}");
+        assert!(total.retried >= 1, "stats: {total:?}");
+        assert!(builds.load(Ordering::Relaxed) >= 2, "factory rebuilt");
+    }
+
+    #[test]
+    fn poison_job_is_quarantined_and_innocents_survive() {
+        // One poison operand panics every flush it joins (even solo); the
+        // fleet must isolate it, answer it `Poisoned`, and keep serving.
+        let poison = UBig::from(0xbad_f00du64);
+        let plan_poison = poison.clone();
+        let pool = ServerPool::with_backend_factory(
+            1,
+            move |_card| {
+                EvalEngine::new(FaultyMultiplier::new(
+                    SsaSoftware::for_operand_bits(2_000).unwrap(),
+                    FaultPlan::new(5).poison(plan_poison.clone()),
+                ))
+            },
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                retry_limit: 2,
+                restart_backoff: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let innocent_a = pool
+            .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
+            .unwrap();
+        let doomed = pool
+            .submit(ProductRequest::new(poison.clone(), UBig::from(3u64)))
+            .unwrap();
+        let innocent_b = pool
+            .submit(ProductRequest::new(UBig::from(8u64), UBig::from(9u64)))
+            .unwrap();
+        assert_eq!(innocent_a.wait().unwrap(), UBig::from(42u64));
+        assert_eq!(innocent_b.wait().unwrap(), UBig::from(72u64));
+        // retry_limit 2 → the poison job takes down 3 flushes (its first
+        // batch plus two solo retries), then is quarantined.
+        assert!(matches!(
+            doomed.wait(),
+            Err(ServeError::Poisoned { attempts: 3 })
+        ));
+        // The card itself survives the poison job's three panics.
+        let after = pool
+            .submit(ProductRequest::new(UBig::from(11u64), UBig::from(11u64)))
+            .unwrap();
+        assert_eq!(after.wait().unwrap(), UBig::from(121u64));
+        let stats = pool.shutdown();
+        assert_eq!(stats.health, vec![CardHealth::Live]);
+        let total = stats.total();
+        assert_eq!(total.poisoned, 1, "stats: {total:?}");
+        assert_eq!(total.completed, 3);
+        assert!(total.restarts >= 3, "one rebuild per poison panic");
+    }
+
+    #[test]
+    fn unsupervised_panic_still_kills_the_card() {
+        // Without a factory there is nothing to rebuild from: the panic
+        // retires the card, and (as the last card) closes the pool.
+        let pool = ServerPool::spawn(
+            vec![EvalEngine::new(FaultyMultiplier::new(
+                SsaSoftware::for_operand_bits(2_000).unwrap(),
+                FaultPlan::new(17).panic_every(1),
+            ))],
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let ticket = pool
+            .submit(ProductRequest::new(UBig::from(2u64), UBig::from(3u64)))
+            .unwrap();
+        // The job retries until its budget quarantines it — or the card
+        // dies first and the sink resolves Closed; either way it resolves.
+        assert!(ticket.wait().is_err());
+        let stats = pool.shutdown();
+        assert_eq!(stats.health, vec![CardHealth::Dead]);
+    }
+
+    #[test]
+    fn drain_completes_queued_work_before_joining() {
+        let pool = ServerPool::spawn(
+            vec![small_engine(2_000)],
+            ServeConfig {
+                max_batch: 2,
+                // Far-future flushes: only drain's close forces the work
+                // out, which is exactly what the test pins.
+                max_delay: Duration::from_secs(60),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<ProductTicket> = (1..=5u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        let outcome = pool.drain(Duration::from_secs(30));
+        assert!(outcome.clean, "drain finished inside its budget");
+        assert_eq!(outcome.stats.total().completed, 5);
+        for (k, ticket) in (1..=5u64).zip(tickets) {
+            assert_eq!(ticket.wait().unwrap(), UBig::from(k * k));
+        }
+    }
+
+    #[test]
+    fn drain_timeout_fails_pending_jobs_closed() {
+        // Every flush stalls 300 ms; a 1 ms drain budget must give up,
+        // resolve what it can't run to `Closed`, and still join cleanly.
+        let pool = ServerPool::spawn(
+            vec![EvalEngine::new(FaultyMultiplier::new(
+                SsaSoftware::for_operand_bits(2_000).unwrap(),
+                FaultPlan::new(23).stall_every(1, Duration::from_millis(300)),
+            ))],
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<ProductTicket> = (1..=4u64)
+            .map(|k| {
+                pool.submit(ProductRequest::new(UBig::from(k), UBig::from(k)))
+                    .unwrap()
+            })
+            .collect();
+        let outcome = pool.drain(Duration::from_millis(1));
+        assert!(!outcome.clean, "stalled card cannot drain in 1 ms");
+        let mut resolved = 0;
+        let mut closed = 0;
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(_) => resolved += 1,
+                Err(ServeError::Closed) => closed += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        // The in-flight flush finishes; jobs still queued at the deadline
+        // are answered, not hung.
+        assert_eq!(resolved + closed, 4);
+        assert!(closed >= 1, "timeout cleared at least one queued job");
     }
 }

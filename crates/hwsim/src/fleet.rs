@@ -19,6 +19,13 @@
 //!   own flush ran past the deadline) — the same split
 //!   `he_accel::serve::ServeStats` records for the software fleet, so
 //!   `bench_fleet` can print both side by side;
+//! * [`FleetModel::simulate_with_outages`] — the same simulation over a
+//!   **degraded fleet**: [`FleetOutage`] windows kill a card mid-flush
+//!   (the lost flush's jobs return to the shared queue,
+//!   [`FleetReport::retried`]) and repair it later — the cycle-level
+//!   counterpart of the software fleet's supervised restart and
+//!   retry-with-failover (`he_accel::serve`), so the EDF-vs-FIFO and
+//!   expiry-attribution stories extend to fleets losing cards;
 //! * **host-dispatch accounting** — the same products cost very
 //!   different wall time depending on whether the *host* overlaps
 //!   submission with completion: [`FleetModel::serialized_host_cycles`]
@@ -84,6 +91,40 @@ impl FleetJob {
     }
 }
 
+/// A card outage window for [`FleetModel::simulate_with_outages`]: the
+/// card dies at `fail_cycle` (killing any flush in progress — its jobs go
+/// back to the shared queue) and rejoins the fleet at `repair_cycle` —
+/// the cycle-level counterpart of the software fleet's supervised
+/// restart (`he_accel::serve::ServerPool::with_backend_factory`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetOutage {
+    /// Which card fails (index into the fleet).
+    pub card: usize,
+    /// Host-clock cycle the card dies.
+    pub fail_cycle: u64,
+    /// Host-clock cycle the card is back (exclusive end of the outage).
+    pub repair_cycle: u64,
+}
+
+impl FleetOutage {
+    /// An outage of `card` over `[fail_cycle, repair_cycle)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or inverted.
+    pub fn new(card: usize, fail_cycle: u64, repair_cycle: u64) -> FleetOutage {
+        assert!(
+            fail_cycle < repair_cycle,
+            "an outage spans at least a cycle"
+        );
+        FleetOutage {
+            card,
+            fail_cycle,
+            repair_cycle,
+        }
+    }
+}
+
 /// Outcome counters of one [`FleetModel::simulate`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetReport {
@@ -98,6 +139,10 @@ pub struct FleetReport {
     pub expired_in_flush: u64,
     /// Micro-batches dispatched.
     pub flushes: u64,
+    /// Jobs returned to the queue because a [`FleetOutage`] killed their
+    /// flush mid-run — the cycle-level counterpart of
+    /// `he_accel::serve::ServeStats::retried`.
+    pub retried: u64,
     /// Cycle the last flush finished.
     pub makespan_cycles: u64,
 }
@@ -294,7 +339,46 @@ impl FleetModel {
         fresh: u64,
         policy: FleetPolicy,
     ) -> FleetReport {
+        self.simulate_with_outages(jobs, batch, fresh, policy, &[])
+    }
+
+    /// [`FleetModel::simulate`] over a **degraded fleet**: each
+    /// [`FleetOutage`] kills its card at `fail_cycle` — a flush in
+    /// progress there is lost, its jobs return to the shared queue
+    /// ([`FleetReport::retried`]) for the survivors (or the repaired card)
+    /// to re-claim — and the card rejoins at `repair_cycle`. With an empty
+    /// outage list this is exactly `simulate`. Every job still resolves:
+    /// `completed + expired` always totals the trace.
+    ///
+    /// ```
+    /// use he_hwsim::fleet::{FleetJob, FleetModel, FleetOutage, FleetPolicy};
+    ///
+    /// let fleet = FleetModel::paper(2);
+    /// let jobs: Vec<FleetJob> = (0..8).map(|_| FleetJob::at(0)).collect();
+    /// // Card 0 dies mid-first-flush and stays down for a long time.
+    /// let outage = FleetOutage::new(0, 1_000, 50_000_000);
+    /// let report = fleet.simulate_with_outages(&jobs, 2, 1, FleetPolicy::Fifo, &[outage]);
+    /// assert_eq!(report.completed, 8, "the survivor absorbs the lost flush");
+    /// assert!(report.retried > 0, "the killed flush's jobs were re-queued");
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero, `fresh > 2`, or an outage names a card
+    /// outside the fleet.
+    pub fn simulate_with_outages(
+        &self,
+        jobs: &[FleetJob],
+        batch: usize,
+        fresh: u64,
+        policy: FleetPolicy,
+        outages: &[FleetOutage],
+    ) -> FleetReport {
         assert!(batch > 0, "a flush holds at least one product");
+        assert!(
+            outages.iter().all(|o| o.card < self.cards),
+            "outage names a card outside the fleet"
+        );
         let mut report = FleetReport::default();
         // Pending job indices, kept in arrival order (stable by input
         // index for equal arrivals — the submission order of the trace).
@@ -311,6 +395,15 @@ impl FleetModel {
             // arrived.
             let first_arrival = jobs[pending[0]].arrival_cycle;
             let now = cards[card].max(first_arrival);
+            // A card inside an outage window cannot claim: it sits out
+            // until its repair cycle.
+            if let Some(outage) = outages
+                .iter()
+                .find(|o| o.card == card && o.fail_cycle <= now && now < o.repair_cycle)
+            {
+                cards[card] = outage.repair_cycle;
+                continue;
+            }
             let arrived: Vec<usize> = pending
                 .iter()
                 .copied()
@@ -350,6 +443,20 @@ impl FleetModel {
             }
             report.flushes += 1;
             let done = now + self.flush_cycles(live.len(), fresh);
+            // A card that dies mid-flush loses the whole flush: its jobs
+            // go back to the shared queue (arrival order restored) and
+            // the card is busy until repaired. An outage never kills
+            // twice — the card resumes past its own fail cycle.
+            if let Some(outage) = outages
+                .iter()
+                .find(|o| o.card == card && now <= o.fail_cycle && o.fail_cycle < done)
+            {
+                report.retried += live.len() as u64;
+                pending.extend(live);
+                pending.sort_by_key(|&i| (jobs[i].arrival_cycle, i));
+                cards[card] = outage.repair_cycle;
+                continue;
+            }
             for i in live {
                 match jobs[i].deadline_cycle {
                     Some(deadline) if deadline < done => report.expired_in_flush += 1,
@@ -501,6 +608,64 @@ mod tests {
         assert_eq!(report.expired_in_queue, 1);
         assert_eq!(report.expired_in_flush, 0);
         assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn outage_free_simulation_is_unchanged() {
+        let fleet = FleetModel::paper(2);
+        let jobs: Vec<FleetJob> = (0..12).map(|i| FleetJob::at(i * 50)).collect();
+        assert_eq!(
+            fleet.simulate(&jobs, 3, 1, FleetPolicy::Edf),
+            fleet.simulate_with_outages(&jobs, 3, 1, FleetPolicy::Edf, &[])
+        );
+    }
+
+    #[test]
+    fn killed_flush_jobs_fail_over_to_the_survivor() {
+        let fleet = FleetModel::paper(2);
+        let flush = fleet.flush_cycles(2, 1);
+        let jobs: Vec<FleetJob> = (0..8).map(|_| FleetJob::at(0)).collect();
+        // Card 0 dies one cycle into its first flush and never comes back
+        // within the horizon: every job still completes on card 1.
+        let outage = FleetOutage::new(0, 1, u64::MAX);
+        let report = fleet.simulate_with_outages(&jobs, 2, 1, FleetPolicy::Fifo, &[outage]);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.expired(), 0);
+        assert_eq!(report.retried, 2, "exactly the killed flush's jobs");
+        // The survivor runs all four productive flushes back to back.
+        assert_eq!(report.makespan_cycles, 4 * flush);
+    }
+
+    #[test]
+    fn repaired_card_rejoins_the_fleet() {
+        let fleet = FleetModel::paper(1);
+        let flush = fleet.flush_cycles(2, 1);
+        let jobs: Vec<FleetJob> = (0..6).map(|_| FleetJob::at(0)).collect();
+        // The only card dies mid-first-flush and is repaired shortly
+        // after: the work is lost time, not lost jobs.
+        let outage = FleetOutage::new(0, flush / 2, flush);
+        let report = fleet.simulate_with_outages(&jobs, 2, 1, FleetPolicy::Fifo, &[outage]);
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.retried, 2);
+        // One dead flush (repair at `flush`), then three clean ones.
+        assert_eq!(report.makespan_cycles, flush + 3 * flush);
+    }
+
+    #[test]
+    fn outage_delay_shows_up_as_queue_attributed_expiry() {
+        let fleet = FleetModel::paper(1);
+        let flush = fleet.flush_cycles(1, 1);
+        // Deadline comfortably met by a healthy card…
+        let jobs = [FleetJob::at(0).with_deadline(2 * flush)];
+        let healthy = fleet.simulate(&jobs, 1, 1, FleetPolicy::Edf);
+        assert_eq!(healthy.completed, 1);
+        // …but a long outage makes the retried job hopeless by the time
+        // the card is back: the miss is attributed to queueing.
+        let outage = FleetOutage::new(0, 1, 10 * flush);
+        let degraded = fleet.simulate_with_outages(&jobs, 1, 1, FleetPolicy::Edf, &[outage]);
+        assert_eq!(degraded.completed, 0);
+        assert_eq!(degraded.retried, 1);
+        assert_eq!(degraded.expired_in_queue, 1);
     }
 
     #[test]

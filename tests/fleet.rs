@@ -303,11 +303,16 @@ fn by_size_jobs_for_a_dead_card_fail_over_to_survivors() {
         },
     );
     let big = UBig::pow2(5_000);
-    // Only the big card fits this; it dies claiming it.
-    let doomed = pool
+    // Only the big card fits this; it dies claiming it. Retry-with-
+    // failover re-queues the in-flight job, so even the flush that
+    // killed its card resolves on the survivor instead of `Closed`.
+    let mut doomed = pool
         .submit(ProductRequest::new(big.clone(), UBig::from(3u64)))
         .unwrap();
-    assert!(matches!(doomed.wait(), Err(ServeError::Closed)));
+    match doomed.wait_timeout(Duration::from_secs(30)) {
+        Some(Ok(product)) => assert_eq!(product, &big * &UBig::from(3u64)),
+        other => panic!("expected failover to serve the doomed job, got {other:?}"),
+    }
     // The next big job must fail over to the surviving small card and
     // resolve — bounded, not hanging.
     let mut failover = pool
@@ -322,7 +327,11 @@ fn by_size_jobs_for_a_dead_card_fail_over_to_survivors() {
         .submit(ProductRequest::new(UBig::from(6u64), UBig::from(7u64)))
         .unwrap();
     assert_eq!(small.wait().unwrap(), UBig::from(42u64));
-    drop(pool); // not shutdown(): that would propagate the card's panic
+    // `shutdown` collects stats without re-propagating the card's panic
+    // and reports the dead card's health.
+    let stats = pool.shutdown();
+    assert_eq!(stats.health[0], CardHealth::Live);
+    assert_eq!(stats.health[1], CardHealth::Dead);
 }
 
 #[test]
