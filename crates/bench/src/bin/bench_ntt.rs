@@ -1,18 +1,39 @@
 //! Perf-trajectory baseline: emits `BENCH_ntt.json` with the 64K-transform
 //! and paper-scale (786,432-bit) multiply timings, single-thread and
-//! multi-core, allocating and in-place.
+//! multi-core, allocating and in-place, plus per-radix ablation rungs
+//! (`radix2` baseline vs the `radix2k` stage compiler).
 //!
-//! Run with `cargo run --release -p he-bench --bin bench_ntt`. The file is
-//! written to the current directory; future PRs append their own runs to
-//! track the throughput trajectory (ROADMAP "Open items").
+//! Run with `cargo run --release -p he-bench --bin bench_ntt`. Pass
+//! `--quick` for a CI smoke run (fewer iterations, relaxed gate). The file
+//! is written to the current directory; future PRs append their own runs
+//! to track the throughput trajectory (ROADMAP "Open items").
+//!
+//! The run **asserts the radix-2^k speedup gate**: the production 64K
+//! forward transform (in-place, single thread) must beat the frozen
+//! pre-stage-compiler baseline of 11,500 µs by ≥ 1.5× (≤ 7,700 µs) on a
+//! full run, ≥ 1.1× (≤ 10,455 µs) under `--quick`. A regression exits
+//! non-zero so CI catches it.
 
 use std::time::Instant;
 
 use he_bench::operand;
 use he_bigint::UBig;
-use he_field::Fp;
-use he_ntt::{par, Ntt64k, NttScratch, N64K};
+use he_field::{roots, Fp};
+use he_ntt::{par, Ntt64k, NttScratch, Radix2Plan, Radix2kPlan, N64K};
 use he_ssa::{SsaMultiplier, PAPER_OPERAND_BITS};
+
+/// The recorded single-thread in-place 64K forward time before the
+/// radix-2^k stage compiler landed (BENCH_ntt.json history), in µs.
+/// Frozen so the gate below measures real speedup, not drift.
+const BASELINE_64K_FORWARD_US: f64 = 11_500.0;
+
+/// Required speedup over [`BASELINE_64K_FORWARD_US`] on a full run.
+const GATE_SPEEDUP_FULL: f64 = 1.5;
+
+/// Required speedup under `--quick` (debug-friendly CI smoke runs see more
+/// noise and colder caches, so the bar is lower but still catches a
+/// wholesale regression to the old pass structure).
+const GATE_SPEEDUP_QUICK: f64 = 1.1;
 
 /// Median-of-`iters` wall time per call, in microseconds.
 fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -29,26 +50,49 @@ fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ntt_iters, mul_iters) = if quick { (3, 1) } else { (10, 5) };
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let plan = Ntt64k::new();
     let data: Vec<Fp> = (0..N64K as u64)
         .map(|i| Fp::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
         .collect();
     let mut scratch = NttScratch::new();
     let mut buf = data.clone();
 
-    he_bench::section("64K-point NTT");
+    // Per-radix ablation rungs on the same root and input: the pre-PR
+    // layer-at-a-time radix-2 baseline vs the radix-2^k stage compiler
+    // that the production Ntt64k now runs on.
+    he_bench::section("64K forward, per-radix rungs (1 thread)");
     par::set_threads(1);
-    let ntt_alloc_1t = time_us(10, || {
+    let radix2 = Radix2Plan::with_omega(N64K, roots::omega_64k()).expect("64K radix-2 plan");
+    let rung_radix2 = time_us(ntt_iters, || {
+        buf.copy_from_slice(&data);
+        radix2.forward_in_place(&mut buf).expect("length matches");
+    });
+    println!("radix2  (17 passes):      {rung_radix2:>10.1} µs");
+    let radix2k = Radix2kPlan::with_omega(N64K, roots::omega_64k()).expect("64K radix-2^k plan");
+    let rung_radix2k = time_us(ntt_iters, || {
+        buf.copy_from_slice(&data);
+        radix2k.forward_in_place(&mut buf).expect("length matches");
+    });
+    println!(
+        "radix2k ({} passes):       {rung_radix2k:>10.1} µs",
+        radix2k.memory_passes()
+    );
+
+    he_bench::section("64K-point NTT (production plan)");
+    let plan = Ntt64k::new();
+    let ntt_alloc_1t = time_us(ntt_iters, || {
         std::hint::black_box(plan.forward(&data));
     });
     println!("allocating, 1 thread:     {ntt_alloc_1t:>10.1} µs");
-    let ntt_into_1t = time_us(10, || plan.forward_into(&mut buf, &mut scratch));
+    buf.copy_from_slice(&data);
+    let ntt_into_1t = time_us(ntt_iters, || plan.forward_into(&mut buf, &mut scratch));
     println!("in-place,   1 thread:     {ntt_into_1t:>10.1} µs");
     par::set_threads(0);
-    let ntt_into_par = time_us(10, || plan.forward_into(&mut buf, &mut scratch));
+    let ntt_into_par = time_us(ntt_iters, || plan.forward_into(&mut buf, &mut scratch));
     println!("in-place,   {threads} thread(s):  {ntt_into_par:>10.1} µs");
 
     he_bench::section("786,432-bit multiplication (paper operand size)");
@@ -57,29 +101,43 @@ fn main() {
     let b = operand(PAPER_OPERAND_BITS, 2);
     let mut out = UBig::zero();
     par::set_threads(1);
-    let mul_alloc_1t = time_us(5, || {
+    let mul_alloc_1t = time_us(mul_iters, || {
         std::hint::black_box(ssa.multiply(&a, &b).expect("operands fit"));
     });
     println!("multiply,      1 thread:  {mul_alloc_1t:>10.1} µs");
-    let mul_into_1t = time_us(5, || {
+    let mul_into_1t = time_us(mul_iters, || {
         ssa.multiply_into(&a, &b, &mut out).expect("operands fit")
     });
     println!("multiply_into, 1 thread:  {mul_into_1t:>10.1} µs");
     par::set_threads(0);
-    let mul_into_par = time_us(5, || {
+    let mul_into_par = time_us(mul_iters, || {
         ssa.multiply_into(&a, &b, &mut out).expect("operands fit")
     });
     println!("multiply_into, {threads} thread(s): {mul_into_par:>10.1} µs");
+
+    let speedup = BASELINE_64K_FORWARD_US / ntt_into_1t;
+    let required = if quick {
+        GATE_SPEEDUP_QUICK
+    } else {
+        GATE_SPEEDUP_FULL
+    };
+    let mode = if quick { "quick" } else { "full" };
 
     // Hand-rolled JSON (the workspace builds without a registry, so no
     // serde); keys stay stable for downstream tooling.
     let json = format!(
         "{{\n  \
          \"host_threads\": {threads},\n  \
+         \"mode\": \"{mode}\",\n  \
          \"ntt64k_forward_us\": {{\n    \
          \"allocating_1thread\": {ntt_alloc_1t:.1},\n    \
          \"inplace_1thread\": {ntt_into_1t:.1},\n    \
-         \"inplace_all_threads\": {ntt_into_par:.1}\n  }},\n  \
+         \"inplace_all_threads\": {ntt_into_par:.1},\n    \
+         \"radix2_rung_1thread\": {rung_radix2:.1},\n    \
+         \"radix2k_rung_1thread\": {rung_radix2k:.1},\n    \
+         \"baseline_us\": {BASELINE_64K_FORWARD_US:.1},\n    \
+         \"speedup_vs_baseline\": {speedup:.2},\n    \
+         \"gate_required_speedup\": {required:.2}\n  }},\n  \
          \"mul_786432bit_us\": {{\n    \
          \"multiply_1thread\": {mul_alloc_1t:.1},\n    \
          \"multiply_into_1thread\": {mul_into_1t:.1},\n    \
@@ -87,4 +145,15 @@ fn main() {
     );
     std::fs::write("BENCH_ntt.json", &json).expect("write BENCH_ntt.json");
     println!("\nwrote BENCH_ntt.json");
+
+    println!(
+        "\ngate ({mode}): 64K forward {ntt_into_1t:.1} µs vs {BASELINE_64K_FORWARD_US:.0} µs \
+         baseline = {speedup:.2}x (need >= {required:.1}x)"
+    );
+    assert!(
+        speedup >= required,
+        "radix-2^k speedup gate failed: {ntt_into_1t:.1} µs is only {speedup:.2}x over the \
+         {BASELINE_64K_FORWARD_US:.0} µs baseline (need >= {required:.1}x)"
+    );
+    println!("gate passed");
 }

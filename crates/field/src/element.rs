@@ -181,6 +181,7 @@ impl Fp {
     /// assert_eq!(x.mul_by_pow2(192), x);
     /// assert_eq!(x.mul_by_pow2(3), x * Fp::new(8));
     /// ```
+    #[inline]
     pub fn mul_by_pow2(self, shift: u32) -> Fp {
         let s = shift % 192;
         let (s, negate) = if s >= 96 { (s - 96, true) } else { (s, false) };

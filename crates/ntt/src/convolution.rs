@@ -6,7 +6,7 @@ use he_field::Fp;
 
 use crate::error::NttError;
 use crate::plan64k::{Ntt64k, N64K};
-use crate::radix2::Radix2Plan;
+use crate::radix2k::Radix2kPlan;
 use crate::scratch::NttScratch;
 
 /// Pointwise product of two equal-length spectra (the accelerator's
@@ -67,8 +67,8 @@ pub fn cyclic_convolve_64k_into(plan: &Ntt64k, a: &mut [Fp], b: &[Fp], scratch: 
     plan.inverse_into(a, scratch);
 }
 
-/// Cyclic convolution of two power-of-two-length sequences via radix-2
-/// transforms (the baseline path; used for non-64K SSA parameter sets).
+/// Cyclic convolution of two power-of-two-length sequences via radix-2^k
+/// transforms (used for non-64K SSA parameter sets).
 ///
 /// # Errors
 ///
@@ -81,7 +81,7 @@ pub fn cyclic_convolve_pow2(a: &[Fp], b: &[Fp]) -> Result<Vec<Fp>, NttError> {
             actual: b.len(),
         });
     }
-    let plan = Radix2Plan::new(a.len())?;
+    let plan = Radix2kPlan::new(a.len())?;
     let fa = plan.forward(a);
     let fb = plan.forward(b);
     Ok(plan.inverse(&pointwise(&fa, &fb)))

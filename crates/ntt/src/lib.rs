@@ -8,14 +8,22 @@
 //!   *avoids* ("instead of the more common binary recursive splitting
 //!   approach relying on a radix-2 transform"); kept as the software
 //!   baseline for the `ntt_radix` ablation bench;
+//! * [`radix2k`] / [`Radix2kPlan`] — **the production engine**: a
+//!   radix-2^k stage compiler that groups up to [`radix2k::MAX_DEG`]
+//!   butterfly layers into one data pass through an in-register,
+//!   shift-only micro network, with per-plan twiddle tables built once at
+//!   construction (a 64K transform is 4 memory passes instead of 17);
 //! * [`kernels`] — shift-only transforms of 8/16/32/64 points: in this
 //!   field the `n`-th root of unity for `n | 192` is a power of two, so
 //!   every twiddle inside these blocks is a shift (paper Eq. 3);
 //! * [`MixedRadixPlan`] — the general Cooley–Tukey decomposition of paper
-//!   Eq. 1 for any size that factors into 8/16/32/64;
-//! * [`Ntt64k`] — the paper's exact three-stage 64K-point decomposition
-//!   (Eq. 2: radix-64, radix-64, radix-16) with precomputed inter-stage
-//!   twiddle tables, plus its inverse;
+//!   Eq. 1 for any size that factors into 8/16/32/64; power-of-two plans
+//!   execute on the radix-2^k engine, and
+//!   [`MixedRadixPlan::reference`] keeps the pure recursion for
+//!   cross-validation;
+//! * [`Ntt64k`] — the paper's 64K-point decomposition (Eq. 2: radix-64,
+//!   radix-64, radix-16), executed by the radix-2^k engine while
+//!   preserving the paper's operation census for the hardware models;
 //! * [`SixStepPlan`] — Eq. 1 applied once with explicit transposes (the
 //!   "four-step/six-step" algorithm), the shared-memory counterpoint to
 //!   the paper's distributed schedule;
@@ -86,6 +94,7 @@ pub mod par;
 pub mod plan;
 mod plan64k;
 mod radix2;
+pub mod radix2k;
 mod scratch;
 mod sixstep;
 
@@ -95,5 +104,6 @@ pub use negacyclic::NegacyclicPlan;
 pub use plan::Transform;
 pub use plan64k::{Ntt64k, N64K};
 pub use radix2::Radix2Plan;
+pub use radix2k::Radix2kPlan;
 pub use scratch::NttScratch;
 pub use sixstep::SixStepPlan;

@@ -19,7 +19,7 @@
 use he_field::{roots, Fp};
 
 use crate::error::NttError;
-use crate::radix2::Radix2Plan;
+use crate::radix2k::Radix2kPlan;
 use crate::scratch::NttScratch;
 
 /// A planned negacyclic transformer for length-`n` polynomials
@@ -41,7 +41,7 @@ use crate::scratch::NttScratch;
 #[derive(Debug, Clone)]
 pub struct NegacyclicPlan {
     n: usize,
-    plan: Radix2Plan,
+    plan: Radix2kPlan,
     /// `ψ^i` for `i ∈ [0, n)`, `ψ` a primitive 2n-th root with `ψ² = ω`.
     psi: Vec<Fp>,
     /// `ψ^{-i}` for `i ∈ [0, n)`.
@@ -68,7 +68,7 @@ impl NegacyclicPlan {
         })?;
         // ψ² is a primitive n-th root; build the cyclic plan on exactly it
         // so the twist identity holds.
-        let plan = Radix2Plan::with_omega(n, psi_root.square())?;
+        let plan = Radix2kPlan::with_omega(n, psi_root.square())?;
         let psi = roots::power_table(psi_root, n);
         let psi_inv_root = psi_root.inverse().expect("root of unity");
         let psi_inv = roots::power_table(psi_inv_root, n);
@@ -88,6 +88,15 @@ impl NegacyclicPlan {
     /// Whether the plan is empty (never; provided for convention).
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Bytes held by the precomputed tables: the cyclic engine's twiddles
+    /// plus the ψ / ψ⁻¹ twist tables. Computed once at construction and
+    /// shared by every transform.
+    pub fn table_bytes(&self) -> usize {
+        self.plan.table_bytes()
+            + std::mem::size_of_val(self.psi.as_slice())
+            + std::mem::size_of_val(self.psi_inv.as_slice())
     }
 
     /// Forward negacyclic transform: twist then cyclic NTT.

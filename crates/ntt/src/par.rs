@@ -107,8 +107,11 @@ pub fn thread_count() -> usize {
 /// remainder; every shard keeps at least one thread, so a `workers`
 /// larger than `thread_count` oversubscribes by design — the caller
 /// asked for that many concurrent shards) instead of each re-claiming
-/// every core inside its transforms. With one worker — or one item —
-/// everything runs inline on the caller's thread with no cap.
+/// every core inside its transforms. With one worker, one item, or a
+/// [`thread_count`] of 1 (a single-core host, `HE_NTT_THREADS=1`, or a
+/// caller budget of 1), everything runs inline on the caller's thread —
+/// spawning shards that a 1-wide machine must serialize anyway would be
+/// pure overhead on the hot path.
 ///
 /// # Errors
 ///
@@ -139,7 +142,7 @@ where
         out.len()
     );
     let workers = workers.min(items.len()).max(1);
-    if workers <= 1 {
+    if workers <= 1 || thread_count() <= 1 {
         for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
             f(i, item, slot).map_err(|e| (i, e))?;
         }
@@ -380,6 +383,31 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, (3, 3), "lowest failing item is 3");
+    }
+
+    #[test]
+    fn run_sharded_runs_inline_on_a_single_thread_host() {
+        // Uses the thread-local budget (not the racy global override) to
+        // pin thread_count() to 1, then proves no shard threads spawn:
+        // every closure call lands on the calling thread.
+        let caller = std::thread::current().id();
+        let items: Vec<u64> = (0..32).collect();
+        let mut out = vec![0u64; items.len()];
+        with_thread_budget(1, || {
+            run_sharded_into(&items, &mut out, 8, |i, item, slot| {
+                assert_eq!(
+                    std::thread::current().id(),
+                    caller,
+                    "item {i} must run inline when thread_count() == 1"
+                );
+                *slot = item + 1;
+                Ok::<(), ()>(())
+            })
+        })
+        .unwrap();
+        for (item, slot) in items.iter().zip(&out) {
+            assert_eq!(*slot, item + 1);
+        }
     }
 
     #[test]

@@ -7,14 +7,15 @@ use crate::error::NttError;
 use crate::mixed::MixedRadixPlan;
 use crate::plan64k::{Ntt64k, N64K};
 use crate::radix2::Radix2Plan;
+use crate::radix2k::Radix2kPlan;
 use crate::scratch::NttScratch;
 use crate::sixstep::SixStepPlan;
 
 /// A planned transform of fixed length with forward and inverse passes.
 ///
-/// Implemented by [`Radix2Plan`], [`MixedRadixPlan`], [`SixStepPlan`] and
-/// [`Ntt64k`], so callers can switch strategies (or accept any via
-/// `Box<dyn Transform>`).
+/// Implemented by [`Radix2Plan`], [`Radix2kPlan`], [`MixedRadixPlan`],
+/// [`SixStepPlan`] and [`Ntt64k`], so callers can switch strategies (or
+/// accept any via `Box<dyn Transform>`).
 ///
 /// The `*_into` methods are the in-place, scratch-staged forms; every
 /// implementation overrides the defaults with its allocation-free path, so
@@ -28,6 +29,12 @@ pub trait Transform {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Bytes held by the plan's precomputed twiddle tables. Tables are
+    /// computed once at plan construction and shared by every transform —
+    /// never duplicated per scratch — so this is the plan's whole
+    /// resident table footprint regardless of how many callers use it.
+    fn table_bytes(&self) -> usize;
 
     /// Forward transform, natural order in and out.
     fn forward(&self, input: &[Fp]) -> Vec<Fp>;
@@ -64,6 +71,10 @@ impl Transform for Radix2Plan {
         Radix2Plan::len(self)
     }
 
+    fn table_bytes(&self) -> usize {
+        Radix2Plan::table_bytes(self)
+    }
+
     fn forward(&self, input: &[Fp]) -> Vec<Fp> {
         Radix2Plan::forward(self, input)
     }
@@ -81,9 +92,39 @@ impl Transform for Radix2Plan {
     }
 }
 
+impl Transform for Radix2kPlan {
+    fn len(&self) -> usize {
+        Radix2kPlan::len(self)
+    }
+
+    fn table_bytes(&self) -> usize {
+        Radix2kPlan::table_bytes(self)
+    }
+
+    fn forward(&self, input: &[Fp]) -> Vec<Fp> {
+        Radix2kPlan::forward(self, input)
+    }
+
+    fn inverse(&self, input: &[Fp]) -> Vec<Fp> {
+        Radix2kPlan::inverse(self, input)
+    }
+
+    fn forward_into(&self, data: &mut [Fp], _scratch: &mut NttScratch) {
+        Radix2kPlan::forward_in_place(self, data).expect("length checked by caller");
+    }
+
+    fn inverse_into(&self, data: &mut [Fp], _scratch: &mut NttScratch) {
+        Radix2kPlan::inverse_in_place(self, data).expect("length checked by caller");
+    }
+}
+
 impl Transform for MixedRadixPlan {
     fn len(&self) -> usize {
         MixedRadixPlan::len(self)
+    }
+
+    fn table_bytes(&self) -> usize {
+        MixedRadixPlan::table_bytes(self)
     }
 
     fn forward(&self, input: &[Fp]) -> Vec<Fp> {
@@ -108,6 +149,10 @@ impl Transform for Ntt64k {
         Ntt64k::len(self)
     }
 
+    fn table_bytes(&self) -> usize {
+        Ntt64k::table_bytes(self)
+    }
+
     fn forward(&self, input: &[Fp]) -> Vec<Fp> {
         Ntt64k::forward(self, input)
     }
@@ -130,6 +175,10 @@ impl Transform for SixStepPlan {
         SixStepPlan::len(self)
     }
 
+    fn table_bytes(&self) -> usize {
+        SixStepPlan::table_bytes(self)
+    }
+
     fn forward(&self, input: &[Fp]) -> Vec<Fp> {
         SixStepPlan::forward(self, input)
     }
@@ -147,9 +196,11 @@ impl Transform for SixStepPlan {
     }
 }
 
-/// Plans the preferred transform for length `n`, in the paper's style:
-/// the dedicated three-stage plan at 64K, a high-radix mixed plan when `n`
-/// factors into `{64, 32, 16, 8}`, and radix-2 otherwise.
+/// Plans the preferred transform for length `n`: the paper-shaped
+/// [`Ntt64k`] wrapper at 64K and the radix-2^k stage compiler
+/// ([`Radix2kPlan`]) for every other power of two — both execute the
+/// same compiled-stage engine; 64K keeps its dedicated type because the
+/// hardware models key off [`Ntt64k::operation_counts`].
 ///
 /// # Errors
 ///
@@ -175,10 +226,7 @@ pub fn plan_for(n: usize) -> Result<Box<dyn Transform>, NttError> {
             reason: "plan_for supports power-of-two lengths >= 2",
         });
     }
-    if let Some(radices) = high_radix_factorization(n) {
-        return Ok(Box::new(MixedRadixPlan::new(&radices)?));
-    }
-    Ok(Box::new(Radix2Plan::new(n)?))
+    Ok(Box::new(Radix2kPlan::new(n)?))
 }
 
 /// Greedy factorization into the hardware radices `{64, 32, 16, 8}`, if

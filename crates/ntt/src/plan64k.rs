@@ -1,25 +1,29 @@
-//! The paper's three-stage 64K-point transform (Eq. 2), with precomputed
-//! inter-stage twiddle tables.
+//! The paper's 64K-point transform (Eq. 2), executed by the radix-2^k
+//! stage compiler.
 //!
-//! Index layout (DESIGN.md §7): input `n = 1024·n3 + 16·n2 + n1` with
-//! `n3, n2 ∈ [0, 64)`, `n1 ∈ [0, 16)`; output `k = kA + 64·kB + 4096·kC`.
+//! The paper decomposes the 64K transform as radix-64 × radix-64 ×
+//! radix-16 (input `n = 1024·n3 + 16·n2 + n1`, output
+//! `k = kA + 64·kB + 4096·kC`): two stages of 1024 shift-only 64-point
+//! DFTs, a stage of 4096 shift-only 16-point DFTs, and DSP modular
+//! multipliers for the inter-stage twiddles. Those are exactly the
+//! operation counts behind its timing model
+//! (`T_FFT = 2·(T_C·8·1024)/P + (T_C·2)·4096/P`), preserved here by
+//! [`Ntt64k::operation_counts`] for the resource/performance models in
+//! `he-hwsim`.
 //!
-//! * **Stage 1** — 1024 shift-only 64-point DFTs over `n3` → digit `kA`;
-//! * **Twiddle 2** — multiply by `ω_4096^{kA·n2}` (the accelerator's
-//!   DSP modular multipliers);
-//! * **Stage 2** — 1024 shift-only 64-point DFTs over `n2` → digit `kB`;
-//! * **Twiddle 3** — multiply by `ω^{n1·(kA + 64·kB)}`;
-//! * **Stage 3** — 4096 shift-only 16-point DFTs over `n1` → digit `kC`.
-//!
-//! These are exactly the operation counts behind the paper's timing model:
-//! two stages of 1024 FFT-64s plus one stage of 4096 FFT-16s
-//! (`T_FFT = 2·(T_C·8·1024)/P + (T_C·2)·4096/P`).
+//! In software the same transform is executed by [`Radix2kPlan`] — the
+//! radix-2^k schedule `[6, 5, 5]` is the software analogue of the paper's
+//! 64/64/16 split (radix-64, radix-32, radix-32 groups, each group one
+//! data pass with an in-register shift-only network). `Ntt64k` is a thin
+//! wrapper that pins the length to [`N64K`] and the root to the canonical
+//! aligned [`roots::omega_64k`], keeping the scratch-taking `*_into` API
+//! shape its callers (`he-ssa`, benches) already use — the engine itself
+//! is fully in-place and no longer touches the scratch pool.
 
 use he_field::{roots, Fp};
 
 use crate::error::NttError;
-use crate::kernels::{self, Direction};
-use crate::par;
+use crate::radix2k::Radix2kPlan;
 use crate::scratch::NttScratch;
 
 /// The transform length of the paper's plan: 64K points.
@@ -42,8 +46,9 @@ pub const N64K: usize = 65_536;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Ntt64k {
-    /// `ω^e` for `e ∈ [0, 65536)`, `ω` the aligned 65,536th root.
-    table: Vec<Fp>,
+    /// The compiled radix-2^k engine (schedule `[6, 5, 5]`) on the
+    /// canonical aligned 65,536th root.
+    engine: Radix2kPlan,
 }
 
 impl Default for Ntt64k {
@@ -53,10 +58,12 @@ impl Default for Ntt64k {
 }
 
 impl Ntt64k {
-    /// Builds the plan (computes the 64K-entry twiddle table once).
+    /// Builds the plan (the engine computes its stage and micro twiddle
+    /// tables once; they are shared by every transform).
     pub fn new() -> Ntt64k {
         Ntt64k {
-            table: roots::power_table(roots::omega_64k(), N64K),
+            engine: Radix2kPlan::with_omega(N64K, roots::omega_64k())
+                .expect("the canonical 65536th root plans a 64K transform"),
         }
     }
 
@@ -72,15 +79,13 @@ impl Ntt64k {
 
     /// The primitive 65,536th root in use.
     pub fn omega(&self) -> Fp {
-        self.table[1]
+        self.engine.omega()
     }
 
-    #[inline]
-    fn tw(&self, e: usize, direction: Direction) -> Fp {
-        match direction {
-            Direction::Forward => self.table[e % N64K],
-            Direction::Inverse => self.table[(N64K - e % N64K) % N64K],
-        }
+    /// Bytes held by the engine's precomputed twiddle tables (computed
+    /// once at construction, shared by every transform).
+    pub fn table_bytes(&self) -> usize {
+        self.engine.table_bytes()
     }
 
     /// Forward 64K-point transform (natural order in and out).
@@ -109,27 +114,37 @@ impl Ntt64k {
         data
     }
 
-    /// In-place forward transform staging through `scratch`.
+    /// In-place forward transform.
     ///
-    /// Reusing the same scratch across calls makes repeated transforms
-    /// allocation-free; with the `parallel` feature the independent
-    /// sub-transforms of each stage fan out over the available cores.
+    /// The radix-2^k engine works entirely in place, so `scratch` is kept
+    /// only for API compatibility (callers that pool a scratch across
+    /// mixed plan types keep working); it is never touched. With the
+    /// `parallel` feature the independent orbit groups of each stage fan
+    /// out over the available cores.
     ///
     /// # Panics
     ///
     /// Panics if `data.len() != 65536`.
     pub fn forward_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
-        self.transform_into(data, scratch, Direction::Forward);
+        let _ = scratch;
+        assert_eq!(data.len(), N64K, "Ntt64k operates on 65536 points");
+        self.engine
+            .forward_in_place(data)
+            .expect("length asserted above");
     }
 
-    /// In-place inverse transform (including the `1/n` scaling) staging
-    /// through `scratch`.
+    /// In-place inverse transform (including the `1/n` scaling, folded
+    /// into the last pass as the shift `2^{176}`).
     ///
     /// # Panics
     ///
     /// Panics if `data.len() != 65536`.
     pub fn inverse_into(&self, data: &mut [Fp], scratch: &mut NttScratch) {
-        self.transform_into(data, scratch, Direction::Inverse);
+        let _ = scratch;
+        assert_eq!(data.len(), N64K, "Ntt64k operates on 65536 points");
+        self.engine
+            .inverse_in_place(data)
+            .expect("length asserted above");
     }
 
     /// Fallible forward transform.
@@ -147,86 +162,13 @@ impl Ntt64k {
         Ok(self.forward(input))
     }
 
-    /// The three stages, ping-ponging between `data` and one scratch
-    /// buffer. Each stage writes **chunk-contiguous** task outputs (one
-    /// chunk per independent sub-transform), which is both the cache-local
-    /// layout and what lets [`par::for_each_chunk`] hand every task a
-    /// disjoint `&mut` slice:
+    /// Operation census for one forward transform **on the paper's
+    /// hardware plan** (radix-64 × radix-64 × radix-16), used by the
+    /// performance and resource models:
+    /// `(fft64_count, fft16_count, twiddle_muls)`.
     ///
-    /// * stage 1 (`data → t`): chunk `m` holds the 64-point DFT over `n3`,
-    ///   `t[m·64 + kA]`;
-    /// * stage 2 (`t → data`): chunk `c = kA·16 + n1` holds the twiddled
-    ///   64-point DFT over `n2`, `data[c·64 + kB]`;
-    /// * stage 3 (`data → t`): chunk `k2' = kA + 64·kB` holds the twiddled
-    ///   16-point DFT over `n1`, `t[k2'·16 + kC]`;
-    /// * the final pass permutes back to natural order
-    ///   `data[k2' + 4096·kC]`, folding in the inverse `1/n` shift.
-    fn transform_into(&self, data: &mut [Fp], scratch: &mut NttScratch, dir: Direction) {
-        assert_eq!(data.len(), N64K, "Ntt64k operates on 65536 points");
-        // Every element of the staging buffer is written by stage 1, so its
-        // previous contents don't matter.
-        let mut t = scratch.take_any(N64K);
-
-        // Stage 1: 64-point DFTs over n3 (stride 1024), one per
-        // m = 16·n2 + n1.
-        let input: &[Fp] = data;
-        par::for_each_chunk(&mut t, 64, |m, chunk| {
-            let mut column = [Fp::ZERO; 64];
-            for (d, c) in column.iter_mut().enumerate() {
-                *c = input[1024 * d + m];
-            }
-            kernels::ntt_small_into(&column, chunk, dir).expect("64 is supported");
-        });
-
-        // Twiddle 2 + Stage 2: for each (kA, n1), 64-point DFT over n2.
-        // Input element (kA, n2, n1) sits at t[(16·n2 + n1)·64 + kA] and is
-        // twiddled by ω_4096^{kA·n2} = ω^{16·kA·n2}.
-        let s1: &[Fp] = &t;
-        par::for_each_chunk(data, 64, |c, chunk| {
-            let (ka, n1) = (c / 16, c % 16);
-            let mut column = [Fp::ZERO; 64];
-            for (n2, slot) in column.iter_mut().enumerate() {
-                let v = s1[(16 * n2 + n1) * 64 + ka];
-                *slot = v * self.tw(16 * ka * n2, dir);
-            }
-            kernels::ntt_small_into(&column, chunk, dir).expect("64 is supported");
-        });
-
-        // Twiddle 3 + Stage 3: for each k2' = kA + 64·kB, 16-point DFT over
-        // n1 with twiddle ω^{n1·k2'}.
-        let s2: &[Fp] = data;
-        par::for_each_chunk(&mut t, 16, |k2p, chunk| {
-            let (ka, kb) = (k2p % 64, k2p / 64);
-            let mut column = [Fp::ZERO; 16];
-            for (n1, slot) in column.iter_mut().enumerate() {
-                let v = s2[(ka * 16 + n1) * 64 + kb];
-                *slot = v * self.tw(n1 * k2p, dir);
-            }
-            kernels::ntt_small_into(&column, chunk, dir).expect("16 is supported");
-        });
-
-        // Permute t[k2'·16 + kC] to the natural order data[k2' + 4096·kC];
-        // the inverse 1/65536 = 2^{176} (mod p) scaling is a shift, folded
-        // into the same pass.
-        let spectrum: &[Fp] = &t;
-        par::for_each_chunk(data, 4096, |kc, chunk| match dir {
-            Direction::Forward => {
-                for (k2p, slot) in chunk.iter_mut().enumerate() {
-                    *slot = spectrum[k2p * 16 + kc];
-                }
-            }
-            Direction::Inverse => {
-                for (k2p, slot) in chunk.iter_mut().enumerate() {
-                    *slot = spectrum[k2p * 16 + kc].mul_by_pow2(176);
-                }
-            }
-        });
-
-        scratch.put(t);
-    }
-
-    /// Operation census for one forward transform, used by the performance
-    /// and resource models: `(fft64_count, fft16_count, twiddle_muls)`.
+    /// This is the hardware model of Eq. 2, independent of the software
+    /// schedule the engine happens to run.
     pub fn operation_counts() -> (usize, usize, usize) {
         // 1024 FFT-64s in each of stages 1 and 2; 4096 FFT-16s in stage 3;
         // twiddle multiplications before stages 2 and 3 (64K each, minus the
@@ -281,7 +223,7 @@ mod tests {
     }
 
     #[test]
-    fn into_matches_allocating_and_reuses_scratch() {
+    fn into_matches_allocating_and_never_takes_scratch() {
         let plan = Ntt64k::new();
         let v = sparse_input();
         let expected = plan.forward(&v);
@@ -295,7 +237,11 @@ mod tests {
             plan.inverse_into(&mut data, &mut scratch);
             assert_eq!(data, v);
         }
-        assert_eq!(scratch.pooled(), 1, "the staging buffer is returned");
+        assert_eq!(
+            scratch.pooled(),
+            0,
+            "the radix-2^k engine is fully in-place: no staging buffer"
+        );
     }
 
     #[test]
@@ -312,8 +258,12 @@ mod tests {
 
     #[test]
     fn matches_generic_mixed_radix() {
+        // The pure Eq. 1 recursion on the paper's radix list is the
+        // independent reference implementation (`reference` bypasses the
+        // radix-2^k delegation, so this cross-checks two distinct
+        // algorithms).
         let plan = Ntt64k::new();
-        let generic = MixedRadixPlan::paper_64k();
+        let generic = MixedRadixPlan::reference(&[64, 64, 16]).unwrap();
         let v = sparse_input();
         assert_eq!(plan.forward(&v), generic.forward(&v));
     }
@@ -331,7 +281,7 @@ mod tests {
             vec![16, 64, 64],
             vec![8, 8, 8, 8, 16],
         ] {
-            let alt = MixedRadixPlan::new(&radices).unwrap();
+            let alt = MixedRadixPlan::reference(&radices).unwrap();
             assert_eq!(alt.len(), N64K);
             assert_eq!(alt.forward(&v), reference, "radices {radices:?}");
         }
@@ -354,5 +304,15 @@ mod tests {
         let (fft64, fft16, _) = Ntt64k::operation_counts();
         assert_eq!(fft64, 2048);
         assert_eq!(fft16, 4096);
+    }
+
+    #[test]
+    fn table_footprint_is_shared_and_bounded() {
+        // Twiddle tables live on the plan (built once at construction),
+        // not in any scratch: the 64K plan's whole footprint stays under
+        // 2 MiB and transforms take nothing from the pool.
+        let plan = Ntt64k::new();
+        assert!(plan.table_bytes() > 0);
+        assert!(plan.table_bytes() < 2 * 1024 * 1024);
     }
 }

@@ -107,6 +107,16 @@ impl Radix2Plan {
         self.omega
     }
 
+    /// Bytes held by the per-layer twiddle tables (forward and inverse).
+    /// Computed once at construction and shared by every transform.
+    pub fn table_bytes(&self) -> usize {
+        self.forward_twiddles
+            .iter()
+            .chain(&self.inverse_twiddles)
+            .map(|layer| std::mem::size_of_val(layer.as_slice()))
+            .sum()
+    }
+
     /// Forward transform (natural order in and out).
     ///
     /// # Panics

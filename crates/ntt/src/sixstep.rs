@@ -18,7 +18,7 @@
 //! 5. `N1` transforms of length `N2`;
 //! 6. transpose into the output ordering.
 //!
-//! It computes exactly the same DFT as [`Radix2Plan`] and the paper's
+//! It computes exactly the same DFT as [`crate::Radix2Plan`] and the paper's
 //! [`crate::Ntt64k`] — asserted by tests — and serves as the
 //! shared-memory counterpoint to the paper's distributed schedule: the
 //! transposes are the all-to-all traffic the hypercube exchanges
@@ -39,7 +39,7 @@ use he_field::{roots, Fp};
 
 use crate::error::NttError;
 use crate::par;
-use crate::radix2::Radix2Plan;
+use crate::radix2k::Radix2kPlan;
 use crate::scratch::NttScratch;
 
 /// A planned `N = N1·N2` six-step transform.
@@ -49,15 +49,15 @@ pub struct SixStepPlan {
     n2: usize,
     omega: Fp,
     omega_inv: Fp,
-    /// Length-`n1` sub-transform with root `ω^{N2}`.
-    col_plan: Radix2Plan,
-    /// Length-`n2` sub-transform with root `ω^{N1}`.
-    row_plan: Radix2Plan,
+    /// Length-`n1` sub-transform with root `ω^{N2}` (radix-2^k compiled).
+    col_plan: Radix2kPlan,
+    /// Length-`n2` sub-transform with root `ω^{N1}` (radix-2^k compiled).
+    row_plan: Radix2kPlan,
 }
 
 impl SixStepPlan {
     /// Plans an `(n1, n2)` decomposition of an `n1·n2`-point transform,
-    /// using the same canonical root as [`Radix2Plan::new`] so results are
+    /// using the same canonical root as [`crate::Radix2Plan::new`] so results are
     /// interchangeable.
     ///
     /// # Errors
@@ -73,8 +73,8 @@ impl SixStepPlan {
             n,
             reason: "length must divide p-1",
         })?;
-        let col_plan = Radix2Plan::with_omega(n1, omega.pow(n2 as u64))?;
-        let row_plan = Radix2Plan::with_omega(n2, omega.pow(n1 as u64))?;
+        let col_plan = Radix2kPlan::with_omega(n1, omega.pow(n2 as u64))?;
+        let row_plan = Radix2kPlan::with_omega(n2, omega.pow(n1 as u64))?;
         Ok(SixStepPlan {
             n1,
             n2,
@@ -112,6 +112,13 @@ impl SixStepPlan {
     /// The primitive `N`-th root of unity in use.
     pub fn omega(&self) -> Fp {
         self.omega
+    }
+
+    /// Bytes held by the row and column sub-plans' precomputed twiddle
+    /// tables (the step-3 twiddles are generated on the fly). Computed
+    /// once at construction and shared by every transform.
+    pub fn table_bytes(&self) -> usize {
+        self.col_plan.table_bytes() + self.row_plan.table_bytes()
     }
 
     /// Forward transform (natural order in, natural order out).
@@ -230,14 +237,28 @@ fn transpose(src: &[Fp], rows: usize, cols: usize) -> Vec<Fp> {
     dst
 }
 
+/// Edge length of the square transpose tiles: 32 × 32 `Fp` is 8 KiB,
+/// so one source tile and one destination tile sit in L1 together and
+/// every cache line fetched is fully used before eviction.
+const TRANSPOSE_TILE: usize = 32;
+
 /// Transposes a row-major `rows × cols` matrix into `dst` (column-major,
-/// i.e. a row-major `cols × rows` matrix).
+/// i.e. a row-major `cols × rows` matrix), walking the matrix in
+/// [`TRANSPOSE_TILE`]-square cache blocks instead of full strided
+/// columns — the cache-blocked interleave that keeps steps 1/4/6 from
+/// thrashing on large matrices.
 fn transpose_into(src: &[Fp], dst: &mut [Fp], rows: usize, cols: usize) {
     debug_assert_eq!(src.len(), rows * cols);
     debug_assert_eq!(dst.len(), src.len());
-    for r in 0..rows {
-        for c in 0..cols {
-            dst[c * rows + r] = src[r * cols + c];
+    for rt in (0..rows).step_by(TRANSPOSE_TILE) {
+        let r_end = (rt + TRANSPOSE_TILE).min(rows);
+        for ct in (0..cols).step_by(TRANSPOSE_TILE) {
+            let c_end = (ct + TRANSPOSE_TILE).min(cols);
+            for r in rt..r_end {
+                for c in ct..c_end {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
         }
     }
 }
@@ -247,6 +268,7 @@ mod tests {
     use super::*;
     use crate::naive;
     use crate::plan64k::Ntt64k;
+    use crate::radix2::Radix2Plan;
 
     fn ramp(n: usize) -> Vec<Fp> {
         (0..n as u64)

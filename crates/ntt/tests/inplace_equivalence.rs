@@ -8,7 +8,9 @@
 //! same scratch and compares both rounds.
 
 use he_field::Fp;
-use he_ntt::{MixedRadixPlan, NegacyclicPlan, NttScratch, Radix2Plan, SixStepPlan, Transform};
+use he_ntt::{
+    MixedRadixPlan, NegacyclicPlan, NttScratch, Radix2Plan, Radix2kPlan, SixStepPlan, Transform,
+};
 use proptest::prelude::*;
 
 fn arb_vec(n: usize) -> impl Strategy<Value = Vec<Fp>> {
@@ -36,6 +38,16 @@ proptest! {
     fn radix2_into_matches(v in arb_vec(128)) {
         let plan = Radix2Plan::new(128).unwrap();
         check_roundtrips(&plan, &v, &mut NttScratch::new());
+    }
+
+    #[test]
+    fn radix2k_into_matches(v in arb_vec(2048)) {
+        // 2048 needs the uneven [6, 5] deg schedule; the scratch must
+        // stay untouched (the engine is fully in-place).
+        let plan = Radix2kPlan::new(2048).unwrap();
+        let mut scratch = NttScratch::new();
+        check_roundtrips(&plan, &v, &mut scratch);
+        prop_assert_eq!(scratch.pooled(), 0);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use he_field::{roots, Fp};
 use he_ntt::kernels::{self, Direction};
-use he_ntt::{naive, MixedRadixPlan, Radix2Plan};
+use he_ntt::radix2k::{bit_reverse_permute, radix_stage};
+use he_ntt::{naive, MixedRadixPlan, Radix2Plan, Radix2kPlan};
 use proptest::prelude::*;
 
 fn arb_vec(n: usize) -> impl Strategy<Value = Vec<Fp>> {
@@ -95,6 +96,73 @@ proptest! {
         let via_trait = plan_for(64).unwrap();
         let direct = Radix2Plan::new(64).unwrap();
         prop_assert_eq!(via_trait.forward(&a), Transform::forward(&direct, &a));
+    }
+
+    #[test]
+    fn radix2k_matches_radix2_every_size(log_n in 1u32..=11, v in arb_vec(2048)) {
+        // Sweeps every schedule shape up to 2048, including the
+        // non-power-of-4 sizes that need mixed deg schedules
+        // (128 → [4, 3], 2048 → [6, 5]); outputs must be bit-identical
+        // to the radix-2 baseline in both directions.
+        let n = 1usize << log_n;
+        let v = &v[..n];
+        let compiled = Radix2kPlan::new(n).unwrap();
+        let baseline = Radix2Plan::new(n).unwrap();
+        prop_assert_eq!(compiled.forward(v), baseline.forward(v));
+        prop_assert_eq!(compiled.inverse(v), baseline.inverse(v));
+    }
+
+    #[test]
+    fn radix2k_roundtrip(log_n in 1u32..=12, v in arb_vec(4096)) {
+        let n = 1usize << log_n;
+        let v = v[..n].to_vec();
+        let plan = Radix2kPlan::new(n).unwrap();
+        prop_assert_eq!(plan.inverse(&plan.forward(&v)), v);
+    }
+
+    #[test]
+    fn radix_stage_chain_matches_radix2(v in arb_vec(256)) {
+        // The public kernel entry point, chained with a deliberately
+        // uneven deg split (2 + 3 + 3 layers), reproduces the radix-2
+        // transform bit for bit.
+        let omega = roots::root_of_unity(256).unwrap();
+        let mut x = v.clone();
+        bit_reverse_permute(&mut x);
+        for (log_m, deg) in [(0, 2), (2, 3), (5, 3)] {
+            radix_stage(&mut x, omega, log_m, deg).unwrap();
+        }
+        prop_assert_eq!(x, Radix2Plan::new(256).unwrap().forward(&v));
+    }
+
+    #[test]
+    fn sixstep_on_radix2k_matches_radix2(v in arb_vec(1024), shape in 0usize..3) {
+        // The six-step rows/columns run on radix-2^k sub-plans with
+        // non-canonical roots (ω^{N2}, ω^{N1}); results must still match
+        // the radix-2 baseline on the canonical root.
+        let (n1, n2) = [(16, 64), (64, 16), (32, 32)][shape];
+        let six = he_ntt::SixStepPlan::new(n1, n2).unwrap();
+        let baseline = Radix2Plan::new(1024).unwrap();
+        prop_assert_eq!(six.forward(&v), baseline.forward(&v));
+        prop_assert_eq!(six.inverse(&six.forward(&v)), v);
+    }
+
+    #[test]
+    fn mixed_delegation_matches_reference(v in arb_vec(512)) {
+        // MixedRadixPlan::new executes on the radix-2^k engine for
+        // power-of-two sizes; the pure Eq. 1 recursion must agree bit
+        // for bit in both directions.
+        let fast = MixedRadixPlan::new(&[8, 64]).unwrap();
+        let slow = MixedRadixPlan::reference(&[8, 64]).unwrap();
+        prop_assert_eq!(fast.forward(&v), slow.forward(&v));
+        prop_assert_eq!(fast.inverse(&v), slow.inverse(&v));
+    }
+
+    #[test]
+    fn negacyclic_on_radix2k_roundtrip_and_twist(a in arb_vec(128)) {
+        // The ψ-twisted plan's cyclic core now runs on the radix-2^k
+        // engine (root ψ², non-canonical); the twist identity must hold.
+        let plan = he_ntt::NegacyclicPlan::new(128).unwrap();
+        prop_assert_eq!(plan.inverse(&plan.forward(&a)), a);
     }
 
     #[test]

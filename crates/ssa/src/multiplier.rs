@@ -2,7 +2,7 @@
 
 use he_bigint::UBig;
 use he_field::Fp;
-use he_ntt::{convolution, Ntt64k, NttScratch, Radix2Plan, N64K};
+use he_ntt::{convolution, Ntt64k, NttScratch, Radix2kPlan, N64K};
 
 use crate::error::SsaError;
 use crate::params::SsaParams;
@@ -69,15 +69,15 @@ impl Clone for SsaMultiplier {
 enum Engine {
     /// The paper's three-stage mixed-radix plan (only for `N = 65536`).
     Paper64k(Box<Ntt64k>),
-    /// Generic radix-2 plan for other transform lengths.
-    Radix2(Box<Radix2Plan>),
+    /// Generic radix-2^k compiled plan for other transform lengths.
+    Radix2k(Box<Radix2kPlan>),
 }
 
 impl Engine {
     fn forward_in_place(&self, data: &mut [Fp], scratch: &mut NttScratch) {
         match self {
             Engine::Paper64k(plan) => plan.forward_into(data, scratch),
-            Engine::Radix2(plan) => plan
+            Engine::Radix2k(plan) => plan
                 .forward_in_place(data)
                 .expect("buffer sized to the plan"),
         }
@@ -86,7 +86,7 @@ impl Engine {
     fn inverse_in_place(&self, data: &mut [Fp], scratch: &mut NttScratch) {
         match self {
             Engine::Paper64k(plan) => plan.inverse_into(data, scratch),
-            Engine::Radix2(plan) => plan
+            Engine::Radix2k(plan) => plan
                 .inverse_in_place(data)
                 .expect("buffer sized to the plan"),
         }
@@ -106,8 +106,8 @@ impl SsaMultiplier {
 
     /// A multiplier with explicit parameters.
     ///
-    /// Uses the paper's three-stage plan when `N = 65536`, a radix-2 plan
-    /// otherwise.
+    /// Uses the paper's three-stage plan when `N = 65536`, a radix-2^k
+    /// plan otherwise.
     ///
     /// # Errors
     ///
@@ -117,7 +117,7 @@ impl SsaMultiplier {
         let engine = if params.n_points() == N64K {
             Engine::Paper64k(Box::new(Ntt64k::new()))
         } else {
-            Engine::Radix2(Box::new(Radix2Plan::new(params.n_points())?))
+            Engine::Radix2k(Box::new(Radix2kPlan::new(params.n_points())?))
         };
         Ok(SsaMultiplier {
             params,
