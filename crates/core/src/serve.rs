@@ -159,6 +159,7 @@ use std::time::{Duration, Instant};
 
 use he_bigint::UBig;
 use he_dghv::{CiphertextMultiplier, PreparedFactor};
+use he_ntt::par::lock_or_recover;
 
 use crate::engine::{EvalEngine, OperandHandle, ProductJob};
 use crate::multiplier::{Multiplier, MultiplyError};
@@ -961,11 +962,14 @@ impl<'a, S: Submitter + ?Sized, T> CompletionQueue<'a, S, T> {
     }
 }
 
-/// How far before a job's deadline its flush is scheduled, covering the
-/// worker's wakeup-and-dispatch latency: a flush fired *at* the deadline
-/// would start execution just past it and expire the very job the early
-/// flush was meant to save.
-const DEADLINE_SCHEDULING_MARGIN: Duration = Duration::from_micros(500);
+/// How far before a job's deadline its flush is scheduled. The margin
+/// must cover the worker's wakeup-and-dispatch latency *and* the flush's
+/// own operand-preparation phase (the in-flush expiry check runs after
+/// prepare): a flush fired *at* the deadline would start execution just
+/// past it and expire the very job the early flush was meant to save.
+/// Condvar wakeup overshoot alone is routinely past 1 ms on a loaded
+/// host, so this is milliseconds, not microseconds.
+const DEADLINE_SCHEDULING_MARGIN: Duration = Duration::from_millis(10);
 
 /// Where a job's outcome goes: a per-job ticket channel, or a tagged
 /// slot on a client's [`CompletionQueue`].
@@ -1129,7 +1133,7 @@ impl PinRegistry {
 
 impl PoolShared {
     fn close(&self) {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        lock_or_recover(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -1138,7 +1142,7 @@ impl PoolShared {
         // A worker panic mid-flush never holds this lock (flushes run
         // outside it), so poisoning can only come from a panicking
         // submitter — the queue itself is still consistent.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        lock_or_recover(&self.state)
     }
 
     fn set_health(&self, index: usize, health: CardHealth) {
@@ -1653,7 +1657,7 @@ impl ServerPool {
                 .shared
                 .live
                 .iter()
-                .map(|slot| *slot.lock().unwrap_or_else(|e| e.into_inner()))
+                .map(|slot| *lock_or_recover(slot))
                 .collect(),
             speculative_prepares: self.shared.spec_prepares.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
@@ -1673,9 +1677,11 @@ impl ServerPool {
             .enumerate()
             .map(|(index, w)| {
                 w.join().unwrap_or_else(|_| {
-                    *self.shared.live[index]
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
+                    self.shared
+                        .live
+                        .get(index)
+                        .map(|slot| *lock_or_recover(slot))
+                        .unwrap_or_default()
                 })
             })
             .collect();
@@ -1897,11 +1903,7 @@ impl ClientSession {
     pub fn register(&mut self, name: impl Into<String>, operand: UBig) {
         let id = self.shared.pin_seq.fetch_add(1, Ordering::Relaxed);
         let operand = Arc::new(operand);
-        let mut registry = self
-            .shared
-            .pin_registry
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut registry = lock_or_recover(&self.shared.pin_registry);
         // The registry backs pin *replay* on restarted cards; a replaced
         // registration must not be replayed forever.
         if let Some((old_id, _)) = self.names.insert(name.into(), (id, Arc::clone(&operand))) {
@@ -1914,11 +1916,7 @@ impl ClientSession {
     /// next idle trim; in-flight jobs referencing it still complete.
     pub fn unregister(&mut self, name: &str) {
         if let Some((id, _)) = self.names.remove(name) {
-            self.shared
-                .pin_registry
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .remove(id);
+            lock_or_recover(&self.shared.pin_registry).remove(id);
         }
     }
 
@@ -2076,6 +2074,10 @@ struct AliveGuard<'a> {
     index: usize,
 }
 
+// lint: supervisor
+// (From here to the end of the speculator, the code runs on worker
+// threads that hold client reply sinks: a panic is a hung client. The
+// he-lint gate keeps these paths free of unwrap/expect/panic/indexing.)
 impl Drop for AliveGuard<'_> {
     fn drop(&mut self) {
         self.shared.set_health(self.index, CardHealth::Dead);
@@ -2108,6 +2110,7 @@ impl<M: Multiplier + Sync> CardWorker<M> {
         factory: Option<CardFactory<M>>,
     ) -> CardWorker<M> {
         let cache = HandleCache::new(shared.config.cache_capacity);
+        // lint: allow(panic-path) -- constructor; `index` comes from the pool's own enumerate()
         let capacity = shared.capacities[index];
         CardWorker {
             index,
@@ -2223,16 +2226,8 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                     // wiping the staged spectra then would defeat
                     // speculation exactly under sustained load.
                     if self.shared.speculation && idle_now == self.shared.live.len() {
-                        self.shared
-                            .hot
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .clear();
-                        self.shared
-                            .spec_store
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .clear();
+                        lock_or_recover(&self.shared.hot).clear();
+                        lock_or_recover(&self.shared.spec_store).clear();
                     }
                     self.publish();
                 }
@@ -2244,9 +2239,9 @@ impl<M: Multiplier + Sync> CardWorker<M> {
 
     /// Refreshes this card's live stats slot (for [`ServerPool::stats`]).
     fn publish(&self) {
-        *self.shared.live[self.index]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner()) = self.stats;
+        if let Some(slot) = self.shared.live.get(self.index) {
+            *lock_or_recover(slot) = self.stats;
+        }
     }
 
     /// Blocks until there is a micro-batch **this card may run** (under
@@ -2293,12 +2288,18 @@ impl<M: Multiplier + Sync> CardWorker<M> {
             // and immediately: if it is poisonous it takes down only this
             // flush, and if it is an innocent batch-mate it completes
             // without waiting out another batch window it already paid.
-            if let Some(&pos) = eligible.iter().find(|&&i| state.pending[i].suspect) {
-                let mut job = state.pending.remove(pos).expect("eligible index in range");
-                job.seen = Instant::now();
-                drop(state);
-                self.shared.not_full.notify_all();
-                return Claim::Batch(vec![job]);
+            let suspect_pos = eligible
+                .iter()
+                .copied()
+                .find(|&i| state.pending.get(i).is_some_and(|job| job.suspect));
+            if let Some(pos) = suspect_pos {
+                if let Some(mut job) = state.pending.remove(pos) {
+                    job.seen = Instant::now();
+                    drop(state);
+                    self.shared.not_full.notify_all();
+                    return Claim::Batch(vec![job]);
+                }
+                continue;
             }
             let now = Instant::now();
             let due = flush_due(&state.pending, &eligible, config);
@@ -2478,9 +2479,15 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                         match catch_unwind(AssertUnwindSafe(|| {
                             engine.run(std::slice::from_ref(job))
                         })) {
-                            Ok(Ok(mut v)) => {
-                                solo.push(Some(Ok(v.pop().expect("one product per job"))));
-                            }
+                            Ok(Ok(mut v)) => match v.pop() {
+                                Some(product) => solo.push(Some(Ok(product))),
+                                // An engine returning an empty batch for a
+                                // one-job run is a device fault, not a
+                                // reason to panic the supervisor.
+                                None => solo.push(Some(Err(MultiplyError::Device(
+                                    "engine returned an empty batch".into(),
+                                )))),
+                            },
                             Ok(Err(e)) => solo.push(Some(Err(e))),
                             Err(_) => {
                                 died = true;
@@ -2641,12 +2648,7 @@ impl<M: Multiplier + Sync> CardWorker<M> {
         if self.cache.is_disabled() {
             return;
         }
-        let pins = self
-            .shared
-            .pin_registry
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .snapshot();
+        let pins = lock_or_recover(&self.shared.pin_registry).snapshot();
         for (id, operand) in pins {
             if let Ok(handle) = self.engine.prepare(&operand) {
                 if handle.is_cached() {
@@ -2729,12 +2731,7 @@ impl<M: Multiplier + Sync> CardWorker<M> {
                     continue;
                 }
                 if self.shared.speculation {
-                    let staged = self
-                        .shared
-                        .spec_store
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .take(operand, provenance);
+                    let staged = lock_or_recover(&self.shared.spec_store).take(operand, provenance);
                     if let Some(handle) = staged {
                         self.cache.insert(operand.clone(), key, handle);
                         self.stats.speculative_hits += 1;
@@ -2819,7 +2816,7 @@ impl<M: Multiplier + Sync> CardWorker<M> {
             }
         }
         if self.shared.speculation && !hot_hits.is_empty() {
-            let mut hot = self.shared.hot.lock().unwrap_or_else(|e| e.into_inner());
+            let mut hot = lock_or_recover(&self.shared.hot);
             // Bound the statistics map: a pathological stream of distinct
             // hot digests must not grow resident memory without limit.
             if hot.len() > 4096 {
@@ -2841,14 +2838,14 @@ impl<M: Multiplier + Sync> CardWorker<M> {
 /// it promised; a flush fired exactly at the deadline would always find
 /// the job microseconds expired.
 fn flush_due(pending: &VecDeque<Submitted>, eligible: &[usize], config: &ServeConfig) -> Instant {
-    let oldest = eligible
-        .iter()
-        .map(|&i| pending[i].enqueued)
-        .min()
-        .expect("flush_due on a non-empty eligible set");
-    eligible
-        .iter()
-        .filter_map(|&i| pending[i].request.deadline)
+    let jobs = || eligible.iter().filter_map(|&i| pending.get(i));
+    // An empty (or stale) eligible set means there is nothing to wait
+    // for: flush now rather than panic a worker over a racing index.
+    let Some(oldest) = jobs().map(|job| job.enqueued).min() else {
+        return Instant::now();
+    };
+    jobs()
+        .filter_map(|job| job.request.deadline)
         .map(|d| d.checked_sub(DEADLINE_SCHEDULING_MARGIN).unwrap_or(d))
         .fold(oldest + config.max_delay, Instant::min)
 }
@@ -2874,28 +2871,34 @@ fn pop_batch(
         return batch;
     }
     let chosen: HashSet<usize> = match config.policy {
-        FlushPolicy::Fifo => eligible[..take].iter().copied().collect(),
+        FlushPolicy::Fifo => eligible.iter().take(take).copied().collect(),
         FlushPolicy::Edf => {
             // Rank the eligible jobs: earliest deadline first,
             // deadline-less jobs last, arrival order as tie-breaker.
             let mut order: Vec<usize> = eligible.to_vec();
             order.sort_by(|&i, &j| {
-                let (a, b) = (&pending[i], &pending[j]);
-                match (a.request.deadline, b.request.deadline) {
-                    (Some(da), Some(db)) => da.cmp(&db).then(a.seq.cmp(&b.seq)),
+                match (pending.get(i), pending.get(j)) {
+                    (Some(a), Some(b)) => match (a.request.deadline, b.request.deadline) {
+                        (Some(da), Some(db)) => da.cmp(&db).then(a.seq.cmp(&b.seq)),
+                        (Some(_), None) => core::cmp::Ordering::Less,
+                        (None, Some(_)) => core::cmp::Ordering::Greater,
+                        (None, None) => a.seq.cmp(&b.seq),
+                    },
+                    // A stale index (nothing pending there) sorts last.
                     (Some(_), None) => core::cmp::Ordering::Less,
                     (None, Some(_)) => core::cmp::Ordering::Greater,
-                    (None, None) => a.seq.cmp(&b.seq),
+                    (None, None) => core::cmp::Ordering::Equal,
                 }
             });
-            order[..take].iter().copied().collect()
+            order.truncate(take);
+            order.into_iter().collect()
         }
     };
     let mut batch = Vec::with_capacity(take);
     if chosen.len() == pending.len() {
         batch.extend(pending.drain(..));
     } else {
-        let mut rest = VecDeque::with_capacity(pending.len() - take);
+        let mut rest = VecDeque::with_capacity(pending.len().saturating_sub(take));
         for (i, job) in pending.drain(..).enumerate() {
             if chosen.contains(&i) {
                 batch.push(job);
@@ -2942,8 +2945,8 @@ fn run_speculator<M: Multiplier + Sync>(engine: EvalEngine<M>, shared: Arc<PoolS
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
             }
-            let hot = shared.hot.lock().unwrap_or_else(|e| e.into_inner());
-            let store = shared.spec_store.lock().unwrap_or_else(|e| e.into_inner());
+            let hot = lock_or_recover(&shared.hot);
+            let store = lock_or_recover(&shared.spec_store);
             let is_hot = |key: u64| hot.get(&key).copied().unwrap_or(0) >= hot_after;
             let mut picked: Vec<(u64, UBig)> = Vec::new();
             let mut picked_keys: HashSet<u64> = HashSet::new();
@@ -2986,17 +2989,14 @@ fn run_speculator<M: Multiplier + Sync>(engine: EvalEngine<M>, shared: Arc<PoolS
             }
             if let Ok(handle) = engine.prepare(&operand) {
                 if handle.is_cached() {
-                    shared
-                        .spec_store
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(key, operand, handle);
+                    lock_or_recover(&shared.spec_store).insert(key, operand, handle);
                     shared.spec_prepares.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
     }
 }
+// lint: end supervisor
 
 struct CacheSlot {
     operand: UBig,
@@ -3304,16 +3304,20 @@ mod tests {
         // The deadline pulls the flush earlier than max_delay — and the
         // flush must start *before* the deadline, so the job runs. (A
         // flush scheduled exactly at the deadline would always find the
-        // job microseconds expired.)
+        // job microseconds expired.) The margins are generous on purpose:
+        // a preempted CI runner must not expire the job (deadline) or sit
+        // on it (max_delay) — the elapsed-time assertion below is what
+        // proves the deadline, not max_delay, triggered the flush.
         let server = small_server(ServeConfig {
             max_batch: 64,
-            max_delay: Duration::from_millis(500),
+            max_delay: Duration::from_secs(60),
             ..ServeConfig::default()
         });
+        let started = Instant::now();
         let ticket = server
             .submit(
                 ProductRequest::new(UBig::from(21u64), UBig::from(2u64))
-                    .with_deadline(Duration::from_millis(50)),
+                    .with_deadline(Duration::from_secs(2)),
             )
             .unwrap();
         assert_eq!(
@@ -3321,6 +3325,10 @@ mod tests {
                 .wait()
                 .expect("deadline comfortably ahead of the flush"),
             UBig::from(42u64)
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the deadline must pull the flush well ahead of max_delay"
         );
         let stats = server.shutdown();
         assert_eq!(stats.expired(), 0);

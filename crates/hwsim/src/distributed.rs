@@ -20,6 +20,7 @@ use std::sync::Mutex;
 
 use he_field::{roots, Fp};
 use he_ntt::kernels::Direction;
+use he_ntt::par::lock_or_recover;
 use he_ntt::{NttScratch, N64K};
 
 use crate::config::AcceleratorConfig;
@@ -220,9 +221,11 @@ impl DistributedNtt {
         };
         let cube = Hypercube::new(self.config.hypercube_dim());
         // Stage buffers come from the engine's pool (the PE-local
-        // memories); sub-transform outputs live on the stack.
-        let pool = &mut *self.pool.lock().expect("stage buffer pool");
-        let mut s1 = pool.take(N64K);
+        // memories); sub-transform outputs live on the stack. The pool
+        // lock is held only for the take and the put-back — never across
+        // a stage — so concurrent transforms through one engine contend
+        // on the buffer hand-off, not on each other's compute.
+        let mut s1 = lock_or_recover(&self.pool).take(N64K);
         let mut col = [Fp::ZERO; 64];
         let mut sub = [Fp::ZERO; 64];
 
@@ -258,7 +261,7 @@ impl DistributedNtt {
         }
 
         // --- C2: twiddle ω_4096^{kA·n2}, radix-64 over n2 ----------------
-        let mut s2 = pool.take(N64K);
+        let mut s2 = lock_or_recover(&self.pool).take(N64K);
         let mut per_pe = vec![0usize; pes];
         for ka in 0..64 {
             for n1 in 0..16 {
@@ -314,8 +317,11 @@ impl DistributedNtt {
         }
         self.push_compute(&mut report, "C3", 16, &per_pe, FFT16_CYCLES);
 
-        pool.put(s1);
-        pool.put(s2);
+        {
+            let mut pool = lock_or_recover(&self.pool);
+            pool.put(s1);
+            pool.put(s2);
+        }
         (out_vec, report)
     }
 

@@ -1,0 +1,9 @@
+// BAD: three malformed directives — a reason-less waiver, an unknown
+// directive, and a region never closed.
+pub fn noisy() {
+    // lint: allow(panic-path)
+    let _ = ();
+    // lint: frobnicate
+}
+// lint: supervisor
+pub fn open_ended() {}

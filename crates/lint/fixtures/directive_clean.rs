@@ -1,0 +1,8 @@
+// CLEAN: well-formed directives — balanced regions and a reasoned waiver.
+// lint: supervisor
+pub fn supervised() {
+    // lint: allow(panic-path) — startup check, runs before any client connects
+    let config = load_config().expect("static config parses at startup");
+    serve(config);
+}
+// lint: end supervisor

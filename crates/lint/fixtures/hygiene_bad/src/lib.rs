@@ -1,0 +1,4 @@
+// BAD: no `#![forbid(unsafe_code)]` at the crate root.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,24 @@
+// CLEAN: lock held only for the pop and the push-back, never across the
+// transform — the checkout-pool discipline.
+pub fn pop_transform_push(pool: &Mutex<Vec<Scratch>>, plan: &Plan, data: &mut [u64]) {
+    let mut unit = pool.lock().unwrap().pop().unwrap_or_default();
+    plan.forward_into(data);
+    pool.lock().unwrap().push(unit);
+}
+
+// CLEAN: explicit drop releases the guard before the transform.
+pub fn drop_then_transform(state: &Mutex<State>, engine: &Engine, jobs: &[Job]) {
+    let guard = lock_or_recover(state);
+    let batch = guard.len();
+    drop(guard);
+    engine.multiply_batch(&jobs[..batch.min(jobs.len())]);
+}
+
+// CLEAN: a snapshot taken under the lock is a statement temporary — the
+// guard is dead at the semicolon, before prepare runs.
+pub fn snapshot_then_prepare(registry: &Mutex<Registry>, engine: &Engine) {
+    let pins = registry.lock().unwrap_or_else(|e| e.into_inner()).snapshot();
+    for pin in pins {
+        engine.prepare(&pin);
+    }
+}

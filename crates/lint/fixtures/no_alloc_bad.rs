@@ -1,0 +1,13 @@
+// BAD: three heap allocations on the warm path — the counting-allocator
+// test would catch these at runtime; the lint catches them at review time.
+// lint: no-alloc
+pub fn warm_butterfly(tile: &mut [Fp], twiddles: &[Fp]) {
+    let staged: Vec<Fp> = tile.iter().copied().collect();
+    let mirror = staged.clone();
+    let mut spill = Vec::new();
+    spill.extend_from_slice(&mirror);
+    for (t, s) in tile.iter_mut().zip(spill.iter()) {
+        *t = t.mul(*s).add(twiddles[0]);
+    }
+}
+// lint: end no-alloc

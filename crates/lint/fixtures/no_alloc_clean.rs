@@ -1,0 +1,18 @@
+// CLEAN: in-place butterflies over caller-owned scratch; the one cold-path
+// allocation is waived with a reason.
+// lint: no-alloc
+pub fn warm_butterfly(tile: &mut [Fp], twiddles: &[Fp], scratch: &mut [Fp]) {
+    for (s, t) in scratch.iter_mut().zip(tile.iter()) {
+        *s = *t;
+    }
+    for (t, (s, w)) in tile.iter_mut().zip(scratch.iter().zip(twiddles.iter())) {
+        *t = t.mul(*s).add(*w);
+    }
+}
+
+pub fn first_use(plan: &Plan) -> Table {
+    // lint: allow(no-alloc) — cold init path, runs once per plan
+    let table = Vec::with_capacity(plan.len());
+    Table { table }
+}
+// lint: end no-alloc

@@ -1,0 +1,14 @@
+// BAD: the supervisor loop has three ways to die here — a panic in the
+// worker itself hangs every client whose sink it holds; catch_unwind only
+// protects the *backend* call.
+// lint: supervisor
+pub fn worker_step(jobs: &mut Vec<Job>, live: &[CardState]) {
+    let job = jobs.pop().unwrap();
+    let first = live[0].generation;
+    if job.generation != first {
+        panic!("generation mismatch in supervisor");
+    }
+    let slot = live.iter().position(|c| c.idle).expect("an idle card");
+    let _ = slot;
+}
+// lint: end supervisor

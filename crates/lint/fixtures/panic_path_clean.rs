@@ -1,0 +1,21 @@
+// CLEAN: every supervisor step is fallible — missing state means "skip
+// and requeue", never "panic".
+// lint: supervisor
+pub fn worker_step(jobs: &mut Vec<Job>, live: &[CardState]) {
+    let Some(job) = jobs.pop() else {
+        return;
+    };
+    let Some(first) = live.first().map(|c| c.generation) else {
+        return;
+    };
+    if job.generation != first {
+        return;
+    }
+    let recovered = poisoned_lock(&job).unwrap_or_else(|e| e.into_inner());
+    let count = job.retries.unwrap_or(0);
+    let _ = (recovered, count);
+    for side in [Side::A, Side::B] {
+        let _ = side;
+    }
+}
+// lint: end supervisor

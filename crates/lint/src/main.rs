@@ -1,0 +1,161 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p he-lint -- --check                 # the CI gate
+//! cargo run -p he-lint -- --json report.json      # machine-readable output
+//! cargo run -p he-lint -- --write-baseline        # grandfather current findings
+//! ```
+//!
+//! Flags:
+//! - `--check`            exit non-zero on any new finding or stale baseline entry
+//! - `--root <dir>`       workspace root (default: walk up from the cwd)
+//! - `--baseline <file>`  baseline path (default: `<root>/crates/lint/baseline.json`)
+//! - `--json <file>`      also write the findings as JSON
+//! - `--write-baseline`   rewrite the baseline to the current findings and exit
+//! - `--list-rules`       print the rule names and exit
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use he_lint::report::{baseline_to_json, parse_baseline, to_json};
+use he_lint::rules::ALL_RULES;
+use he_lint::{run, Status};
+
+struct Options {
+    check: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        root: None,
+        baseline: None,
+        json: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?)),
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?))
+            }
+            "--json" => opts.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?)),
+            other => return Err(format!("unknown flag `{other}` (see src/main.rs docs)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The workspace root: walk up from the cwd to the first directory holding
+/// both `Cargo.toml` and `crates/`; fall back to the source checkout this
+/// binary was built from.
+fn find_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn main() -> ExitCode {
+    match try_main() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("he-lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn try_main() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{rule}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = find_root(opts.root);
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("crates/lint/baseline.json"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            parse_baseline(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(_) => Vec::new(),
+    };
+
+    let outcome = run(&root, &baseline)?;
+
+    if opts.write_baseline {
+        let findings: Vec<_> = outcome.findings.iter().map(|(f, _)| f.clone()).collect();
+        std::fs::write(&baseline_path, baseline_to_json(&findings))
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "he-lint: wrote {} entr{} to {}",
+            findings.len(),
+            if findings.len() == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    for (f, status) in &outcome.findings {
+        let tag = match status {
+            Status::New => "",
+            Status::Grandfathered => " (grandfathered)",
+        };
+        println!("{}:{}: [{}] {}{}", f.file, f.line, f.rule, f.message, tag);
+    }
+    for stale in &outcome.stale {
+        println!(
+            "{}: [{}] stale baseline entry (no longer matches): {}",
+            stale.file, stale.rule, stale.key
+        );
+    }
+
+    if let Some(json_path) = &opts.json {
+        let findings: Vec<_> = outcome.findings.iter().map(|(f, _)| f.clone()).collect();
+        std::fs::write(json_path, to_json(&findings))
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+    }
+
+    let new = outcome.new_findings().count();
+    println!(
+        "he-lint: {} file(s), {} finding(s) ({} new, {} grandfathered), {} stale baseline entr{}",
+        outcome.files,
+        outcome.findings.len(),
+        new,
+        outcome.findings.len() - new,
+        outcome.stale.len(),
+        if outcome.stale.len() == 1 { "y" } else { "ies" },
+    );
+
+    if opts.check && outcome.failed() {
+        eprintln!("he-lint: --check failed (new findings or stale baseline entries above)");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,578 @@
+//! Source preparation for the rule passes.
+//!
+//! The rules in this crate are line-oriented: each wants to ask "does this
+//! *code* line contain token X" without being fooled by comments, string
+//! literals, or doc examples. [`scan_source`] does one character-level pass
+//! over a file and produces, per line:
+//!
+//! - the line's code text with every comment and string/char-literal body
+//!   blanked to spaces (delimiters are kept so the shape of the line is
+//!   preserved),
+//! - the line's comment text with the code blanked (directives live here),
+//! - the brace depth before and after the line (lexical scope tracking),
+//! - whether the line sits inside a `#[cfg(test)]` module (rules skip
+//!   test code — `unwrap` in a test is idiomatic, not a finding).
+//!
+//! The lexer handles line comments, nested block comments, string, raw
+//! string (`r#"…"#`), byte-string and char literals, and disambiguates
+//! `'a'` (char) from `'a` (lifetime/loop label) with two characters of
+//! lookahead. It is deliberately *not* a full Rust parser: the rules are
+//! heuristics tuned to this workspace's idioms, and the fixture corpus in
+//! `fixtures/` pins their behaviour.
+//!
+//! Directives are line comments of the form:
+//!
+//! ```text
+//! /​/ lint: supervisor            …  /​/ lint: end supervisor
+//! /​/ lint: no-alloc              …  /​/ lint: end no-alloc
+//! /​/ lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! A waiver without a reason is itself a finding (rule `directive`), as is
+//! an unknown directive, an unmatched `end`, or a region left open at end
+//! of file. Directives are only honoured in plain `//` comments — never in
+//! doc comments, where they are prose about the tool, not instructions to
+//! it.
+
+use std::collections::HashMap;
+
+/// One analysed source line.
+#[derive(Debug)]
+pub struct Line {
+    /// Original text (used for reports and baseline keys).
+    pub raw: String,
+    /// Code with comments and literal bodies blanked to spaces.
+    pub code: String,
+    /// Comment text with code blanked to spaces.
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth_open: i32,
+    /// Brace depth after the line.
+    pub depth_close: i32,
+    /// True inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// Marked region kinds (`// lint: supervisor`, `// lint: no-alloc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    Supervisor,
+    NoAlloc,
+}
+
+impl Region {
+    fn name(self) -> &'static str {
+        match self {
+            Region::Supervisor => "supervisor",
+            Region::NoAlloc => "no-alloc",
+        }
+    }
+}
+
+/// A fully scanned file, ready for the rule passes.
+#[derive(Debug)]
+pub struct ScanFile {
+    /// Workspace-relative path, `/`-separated (stable across hosts).
+    pub rel: String,
+    pub lines: Vec<Line>,
+    /// 0-based line index → rules waived on that line (reason present).
+    pub allows: HashMap<usize, Vec<String>>,
+    /// Directive-syntax findings: (0-based line, message).
+    pub directive_issues: Vec<(usize, String)>,
+    /// 0-based inclusive line ranges marked `// lint: supervisor`.
+    pub supervisor: Vec<(usize, usize)>,
+    /// 0-based inclusive line ranges marked `// lint: no-alloc`.
+    pub no_alloc: Vec<(usize, usize)>,
+}
+
+impl ScanFile {
+    /// Is 0-based line `idx` inside a region of the given kind?
+    pub fn in_region(&self, region: Region, idx: usize) -> bool {
+        let ranges = match region {
+            Region::Supervisor => &self.supervisor,
+            Region::NoAlloc => &self.no_alloc,
+        };
+        ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Is rule `rule` waived on 0-based line `idx` (same line or the line
+    /// directly above)?
+    pub fn waived(&self, rule: &str, idx: usize) -> bool {
+        let hit = |i: usize| {
+            self.allows
+                .get(&i)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule))
+        };
+        hit(idx) || (idx > 0 && hit(idx - 1))
+    }
+}
+
+/// Lexer mode for the character pass.
+enum Mode {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    BlockComment(u32),
+    /// String literal; `true` while the next char is escaped.
+    Str(bool),
+    /// Raw string literal closed by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+/// Splits `text` into parallel code and comment streams (same length, same
+/// newline positions); literal bodies are blanked in both.
+fn split_code_comment(text: &str) -> (String, String) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code = String::with_capacity(text.len());
+    let mut comment = String::with_capacity(text.len());
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    // Pushes one char to the chosen stream and a space (or newline) to the
+    // other, keeping the two streams line-aligned.
+    let both = |code: &mut String, comment: &mut String, c: char, to_code: bool| {
+        if c == '\n' {
+            code.push('\n');
+            comment.push('\n');
+        } else if to_code {
+            code.push(c);
+            comment.push(' ');
+        } else {
+            code.push(' ');
+            comment.push(c);
+        }
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    both(&mut code, &mut comment, '/', false);
+                    both(&mut code, &mut comment, '/', false);
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    both(&mut code, &mut comment, ' ', false);
+                    both(&mut code, &mut comment, ' ', false);
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte-raw string starts: r"…", r#"…"#, br"…", b"…".
+                if c == 'r' || c == 'b' {
+                    let mut j = i;
+                    if chars[j] == 'b' {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'r') {
+                        j += 1;
+                        let mut hashes = 0;
+                        while chars.get(j + hashes as usize) == Some(&'#') {
+                            hashes += 1;
+                        }
+                        if chars.get(j + hashes as usize) == Some(&'"') {
+                            let prev_ident = i > 0 && is_ident_char(chars[i - 1]);
+                            if !prev_ident {
+                                for &ch in &chars[i..=(j + hashes as usize)] {
+                                    both(&mut code, &mut comment, ch, true);
+                                }
+                                i = j + hashes as usize + 1;
+                                mode = Mode::RawStr(hashes);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                if c == '"' {
+                    mode = Mode::Str(false);
+                    both(&mut code, &mut comment, '"', true);
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal ('x', '\n', '\u{..}') vs lifetime ('a).
+                    let is_char = match chars.get(i + 1) {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    both(&mut code, &mut comment, '\'', true);
+                    i += 1;
+                    if is_char {
+                        while i < chars.len() && chars[i] != '\'' {
+                            if chars[i] == '\\' && i + 1 < chars.len() {
+                                both(&mut code, &mut comment, ' ', true);
+                                i += 1;
+                            }
+                            both(&mut code, &mut comment, ' ', true);
+                            i += 1;
+                        }
+                        if i < chars.len() {
+                            both(&mut code, &mut comment, '\'', true);
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                both(&mut code, &mut comment, c, true);
+                i += 1;
+            }
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                }
+                both(&mut code, &mut comment, c, false);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    both(&mut code, &mut comment, '/', false);
+                    both(&mut code, &mut comment, '*', false);
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    both(&mut code, &mut comment, '*', false);
+                    both(&mut code, &mut comment, '/', false);
+                    i += 2;
+                    continue;
+                }
+                both(&mut code, &mut comment, c, false);
+                i += 1;
+            }
+            Mode::Str(escaped) => {
+                if escaped {
+                    mode = Mode::Str(false);
+                    both(&mut code, &mut comment, ' ', true);
+                } else if c == '\\' {
+                    mode = Mode::Str(true);
+                    both(&mut code, &mut comment, ' ', true);
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    both(&mut code, &mut comment, '"', true);
+                } else {
+                    // Keep newlines (multi-line strings) but blank content.
+                    both(
+                        &mut code,
+                        &mut comment,
+                        if c == '\n' { '\n' } else { ' ' },
+                        true,
+                    );
+                }
+                i += 1;
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        both(&mut code, &mut comment, '"', true);
+                        for _ in 0..hashes {
+                            both(&mut code, &mut comment, '#', true);
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                both(
+                    &mut code,
+                    &mut comment,
+                    if c == '\n' { '\n' } else { ' ' },
+                    true,
+                );
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses one line's comment text for a `lint:` directive, if any.
+/// Returns `None` when the comment is absent, a doc comment, or unrelated.
+fn directive_text(comment: &str) -> Option<&str> {
+    let t = comment.trim();
+    // Plain `//` only: doc comments (`///`, `//!`) are prose, not directives.
+    let body = t.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    let body = body.trim_start();
+    body.strip_prefix("lint:").map(str::trim)
+}
+
+/// Parsed directive.
+enum Directive {
+    Begin(Region),
+    End(Region),
+    /// Waived rules and whether a reason was given.
+    Allow(Vec<String>, bool),
+    Unknown(String),
+}
+
+fn parse_directive(text: &str) -> Directive {
+    match text {
+        "supervisor" => return Directive::Begin(Region::Supervisor),
+        "no-alloc" => return Directive::Begin(Region::NoAlloc),
+        "end supervisor" => return Directive::End(Region::Supervisor),
+        "end no-alloc" => return Directive::End(Region::NoAlloc),
+        _ => {}
+    }
+    if let Some(rest) = text.strip_prefix("allow(") {
+        if let Some(close) = rest.find(')') {
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = rest[close + 1..].trim_start();
+            let reason = tail.trim_start_matches(['—', '-', '–', ':']).trim();
+            return Directive::Allow(rules, !reason.is_empty());
+        }
+    }
+    Directive::Unknown(text.to_string())
+}
+
+/// Scans one file's source text into a [`ScanFile`].
+pub fn scan_source(rel: &str, text: &str, known_rules: &[&str]) -> ScanFile {
+    let (code_all, comment_all) = split_code_comment(text);
+    let raw_lines: Vec<&str> = text.split('\n').collect();
+    let code_lines: Vec<&str> = code_all.split('\n').collect();
+    let comment_lines: Vec<&str> = comment_all.split('\n').collect();
+
+    let mut lines = Vec::with_capacity(raw_lines.len());
+    let mut depth: i32 = 0;
+    for (idx, raw) in raw_lines.iter().enumerate() {
+        let code = code_lines.get(idx).copied().unwrap_or("");
+        let comment = comment_lines.get(idx).copied().unwrap_or("");
+        let depth_open = depth;
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        lines.push(Line {
+            raw: (*raw).to_string(),
+            code: code.to_string(),
+            comment: comment.to_string(),
+            depth_open,
+            depth_close: depth,
+            in_test: false,
+        });
+    }
+
+    // `#[cfg(test)] mod … { … }` region detection.
+    let mut pending_cfg_test = false;
+    let mut test_region: Option<i32> = None; // depth outside the test mod
+    for line in lines.iter_mut() {
+        if let Some(region_depth) = test_region {
+            line.in_test = true;
+            if line.depth_close <= region_depth {
+                test_region = None;
+            }
+            continue;
+        }
+        let code = line.code.as_str();
+        if code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test {
+            if code.contains("mod ") && code.contains('{') {
+                line.in_test = true;
+                test_region = Some(line.depth_open);
+                pending_cfg_test = false;
+            } else if code.contains(';') {
+                // The attribute applied to a non-mod item (e.g. a use).
+                pending_cfg_test = false;
+            }
+        }
+    }
+
+    // Directive pass.
+    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut directive_issues: Vec<(usize, String)> = Vec::new();
+    let mut supervisor: Vec<(usize, usize)> = Vec::new();
+    let mut no_alloc: Vec<(usize, usize)> = Vec::new();
+    let mut open: Vec<(Region, usize)> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(text) = directive_text(&line.comment) else {
+            continue;
+        };
+        match parse_directive(text) {
+            Directive::Begin(region) => {
+                if open.iter().any(|&(r, _)| r == region) {
+                    directive_issues.push((
+                        idx,
+                        format!(
+                            "nested `lint: {}` region (close the outer one first)",
+                            region.name()
+                        ),
+                    ));
+                } else {
+                    open.push((region, idx));
+                }
+            }
+            Directive::End(region) => {
+                if let Some(pos) = open.iter().position(|&(r, _)| r == region) {
+                    let (_, start) = open.remove(pos);
+                    match region {
+                        Region::Supervisor => supervisor.push((start, idx)),
+                        Region::NoAlloc => no_alloc.push((start, idx)),
+                    }
+                } else {
+                    directive_issues.push((
+                        idx,
+                        format!(
+                            "`lint: end {}` without a matching open region",
+                            region.name()
+                        ),
+                    ));
+                }
+            }
+            Directive::Allow(rules, has_reason) => {
+                if rules.is_empty() {
+                    directive_issues.push((idx, "`lint: allow(…)` names no rule".to_string()));
+                    continue;
+                }
+                for rule in &rules {
+                    if !known_rules.contains(&rule.as_str()) {
+                        directive_issues
+                            .push((idx, format!("`lint: allow({rule})` names an unknown rule")));
+                    }
+                }
+                if !has_reason {
+                    directive_issues.push((
+                        idx,
+                        "waiver without a reason: write `lint: allow(<rule>) — <why>`".to_string(),
+                    ));
+                    continue;
+                }
+                allows.entry(idx).or_default().extend(rules);
+            }
+            Directive::Unknown(text) => {
+                directive_issues.push((idx, format!("unknown lint directive: `{text}`")));
+            }
+        }
+    }
+    for (region, start) in open {
+        directive_issues.push((
+            start,
+            format!("`lint: {}` region left open at end of file", region.name()),
+        ));
+    }
+
+    ScanFile {
+        rel: rel.to_string(),
+        lines,
+        allows,
+        directive_issues,
+        supervisor,
+        no_alloc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unwrap()\"; // .unwrap() here\nlet y = 1;\n";
+        let f = scan_source("t.rs", src, &["panic-path"]);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains(".unwrap()"));
+        assert!(f.lines[1].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let src = "let s = r#\"panic!()\"#; let c = '\\n'; fn f<'a>(x: &'a u8) {}\n";
+        let f = scan_source("t.rs", src, &[]);
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[0].code.contains("<'a>"), "{}", f.lines[0].code);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ still comment */ let z = 2;\n";
+        let f = scan_source("t.rs", src, &[]);
+        assert!(f.lines[0].code.contains("let z = 2;"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn depth_tracking_spans_lines() {
+        let src = "fn f() {\n    if x {\n    }\n}\n";
+        let f = scan_source("t.rs", src, &[]);
+        assert_eq!(f.lines[0].depth_open, 0);
+        assert_eq!(f.lines[0].depth_close, 1);
+        assert_eq!(f.lines[1].depth_close, 2);
+        assert_eq!(f.lines[3].depth_close, 0);
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = scan_source("t.rs", src, &[]);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn regions_and_waivers_parse() {
+        let src = "\
+// lint: supervisor
+fn a() {}
+// lint: end supervisor
+// lint: allow(panic-path) — test hook, unreachable in production
+let x = 1;
+// lint: allow(panic-path)
+let y = 2;
+";
+        let f = scan_source("t.rs", src, &["panic-path"]);
+        assert_eq!(f.supervisor, vec![(0, 2)]);
+        assert!(f.waived("panic-path", 4));
+        assert!(
+            !f.waived("panic-path", 6),
+            "reason-less waiver must not waive"
+        );
+        assert_eq!(f.directive_issues.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "/// lint: supervisor\nfn a() {}\n//! lint: no-alloc\n";
+        let f = scan_source("t.rs", src, &[]);
+        assert!(f.supervisor.is_empty());
+        assert!(f.no_alloc.is_empty());
+        assert!(f.directive_issues.is_empty());
+    }
+
+    #[test]
+    fn unknown_directives_and_unclosed_regions_are_issues() {
+        let src = "// lint: frobnicate\n// lint: no-alloc\nfn a() {}\n";
+        let f = scan_source("t.rs", src, &[]);
+        assert_eq!(f.directive_issues.len(), 2);
+    }
+}

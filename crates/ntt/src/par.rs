@@ -275,9 +275,40 @@ where
     });
 }
 
+/// Acquires `mutex`, recovering from poisoning.
+///
+/// Every shared mutex in this workspace guards plain data (scratch stacks,
+/// stats, pin registries) whose invariants hold between statements, so a
+/// panic in one holder never leaves the value half-updated in a way the
+/// next holder cannot use. Propagating the poison instead would cascade
+/// one worker's panic into unrelated client threads — the serving fleet
+/// explicitly survives a dying card (PR 6), and a poisoned-on-panic
+/// `Mutex` must not undo that. This is the one blessed way to take such a
+/// lock; `he-lint` flags bare `lock().unwrap()` on supervisor paths.
+pub fn lock_or_recover<T: ?Sized>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lock_or_recover_survives_a_poisoned_mutex() {
+        let mutex = std::sync::Mutex::new(7u64);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().expect("not yet poisoned");
+            panic!("poison the lock");
+        }));
+        assert!(mutex.is_poisoned());
+        let mut guard = lock_or_recover(&mutex);
+        assert_eq!(*guard, 7, "the poisoned value is still usable");
+        *guard = 8;
+        drop(guard);
+        assert_eq!(*lock_or_recover(&mutex), 8);
+    }
 
     #[test]
     fn covers_every_chunk_exactly_once() {

@@ -29,6 +29,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use he_ntt::par::lock_or_recover;
 use he_ntt::NttScratch;
 
 /// Default idle cap: the machine's available parallelism, resolved once
@@ -85,18 +86,15 @@ impl ScratchPool {
     /// Pops an idle unit when one exists (no allocation); otherwise builds
     /// a fresh empty unit — that happens once per level of concurrency;
     /// up to the idle cap, the unit is retained afterwards.
+    // lint: no-alloc
     pub(crate) fn checkout(&self) -> ScratchGuard<'_> {
-        let unit = self
-            .idle
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default();
+        let unit = lock_or_recover(&self.idle).pop().unwrap_or_default();
         ScratchGuard {
             pool: self,
             unit: Some(unit),
         }
     }
+    // lint: end no-alloc
 
     /// Caps the idle stack at `cap` retained units (`0` restores the
     /// default: the machine's available parallelism). Lowering the cap
@@ -133,12 +131,12 @@ impl ScratchPool {
     /// to what the traffic actually uses.
     pub(crate) fn trim(&self) {
         self.floor.store(0, Ordering::Relaxed);
-        self.idle.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        lock_or_recover(&self.idle).clear();
     }
 
     /// Number of idle units currently pooled (diagnostic).
     pub(crate) fn idle_units(&self) -> usize {
-        self.idle.lock().unwrap_or_else(|e| e.into_inner()).len()
+        lock_or_recover(&self.idle).len()
     }
 }
 
@@ -163,10 +161,11 @@ impl DerefMut for ScratchGuard<'_> {
     }
 }
 
+// lint: no-alloc
 impl Drop for ScratchGuard<'_> {
     fn drop(&mut self) {
         if let Some(unit) = self.unit.take() {
-            let mut idle = self.pool.idle.lock().unwrap_or_else(|e| e.into_inner());
+            let mut idle = lock_or_recover(&self.pool.idle);
             // Retain up to the cap; units beyond it came from a transient
             // concurrency burst and are freed rather than pinned forever.
             if idle.len() < self.pool.resolved_cap() {
@@ -175,6 +174,7 @@ impl Drop for ScratchGuard<'_> {
         }
     }
 }
+// lint: end no-alloc
 
 #[cfg(test)]
 mod tests {

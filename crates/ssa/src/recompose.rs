@@ -62,6 +62,7 @@ pub fn recompose(coeffs: &[Fp], coeff_bits: u32) -> UBig {
 /// [`recompose`] into a caller-provided result, staging the carry
 /// accumulator in `acc` — allocation-free once both the accumulator and
 /// the result's limb buffer have grown to the working size.
+// lint: no-alloc
 pub fn recompose_into(coeffs: &[Fp], coeff_bits: u32, acc: &mut Vec<u64>, out: &mut UBig) {
     assert!((1..=63).contains(&coeff_bits));
     let m = coeff_bits as usize;
@@ -103,6 +104,7 @@ fn add_shifted(acc: &mut [u64], value: u64, bit_pos: usize) {
         k += 1;
     }
 }
+// lint: end no-alloc
 
 #[cfg(test)]
 mod tests {
