@@ -97,9 +97,10 @@ pub use multiplier::{
 };
 pub use selfcheck::{self_check, SelfCheckReport};
 pub use serve::{
-    CardHealth, ClientSession, Completion, CompletionQueue, CompletionSink, DrainOutcome,
-    FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig,
-    ServeError, ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
+    completion_channel, CancelHandle, CardHealth, ClientSession, Completion, CompletionMint,
+    CompletionQueue, CompletionReceiver, CompletionSink, DrainOutcome, FlushPolicy, PoolStats,
+    ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig, ServeError, ServeStats,
+    ServedMultiplier, ServerPool, SubmitError, Submitter, TicketResolver,
 };
 
 /// Convenience re-exports for downstream users.
@@ -110,9 +111,10 @@ pub mod prelude {
         HardwareSim, Karatsuba, Multiplier, MultiplyError, Schoolbook, SsaSoftware, Toom3,
     };
     pub use crate::serve::{
-        CardHealth, ClientSession, Completion, CompletionQueue, CompletionSink, DrainOutcome,
-        FlushPolicy, PoolStats, ProductRequest, ProductServer, ProductTicket, RoutePolicy,
-        ServeConfig, ServeError, ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter,
+        completion_channel, CancelHandle, CardHealth, ClientSession, Completion, CompletionMint,
+        CompletionQueue, CompletionReceiver, CompletionSink, DrainOutcome, FlushPolicy, PoolStats,
+        ProductRequest, ProductServer, ProductTicket, RoutePolicy, ServeConfig, ServeError,
+        ServeStats, ServedMultiplier, ServerPool, SubmitError, Submitter, TicketResolver,
     };
     pub use he_bigint::UBig;
     pub use he_dghv::{CompressedKeyPair, DghvParams, KeyPair};

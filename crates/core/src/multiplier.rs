@@ -34,6 +34,18 @@ pub enum MultiplyError {
     /// serving fleet does exactly that up to
     /// `crate::serve::ServeConfig::retry_limit`.
     Device(String),
+    /// A backend error reported by a **remote** fleet: a wire protocol
+    /// preserves the error family (`kind`) and the rendered message, but
+    /// not the far end's in-process payload, so it decodes to this
+    /// variant. Never retried locally — the remote fleet already applied
+    /// its own retry/quarantine policy before answering.
+    Remote {
+        /// The remote error family (e.g. `"ssa"`, `"hwsim"`,
+        /// `"handle-mismatch"`, `"protocol"`).
+        kind: String,
+        /// The remote error's rendered message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MultiplyError {
@@ -46,6 +58,9 @@ impl fmt::Display for MultiplyError {
                 "operand handle was prepared by `{found}` but used with `{expected}`"
             ),
             MultiplyError::Device(reason) => write!(f, "device fault: {reason}"),
+            MultiplyError::Remote { kind, detail } => {
+                write!(f, "remote {kind} error: {detail}")
+            }
         }
     }
 }
@@ -55,7 +70,9 @@ impl std::error::Error for MultiplyError {
         match self {
             MultiplyError::Ssa(e) => Some(e),
             MultiplyError::HwSim(e) => Some(e),
-            MultiplyError::HandleMismatch { .. } | MultiplyError::Device(_) => None,
+            MultiplyError::HandleMismatch { .. }
+            | MultiplyError::Device(_)
+            | MultiplyError::Remote { .. } => None,
         }
     }
 }

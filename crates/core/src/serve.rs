@@ -361,6 +361,54 @@ impl ProductRequest {
         self.deadline
     }
 
+    /// The pin ids riding this request's operands (`None` for an inline
+    /// side). Remote [`Submitter`] implementations use this to ship a
+    /// pinned operand as its id alone instead of re-serializing the
+    /// operand's bytes on every submission — the whole point of pinning,
+    /// preserved across a wire.
+    pub fn operand_pins(&self) -> (Option<u64>, Option<u64>) {
+        let pin = |operand: &Operand| match operand {
+            Operand::Pinned { id, .. } => Some(*id),
+            Operand::Inline(_) => None,
+        };
+        (pin(&self.a), pin(&self.b))
+    }
+
+    /// A request multiplying a **pinned** operand (carried by `id` with
+    /// its registered value) by a fresh inline operand.
+    ///
+    /// This is the constructor for remote transports that manage their
+    /// own pin namespace (a network session registering operands on a
+    /// far-end fleet). Local callers should pin through
+    /// [`ClientSession::register`]/[`ClientSession::request_with`]
+    /// instead: pin ids are pool-global, and a request built here with an
+    /// id from a different namespace resolves against whatever that id
+    /// means on the pool it is submitted to.
+    pub fn pinned_with(id: u64, value: Arc<UBig>, fresh: UBig) -> ProductRequest {
+        ProductRequest {
+            a: Operand::Pinned { id, value },
+            b: Operand::Inline(fresh),
+            deadline: None,
+        }
+    }
+
+    /// A request multiplying two **pinned** operands — the remote-
+    /// transport counterpart of [`ClientSession::request_between`]; the
+    /// same namespace caveat as [`ProductRequest::pinned_with`] applies.
+    pub fn pinned_pair(a: (u64, Arc<UBig>), b: (u64, Arc<UBig>)) -> ProductRequest {
+        ProductRequest {
+            a: Operand::Pinned {
+                id: a.0,
+                value: a.1,
+            },
+            b: Operand::Pinned {
+                id: b.0,
+                value: b.1,
+            },
+            deadline: None,
+        }
+    }
+
     /// The job's size for routing: the wider of its two operands, in
     /// bits.
     fn required_bits(&self) -> usize {
@@ -543,6 +591,77 @@ impl ProductTicket {
     /// discarded like any dropped ticket's.
     pub fn cancel(self) {
         self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// A ticket resolved by the caller instead of by a local fleet — the
+    /// building block for **remote** [`Submitter`] implementations: the
+    /// transport hands the ticket to its client and resolves it from the
+    /// connection's reader thread when the far end answers.
+    ///
+    /// The never-hangs contract survives the split: dropping the
+    /// [`TicketResolver`] unresolved (connection lost, transport shut
+    /// down) makes every wait on the ticket report
+    /// [`ServeError::Closed`]. Cancelling the ticket raises a flag the
+    /// resolver side can observe ([`TicketResolver::is_cancelled`]) and
+    /// forward to the far end.
+    pub fn remote() -> (ProductTicket, TicketResolver) {
+        let (tx, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let ticket = ProductTicket {
+            rx,
+            cancelled: Arc::clone(&cancelled),
+        };
+        (ticket, TicketResolver { tx, cancelled })
+    }
+}
+
+/// The resolving half of [`ProductTicket::remote`]: whoever holds it
+/// answers the ticket exactly once — or drops it, which resolves the
+/// ticket to [`ServeError::Closed`].
+#[derive(Debug)]
+pub struct TicketResolver {
+    tx: mpsc::Sender<Result<UBig, ServeError>>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl TicketResolver {
+    /// Delivers the ticket's outcome. A ticket whose holder stopped
+    /// listening (dropped it) absorbs the outcome silently.
+    pub fn resolve(self, outcome: Result<UBig, ServeError>) {
+        let _ = self.tx.send(outcome);
+    }
+
+    /// Whether the ticket side called [`ProductTicket::cancel`] — a
+    /// remote transport polls this to forward the withdrawal to the far
+    /// end (cancellation stays best-effort, exactly as locally).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// Best-effort withdrawal handle for a sink-bound submission — what
+/// [`ProductTicket::cancel`] is to a ticket-bound one. Minted by
+/// [`ClientSession::submit_into_cancellable`] so a server-side front end
+/// (e.g. a network connection reactor) can honor an out-of-band cancel
+/// message for a job whose completion travels through a
+/// [`CompletionSink`]: if the job is still queued when a card claims its
+/// flush, it is dropped without running (counted in
+/// [`ServeStats::cancelled`]) and its sink resolves
+/// [`ServeError::Closed`].
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Asks the fleet not to run the job if it has not been claimed yet.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested through this handle.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
     }
 }
 
@@ -959,6 +1078,67 @@ impl<'a, S: Submitter + ?Sized, T> CompletionQueue<'a, S, T> {
             done.push(completion);
         }
         done
+    }
+}
+
+/// An **owned** mint/receiver pair for [`CompletionSink`]s — the
+/// [`CompletionQueue`] reactor pattern detached from any borrowed
+/// submitter, so the two halves can live on different threads with
+/// independent lifetimes. A server-side reactor (e.g. a socket writer
+/// thread draining one connection's completions) owns the
+/// [`CompletionReceiver`] outright, while whatever accepts jobs keeps the
+/// [`CompletionMint`] (`Clone`) and attaches a sink per submission via
+/// [`Submitter::submit_into`].
+///
+/// The exactly-once delivery contract is the sink's own: a sink dropped
+/// unanswered reports [`ServeError::Closed`], and
+/// [`CompletionReceiver::recv`] returns `None` only once the mint and
+/// every outstanding sink are gone — the receiver's loop terminates
+/// naturally when the producing side shuts down.
+pub fn completion_channel() -> (CompletionMint, CompletionReceiver) {
+    let (tx, rx) = mpsc::channel();
+    (CompletionMint { tx }, CompletionReceiver { rx })
+}
+
+/// The minting half of [`completion_channel`]: stamps
+/// [`CompletionSink`]s, each tagged with a caller-chosen `u64`, all
+/// delivering to the paired [`CompletionReceiver`].
+#[derive(Debug, Clone)]
+pub struct CompletionMint {
+    tx: mpsc::Sender<(u64, Result<UBig, ServeError>)>,
+}
+
+impl CompletionMint {
+    /// A sink delivering `(tag, outcome)` to the paired receiver.
+    pub fn sink(&self, tag: u64) -> CompletionSink {
+        CompletionSink {
+            tx: self.tx.clone(),
+            tag,
+            sent: false,
+        }
+    }
+}
+
+/// The draining half of [`completion_channel`]: completions arrive in
+/// completion order, each carrying the tag its sink was minted with.
+#[derive(Debug)]
+pub struct CompletionReceiver {
+    rx: mpsc::Receiver<(u64, Result<UBig, ServeError>)>,
+}
+
+impl CompletionReceiver {
+    /// Blocks for the next completion. Returns `None` once the mint and
+    /// every outstanding sink have been dropped — the clean-shutdown
+    /// signal for a reactor draining this receiver.
+    pub fn recv(&self) -> Option<(u64, Result<UBig, ServeError>)> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking [`CompletionReceiver::recv`]: `None` when no
+    /// completion is ready right now *or* the channel is finished — use
+    /// the blocking form to distinguish shutdown from idleness.
+    pub fn try_recv(&self) -> Option<(u64, Result<UBig, ServeError>)> {
+        self.rx.try_recv().ok()
     }
 }
 
@@ -1992,6 +2172,34 @@ impl ClientSession {
     /// Panics if either name was never registered on this session.
     pub fn submit_between(&self, a: &str, b: &str) -> Result<ProductTicket, SubmitError> {
         self.shared.enqueue_ticket(true, self.request_between(a, b))
+    }
+
+    /// [`Submitter::submit_into`] with a withdrawal handle: the job's
+    /// completion still travels through `sink`, but the returned
+    /// [`CancelHandle`] can ask the fleet to drop the job before a card
+    /// claims it — the hook a remote front end needs to honor an
+    /// out-of-band cancel message for sink-bound jobs (a ticket's cancel
+    /// flag is unreachable from a [`CompletionSink`] submission). A job
+    /// cancelled in the queue resolves its sink to
+    /// [`ServeError::Closed`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] (with the request handed back; the sink
+    /// resolves [`ServeError::Closed`]) if every worker is gone.
+    pub fn submit_into_cancellable(
+        &self,
+        request: ProductRequest,
+        sink: CompletionSink,
+    ) -> Result<CancelHandle, SubmitError> {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        self.shared.enqueue(
+            true,
+            request,
+            ReplySink::Tagged(sink),
+            Arc::clone(&cancelled),
+        )?;
+        Ok(CancelHandle { cancelled })
     }
 }
 
@@ -4151,5 +4359,95 @@ mod tests {
         // are answered, not hung.
         assert_eq!(resolved + closed, 4);
         assert!(closed >= 1, "timeout cleared at least one queued job");
+    }
+
+    #[test]
+    fn remote_ticket_resolves_and_reports_closed_on_dropped_resolver() {
+        let (ticket, resolver) = ProductTicket::remote();
+        resolver.resolve(Ok(UBig::from(42u64)));
+        assert_eq!(ticket.wait().unwrap(), UBig::from(42u64));
+
+        let (ticket, resolver) = ProductTicket::remote();
+        drop(resolver);
+        assert_eq!(ticket.wait(), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn remote_ticket_cancel_is_visible_to_the_resolver() {
+        let (ticket, resolver) = ProductTicket::remote();
+        assert!(!resolver.is_cancelled());
+        ticket.cancel();
+        assert!(resolver.is_cancelled());
+    }
+
+    #[test]
+    fn completion_channel_delivers_and_closes() {
+        let (mint, receiver) = completion_channel();
+        mint.sink(7).complete(Ok(UBig::from(6u64)));
+        // An unanswered sink reports `Closed` from its drop.
+        drop(mint.sink(8));
+        let mut got = [
+            receiver.recv().expect("first completion"),
+            receiver.recv().expect("second completion"),
+        ];
+        got.sort_by_key(|(tag, _)| *tag);
+        assert_eq!(got[0], (7, Ok(UBig::from(6u64))));
+        assert_eq!(got[1], (8, Err(ServeError::Closed)));
+        drop(mint);
+        assert_eq!(receiver.recv(), None, "mint gone, channel finished");
+    }
+
+    #[test]
+    fn cancellable_sink_submission_cancels_queued_jobs() {
+        // One stalling card: the first job occupies it, the second is
+        // cancelled while still queued and resolves `Closed`.
+        let pool = ServerPool::spawn(
+            vec![EvalEngine::new(FaultyMultiplier::new(
+                SsaSoftware::for_operand_bits(2_000).unwrap(),
+                FaultPlan::new(31).stall_every(1, Duration::from_millis(100)),
+            ))],
+            ServeConfig {
+                max_batch: 1,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        );
+        let session = pool.session();
+        let (mint, receiver) = completion_channel();
+        let _first = session
+            .submit_into_cancellable(
+                ProductRequest::new(UBig::from(3u64), UBig::from(3u64)),
+                mint.sink(1),
+            )
+            .unwrap();
+        let second = session
+            .submit_into_cancellable(
+                ProductRequest::new(UBig::from(4u64), UBig::from(4u64)),
+                mint.sink(2),
+            )
+            .unwrap();
+        second.cancel();
+        assert!(second.is_cancelled());
+        drop(mint);
+        let mut outcomes = HashMap::new();
+        while let Some((tag, outcome)) = receiver.recv() {
+            outcomes.insert(tag, outcome);
+        }
+        assert_eq!(outcomes[&1], Ok(UBig::from(9u64)));
+        assert_eq!(outcomes[&2], Err(ServeError::Closed));
+        let stats = pool.shutdown().total();
+        assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn pinned_request_constructors_round_trip_ids() {
+        let value = Arc::new(UBig::from(5u64));
+        let request = ProductRequest::pinned_with(9, Arc::clone(&value), UBig::from(7u64));
+        assert_eq!(request.operand_pins(), (Some(9), None));
+        assert_eq!(request.operands(), (&*value, &UBig::from(7u64)));
+        let pair = ProductRequest::pinned_pair((1, Arc::clone(&value)), (2, value));
+        assert_eq!(pair.operand_pins(), (Some(1), Some(2)));
+        let inline = ProductRequest::new(UBig::from(1u64), UBig::from(2u64));
+        assert_eq!(inline.operand_pins(), (None, None));
     }
 }

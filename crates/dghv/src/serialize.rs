@@ -13,25 +13,39 @@ use crate::params::DghvParams;
 const MAGIC: &[u8; 4] = b"DGHV";
 const VERSION: u8 = 1;
 
+/// Hard cap on any single length-prefixed field, in bytes. The format
+/// sits on a trust boundary (ciphertexts arrive over the network), so a
+/// hostile length prefix must be **rejected before any allocation is
+/// sized by it** — a `u64::MAX` length field errors here instead of
+/// asking the allocator for 16 EiB. The cap is ~170× the paper's
+/// γ = 786,432-bit ciphertexts: generous for every parameter set this
+/// workspace defines, unreachable for an attacker.
+pub const MAX_FIELD_BYTES: usize = 1 << 24;
+
 /// Writes a length-prefixed big integer.
 fn put_ubig(out: &mut Vec<u8>, value: &UBig) {
     let bytes = value.to_le_bytes();
+    debug_assert!(bytes.len() <= MAX_FIELD_BYTES, "operand above wire cap");
     out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
     out.extend_from_slice(&bytes);
 }
 
-/// Reads a length-prefixed big integer.
+/// Reads a length-prefixed big integer. The length field is checked
+/// against [`MAX_FIELD_BYTES`] **before** it sizes anything.
 fn get_ubig(input: &mut &[u8]) -> Result<UBig, DghvError> {
     let len_bytes: [u8; 8] = input
         .get(..8)
         .and_then(|s| s.try_into().ok())
         .ok_or_else(|| malformed("truncated length"))?;
     *input = &input[8..];
-    let len = u64::from_le_bytes(len_bytes) as usize;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_FIELD_BYTES as u64 {
+        return Err(malformed("length field exceeds cap"));
+    }
     let bytes = input
-        .get(..len)
+        .get(..len as usize)
         .ok_or_else(|| malformed("truncated payload"))?;
-    *input = &input[len..];
+    *input = &input[len as usize..];
     Ok(UBig::from_le_bytes(bytes))
 }
 
@@ -170,6 +184,58 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(0);
         assert!(Ciphertext::from_bytes(&extended).is_err());
+    }
+
+    /// A hostile length prefix must produce a typed error without the
+    /// length ever sizing an allocation: these buffers are a few dozen
+    /// bytes, but their length fields claim up to 16 EiB. (Regression:
+    /// the decoder once bounds-checked the slice — which already
+    /// prevented the allocation — but had no explicit cap, so a
+    /// `len > input.len()` claim and a genuinely oversized field were
+    /// indistinguishable, and nothing guarded the cap on future call
+    /// sites that build the buffer before validating.)
+    #[test]
+    fn hostile_length_fields_error_before_allocating() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let keys = KeyPair::generate(DghvParams::tiny(), &mut rng).unwrap();
+        let good = keys.public().encrypt(true, &mut rng).to_bytes();
+        // The ubig length prefix lives right after magic(4)+ver+tag+noise(4).
+        let len_at = 4 + 1 + 1 + 4;
+
+        for hostile in [u64::MAX, (MAX_FIELD_BYTES as u64) + 1, 1 << 40] {
+            let mut evil = good.clone();
+            evil[len_at..len_at + 8].copy_from_slice(&hostile.to_le_bytes());
+            let err = Ciphertext::from_bytes(&evil).unwrap_err();
+            assert!(
+                err.to_string().contains("exceeds cap"),
+                "len {hostile:#x} must hit the explicit cap, got: {err}"
+            );
+        }
+
+        // In-range but larger than the buffer: still a typed truncation
+        // error, still no allocation sized by the claim.
+        let mut evil = good.clone();
+        evil[len_at..len_at + 8].copy_from_slice(&(MAX_FIELD_BYTES as u64).to_le_bytes());
+        let err = Ciphertext::from_bytes(&evil).unwrap_err();
+        assert!(err.to_string().contains("truncated payload"), "{err}");
+
+        // A value at the cap round-trips: the guard rejects only what it
+        // must.
+        let at_cap = UBig::from_le_bytes(&[0xAB; 64]);
+        let mut out = Vec::new();
+        put_ubig(&mut out, &at_cap);
+        let mut slice = &out[..];
+        assert_eq!(get_ubig(&mut slice).unwrap(), at_cap);
+    }
+
+    #[test]
+    fn params_record_rejects_any_wrong_length() {
+        // The fixed record admits exactly 26 bytes — a hostile "length"
+        // here is simply a wrong-sized buffer, rejected before parsing.
+        for len in [0usize, 25, 27, 1 << 20] {
+            let buf = vec![0u8; len];
+            assert!(DghvParams::from_bytes(&buf).is_err(), "len {len}");
+        }
     }
 
     #[test]

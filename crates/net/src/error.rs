@@ -1,0 +1,51 @@
+//! The crate's error type.
+
+use crate::wire::WireError;
+
+/// Why a network operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The operating system refused or dropped the socket operation.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not decode as a frame (see
+    /// [`WireError`] for the typed rejection).
+    Wire(WireError),
+    /// The connection is gone and could not be re-established within the
+    /// configured retry budget, or the session was explicitly closed.
+    Closed,
+    /// A request/reply round trip (stats, ping) ran out its timeout.
+    Timeout,
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Wire(e) => write!(f, "protocol error: {e}"),
+            NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::Closed | NetError::Timeout => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> NetError {
+        NetError::Wire(e)
+    }
+}

@@ -1,0 +1,680 @@
+//! The versioned, length-prefixed binary framing.
+//!
+//! This extends `he-dghv::serialize`'s conventions — little-endian
+//! fixed-width integers, length-prefixed byte strings, a version byte,
+//! typed errors on anything malformed — from ciphertexts at rest to the
+//! serving fleet's live traffic: product jobs, results, typed
+//! [`ServeError`]s, and session state (register/pin, cancel, stats).
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌────────────┬─────────┬────────────┬───────────────┬──────────────┐
+//! │ len: u32   │ ver: u8 │ opcode: u8 │ req_id: u64   │ payload      │
+//! │ (of body)  │  (= 1)  │            │               │ (per opcode) │
+//! └────────────┴─────────┴────────────┴───────────────┴──────────────┘
+//! ```
+//!
+//! with all integers little-endian. `len` counts the body (everything
+//! after the prefix itself) and is validated against a caller-supplied
+//! cap **before** any allocation is sized by it — a hostile length
+//! prefix yields [`WireError::Oversized`], never an allocator call. The
+//! codec sits on a trust boundary: [`Frame::decode`] must return a typed
+//! [`WireError`] (never panic, never allocate unboundedly) on *any* byte
+//! string, a property the proptest suite enforces with a seeded
+//! byte-mutation sweep.
+
+use std::time::Duration;
+
+use he_accel::{MultiplyError, ServeError, ServeStats};
+use he_bigint::UBig;
+
+/// Protocol version carried by every frame.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes of the length prefix, the only part of a frame read blind.
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Bytes of the body header (version, opcode, request id).
+pub const BODY_HEADER_BYTES: usize = 1 + 1 + 8;
+
+/// Default cap on one frame's body, in bytes: comfortably above two
+/// paper-scale 786,432-bit operands per submission (~200 KB), far below
+/// anything that could pressure the allocator on a malicious prefix.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 26;
+
+/// Why a byte string failed to decode as a frame. Every variant is a
+/// **typed rejection** — the decoder never panics on hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does (short prefix, short body,
+    /// or an inner length field pointing past the body's end).
+    Truncated,
+    /// The length prefix claims a body above the frame cap — rejected
+    /// before the length sizes anything.
+    Oversized {
+        /// The body length the prefix claimed.
+        claimed: u64,
+        /// The cap it exceeded.
+        cap: usize,
+    },
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// The opcode byte names no known frame type.
+    UnknownOpcode(u8),
+    /// A structurally invalid body (bad enum tag, non-UTF-8 string, …).
+    Malformed(&'static str),
+    /// The body parsed but left unconsumed bytes — a framing bug or a
+    /// tampered frame, not tolerated silently.
+    Trailing {
+        /// Unconsumed bytes after the body parsed.
+        extra: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Oversized { claimed, cap } => {
+                write!(f, "frame length {claimed} exceeds the {cap}-byte cap")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after frame body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One side of a submitted product on the wire: the operand's bytes, or
+/// the id of an operand previously pinned with [`Frame::Register`] — the
+/// pinned form is the whole host-interface win, shipping 8 bytes where
+/// the inline form ships ~100 KB at paper scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOperand {
+    /// The operand travels with the job.
+    Inline(UBig),
+    /// The operand was registered earlier under this id.
+    Pinned(u64),
+}
+
+/// A [`ServeError`] in transit. The error *family* and rendered detail
+/// cross the wire; in-process payloads (backend error enums) do not —
+/// they decode to [`MultiplyError::Remote`] with the family preserved in
+/// `kind`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFailure {
+    /// [`ServeError::Expired`], with the miss encoded in nanoseconds.
+    Expired {
+        /// How far past its deadline the job was.
+        missed_by_nanos: u64,
+    },
+    /// [`ServeError::Multiply`]: the backend error's family and message.
+    Backend {
+        /// Error family: `"ssa"`, `"hwsim"`, `"handle-mismatch"`,
+        /// `"device"`, `"protocol"`, or a forwarded remote kind.
+        kind: String,
+        /// The rendered error message.
+        detail: String,
+    },
+    /// [`ServeError::Poisoned`] after `attempts` flush strikes.
+    Poisoned {
+        /// Flushes the job took down before quarantine.
+        attempts: u32,
+    },
+    /// [`ServeError::Closed`].
+    Closed,
+}
+
+impl WireFailure {
+    /// Encodes a [`ServeError`] for transit.
+    pub fn from_serve(error: &ServeError) -> WireFailure {
+        match error {
+            ServeError::Expired { missed_by } => WireFailure::Expired {
+                missed_by_nanos: missed_by.as_nanos().min(u64::MAX as u128) as u64,
+            },
+            ServeError::Multiply(e) => WireFailure::Backend {
+                kind: match e {
+                    MultiplyError::Ssa(_) => "ssa".to_string(),
+                    MultiplyError::HwSim(_) => "hwsim".to_string(),
+                    MultiplyError::HandleMismatch { .. } => "handle-mismatch".to_string(),
+                    MultiplyError::Device(_) => "device".to_string(),
+                    MultiplyError::Remote { kind, .. } => kind.clone(),
+                },
+                detail: match e {
+                    // A relayed remote error keeps its original detail;
+                    // re-wrapping its Display form would stack a
+                    // "remote … error:" prefix per hop.
+                    MultiplyError::Remote { detail, .. } => detail.clone(),
+                    other => other.to_string(),
+                },
+            },
+            ServeError::Poisoned { attempts } => WireFailure::Poisoned {
+                attempts: *attempts,
+            },
+            ServeError::Closed => WireFailure::Closed,
+        }
+    }
+
+    /// Reconstitutes the typed [`ServeError`] on the receiving side.
+    pub fn into_serve(self) -> ServeError {
+        match self {
+            WireFailure::Expired { missed_by_nanos } => ServeError::Expired {
+                missed_by: Duration::from_nanos(missed_by_nanos),
+            },
+            WireFailure::Backend { kind, detail } => {
+                // Device faults keep their local type (they are defined
+                // by message alone); everything else becomes a typed
+                // remote error with the family preserved.
+                ServeError::Multiply(if kind == "device" {
+                    let msg = detail
+                        .strip_prefix("device fault: ")
+                        .unwrap_or(&detail)
+                        .to_string();
+                    MultiplyError::Device(msg)
+                } else {
+                    MultiplyError::Remote { kind, detail }
+                })
+            }
+            WireFailure::Poisoned { attempts } => ServeError::Poisoned { attempts },
+            WireFailure::Closed => ServeError::Closed,
+        }
+    }
+}
+
+/// Every message the protocol speaks, client→server and server→client.
+///
+/// `req_id` correlates a client's request with the server's answer;
+/// frames that need no correlation (session ops) still carry the slot so
+/// every frame shares one header shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client→server: one product job.
+    Submit {
+        /// Correlates with the answering [`Frame::Product`]/[`Frame::Failure`].
+        req_id: u64,
+        /// Left operand.
+        a: WireOperand,
+        /// Right operand.
+        b: WireOperand,
+        /// Deadline as *remaining* nanoseconds (absolute instants do not
+        /// cross machines); the server re-anchors it on arrival.
+        deadline_nanos: Option<u64>,
+    },
+    /// Client→server: pin `operand` under `pin` on this connection's
+    /// session — subsequent [`WireOperand::Pinned`] submissions resolve
+    /// it hash-free, and the operand's bytes never travel again.
+    Register {
+        /// The client-chosen pin id.
+        pin: u64,
+        /// The operand to pin.
+        operand: UBig,
+    },
+    /// Client→server: release a pin.
+    Unregister {
+        /// The pin id to release.
+        pin: u64,
+    },
+    /// Client→server: withdraw the job submitted under `req_id`
+    /// (best-effort, like [`he_accel::ProductTicket::cancel`]).
+    Cancel {
+        /// The submission to withdraw.
+        req_id: u64,
+    },
+    /// Client→server: request the fleet's rolled-up [`ServeStats`].
+    StatsRequest {
+        /// Correlates with the answering [`Frame::Stats`].
+        req_id: u64,
+    },
+    /// Client→server: liveness probe.
+    Ping {
+        /// Correlates with the answering [`Frame::Pong`].
+        req_id: u64,
+    },
+    /// Server→client: the product for `req_id`.
+    Product {
+        /// The submission this answers.
+        req_id: u64,
+        /// The product.
+        value: UBig,
+    },
+    /// Server→client: the typed failure for `req_id`.
+    Failure {
+        /// The submission this answers.
+        req_id: u64,
+        /// The typed failure.
+        error: WireFailure,
+    },
+    /// Server→client: the fleet's rolled-up counters.
+    Stats {
+        /// The stats request this answers.
+        req_id: u64,
+        /// The fleet-wide [`ServeStats`] roll-up.
+        stats: ServeStats,
+    },
+    /// Server→client: liveness answer.
+    Pong {
+        /// The ping this answers.
+        req_id: u64,
+    },
+}
+
+const OP_SUBMIT: u8 = 0x01;
+const OP_REGISTER: u8 = 0x02;
+const OP_UNREGISTER: u8 = 0x03;
+const OP_CANCEL: u8 = 0x04;
+const OP_STATS_REQUEST: u8 = 0x05;
+const OP_PING: u8 = 0x06;
+const OP_PRODUCT: u8 = 0x81;
+const OP_FAILURE: u8 = 0x82;
+const OP_STATS: u8 = 0x83;
+const OP_PONG: u8 = 0x84;
+
+const OPERAND_INLINE: u8 = 0;
+const OPERAND_PINNED: u8 = 1;
+
+const FAILURE_EXPIRED: u8 = 0;
+const FAILURE_BACKEND: u8 = 1;
+const FAILURE_POISONED: u8 = 2;
+const FAILURE_CLOSED: u8 = 3;
+
+// ---------------------------------------------------------------- encode
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_ubig(out: &mut Vec<u8>, value: &UBig) {
+    put_bytes(out, &value.to_le_bytes());
+}
+
+fn put_operand(out: &mut Vec<u8>, operand: &WireOperand) {
+    match operand {
+        WireOperand::Inline(value) => {
+            out.push(OPERAND_INLINE);
+            put_ubig(out, value);
+        }
+        WireOperand::Pinned(id) => {
+            out.push(OPERAND_PINNED);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+}
+
+fn put_failure(out: &mut Vec<u8>, failure: &WireFailure) {
+    match failure {
+        WireFailure::Expired { missed_by_nanos } => {
+            out.push(FAILURE_EXPIRED);
+            out.extend_from_slice(&missed_by_nanos.to_le_bytes());
+        }
+        WireFailure::Backend { kind, detail } => {
+            out.push(FAILURE_BACKEND);
+            put_bytes(out, kind.as_bytes());
+            put_bytes(out, detail.as_bytes());
+        }
+        WireFailure::Poisoned { attempts } => {
+            out.push(FAILURE_POISONED);
+            out.extend_from_slice(&attempts.to_le_bytes());
+        }
+        WireFailure::Closed => out.push(FAILURE_CLOSED),
+    }
+}
+
+/// [`ServeStats`] fields, in wire order. One place owns the order so the
+/// encoder, the decoder, and the field-count stay in lockstep.
+fn stats_fields(stats: &ServeStats) -> [u64; 17] {
+    [
+        stats.flushes,
+        stats.completed,
+        stats.failed,
+        stats.expired_in_queue,
+        stats.expired_in_flush,
+        stats.cancelled,
+        stats.shed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.pinned_hits,
+        stats.speculative_hits,
+        stats.largest_flush as u64,
+        stats.idle_trims,
+        stats.retried,
+        stats.reruns,
+        stats.restarts,
+        stats.poisoned,
+    ]
+}
+
+fn stats_from_fields(fields: [u64; 17]) -> ServeStats {
+    ServeStats {
+        flushes: fields[0],
+        completed: fields[1],
+        failed: fields[2],
+        expired_in_queue: fields[3],
+        expired_in_flush: fields[4],
+        cancelled: fields[5],
+        shed: fields[6],
+        cache_hits: fields[7],
+        cache_misses: fields[8],
+        pinned_hits: fields[9],
+        speculative_hits: fields[10],
+        largest_flush: fields[11] as usize,
+        idle_trims: fields[12],
+        retried: fields[13],
+        reruns: fields[14],
+        restarts: fields[15],
+        poisoned: fields[16],
+    }
+}
+
+impl Frame {
+    fn opcode(&self) -> u8 {
+        match self {
+            Frame::Submit { .. } => OP_SUBMIT,
+            Frame::Register { .. } => OP_REGISTER,
+            Frame::Unregister { .. } => OP_UNREGISTER,
+            Frame::Cancel { .. } => OP_CANCEL,
+            Frame::StatsRequest { .. } => OP_STATS_REQUEST,
+            Frame::Ping { .. } => OP_PING,
+            Frame::Product { .. } => OP_PRODUCT,
+            Frame::Failure { .. } => OP_FAILURE,
+            Frame::Stats { .. } => OP_STATS,
+            Frame::Pong { .. } => OP_PONG,
+        }
+    }
+
+    fn correlation(&self) -> u64 {
+        match self {
+            Frame::Submit { req_id, .. }
+            | Frame::Cancel { req_id }
+            | Frame::StatsRequest { req_id }
+            | Frame::Ping { req_id }
+            | Frame::Product { req_id, .. }
+            | Frame::Failure { req_id, .. }
+            | Frame::Stats { req_id, .. }
+            | Frame::Pong { req_id } => *req_id,
+            Frame::Register { pin, .. } | Frame::Unregister { pin } => *pin,
+        }
+    }
+
+    /// Encodes the complete frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&[0; LEN_PREFIX_BYTES]); // patched below
+        out.push(WIRE_VERSION);
+        out.push(self.opcode());
+        out.extend_from_slice(&self.correlation().to_le_bytes());
+        match self {
+            Frame::Submit {
+                a,
+                b,
+                deadline_nanos,
+                ..
+            } => {
+                match deadline_nanos {
+                    Some(nanos) => {
+                        out.push(1);
+                        out.extend_from_slice(&nanos.to_le_bytes());
+                    }
+                    None => out.push(0),
+                }
+                put_operand(&mut out, a);
+                put_operand(&mut out, b);
+            }
+            Frame::Register { operand, .. } => put_ubig(&mut out, operand),
+            Frame::Product { value, .. } => put_ubig(&mut out, value),
+            Frame::Failure { error, .. } => put_failure(&mut out, error),
+            Frame::Stats { stats, .. } => {
+                for field in stats_fields(stats) {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+            }
+            Frame::Unregister { .. }
+            | Frame::Cancel { .. }
+            | Frame::StatsRequest { .. }
+            | Frame::Ping { .. }
+            | Frame::Pong { .. } => {}
+        }
+        let body_len = (out.len() - LEN_PREFIX_BYTES) as u32;
+        out[..LEN_PREFIX_BYTES].copy_from_slice(&body_len.to_le_bytes());
+        out
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the
+    /// bytes consumed. `max_frame` caps the body length a prefix may
+    /// claim — checked **before** anything is sized by the claim.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] on any malformed, truncated, oversized, or
+    /// tampered input; this function never panics on arbitrary bytes.
+    pub fn decode(buf: &[u8], max_frame: usize) -> Result<(Frame, usize), WireError> {
+        let prefix: [u8; LEN_PREFIX_BYTES] = buf
+            .get(..LEN_PREFIX_BYTES)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(WireError::Truncated)?;
+        let body_len = u32::from_le_bytes(prefix) as u64;
+        if body_len > max_frame as u64 {
+            return Err(WireError::Oversized {
+                claimed: body_len,
+                cap: max_frame,
+            });
+        }
+        let body = buf
+            .get(LEN_PREFIX_BYTES..LEN_PREFIX_BYTES + body_len as usize)
+            .ok_or(WireError::Truncated)?;
+        let frame = decode_body(body)?;
+        Ok((frame, LEN_PREFIX_BYTES + body_len as usize))
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// A bounds-checked reading head over one frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let (head, tail) = self.buf.split_at_checked(n).ok_or(WireError::Truncated)?;
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    /// A length-prefixed byte string. The length is validated against
+    /// the bytes actually present (the body is already under the frame
+    /// cap), so it can never size an allocation beyond the buffer.
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn ubig(&mut self) -> Result<UBig, WireError> {
+        Ok(UBig::from_le_bytes(self.bytes()?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        core::str::from_utf8(self.bytes()?)
+            .map(str::to_string)
+            .map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn operand(&mut self) -> Result<WireOperand, WireError> {
+        match self.u8()? {
+            OPERAND_INLINE => Ok(WireOperand::Inline(self.ubig()?)),
+            OPERAND_PINNED => Ok(WireOperand::Pinned(self.u64()?)),
+            _ => Err(WireError::Malformed("unknown operand tag")),
+        }
+    }
+
+    fn failure(&mut self) -> Result<WireFailure, WireError> {
+        match self.u8()? {
+            FAILURE_EXPIRED => Ok(WireFailure::Expired {
+                missed_by_nanos: self.u64()?,
+            }),
+            FAILURE_BACKEND => Ok(WireFailure::Backend {
+                kind: self.string()?,
+                detail: self.string()?,
+            }),
+            FAILURE_POISONED => Ok(WireFailure::Poisoned {
+                attempts: self.u32()?,
+            }),
+            FAILURE_CLOSED => Ok(WireFailure::Closed),
+            _ => Err(WireError::Malformed("unknown failure tag")),
+        }
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader { buf: body };
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let opcode = r.u8()?;
+    let correlation = r.u64()?;
+    let frame = match opcode {
+        OP_SUBMIT => {
+            let deadline_nanos = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(WireError::Malformed("unknown deadline tag")),
+            };
+            Frame::Submit {
+                req_id: correlation,
+                a: r.operand()?,
+                b: r.operand()?,
+                deadline_nanos,
+            }
+        }
+        OP_REGISTER => Frame::Register {
+            pin: correlation,
+            operand: r.ubig()?,
+        },
+        OP_UNREGISTER => Frame::Unregister { pin: correlation },
+        OP_CANCEL => Frame::Cancel {
+            req_id: correlation,
+        },
+        OP_STATS_REQUEST => Frame::StatsRequest {
+            req_id: correlation,
+        },
+        OP_PING => Frame::Ping {
+            req_id: correlation,
+        },
+        OP_PRODUCT => Frame::Product {
+            req_id: correlation,
+            value: r.ubig()?,
+        },
+        OP_FAILURE => Frame::Failure {
+            req_id: correlation,
+            error: r.failure()?,
+        },
+        OP_STATS => {
+            let mut fields = [0u64; 17];
+            for field in fields.iter_mut() {
+                *field = r.u64()?;
+            }
+            Frame::Stats {
+                req_id: correlation,
+                stats: stats_from_fields(fields),
+            }
+        }
+        OP_PONG => Frame::Pong {
+            req_id: correlation,
+        },
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    if !r.buf.is_empty() {
+        return Err(WireError::Trailing { extra: r.buf.len() });
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_frame_round_trips() {
+        let frame = Frame::Submit {
+            req_id: 42,
+            a: WireOperand::Inline(UBig::from(123_456_789u64)),
+            b: WireOperand::Pinned(7),
+            deadline_nanos: Some(5_000_000),
+        };
+        let bytes = frame.encode();
+        let (decoded, used) = Frame::decode(&bytes, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_sizing() {
+        let mut bytes = Frame::Pong { req_id: 1 }.encode();
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match Frame::decode(&bytes, DEFAULT_MAX_FRAME_BYTES) {
+            Err(WireError::Oversized { claimed, cap }) => {
+                assert_eq!(claimed, u32::MAX as u64);
+                assert_eq!(cap, DEFAULT_MAX_FRAME_BYTES);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_version_and_opcode_are_typed() {
+        let mut bytes = Frame::Ping { req_id: 9 }.encode();
+        bytes[4] = 99;
+        assert_eq!(
+            Frame::decode(&bytes, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::BadVersion(99))
+        );
+        let mut bytes = Frame::Ping { req_id: 9 }.encode();
+        bytes[5] = 0x7f;
+        assert_eq!(
+            Frame::decode(&bytes, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::UnknownOpcode(0x7f))
+        );
+    }
+
+    #[test]
+    fn failures_reconstitute_typed_serve_errors() {
+        let cases = [
+            ServeError::Expired {
+                missed_by: Duration::from_millis(3),
+            },
+            ServeError::Multiply(MultiplyError::Device("dma glitch".into())),
+            ServeError::Poisoned { attempts: 4 },
+            ServeError::Closed,
+        ];
+        for error in cases {
+            let reconstituted = WireFailure::from_serve(&error).into_serve();
+            assert_eq!(reconstituted, error, "round-trip of {error:?}");
+        }
+        // Non-device backend errors come back as typed remote errors
+        // with the family preserved.
+        let mismatch = ServeError::Multiply(MultiplyError::Remote {
+            kind: "handle-mismatch".into(),
+            detail: "prepared elsewhere".into(),
+        });
+        assert_eq!(WireFailure::from_serve(&mismatch).into_serve(), mismatch);
+    }
+}
